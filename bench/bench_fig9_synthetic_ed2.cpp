@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Figure 9 — synthetic traffic energy-delay^2.
+ *
+ * Same sweep axes as Figure 8, but reporting the paper's ED^2 metric
+ * (average packet energy [pJ] x average latency^2 [ns^2]). The paper
+ * observes that the Figure-8 trends are amplified here because the
+ * NoX/non-speculative routers avoid misspeculation link energy.
+ */
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+
+namespace nox {
+namespace {
+
+void
+runPattern(PatternKind pattern, bool self_similar,
+           const std::vector<RouterArch> &archs,
+           const std::vector<double> &rates, const Config &config)
+{
+    std::cout << "--- Figure 9: "
+              << (self_similar ? "selfsimilar"
+                               : patternName(pattern))
+              << " traffic, energy-delay^2 [pJ*ns^2] ---\n";
+
+    std::vector<std::string> headers{"MB/s/node"};
+    for (RouterArch a : archs)
+        headers.push_back(archName(a));
+    Table table(headers);
+
+    for (double rate : rates) {
+        std::vector<std::string> row{Table::num(rate, 0)};
+        for (RouterArch arch : archs) {
+            SyntheticConfig c;
+            c.arch = arch;
+            c.pattern = pattern;
+            c.selfSimilar = self_similar;
+            c.injectionMBps = rate;
+            bench::applyCommon(config, &c);
+            const RunResult r = runSynthetic(c);
+            row.push_back(r.saturated ? "sat"
+                                      : Table::num(r.ed2, 0));
+        }
+        table.addRow(std::move(row));
+    }
+    table.print(std::cout);
+    bench::writeCsv(config, std::string("fig9_") +
+                                (self_similar ? "selfsimilar"
+                                              : patternName(pattern)),
+                    table);
+    std::cout << '\n';
+}
+
+} // namespace
+} // namespace nox
+
+int
+main(int argc, char **argv)
+{
+    using namespace nox;
+
+    Config config;
+    config.parseArgs(argc, argv);
+    bench::printHeader(
+        "Figure 9: synthetic traffic energy-delay^2 vs injection "
+        "bandwidth",
+        config);
+
+    const auto archs = bench::archsFrom(config);
+    const auto rates = bench::ratesFrom(config);
+    for (PatternKind p : bench::patternsFrom(config))
+        runPattern(p, false, archs, rates, config);
+    runPattern(PatternKind::UniformRandom, true, archs, rates,
+               config);
+
+    bench::warnUnused(config);
+    return 0;
+}

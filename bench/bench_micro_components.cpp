@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the simulator's hot components:
+ * decode state machine, arbiters, route computation, and whole-router
+ * evaluation throughput per architecture (simulated router-cycles per
+ * wall-clock second). Useful for keeping the cycle-accurate model
+ * fast enough for the full Figure 8/9 sweeps.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "noc/network.hpp"
+#include "noc/xor_decoder.hpp"
+#include "routers/factory.hpp"
+#include "traffic/bernoulli_source.hpp"
+
+namespace nox {
+namespace {
+
+FlitDesc
+mkFlit(PacketId p)
+{
+    FlitDesc d;
+    d.uid = flitUid(p, 0);
+    d.packet = p;
+    d.payload = expectedPayload(p, 0);
+    d.dest = 1;
+    return d;
+}
+
+void
+BM_XorDecoderChain(benchmark::State &state)
+{
+    for (auto _ : state) {
+        FlitFifo fifo(8);
+        fifo.push(WireFlit::combine({mkFlit(1), mkFlit(2), mkFlit(3)}));
+        fifo.push(WireFlit::combine({mkFlit(2), mkFlit(3)}));
+        fifo.push(WireFlit::fromDesc(mkFlit(3)));
+        XorDecoder dec;
+        int delivered = 0;
+        while (delivered < 3) {
+            const DecodeView v = dec.view(fifo);
+            if (v.latchBubble) {
+                dec.latch(fifo);
+                continue;
+            }
+            if (v.presented) {
+                benchmark::DoNotOptimize(v.presented->payload);
+                dec.accept(fifo);
+                ++delivered;
+            }
+        }
+    }
+    state.SetItemsProcessed(state.iterations() * 3);
+}
+BENCHMARK(BM_XorDecoderChain);
+
+void
+BM_RoundRobinArbiter(benchmark::State &state)
+{
+    RoundRobinArbiter arb(5);
+    RequestMask mask = 0b10110;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(arb.grant(mask));
+        mask = (mask * 2654435761u) & 0b11111;
+        mask |= (mask == 0);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RoundRobinArbiter);
+
+void
+BM_DorRoute(benchmark::State &state)
+{
+    const Mesh mesh(8, 8);
+    NodeId cur = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(dorRoute(mesh, cur, 63 - cur));
+        cur = (cur + 1) % 64;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DorRoute);
+
+void
+BM_NetworkCycle(benchmark::State &state)
+{
+    const auto arch = static_cast<RouterArch>(state.range(0));
+    NetworkParams params;
+    auto net = makeNetwork(params, arch);
+    const DestinationPattern local_pattern(PatternKind::UniformRandom,
+                                           net->mesh());
+    Rng seeder(1);
+    for (NodeId n = 0; n < net->numNodes(); ++n) {
+        net->addSource(std::make_unique<BernoulliSource>(
+            n, local_pattern, 0.15, 1, seeder.next()));
+    }
+    net->run(2000); // warm
+    for (auto _ : state)
+        net->step();
+    state.SetItemsProcessed(state.iterations() * 64);
+    state.SetLabel(archName(arch));
+}
+BENCHMARK(BM_NetworkCycle)->DenseRange(0, 3, 1);
+
+} // namespace
+} // namespace nox
+
+BENCHMARK_MAIN();

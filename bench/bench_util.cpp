@@ -1,0 +1,124 @@
+#include "bench_util.hpp"
+
+#include <fstream>
+#include <iostream>
+
+#include "common/log.hpp"
+#include "common/table.hpp"
+
+namespace nox {
+namespace bench {
+
+std::vector<double>
+defaultRates(bool quick)
+{
+    if (quick) {
+        return {200, 575, 1000, 1500, 2000, 2500, 2775, 3100, 3400};
+    }
+    return {100,  200,  400,  575,  750,  1000, 1250, 1500, 1750,
+            2000, 2250, 2500, 2775, 3000, 3200, 3400, 3600};
+}
+
+std::vector<PatternKind>
+patternsFrom(const Config &config)
+{
+    const auto names = config.getStringList("patterns");
+    std::vector<PatternKind> out;
+    if (names.empty()) {
+        out.assign(std::begin(kAllPatterns), std::end(kAllPatterns));
+        return out;
+    }
+    for (const auto &n : names)
+        out.push_back(parsePattern(n));
+    return out;
+}
+
+std::vector<RouterArch>
+archsFrom(const Config &config)
+{
+    const auto names = config.getStringList("archs");
+    std::vector<RouterArch> out;
+    if (names.empty()) {
+        out.assign(std::begin(kAllArchs), std::end(kAllArchs));
+        return out;
+    }
+    for (const auto &n : names)
+        out.push_back(parseArch(n.c_str()));
+    return out;
+}
+
+std::vector<std::string>
+workloadsFrom(const Config &config)
+{
+    auto names = config.getStringList("workloads");
+    if (!names.empty())
+        return names;
+    return {"barnes",  "fft",     "lu",   "ocean", "radix",
+            "water",   "apache",  "specjbb", "specweb", "tpcc"};
+}
+
+void
+applyCommon(const Config &config, SyntheticConfig *synth)
+{
+    synth->warmupCycles =
+        config.getUint("warmup", synth->warmupCycles);
+    synth->measureCycles =
+        config.getUint("measure", synth->measureCycles);
+    synth->drainLimitCycles =
+        config.getUint("drain_limit", synth->drainLimitCycles);
+    synth->seed = config.getUint("seed", synth->seed);
+    synth->width = static_cast<int>(config.getInt("width", 8));
+    synth->height = static_cast<int>(config.getInt("height", 8));
+}
+
+std::vector<double>
+ratesFrom(const Config &config)
+{
+    auto rates = config.getDoubleList("rates");
+    if (!rates.empty())
+        return rates;
+    return defaultRates(config.getBool("quick", false));
+}
+
+void
+printHeader(const std::string &title, const Config &config)
+{
+    std::cout << "==============================================\n";
+    std::cout << title << '\n';
+    std::cout << "==============================================\n";
+    const auto items = config.items();
+    if (!items.empty()) {
+        std::cout << "config:";
+        for (const auto &[k, v] : items)
+            std::cout << ' ' << k << '=' << v;
+        std::cout << '\n';
+    }
+    std::cout << '\n';
+}
+
+void
+writeCsv(const Config &config, const std::string &name,
+         const Table &table)
+{
+    const std::string dir = config.getString("csv_dir");
+    if (dir.empty())
+        return;
+    const std::string path = dir + "/" + name + ".csv";
+    std::ofstream out(path);
+    if (!out) {
+        warn("cannot write ", path);
+        return;
+    }
+    table.printCsv(out);
+    std::cout << "[csv] " << path << '\n';
+}
+
+void
+warnUnused(const Config &config)
+{
+    for (const auto &key : config.unusedKeys())
+        warn("unused config key: ", key);
+}
+
+} // namespace bench
+} // namespace nox

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Shared helpers for the figure/table benchmark harnesses.
+ */
+
+#ifndef NOX_BENCH_BENCH_UTIL_HPP
+#define NOX_BENCH_BENCH_UTIL_HPP
+
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/table.hpp"
+#include "core/sim_runner.hpp"
+#include "traffic/patterns.hpp"
+
+namespace nox {
+namespace bench {
+
+/** Default injection-rate sweep for the Figure 8/9 axes
+ *  [MB/s/node], covering the paper's quoted crossovers (575, 750)
+ *  and saturation region (~2775). */
+std::vector<double> defaultRates(bool quick);
+
+/** Parse `patterns=` config (default: all eight of §5.1). */
+std::vector<PatternKind> patternsFrom(const Config &config);
+
+/** Parse `archs=` config (default: all four). */
+std::vector<RouterArch> archsFrom(const Config &config);
+
+/** Parse `workloads=` config (default: the built-in ten). */
+std::vector<std::string> workloadsFrom(const Config &config);
+
+/** Apply warmup/measure/seed overrides from config. */
+void applyCommon(const Config &config, SyntheticConfig *synth);
+
+/** Offered-rate sweep from config (`rates=` or quick/full default). */
+std::vector<double> ratesFrom(const Config &config);
+
+/** Emit a standard bench header with run parameters. */
+void printHeader(const std::string &title, const Config &config);
+
+/**
+ * If `csv_dir=<path>` is configured, write @p table to
+ * `<path>/<name>.csv` (directory must exist) for plot scripts
+ * (scripts/plot_figures.py consumes these).
+ */
+void writeCsv(const Config &config, const std::string &name,
+              const Table &table);
+
+/** Warn about config keys that were never consumed. */
+void warnUnused(const Config &config);
+
+} // namespace bench
+} // namespace nox
+
+#endif // NOX_BENCH_BENCH_UTIL_HPP

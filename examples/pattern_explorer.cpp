@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Interactive-ish exploration of the synthetic design space: compare
+ * all four router architectures on one pattern/load point, or sweep
+ * one architecture across every pattern.
+ *
+ *   $ ./pattern_explorer pattern=tornado rate_mbps=1500
+ *   $ ./pattern_explorer sweep=nox rate_mbps=2000
+ */
+
+#include <iostream>
+
+#include "common/config.hpp"
+#include "common/table.hpp"
+#include "core/sim_runner.hpp"
+
+namespace {
+
+using namespace nox;
+
+RunResult
+point(RouterArch arch, PatternKind pattern, double mbps,
+      bool self_similar, const Config &config)
+{
+    SyntheticConfig c;
+    c.arch = arch;
+    c.pattern = pattern;
+    c.selfSimilar = self_similar;
+    c.injectionMBps = mbps;
+    c.warmupCycles = config.getUint("warmup", 6000);
+    c.measureCycles = config.getUint("measure", 15000);
+    return runSynthetic(c);
+}
+
+void
+addRow(Table &t, const std::string &label, const RunResult &r)
+{
+    if (r.saturated) {
+        t.addRow({label, "sat", "sat", "sat",
+                  Table::num(r.acceptedMBps, 0)});
+        return;
+    }
+    t.addRow({label, Table::num(r.avgLatencyCycles, 2),
+              Table::num(r.avgLatencyNs, 2), Table::num(r.ed2, 0),
+              Table::num(r.acceptedMBps, 0)});
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace nox;
+
+    Config config;
+    config.parseArgs(argc, argv);
+    const double mbps = config.getDouble("rate_mbps", 1500.0);
+
+    Table t({"case", "latency [cyc]", "latency [ns]", "ED^2",
+             "accepted MB/s"});
+
+    if (config.has("sweep")) {
+        const RouterArch arch =
+            parseArch(config.getString("sweep").c_str());
+        std::cout << archName(arch) << " across all patterns at "
+                  << mbps << " MB/s/node:\n";
+        for (PatternKind p : kAllPatterns)
+            addRow(t, patternName(p),
+                   point(arch, p, mbps, false, config));
+        addRow(t, "selfsimilar",
+               point(arch, PatternKind::UniformRandom, mbps, true,
+                     config));
+    } else {
+        const PatternKind pattern =
+            parsePattern(config.getString("pattern", "uniform"));
+        std::cout << "all architectures on " << patternName(pattern)
+                  << " at " << mbps << " MB/s/node:\n";
+        for (RouterArch a : kAllArchs)
+            addRow(t, archName(a),
+                   point(a, pattern, mbps, false, config));
+    }
+    t.print(std::cout);
+    return 0;
+}

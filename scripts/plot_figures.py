@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Plot the paper's figures from bench CSV output.
+
+Usage:
+    mkdir -p out
+    ./build/bench/bench_fig8_synthetic_latency csv_dir=out
+    ./build/bench/bench_fig9_synthetic_ed2    csv_dir=out
+    ./build/bench/bench_fig10_app_latency     csv_dir=out
+    ./build/bench/bench_fig11_app_ed2         csv_dir=out
+    python3 scripts/plot_figures.py out
+
+Writes one PNG per CSV next to it. Requires matplotlib; the C++
+benches themselves have no plotting dependency.
+"""
+
+import csv
+import math
+import sys
+from pathlib import Path
+
+try:
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+except ImportError:  # pragma: no cover
+    sys.exit("matplotlib is required: pip install matplotlib")
+
+ARCH_STYLE = {
+    "NonSpec": dict(color="#666666", marker="s"),
+    "Spec-Fast": dict(color="#d62728", marker="^"),
+    "Spec-Accurate": dict(color="#1f77b4", marker="v"),
+    "NoX": dict(color="#2ca02c", marker="o"),
+}
+
+
+def read_table(path):
+    with open(path, newline="") as fh:
+        rows = list(csv.reader(fh))
+    return rows[0], rows[1:]
+
+
+def numeric(cell):
+    try:
+        return float(cell)
+    except ValueError:
+        return math.nan
+
+
+def plot_sweep(path, ylabel, logy):
+    """Figures 8/9: x = MB/s/node, one line per architecture."""
+    header, rows = read_table(path)
+    xs = [numeric(r[0]) for r in rows]
+    fig, ax = plt.subplots(figsize=(5.2, 3.6))
+    for col in range(1, len(header)):
+        ys = [numeric(r[col]) for r in rows]
+        style = ARCH_STYLE.get(header[col], {})
+        ax.plot(xs, ys, label=header[col], markersize=4, **style)
+    ax.set_xlabel("injection bandwidth [MB/s/node]")
+    ax.set_ylabel(ylabel)
+    if logy:
+        ax.set_yscale("log")
+    ax.set_title(path.stem.replace("_", " "))
+    ax.grid(True, alpha=0.3)
+    ax.legend(fontsize=8)
+    fig.tight_layout()
+    out = path.with_suffix(".png")
+    fig.savefig(out, dpi=150)
+    plt.close(fig)
+    print(f"wrote {out}")
+
+
+def plot_bars(path, value_cols, ylabel):
+    """Figures 10/11: grouped bars per workload."""
+    header, rows = read_table(path)
+    workloads = [r[0] for r in rows]
+    fig, ax = plt.subplots(figsize=(7.0, 3.6))
+    n = len(value_cols)
+    width = 0.8 / n
+    for i, col in enumerate(value_cols):
+        ci = header.index(col)
+        ys = [numeric(r[ci]) for r in rows]
+        xs = [k + (i - n / 2 + 0.5) * width for k in range(len(rows))]
+        label = col.replace(" ED2", "")
+        style = ARCH_STYLE.get(label, {})
+        ax.bar(xs, ys, width=width, label=label,
+               color=style.get("color"))
+    ax.set_xticks(range(len(workloads)))
+    ax.set_xticklabels(workloads, rotation=30, ha="right", fontsize=8)
+    ax.set_ylabel(ylabel)
+    ax.set_title(path.stem.replace("_", " "))
+    ax.grid(True, axis="y", alpha=0.3)
+    ax.legend(fontsize=8)
+    fig.tight_layout()
+    out = path.with_suffix(".png")
+    fig.savefig(out, dpi=150)
+    plt.close(fig)
+    print(f"wrote {out}")
+
+
+def main():
+    if len(sys.argv) != 2:
+        sys.exit(__doc__)
+    directory = Path(sys.argv[1])
+    if not directory.is_dir():
+        sys.exit(f"not a directory: {directory}")
+
+    for path in sorted(directory.glob("*.csv")):
+        header, _ = read_table(path)
+        if path.stem.startswith("fig8_"):
+            plot_sweep(path, "average latency [ns]", logy=True)
+        elif path.stem.startswith("fig9_"):
+            plot_sweep(path, "energy-delay$^2$ [pJ·ns$^2$]", logy=True)
+        elif path.stem.startswith("fig10_"):
+            archs = [h for h in header if h in ARCH_STYLE]
+            plot_bars(path, archs, "network latency [ns]")
+        elif path.stem.startswith("fig11_"):
+            eds = [h for h in header if h.endswith(" ED2")]
+            plot_bars(path, eds, "ED$^2$ [pJ·ns$^2$]")
+        else:
+            print(f"skipping {path} (no plot rule)")
+
+
+if __name__ == "__main__":
+    main()

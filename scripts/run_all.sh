@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Reproduce everything: build, test, and regenerate every paper
+# table/figure (writing test_output.txt and bench_output.txt).
+#
+#   scripts/run_all.sh            # full default sweeps (slow)
+#   QUICK=1 scripts/run_all.sh    # the shipped recorded settings
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+SWEEP=()
+if [ "${QUICK:-0}" = "1" ]; then
+    SWEEP=(warmup=6000 measure=16000 drain_limit=70000)
+fi
+
+{
+    for spec in \
+        "bench_table2_clock_periods" \
+        "bench_table3_area" \
+        "bench_fig8_synthetic_latency ${SWEEP[*]:-}" \
+        "bench_fig9_synthetic_ed2 ${SWEEP[*]:-}" \
+        "bench_fig10_app_latency" \
+        "bench_fig11_app_ed2" \
+        "bench_fig12_power_breakdown" \
+        "bench_nox_anatomy" \
+        "bench_ablation" \
+        "bench_cmesh_radix" \
+        "bench_vc_vs_physical" \
+        "bench_micro_components"; do
+        echo "===================================================="
+        echo "== build/bench/$spec"
+        echo "===================================================="
+        # shellcheck disable=SC2086
+        ./build/bench/$spec
+        echo
+    done
+} 2>&1 | tee bench_output.txt

@@ -1,0 +1,141 @@
+#include "coherence/cache.hpp"
+
+#include <bit>
+
+#include "common/log.hpp"
+
+namespace nox {
+
+SetAssocCache::SetAssocCache(int size_kb, int ways, int line_bytes)
+    : lineBytes_(line_bytes), ways_(ways)
+{
+    NOX_ASSERT(size_kb > 0 && ways > 0 && line_bytes > 0,
+               "invalid cache geometry");
+    const long long lines =
+        static_cast<long long>(size_kb) * 1024 / line_bytes;
+    NOX_ASSERT(lines % ways == 0, "capacity not divisible by ways");
+    numSets_ = static_cast<int>(lines / ways);
+    NOX_ASSERT(std::has_single_bit(static_cast<unsigned>(numSets_)),
+               "set count must be a power of two, got ", numSets_);
+    sets_.assign(static_cast<std::size_t>(numSets_),
+                 std::vector<Way>(static_cast<std::size_t>(ways)));
+}
+
+std::uint64_t
+SetAssocCache::lineOf(std::uint64_t byte_addr) const
+{
+    return byte_addr / static_cast<std::uint64_t>(lineBytes_);
+}
+
+std::vector<SetAssocCache::Way> &
+SetAssocCache::setOf(std::uint64_t line)
+{
+    return sets_[line & static_cast<std::uint64_t>(numSets_ - 1)];
+}
+
+const std::vector<SetAssocCache::Way> &
+SetAssocCache::setOf(std::uint64_t line) const
+{
+    return sets_[line & static_cast<std::uint64_t>(numSets_ - 1)];
+}
+
+bool
+SetAssocCache::lookup(std::uint64_t line)
+{
+    for (Way &w : setOf(line)) {
+        if (w.valid && w.line == line) {
+            w.lastUse = ++useClock_;
+            ++hits_;
+            return true;
+        }
+    }
+    ++misses_;
+    return false;
+}
+
+bool
+SetAssocCache::contains(std::uint64_t line) const
+{
+    for (const Way &w : setOf(line)) {
+        if (w.valid && w.line == line)
+            return true;
+    }
+    return false;
+}
+
+SetAssocCache::Insert
+SetAssocCache::insert(std::uint64_t line, bool dirty)
+{
+    NOX_ASSERT(!contains(line), "inserting already-present line");
+    auto &set = setOf(line);
+    Way *victim = &set[0];
+    for (Way &w : set) {
+        if (!w.valid) {
+            victim = &w;
+            break;
+        }
+        if (w.lastUse < victim->lastUse)
+            victim = &w;
+    }
+
+    Insert result;
+    if (victim->valid) {
+        result.evicted = true;
+        result.victimLine = victim->line;
+        result.victimDirty = victim->dirty;
+    }
+    victim->valid = true;
+    victim->line = line;
+    victim->dirty = dirty;
+    victim->lastUse = ++useClock_;
+    return result;
+}
+
+bool
+SetAssocCache::markDirty(std::uint64_t line)
+{
+    for (Way &w : setOf(line)) {
+        if (w.valid && w.line == line) {
+            w.dirty = true;
+            w.lastUse = ++useClock_;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+SetAssocCache::clearDirty(std::uint64_t line)
+{
+    for (Way &w : setOf(line)) {
+        if (w.valid && w.line == line) {
+            w.dirty = false;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+SetAssocCache::isDirty(std::uint64_t line) const
+{
+    for (const Way &w : setOf(line)) {
+        if (w.valid && w.line == line)
+            return w.dirty;
+    }
+    return false;
+}
+
+bool
+SetAssocCache::invalidate(std::uint64_t line)
+{
+    for (Way &w : setOf(line)) {
+        if (w.valid && w.line == line) {
+            w.valid = false;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace nox

@@ -1,0 +1,39 @@
+#include "coherence/cmp_params.hpp"
+
+#include <ostream>
+
+#include "common/table.hpp"
+
+namespace nox {
+
+void
+CmpParams::printTable(std::ostream &os) const
+{
+    Table t({"Parameter", "Value"});
+    t.addRow({"Cores", std::to_string(cores)});
+    t.addRow({"Topology", std::to_string(meshWidth) + "x" +
+                              std::to_string(meshHeight) + " mesh"});
+    t.addRow({"Processor", Table::num(cpuGhz, 0) +
+                               "GHz in order PowerPC"});
+    t.addRow({"L1 I/D Caches", std::to_string(l1SizeKB) + "KB, " +
+                                   std::to_string(l1Ways) +
+                                   "-way set associative"});
+    t.addRow({"L2 Cache", std::to_string(l2SizeKB) + "KB, " +
+                              std::to_string(l2Ways) +
+                              "-way set associative"});
+    t.addRow({"Cache Line Size", std::to_string(lineBytes) + "-bytes"});
+    t.addRow({"Memory Latency",
+              std::to_string(memLatencyCpuCycles) + " cycles"});
+    t.addRow({"Interconnect",
+              "64-bit request, 64-bit reply network"});
+    t.addRow({"Packet Sizes", std::to_string(ctrlPacketBytes) +
+                                  " byte control, " +
+                                  std::to_string(dataPacketBytes) +
+                                  " byte data"});
+    t.addRow({"Buffer Depth", "4 64-bit entries/port"});
+    t.addRow({"Channel Length", "2mm"});
+    t.addRow({"Routing Algorithm", "Dimension Ordered Routing"});
+    t.print(os);
+}
+
+} // namespace nox

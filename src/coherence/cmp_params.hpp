@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Common system parameters of the evaluated CMP (Table 1 of the
+ * paper).
+ */
+
+#ifndef NOX_COHERENCE_CMP_PARAMS_HPP
+#define NOX_COHERENCE_CMP_PARAMS_HPP
+
+#include <cstdint>
+#include <iosfwd>
+
+namespace nox {
+
+/** Table 1: Common System Parameters. */
+struct CmpParams
+{
+    int cores = 64;
+    int meshWidth = 8;
+    int meshHeight = 8;
+    double cpuGhz = 3.0;        ///< in-order PowerPC cores
+    int l1SizeKB = 32;          ///< I/D each; D-side modelled
+    int l1Ways = 2;
+    int l2SizeKB = 256;         ///< private per-tile L2
+    int l2Ways = 8;
+    int lineBytes = 64;
+    int memLatencyCpuCycles = 100;
+    int ctrlPacketBytes = 8;    ///< single-flit control
+    int dataPacketBytes = 72;   ///< 64B line + 8B header = 9 flits
+
+    double cpuCycleNs() const { return 1.0 / cpuGhz; }
+
+    /** Print as the paper's Table 1. */
+    void printTable(std::ostream &os) const;
+};
+
+} // namespace nox
+
+#endif // NOX_COHERENCE_CMP_PARAMS_HPP

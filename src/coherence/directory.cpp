@@ -1,0 +1,80 @@
+#include "coherence/directory.hpp"
+
+#include "common/log.hpp"
+
+namespace nox {
+
+void
+Directory::addSharer(std::uint64_t line, NodeId tile)
+{
+    DirEntry &e = entries_[line];
+    e.sharers |= (1ULL << tile);
+    e.owner = kInvalidNode;
+    e.state = DirState::Shared;
+    checkInvariants(line);
+}
+
+void
+Directory::removeSharer(std::uint64_t line, NodeId tile)
+{
+    auto it = entries_.find(line);
+    if (it == entries_.end())
+        return;
+    DirEntry &e = it->second;
+    e.sharers &= ~(1ULL << tile);
+    if (e.owner == tile)
+        e.owner = kInvalidNode;
+    if (e.sharers == 0) {
+        e.state = DirState::Invalid;
+        e.owner = kInvalidNode;
+        entries_.erase(it);
+        return;
+    }
+    if (e.state == DirState::Modified && e.owner == kInvalidNode)
+        e.state = DirState::Shared;
+    checkInvariants(line);
+}
+
+void
+Directory::setModified(std::uint64_t line, NodeId owner)
+{
+    DirEntry &e = entries_[line];
+    e.state = DirState::Modified;
+    e.owner = owner;
+    e.sharers = (1ULL << owner);
+    checkInvariants(line);
+}
+
+void
+Directory::setInvalid(std::uint64_t line)
+{
+    entries_.erase(line);
+}
+
+void
+Directory::checkInvariants(std::uint64_t line) const
+{
+    const DirEntry *e = find(line);
+    if (!e)
+        return;
+    switch (e->state) {
+      case DirState::Invalid:
+        NOX_ASSERT(e->sharers == 0 && e->owner == kInvalidNode,
+                   "Invalid entry with residents for line ", line);
+        break;
+      case DirState::Shared:
+        NOX_ASSERT(e->sharers != 0, "Shared entry without sharers");
+        NOX_ASSERT(e->owner == kInvalidNode,
+                   "Shared entry with an owner");
+        break;
+      case DirState::Modified:
+        NOX_ASSERT(e->owner != kInvalidNode,
+                   "Modified entry without owner");
+        NOX_ASSERT(e->sharers == (1ULL << e->owner),
+                   "Modified entry must have exactly the owner "
+                   "as resident (single-writer invariant)");
+        break;
+    }
+}
+
+} // namespace nox

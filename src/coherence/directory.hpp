@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Full-map MSI directory for the 64-core CMP traffic generator.
+ *
+ * Home nodes are assigned by cache-line interleaving. The directory
+ * tracks, per line, whether it is uncached (I), shared by a set of
+ * tiles (S), or owned modified by one tile (M).
+ */
+
+#ifndef NOX_COHERENCE_DIRECTORY_HPP
+#define NOX_COHERENCE_DIRECTORY_HPP
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "noc/types.hpp"
+
+namespace nox {
+
+/** Directory entry state. */
+enum class DirState : std::uint8_t { Invalid, Shared, Modified };
+
+/** Per-line directory entry (full sharer bitmap; <=64 tiles). */
+struct DirEntry
+{
+    DirState state = DirState::Invalid;
+    std::uint64_t sharers = 0; ///< bitmap over tiles
+    NodeId owner = kInvalidNode;
+
+    int
+    sharerCount() const
+    {
+        return static_cast<int>(__builtin_popcountll(sharers));
+    }
+
+    bool
+    isSharer(NodeId n) const
+    {
+        return (sharers >> n) & 1ULL;
+    }
+};
+
+/** The distributed directory (modelled centrally, homed per line). */
+class Directory
+{
+  public:
+    explicit Directory(int num_tiles) : numTiles_(num_tiles) {}
+
+    /** Home tile of a line (line-interleaved). */
+    NodeId
+    homeOf(std::uint64_t line) const
+    {
+        return static_cast<NodeId>(
+            line % static_cast<std::uint64_t>(numTiles_));
+    }
+
+    /** Entry lookup (default-Invalid when absent). */
+    DirEntry &entry(std::uint64_t line) { return entries_[line]; }
+
+    const DirEntry *
+    find(std::uint64_t line) const
+    {
+        const auto it = entries_.find(line);
+        return it == entries_.end() ? nullptr : &it->second;
+    }
+
+    void addSharer(std::uint64_t line, NodeId tile);
+    void removeSharer(std::uint64_t line, NodeId tile);
+    void setModified(std::uint64_t line, NodeId owner);
+    void setInvalid(std::uint64_t line);
+
+    /**
+     * Invariant check: Modified entries have exactly one sharer (the
+     * owner); Shared entries have >=1 sharers and no owner; Invalid
+     * entries are empty. Panics on violation.
+     */
+    void checkInvariants(std::uint64_t line) const;
+
+    std::size_t trackedLines() const { return entries_.size(); }
+
+  private:
+    int numTiles_;
+    std::unordered_map<std::uint64_t, DirEntry> entries_;
+};
+
+} // namespace nox
+
+#endif // NOX_COHERENCE_DIRECTORY_HPP

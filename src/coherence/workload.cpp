@@ -1,0 +1,144 @@
+#include "coherence/workload.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace nox {
+
+const std::vector<WorkloadProfile> &
+builtinWorkloads()
+{
+    // Scientific (SPLASH-2-like) profiles: smaller shared sets, more
+    // regular access, lower miss traffic. Commercial (SPEC/TPC-like)
+    // profiles: large irregular working sets, heavy sharing, higher
+    // control-packet churn. Parameters follow the published memory
+    // characterizations of each application class (Woo et al. [28]
+    // for SPLASH-2; TPC/SPEC disclosures for the server side).
+    static const std::vector<WorkloadProfile> workloads = {
+        // name     ops/c  wr    shr   privKB shrKB  seq   hot  hl
+        //           rep   mlp   hotWr seed
+        {"barnes",   0.153, 0.25, 0.12,  128,   64, 0.55, 0.30, 48,
+         11.0, 2.0, 0.020, 11},
+        {"fft",      0.180, 0.35, 0.06,  160,   96, 0.85, 0.05, 16,
+         12.0, 3.0, 0.015, 12},
+        {"lu",       0.198, 0.30, 0.05,  128,   64, 0.90, 0.10, 16,
+         13.0, 2.5, 0.015, 13},
+        {"ocean",    0.162, 0.33, 0.08,  160,   96, 0.80, 0.08, 32,
+         10.0, 3.0, 0.018, 14},
+        {"radix",    0.162, 0.45, 0.08,  160,   96, 0.40, 0.12, 32,
+         9.0, 3.0, 0.020, 15},
+        {"water",    0.180, 0.22, 0.10,  128,   64, 0.60, 0.25, 40,
+         12.0, 1.8, 0.022, 16},
+        {"apache",   0.126, 0.28, 0.11, 192, 160, 0.35, 0.18, 96, 10.0, 2.2, 0.028, 21},
+        {"specjbb",   0.135, 0.30, 0.10, 224, 192, 0.40, 0.15, 96, 10.5, 2.2, 0.025, 22},
+        {"specweb",   0.117, 0.26, 0.11, 192, 160, 0.30, 0.20, 128, 10.0, 2.0, 0.028, 23},
+        {"tpcc",   0.117, 0.38, 0.12, 256, 192, 0.30, 0.22, 128, 10.0, 2.0, 0.032, 24},
+    };
+    return workloads;
+}
+
+const WorkloadProfile &
+findWorkload(const std::string &name)
+{
+    for (const auto &w : builtinWorkloads()) {
+        if (w.name == name)
+            return w;
+    }
+    fatal("unknown workload: '", name, "'");
+}
+
+AddressStream::AddressStream(const WorkloadProfile &profile, int core,
+                             int line_bytes, std::uint64_t seed)
+    : profile_(profile), lineBytes_(line_bytes), rng_(seed)
+{
+    // Private region: one disjoint 64 MB arena per core.
+    privateBase_ = (static_cast<std::uint64_t>(core) + 1) << 26;
+    privateLines_ = static_cast<std::uint64_t>(
+                        profile.privateWorkingSetKB) *
+                    1024 / line_bytes;
+    // Shared region: one arena common to all cores, above the
+    // private arenas.
+    sharedBase_ = 1ULL << 40;
+    sharedLines_ = static_cast<std::uint64_t>(
+                       profile.sharedWorkingSetKB) *
+                   1024 / line_bytes;
+    NOX_ASSERT(privateLines_ > 0 && sharedLines_ > 0,
+               "degenerate working set");
+    lastPrivateLine_ = rng_.nextBounded(privateLines_);
+    lastSharedLine_ = rng_.nextBounded(sharedLines_);
+}
+
+std::uint64_t
+AddressStream::pickPrivate()
+{
+    if (rng_.nextBernoulli(profile_.sequentialProb)) {
+        lastPrivateLine_ = (lastPrivateLine_ + 1) % privateLines_;
+    } else {
+        lastPrivateLine_ = rng_.nextBounded(privateLines_);
+    }
+    return privateBase_ + lastPrivateLine_ * lineBytes_;
+}
+
+std::uint64_t
+AddressStream::pickShared(double hot_scale)
+{
+    if (rng_.nextBernoulli(
+            std::min(0.95, profile_.hotFraction * hot_scale))) {
+        // Hot synchronization / metadata lines, concentrated on a few
+        // directory homes (locks and barrier flags share pages, so
+        // their home tiles become traffic hot spots).
+        currentHot_ = true;
+        const std::uint64_t hot = rng_.nextBounded(
+            static_cast<std::uint64_t>(profile_.hotLines));
+        const std::uint64_t home =
+            (hot * 2654435761ULL) %
+            static_cast<std::uint64_t>(profile_.hotHomes);
+        // line % numTiles selects the home; build a line index whose
+        // residue is the chosen hot home (64 tiles assumed by the
+        // generator; kept abstract via a wide stride).
+        const std::uint64_t line = hot * 64 + home;
+        return sharedBase_ + line * lineBytes_;
+    }
+    if (rng_.nextBernoulli(profile_.sequentialProb)) {
+        lastSharedLine_ = (lastSharedLine_ + 1) % sharedLines_;
+    } else {
+        lastSharedLine_ = rng_.nextBounded(sharedLines_);
+    }
+    // Offset past the (strided) hot block.
+    return sharedBase_ +
+           (static_cast<std::uint64_t>(profile_.hotLines) * 64 +
+            lastSharedLine_) *
+               lineBytes_;
+}
+
+AddressStream::Op
+AddressStream::next(double shared_scale, double hot_scale)
+{
+    // Spatial + temporal reuse: each visited line receives a
+    // geometrically distributed burst of accesses (words within the
+    // 64B line, loop reuse) before the stream moves on.
+    if (repeatsLeft_ <= 0) {
+        currentHot_ = false;
+        const double shared_p = std::min(
+            0.95, profile_.sharedFraction * shared_scale);
+        currentAddr_ = rng_.nextBernoulli(shared_p)
+                           ? pickShared(hot_scale)
+                           : pickPrivate();
+        const double p = 1.0 / profile_.lineRepeatMean;
+        repeatsLeft_ = static_cast<int>(rng_.nextGeometric(p)) + 1;
+    }
+    --repeatsLeft_;
+
+    Op op;
+    op.addr = currentAddr_;
+    op.hot = currentHot_;
+    // Hot lines are read-mostly: sharers accumulate widely between
+    // writes, so each write produces a broad invalidation storm.
+    op.write = rng_.nextBernoulli(
+        currentHot_ ? profile_.hotWriteFraction
+                    : profile_.writeFraction);
+    return op;
+}
+
+} // namespace nox

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Synthetic workload profiles standing in for the paper's SPLASH-2
+ * scientific and SPEC/TPC commercial traces (§5.2), which are not
+ * redistributable. Each profile parameterizes per-core memory
+ * reference streams (working-set sizes, sharing, read/write mix,
+ * locality) chosen to mimic the published memory behaviour of the
+ * named application class; the coherence model turns these streams
+ * into network packet traces with the structural properties the
+ * router evaluation depends on (request/reply pairing, control-packet
+ * majority, bursty hot-home traffic).
+ */
+
+#ifndef NOX_COHERENCE_WORKLOAD_HPP
+#define NOX_COHERENCE_WORKLOAD_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace nox {
+
+/** Parameters of one synthetic application. */
+struct WorkloadProfile
+{
+    std::string name;
+    double memOpsPerCpuCycle = 0.30; ///< issued loads+stores per cycle
+    double writeFraction = 0.3;
+    double sharedFraction = 0.15;    ///< ops addressing shared data
+    int privateWorkingSetKB = 512;
+    int sharedWorkingSetKB = 2048;
+    double sequentialProb = 0.6;     ///< next-line locality
+    double hotFraction = 0.2;        ///< shared ops hitting hot lines
+    int hotLines = 64;
+    double lineRepeatMean = 8.0;     ///< accesses per line visit
+                                     ///< (spatial + temporal reuse)
+    double mlp = 3.0;                ///< mean overlapped misses (memory
+                                     ///< level parallelism): bursts of
+                                     ///< back-to-back requests
+    double hotWriteFraction = 0.05;  ///< writes to hot (read-mostly
+                                     ///< synchronization) lines; each
+                                     ///< one triggers an invalidation
+                                     ///< storm over the sharer set
+    // Parallel applications alternate compute phases with barrier-
+    // synchronized communication phases; traffic concentrates into
+    // the communication windows (the bursty structure behind the
+    // paper's application results and its self-similar observation).
+    double commPeriodNs = 3000.0;    ///< phase repetition period
+    double commWindowNs = 800.0;    ///< communication window length
+    double windowSharedBoost = 2.5;  ///< shared-access multiplier
+                                     ///< inside the window
+    double windowHotBoost = 2.5;     ///< hot-line multiplier inside
+                                     ///< the window (lock/barrier
+                                     ///< activity, control-heavy)
+    double windowOpBoost = 2.5;      ///< issue-rate multiplier inside
+                                     ///< the window
+    int hotHomes = 16;                ///< directory homes the hot lines
+                                     ///< concentrate on
+    std::uint64_t seedSalt = 0;
+};
+
+/**
+ * The built-in workload suite: six SPLASH-2-like scientific kernels
+ * and four commercial server profiles.
+ */
+const std::vector<WorkloadProfile> &builtinWorkloads();
+
+/** Look up a built-in profile by name (fatal if unknown). */
+const WorkloadProfile &findWorkload(const std::string &name);
+
+/** Generates one core's byte-address reference stream. */
+class AddressStream
+{
+  public:
+    /** One memory operation. */
+    struct Op
+    {
+        std::uint64_t addr;
+        bool write;
+        bool hot; ///< addresses a hot synchronization line
+    };
+
+    AddressStream(const WorkloadProfile &profile, int core,
+                  int line_bytes, std::uint64_t seed);
+
+    /**
+     * Produce the core's next reference. @p shared_scale multiplies
+     * the profile's shared-access fraction and @p hot_scale the
+     * hot-line fraction (communication phases boost both; compute
+     * phases suppress them).
+     */
+    Op next(double shared_scale = 1.0, double hot_scale = 1.0);
+
+  private:
+    std::uint64_t pickPrivate();
+    std::uint64_t pickShared(double hot_scale);
+
+    const WorkloadProfile &profile_;
+    int lineBytes_;
+    std::uint64_t privateBase_;
+    std::uint64_t privateLines_;
+    std::uint64_t sharedBase_;
+    std::uint64_t sharedLines_;
+    std::uint64_t lastPrivateLine_;
+    std::uint64_t lastSharedLine_;
+    std::uint64_t currentAddr_ = 0;
+    bool currentHot_ = false;
+    int repeatsLeft_ = 0;
+    Rng rng_;
+};
+
+} // namespace nox
+
+#endif // NOX_COHERENCE_WORKLOAD_HPP

@@ -1,0 +1,229 @@
+#include "common/config.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "common/log.hpp"
+
+namespace nox {
+
+namespace {
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+} // namespace
+
+std::vector<std::string>
+Config::parseArgs(int argc, const char *const *argv)
+{
+    std::vector<std::string> positional;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--file") {
+            if (i + 1 >= argc)
+                fatal("--file requires a path argument");
+            loadFile(argv[++i]);
+            continue;
+        }
+        const auto eq = arg.find('=');
+        if (eq == std::string::npos) {
+            positional.push_back(arg);
+            continue;
+        }
+        set(trim(arg.substr(0, eq)), trim(arg.substr(eq + 1)));
+    }
+    return positional;
+}
+
+void
+Config::loadFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open config file: ", path);
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        line = trim(line);
+        if (line.empty())
+            continue;
+        const auto eq = line.find('=');
+        if (eq == std::string::npos)
+            fatal(path, ":", lineno, ": expected key=value, got '", line,
+                  "'");
+        set(trim(line.substr(0, eq)), trim(line.substr(eq + 1)));
+    }
+}
+
+void
+Config::set(const std::string &key, const std::string &value)
+{
+    values_[key] = value;
+}
+
+void
+Config::set(const std::string &key, std::int64_t value)
+{
+    values_[key] = std::to_string(value);
+}
+
+void
+Config::set(const std::string &key, double value)
+{
+    std::ostringstream oss;
+    oss.precision(17);
+    oss << value;
+    values_[key] = oss.str();
+}
+
+void
+Config::set(const std::string &key, bool value)
+{
+    values_[key] = value ? "true" : "false";
+}
+
+bool
+Config::has(const std::string &key) const
+{
+    return values_.count(key) > 0;
+}
+
+const std::string *
+Config::find(const std::string &key) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return nullptr;
+    touched_.insert(key);
+    return &it->second;
+}
+
+std::string
+Config::getString(const std::string &key, const std::string &def) const
+{
+    const std::string *v = find(key);
+    return v ? *v : def;
+}
+
+std::int64_t
+Config::getInt(const std::string &key, std::int64_t def) const
+{
+    const std::string *v = find(key);
+    if (!v)
+        return def;
+    try {
+        return std::stoll(*v);
+    } catch (...) {
+        fatal("config key '", key, "' is not an integer: '", *v, "'");
+    }
+}
+
+std::uint64_t
+Config::getUint(const std::string &key, std::uint64_t def) const
+{
+    const std::string *v = find(key);
+    if (!v)
+        return def;
+    try {
+        return std::stoull(*v);
+    } catch (...) {
+        fatal("config key '", key, "' is not an unsigned integer: '", *v,
+              "'");
+    }
+}
+
+double
+Config::getDouble(const std::string &key, double def) const
+{
+    const std::string *v = find(key);
+    if (!v)
+        return def;
+    try {
+        return std::stod(*v);
+    } catch (...) {
+        fatal("config key '", key, "' is not a number: '", *v, "'");
+    }
+}
+
+bool
+Config::getBool(const std::string &key, bool def) const
+{
+    const std::string *v = find(key);
+    if (!v)
+        return def;
+    std::string s = *v;
+    std::transform(s.begin(), s.end(), s.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    if (s == "1" || s == "true" || s == "yes" || s == "on")
+        return true;
+    if (s == "0" || s == "false" || s == "no" || s == "off")
+        return false;
+    fatal("config key '", key, "' is not a boolean: '", *v, "'");
+}
+
+std::vector<double>
+Config::getDoubleList(const std::string &key) const
+{
+    std::vector<double> out;
+    for (const auto &tok : getStringList(key)) {
+        try {
+            out.push_back(std::stod(tok));
+        } catch (...) {
+            fatal("config key '", key, "' has a non-numeric element: '",
+                  tok, "'");
+        }
+    }
+    return out;
+}
+
+std::vector<std::string>
+Config::getStringList(const std::string &key) const
+{
+    std::vector<std::string> out;
+    const std::string *v = find(key);
+    if (!v)
+        return out;
+    std::stringstream ss(*v);
+    std::string tok;
+    while (std::getline(ss, tok, ',')) {
+        tok = trim(tok);
+        if (!tok.empty())
+            out.push_back(tok);
+    }
+    return out;
+}
+
+std::vector<std::string>
+Config::unusedKeys() const
+{
+    std::vector<std::string> out;
+    for (const auto &[k, v] : values_) {
+        if (!touched_.count(k))
+            out.push_back(k);
+    }
+    return out;
+}
+
+std::vector<std::pair<std::string, std::string>>
+Config::items() const
+{
+    return {values_.begin(), values_.end()};
+}
+
+} // namespace nox

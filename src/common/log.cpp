@@ -1,0 +1,52 @@
+#include "common/log.hpp"
+
+namespace nox {
+namespace detail {
+
+LogLevel &
+logLevel()
+{
+    static LogLevel level = LogLevel::Warn;
+    return level;
+}
+
+std::ostream *&
+logStream()
+{
+    static std::ostream *os = &std::cerr;
+    return os;
+}
+
+void
+emit(LogLevel level, std::string_view tag, const std::string &msg)
+{
+    // Errors (fatal/panic) are always emitted regardless of verbosity.
+    if (level != LogLevel::Error &&
+        static_cast<int>(level) > static_cast<int>(logLevel())) {
+        return;
+    }
+    std::ostream &os = logStream() ? *logStream() : std::cerr;
+    os << tag << ": " << msg << '\n';
+}
+
+} // namespace detail
+
+void
+setLogLevel(LogLevel level)
+{
+    detail::logLevel() = level;
+}
+
+LogLevel
+logLevel()
+{
+    return detail::logLevel();
+}
+
+void
+setLogStream(std::ostream *os)
+{
+    detail::logStream() = os ? os : &std::cerr;
+}
+
+} // namespace nox

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Lightweight logging and error-reporting helpers.
+ *
+ * Follows the gem5 convention: inform() for status, warn() for suspect
+ * but survivable conditions, fatal() for user errors (clean exit) and
+ * panic() for internal invariant violations (abort).
+ */
+
+#ifndef NOX_COMMON_LOG_HPP
+#define NOX_COMMON_LOG_HPP
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace nox {
+
+/** Verbosity levels for runtime log filtering. */
+enum class LogLevel : int {
+    Silent = 0,
+    Error = 1,
+    Warn = 2,
+    Info = 3,
+    Debug = 4,
+};
+
+namespace detail {
+
+/** Process-wide log verbosity (defaults to Warn). */
+LogLevel &logLevel();
+
+/** Stream used for log output (defaults to std::cerr). */
+std::ostream *&logStream();
+
+/** Concatenate a parameter pack into a string via operator<<. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+void emit(LogLevel level, std::string_view tag, const std::string &msg);
+
+} // namespace detail
+
+/** Set the global verbosity threshold. */
+void setLogLevel(LogLevel level);
+
+/** Current global verbosity threshold. */
+LogLevel logLevel();
+
+/** Redirect log output (pass nullptr to restore std::cerr). */
+void setLogStream(std::ostream *os);
+
+/** Informative status message; never indicates a problem. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::emit(LogLevel::Info, "info",
+                 detail::concat(std::forward<Args>(args)...));
+}
+
+/** Something looks off but simulation can continue. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::emit(LogLevel::Warn, "warn",
+                 detail::concat(std::forward<Args>(args)...));
+}
+
+/** Debug-level tracing, compiled in but filtered at runtime. */
+template <typename... Args>
+void
+debugLog(Args &&...args)
+{
+    detail::emit(LogLevel::Debug, "debug",
+                 detail::concat(std::forward<Args>(args)...));
+}
+
+/**
+ * Unrecoverable user error (bad configuration, invalid arguments).
+ * Prints the message and exits with status 1.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::emit(LogLevel::Error, "fatal",
+                 detail::concat(std::forward<Args>(args)...));
+    std::exit(1);
+}
+
+/**
+ * Internal invariant violation (a simulator bug, not a user error).
+ * Prints the message and aborts so a core/backtrace is available.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    detail::emit(LogLevel::Error, "panic",
+                 detail::concat(std::forward<Args>(args)...));
+    std::abort();
+}
+
+/** panic() unless the given condition holds. */
+#define NOX_ASSERT(cond, ...)                                              \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::nox::panic("assertion failed: ", #cond, " @ ", __FILE__,     \
+                         ":", __LINE__, " ", ##__VA_ARGS__);               \
+        }                                                                  \
+    } while (0)
+
+} // namespace nox
+
+#endif // NOX_COMMON_LOG_HPP

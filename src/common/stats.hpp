@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Statistics primitives used by the simulator and benchmarks.
+ *
+ * SampleStats accumulates streaming mean/variance/min/max (Welford);
+ * Histogram buckets samples for percentile queries; Counter is a named
+ * monotonically increasing event count used by the power model.
+ */
+
+#ifndef NOX_COMMON_STATS_HPP
+#define NOX_COMMON_STATS_HPP
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace nox {
+
+/** Streaming sample statistics (Welford's online algorithm). */
+class SampleStats
+{
+  public:
+    void add(double x);
+
+    /** Merge another accumulator into this one. */
+    void merge(const SampleStats &other);
+
+    void reset();
+
+    std::uint64_t count() const { return n_; }
+    double sum() const { return mean_ * static_cast<double>(n_); }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    double variance() const;
+    double stddev() const;
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+
+  private:
+    std::uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Fixed-width bucket histogram over [0, bucketWidth*numBuckets), with
+ * an overflow bucket. Supports approximate percentile queries.
+ */
+class Histogram
+{
+  public:
+    Histogram(double bucket_width, std::size_t num_buckets);
+
+    void add(double x);
+    void reset();
+
+    std::uint64_t count() const { return total_; }
+    double bucketWidth() const { return width_; }
+    std::size_t numBuckets() const { return counts_.size(); }
+    std::uint64_t bucketCount(std::size_t i) const { return counts_[i]; }
+    std::uint64_t overflowCount() const { return overflow_; }
+
+    /**
+     * Approximate p-quantile (0 <= p <= 1) via linear interpolation
+     * inside the containing bucket. Returns the histogram upper bound
+     * if the quantile falls in the overflow bucket.
+     */
+    double quantile(double p) const;
+
+  private:
+    double width_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+/** Named monotonically increasing event counter. */
+class Counter
+{
+  public:
+    explicit Counter(std::string name = "") : name_(std::move(name)) {}
+
+    void inc(std::uint64_t by = 1) { value_ += by; }
+    std::uint64_t value() const { return value_; }
+    const std::string &name() const { return name_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::string name_;
+    std::uint64_t value_ = 0;
+};
+
+/**
+ * Exponentially weighted moving average, used for warm-up detection in
+ * open-loop simulations.
+ */
+class Ewma
+{
+  public:
+    explicit Ewma(double alpha) : alpha_(alpha) {}
+
+    void add(double x);
+    double value() const { return value_; }
+    bool valid() const { return primed_; }
+    void reset();
+
+  private:
+    double alpha_;
+    double value_ = 0.0;
+    bool primed_ = false;
+};
+
+} // namespace nox
+
+#endif // NOX_COMMON_STATS_HPP

@@ -1,0 +1,104 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/log.hpp"
+
+namespace nox {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    NOX_ASSERT(!headers_.empty(), "table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    NOX_ASSERT(row.size() == headers_.size(),
+               "row arity mismatch: got ", row.size(), " want ",
+               headers_.size());
+    rows_.push_back(std::move(row));
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << v;
+    return oss.str();
+}
+
+namespace {
+
+void
+csvField(std::ostream &os, const std::string &field)
+{
+    const bool needs_quotes =
+        field.find_first_of(",\"\n") != std::string::npos;
+    if (!needs_quotes) {
+        os << field;
+        return;
+    }
+    os << '"';
+    for (char c : field) {
+        if (c == '"')
+            os << '"';
+        os << c;
+    }
+    os << '"';
+}
+
+} // namespace
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto emit = [&os](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            csvField(os, row[c]);
+            os << (c + 1 == row.size() ? "" : ",");
+        }
+        os << '\n';
+    };
+    emit(headers_);
+    for (const auto &row : rows_)
+        emit(row);
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(widths[c]))
+               << row[c];
+            os << (c + 1 == row.size() ? "" : "  ");
+        }
+        os << '\n';
+    };
+
+    print_row(headers_);
+    std::string rule;
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+        rule.append(widths[c], '-');
+        if (c + 1 != widths.size())
+            rule.append("  ");
+    }
+    os << rule << '\n';
+    for (const auto &row : rows_)
+        print_row(row);
+}
+
+} // namespace nox

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * ASCII table printer used by the benchmark harnesses to emit the
+ * rows/series of each paper figure and table in a uniform format.
+ */
+
+#ifndef NOX_COMMON_TABLE_HPP
+#define NOX_COMMON_TABLE_HPP
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace nox {
+
+/** Column-aligned ASCII table with a header row. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: format doubles with the given precision. */
+    static std::string num(double v, int precision = 3);
+
+    /** Render with column padding to the stream. */
+    void print(std::ostream &os) const;
+
+    /** Render as RFC-4180-ish CSV (quotes fields containing commas,
+     *  quotes or newlines) for plot scripts. */
+    void printCsv(std::ostream &os) const;
+
+    std::size_t numRows() const { return rows_.size(); }
+    std::size_t numCols() const { return headers_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace nox
+
+#endif // NOX_COMMON_TABLE_HPP

@@ -1,0 +1,126 @@
+#include "core/channel_group.hpp"
+
+#include "common/log.hpp"
+#include "routers/factory.hpp"
+
+namespace nox {
+
+PhysicalChannelGroup::PhysicalChannelGroup(const NetworkParams &params,
+                                           RouterArch arch,
+                                           int num_channels)
+{
+    NOX_ASSERT(num_channels >= 1, "need at least one channel");
+    for (int i = 0; i < num_channels; ++i)
+        nets_.push_back(makeNetwork(params, arch));
+}
+
+int
+PhysicalChannelGroup::channelOf(TrafficClass cls) const
+{
+    switch (cls) {
+      case TrafficClass::Request:
+        return 0;
+      case TrafficClass::Reply:
+        return (numChannels() > 1) ? 1 : 0;
+      case TrafficClass::Synthetic:
+      default:
+        return 0;
+    }
+}
+
+PacketId
+PhysicalChannelGroup::injectPacket(NodeId src, NodeId dst,
+                                   int num_flits, TrafficClass cls)
+{
+    return injectPacket(channelOf(cls), src, dst, num_flits, cls);
+}
+
+PacketId
+PhysicalChannelGroup::injectPacket(int channel, NodeId src, NodeId dst,
+                                   int num_flits, TrafficClass cls)
+{
+    NOX_ASSERT(channel >= 0 && channel < numChannels(),
+               "bad channel index ", channel);
+    return nets_[static_cast<size_t>(channel)]->injectPacket(
+        src, dst, num_flits, nets_[static_cast<size_t>(channel)]->now(),
+        cls);
+}
+
+void
+PhysicalChannelGroup::step()
+{
+    for (auto &n : nets_)
+        n->step();
+}
+
+void
+PhysicalChannelGroup::run(Cycle cycles)
+{
+    for (Cycle i = 0; i < cycles; ++i)
+        step();
+}
+
+bool
+PhysicalChannelGroup::drain(Cycle limit)
+{
+    const Cycle deadline = now() + limit;
+    while (packetsInFlight() > 0 && now() < deadline)
+        step();
+    return packetsInFlight() == 0;
+}
+
+std::uint64_t
+PhysicalChannelGroup::packetsInFlight() const
+{
+    std::uint64_t n = 0;
+    for (const auto &net : nets_)
+        n += net->packetsInFlight();
+    return n;
+}
+
+std::uint64_t
+PhysicalChannelGroup::packetsInjected() const
+{
+    std::uint64_t n = 0;
+    for (const auto &net : nets_)
+        n += net->stats().packetsInjected;
+    return n;
+}
+
+std::uint64_t
+PhysicalChannelGroup::packetsEjected() const
+{
+    std::uint64_t n = 0;
+    for (const auto &net : nets_)
+        n += net->stats().packetsEjected;
+    return n;
+}
+
+SampleStats
+PhysicalChannelGroup::mergedLatency() const
+{
+    SampleStats s;
+    for (const auto &net : nets_)
+        s.merge(net->stats().latency);
+    return s;
+}
+
+SampleStats
+PhysicalChannelGroup::mergedNetLatency() const
+{
+    SampleStats s;
+    for (const auto &net : nets_)
+        s.merge(net->stats().netLatency);
+    return s;
+}
+
+EnergyEvents
+PhysicalChannelGroup::totalEnergyEvents() const
+{
+    EnergyEvents total;
+    for (const auto &net : nets_)
+        total.merge(net->totalEnergyEvents());
+    return total;
+}
+
+} // namespace nox

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Multiple parallel physical networks (§2.8).
+ *
+ * The evaluated routers are wormhole designs without virtual
+ * channels; protocol-level deadlock is avoided with multiple physical
+ * channels instead, which several works cited by the paper argue is
+ * the more power-efficient alternative. PhysicalChannelGroup bundles
+ * N identical networks, assigns packets to subnetworks by traffic
+ * class (or explicitly), steps them in lockstep and aggregates their
+ * statistics — the substrate used for the request/reply pair of the
+ * application evaluation and for wider class splits.
+ */
+
+#ifndef NOX_CORE_CHANNEL_GROUP_HPP
+#define NOX_CORE_CHANNEL_GROUP_HPP
+
+#include <memory>
+#include <vector>
+
+#include "noc/network.hpp"
+
+namespace nox {
+
+/** A bundle of parallel physical networks. */
+class PhysicalChannelGroup
+{
+  public:
+    /**
+     * @param params per-subnetwork construction parameters
+     * @param arch router architecture (identical across channels)
+     * @param num_channels number of physical networks (>= 1)
+     */
+    PhysicalChannelGroup(const NetworkParams &params, RouterArch arch,
+                         int num_channels);
+
+    int numChannels() const
+    {
+        return static_cast<int>(nets_.size());
+    }
+    Network &channel(int i) { return *nets_[static_cast<size_t>(i)]; }
+    const Network &channel(int i) const
+    {
+        return *nets_[static_cast<size_t>(i)];
+    }
+
+    /** Map a traffic class to its subnetwork (Request->0, Reply->1
+     *  modulo the channel count; Synthetic->0). */
+    int channelOf(TrafficClass cls) const;
+
+    /** Inject into the class-mapped subnetwork. */
+    PacketId injectPacket(NodeId src, NodeId dst, int num_flits,
+                          TrafficClass cls);
+
+    /** Inject into an explicit subnetwork. */
+    PacketId injectPacket(int channel, NodeId src, NodeId dst,
+                          int num_flits, TrafficClass cls);
+
+    /** Advance every subnetwork one cycle (lockstep). */
+    void step();
+
+    /** Advance @p cycles cycles. */
+    void run(Cycle cycles);
+
+    /** Drain all subnetworks; true when everything delivered. */
+    bool drain(Cycle limit);
+
+    Cycle now() const { return nets_.front()->now(); }
+    std::uint64_t packetsInFlight() const;
+
+    /** Sum of per-channel injected/ejected packet counts. */
+    std::uint64_t packetsInjected() const;
+    std::uint64_t packetsEjected() const;
+
+    /** Merged latency statistics across channels. */
+    SampleStats mergedLatency() const;
+    SampleStats mergedNetLatency() const;
+
+    /** Summed energy-event counters across channels. */
+    EnergyEvents totalEnergyEvents() const;
+
+  private:
+    std::vector<std::unique_ptr<Network>> nets_;
+};
+
+} // namespace nox
+
+#endif // NOX_CORE_CHANNEL_GROUP_HPP

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * High-level experiment runners.
+ *
+ * runSynthetic() performs one point of a latency-vs-load sweep
+ * (Figures 8/9): build a mesh of the chosen router architecture,
+ * offer load at a given MB/s/node (converted to flits/cycle using the
+ * architecture's clock period from the timing model), warm up,
+ * measure, drain, and report latency / throughput / energy / ED^2.
+ *
+ * runApplication() replays a packet trace (Figure 10/11): the same
+ * nanosecond-domain trace drives each architecture at its own clock,
+ * on two physical networks (request + reply) as in §5.2.
+ */
+
+#ifndef NOX_CORE_SIM_RUNNER_HPP
+#define NOX_CORE_SIM_RUNNER_HPP
+
+#include <cstdint>
+
+#include "noc/router.hpp"
+#include "noc/types.hpp"
+#include "power/energy_model.hpp"
+#include "power/timing_model.hpp"
+#include "traffic/patterns.hpp"
+#include "traffic/trace.hpp"
+
+namespace nox {
+
+/** Configuration for one synthetic-traffic measurement point. */
+struct SyntheticConfig
+{
+    RouterArch arch = RouterArch::Nox;
+    PatternKind pattern = PatternKind::UniformRandom;
+    double injectionMBps = 500.0; ///< offered load per node
+    bool selfSimilar = false;     ///< Pareto ON/OFF instead of
+                                  ///< Bernoulli
+    int packetFlits = 1;          ///< paper synthetic: single-flit
+    int width = 8;
+    int height = 8;
+    int concentration = 1; ///< terminals per router (>1 = CMesh, §8)
+    int bufferDepth = 4;
+    int sinkBufferDepth = 4;
+    ArbiterKind arbiterKind = ArbiterKind::RoundRobin;
+    double hotspotFraction = 0.2;
+    Cycle warmupCycles = 10000;
+    Cycle measureCycles = 30000;
+    Cycle drainLimitCycles = 150000;
+    std::uint64_t seed = 0xA11CE5;
+    Technology tech = Technology::tsmc65();
+    PhysicalParams phys;
+};
+
+/** Result of one measurement point. */
+struct RunResult
+{
+    RouterArch arch = RouterArch::Nox;
+    double periodNs = 0.0;
+
+    double offeredMBps = 0.0;
+    double offeredFlitsPerCycle = 0.0;
+    double acceptedMBps = 0.0;
+    double acceptedFlitsPerCycle = 0.0;
+
+    std::uint64_t packetsMeasured = 0;
+    double avgLatencyCycles = 0.0;
+    double avgLatencyNs = 0.0;
+    double p95LatencyNs = 0.0;
+    double p99LatencyNs = 0.0;
+
+    bool saturated = false;
+    bool drained = true;
+    std::size_t maxSourceQueueFlits = 0;
+
+    EnergyBreakdown energy;      ///< over the measurement window
+    double powerW = 0.0;         ///< mean power over the window
+    double energyPerPacketPj = 0.0;
+    double ed2 = 0.0;            ///< pJ * ns^2 (paper's ED^2 metric)
+
+    // Raw microarchitectural activity over the window.
+    std::uint64_t abortCycles = 0;   ///< NoX multi-flit aborts
+    std::uint64_t misspecCycles = 0; ///< speculative collisions
+    std::uint64_t wastedLinkCycles = 0;
+};
+
+/** Run one synthetic measurement point. */
+RunResult runSynthetic(const SyntheticConfig &config);
+
+/** Configuration for an application-trace replay. */
+struct AppConfig
+{
+    RouterArch arch = RouterArch::Nox;
+    int width = 8;
+    int height = 8;
+    int bufferDepth = 4;
+    int sinkBufferDepth = 4;
+    Cycle drainLimitCycles = 4000000;
+    Technology tech = Technology::tsmc65();
+    PhysicalParams phys;
+};
+
+/** Result of replaying one application trace. */
+struct AppResult
+{
+    RouterArch arch = RouterArch::Nox;
+    double periodNs = 0.0;
+
+    std::uint64_t packets = 0;
+    /** Network latency (head injection -> delivery), the paper's
+     *  figure-10 metric for open-loop trace replay. */
+    double avgLatencyCycles = 0.0;
+    double avgLatencyNs = 0.0;
+    /** Total latency including source queueing (diagnostic). */
+    double avgTotalLatencyNs = 0.0;
+    double avgLatencyNsRequest = 0.0;
+    double avgLatencyNsReply = 0.0;
+
+    bool drained = true;
+    EnergyBreakdown energy; ///< both physical networks, full run
+    double powerW = 0.0;
+    double energyPerPacketPj = 0.0;
+    double ed2 = 0.0;
+};
+
+/** Replay @p trace through request+reply networks of @p config. */
+AppResult runApplication(const AppConfig &config, const Trace &trace);
+
+/** MB/s/node -> flits/node/cycle at a clock period [ns] with 8-byte
+ *  flits (Table 1). */
+double mbpsToFlitsPerCycle(double mbps, double period_ns);
+
+/** flits/node/cycle -> MB/s/node. */
+double flitsPerCycleToMbps(double flits_per_cycle, double period_ns);
+
+} // namespace nox
+
+#endif // NOX_CORE_SIM_RUNNER_HPP

@@ -1,0 +1,99 @@
+#include "noc/arbiter.hpp"
+
+#include "common/log.hpp"
+
+namespace nox {
+
+RoundRobinArbiter::RoundRobinArbiter(int num_inputs)
+    : Arbiter(num_inputs), pointer_(0)
+{
+    NOX_ASSERT(num_inputs > 0 && num_inputs <= 32, "bad arbiter width");
+}
+
+int
+RoundRobinArbiter::grant(RequestMask requests)
+{
+    if (requests == 0)
+        return -1;
+    for (int i = 0; i < numInputs_; ++i) {
+        const int idx = (pointer_ + i) % numInputs_;
+        if (requests & (1u << idx)) {
+            pointer_ = (idx + 1) % numInputs_;
+            return idx;
+        }
+    }
+    return -1;
+}
+
+void
+RoundRobinArbiter::reset()
+{
+    pointer_ = 0;
+}
+
+int
+FixedPriorityArbiter::grant(RequestMask requests)
+{
+    if (requests == 0)
+        return -1;
+    for (int i = 0; i < numInputs_; ++i) {
+        if (requests & (1u << i))
+            return i;
+    }
+    return -1;
+}
+
+MatrixArbiter::MatrixArbiter(int num_inputs)
+    : Arbiter(num_inputs)
+{
+    NOX_ASSERT(num_inputs > 0 && num_inputs <= 32, "bad arbiter width");
+    reset();
+}
+
+int
+MatrixArbiter::grant(RequestMask requests)
+{
+    if (requests == 0)
+        return -1;
+    int winner = -1;
+    for (int i = 0; i < numInputs_; ++i) {
+        if (!(requests & (1u << i)))
+            continue;
+        bool beaten = false;
+        for (int j = 0; j < numInputs_; ++j) {
+            if (j == i || !(requests & (1u << j)))
+                continue;
+            if (prio_[j][i]) {
+                beaten = true;
+                break;
+            }
+        }
+        if (!beaten) {
+            winner = i;
+            break;
+        }
+    }
+    NOX_ASSERT(winner >= 0, "matrix arbiter priority relation broken");
+    // Winner becomes lowest priority relative to everyone.
+    for (int j = 0; j < numInputs_; ++j) {
+        if (j != winner) {
+            prio_[winner][j] = false;
+            prio_[j][winner] = true;
+        }
+    }
+    return winner;
+}
+
+void
+MatrixArbiter::reset()
+{
+    prio_.assign(static_cast<std::size_t>(numInputs_),
+                 std::vector<bool>(static_cast<std::size_t>(numInputs_),
+                                   false));
+    for (int i = 0; i < numInputs_; ++i) {
+        for (int j = i + 1; j < numInputs_; ++j)
+            prio_[i][j] = true; // initial total order by index
+    }
+}
+
+} // namespace nox

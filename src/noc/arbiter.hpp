@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Arbiters used by the routers' output allocation logic.
+ *
+ * The round-robin arbiter is the default everywhere (the paper's
+ * fairness discussion assumes a fair arbiter); a fixed-priority and a
+ * matrix (least-recently-served) arbiter are provided for ablation
+ * studies.
+ */
+
+#ifndef NOX_NOC_ARBITER_HPP
+#define NOX_NOC_ARBITER_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace nox {
+
+/** Request bit-vector; bit i set means input i requests the output. */
+using RequestMask = std::uint32_t;
+
+/** Common arbiter interface: pick one set bit of the request mask. */
+class Arbiter
+{
+  public:
+    explicit Arbiter(int num_inputs) : numInputs_(num_inputs) {}
+    virtual ~Arbiter() = default;
+
+    /**
+     * Grant one requesting input, updating internal priority state.
+     * @return granted input index, or -1 when no bit is set.
+     */
+    virtual int grant(RequestMask requests) = 0;
+
+    /** Reset priority state to the post-construction value. */
+    virtual void reset() = 0;
+
+    int numInputs() const { return numInputs_; }
+
+  protected:
+    int numInputs_;
+};
+
+/** Rotating-priority (round-robin) arbiter. */
+class RoundRobinArbiter : public Arbiter
+{
+  public:
+    explicit RoundRobinArbiter(int num_inputs);
+
+    int grant(RequestMask requests) override;
+    void reset() override;
+
+    /** Input that currently has highest priority (for tests). */
+    int pointer() const { return pointer_; }
+
+  private:
+    int pointer_;
+};
+
+/** Static fixed-priority arbiter (lowest index wins). */
+class FixedPriorityArbiter : public Arbiter
+{
+  public:
+    explicit FixedPriorityArbiter(int num_inputs) : Arbiter(num_inputs) {}
+
+    int grant(RequestMask requests) override;
+    void reset() override {}
+};
+
+/**
+ * Matrix arbiter: grants the least-recently-served requester; strong
+ * fairness, slightly larger state (n^2 bits in hardware).
+ */
+class MatrixArbiter : public Arbiter
+{
+  public:
+    explicit MatrixArbiter(int num_inputs);
+
+    int grant(RequestMask requests) override;
+    void reset() override;
+
+  private:
+    /** prio_[i][j] true when input i beats input j. */
+    std::vector<std::vector<bool>> prio_;
+};
+
+} // namespace nox
+
+#endif // NOX_NOC_ARBITER_HPP

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Per-router event counters consumed by the power model (§4 of the
+ * paper: "a cycle-accurate C++ simulation model is complemented with
+ * necessary event counters to form an accurate power model").
+ */
+
+#ifndef NOX_NOC_ENERGY_EVENTS_HPP
+#define NOX_NOC_ENERGY_EVENTS_HPP
+
+#include <cstdint>
+
+namespace nox {
+
+/** Raw activity counts; the power model assigns energy per event. */
+struct EnergyEvents
+{
+    std::uint64_t bufferWrites = 0;   ///< flits written into input SRAM
+    std::uint64_t bufferReads = 0;    ///< flits read from input SRAM
+    std::uint64_t xbarInputDrives = 0; ///< input drivers active (per cycle)
+    std::uint64_t xbarOutputCycles = 0; ///< output columns active
+    std::uint64_t linkFlits = 0;      ///< productive inter-router flits
+    std::uint64_t linkWastedCycles = 0; ///< invalid drives on tile links
+    std::uint64_t localLinkFlits = 0; ///< NIC-side (inject/eject) flits
+    std::uint64_t localLinkWasted = 0; ///< invalid drives on local links
+    std::uint64_t arbDecisions = 0;   ///< output arbiter evaluations
+    std::uint64_t allocEvals = 0;     ///< Switch-Next allocator evaluations
+    std::uint64_t decodeOps = 0;      ///< XOR decode operations (NoX)
+    std::uint64_t decodeLatches = 0;  ///< decode-register writes (NoX)
+    std::uint64_t maskUpdates = 0;    ///< NoX mask recomputations
+    std::uint64_t abortCycles = 0;    ///< NoX multi-flit abort cycles
+    std::uint64_t misspecCycles = 0;  ///< speculative collision cycles
+    std::uint64_t cycles = 0;         ///< router clock cycles elapsed
+
+    /** Accumulate another counter block into this one. */
+    void
+    merge(const EnergyEvents &o)
+    {
+        bufferWrites += o.bufferWrites;
+        bufferReads += o.bufferReads;
+        xbarInputDrives += o.xbarInputDrives;
+        xbarOutputCycles += o.xbarOutputCycles;
+        linkFlits += o.linkFlits;
+        linkWastedCycles += o.linkWastedCycles;
+        localLinkFlits += o.localLinkFlits;
+        localLinkWasted += o.localLinkWasted;
+        arbDecisions += o.arbDecisions;
+        allocEvals += o.allocEvals;
+        decodeOps += o.decodeOps;
+        decodeLatches += o.decodeLatches;
+        maskUpdates += o.maskUpdates;
+        abortCycles += o.abortCycles;
+        misspecCycles += o.misspecCycles;
+        cycles += o.cycles;
+    }
+};
+
+/** Counter delta between two snapshots (later - earlier). */
+inline EnergyEvents
+diff(const EnergyEvents &later, const EnergyEvents &earlier)
+{
+    EnergyEvents d;
+    d.bufferWrites = later.bufferWrites - earlier.bufferWrites;
+    d.bufferReads = later.bufferReads - earlier.bufferReads;
+    d.xbarInputDrives = later.xbarInputDrives - earlier.xbarInputDrives;
+    d.xbarOutputCycles =
+        later.xbarOutputCycles - earlier.xbarOutputCycles;
+    d.linkFlits = later.linkFlits - earlier.linkFlits;
+    d.linkWastedCycles =
+        later.linkWastedCycles - earlier.linkWastedCycles;
+    d.localLinkFlits = later.localLinkFlits - earlier.localLinkFlits;
+    d.localLinkWasted = later.localLinkWasted - earlier.localLinkWasted;
+    d.arbDecisions = later.arbDecisions - earlier.arbDecisions;
+    d.allocEvals = later.allocEvals - earlier.allocEvals;
+    d.decodeOps = later.decodeOps - earlier.decodeOps;
+    d.decodeLatches = later.decodeLatches - earlier.decodeLatches;
+    d.maskUpdates = later.maskUpdates - earlier.maskUpdates;
+    d.abortCycles = later.abortCycles - earlier.abortCycles;
+    d.misspecCycles = later.misspecCycles - earlier.misspecCycles;
+    d.cycles = later.cycles - earlier.cycles;
+    return d;
+}
+
+} // namespace nox
+
+#endif // NOX_NOC_ENERGY_EVENTS_HPP

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Fixed-capacity flit FIFO modelling a router's input-buffer SRAM.
+ */
+
+#ifndef NOX_NOC_FIFO_HPP
+#define NOX_NOC_FIFO_HPP
+
+#include <cstddef>
+#include <deque>
+
+#include "common/log.hpp"
+#include "noc/flit.hpp"
+
+namespace nox {
+
+/**
+ * Bounded FIFO of WireFlits. Capacity is enforced with assertions:
+ * credit-based flow control must make overflow impossible, so an
+ * overflow here is a simulator bug, not a recoverable condition.
+ */
+class FlitFifo
+{
+  public:
+    explicit FlitFifo(std::size_t capacity) : capacity_(capacity)
+    {
+        NOX_ASSERT(capacity > 0, "FIFO capacity must be positive");
+    }
+
+    bool empty() const { return q_.empty(); }
+    bool full() const { return q_.size() >= capacity_; }
+    std::size_t size() const { return q_.size(); }
+    std::size_t capacity() const { return capacity_; }
+
+    void
+    push(WireFlit f)
+    {
+        NOX_ASSERT(!full(), "input FIFO overflow (credit protocol bug)");
+        q_.push_back(std::move(f));
+    }
+
+    const WireFlit &
+    front() const
+    {
+        NOX_ASSERT(!empty(), "front() on empty FIFO");
+        return q_.front();
+    }
+
+    WireFlit
+    pop()
+    {
+        NOX_ASSERT(!empty(), "pop() on empty FIFO");
+        WireFlit f = std::move(q_.front());
+        q_.pop_front();
+        return f;
+    }
+
+  private:
+    std::size_t capacity_;
+    std::deque<WireFlit> q_;
+};
+
+} // namespace nox
+
+#endif // NOX_NOC_FIFO_HPP

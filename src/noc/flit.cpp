@@ -1,0 +1,76 @@
+#include "noc/flit.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+
+namespace nox {
+
+std::uint64_t
+expectedPayload(PacketId packet, std::uint32_t seq)
+{
+    return mix64(packet * 0x100ULL + seq + 1);
+}
+
+std::uint64_t
+flitUid(PacketId packet, std::uint32_t seq)
+{
+    // Packet ids are dense from 1; 8 bits of sequence is plenty since
+    // the largest packet in the paper's system is 9 flits.
+    NOX_ASSERT(seq < 256, "flit sequence too large for uid encoding");
+    return (packet << 8) | seq;
+}
+
+WireFlit
+WireFlit::fromDesc(const FlitDesc &d)
+{
+    WireFlit w;
+    w.payload = d.payload;
+    w.encoded = false;
+    w.vc = d.vc;
+    w.parts.push_back(d);
+    return w;
+}
+
+WireFlit
+WireFlit::combine(const std::vector<FlitDesc> &inputs)
+{
+    NOX_ASSERT(!inputs.empty(), "combine needs at least one flit");
+    WireFlit w;
+    for (const auto &d : inputs) {
+        w.payload ^= d.payload;
+        w.parts.push_back(d);
+    }
+    w.encoded = inputs.size() > 1;
+    return w;
+}
+
+FlitDesc
+decodeDiff(const WireFlit &prev, const WireFlit &next)
+{
+    NOX_ASSERT(prev.parts.size() == next.parts.size() + 1,
+               "decode requires |prev| == |next| + 1, got ",
+               prev.parts.size(), " and ", next.parts.size());
+
+    const FlitDesc *found = nullptr;
+    for (const auto &p : prev.parts) {
+        const bool in_next =
+            std::any_of(next.parts.begin(), next.parts.end(),
+                        [&](const FlitDesc &q) { return q.uid == p.uid; });
+        if (!in_next) {
+            NOX_ASSERT(!found, "decode found two unmatched flits");
+            found = &p;
+        }
+    }
+    NOX_ASSERT(found, "decode found no unmatched flit");
+
+    // Integrity: the XOR of the two received values must reproduce the
+    // recovered flit's bits exactly — this is the paper's decoding
+    // property (A^B^C) ^ (B^C) == A, checked on real payload bits.
+    NOX_ASSERT((prev.payload ^ next.payload) == found->payload,
+               "XOR decode payload mismatch for packet ", found->packet);
+    return *found;
+}
+
+} // namespace nox

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Flit representations.
+ *
+ * A FlitDesc is an original, un-coded flit as produced by a source
+ * NIC. What actually travels on links and sits in input FIFOs is a
+ * WireFlit: either a single FlitDesc (uncoded) or the bitwise XOR of
+ * several colliding flits (NoX encoded form, §2.2 of the paper).
+ *
+ * The 64-bit payload is modelled faithfully — encoded WireFlits carry
+ * the real XOR of their constituents' payloads, and decode asserts the
+ * recovered bits match — while the `parts` vector carries simulation
+ * bookkeeping (packet ids, destinations) that in hardware lives inside
+ * those 64 bits.
+ */
+
+#ifndef NOX_NOC_FLIT_HPP
+#define NOX_NOC_FLIT_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "noc/types.hpp"
+
+namespace nox {
+
+/** An original (un-coded) flit. */
+struct FlitDesc
+{
+    std::uint64_t uid = 0;       ///< globally unique flit id
+    PacketId packet = kInvalidPacket;
+    std::uint32_t seq = 0;       ///< flit index within the packet
+    std::uint32_t packetSize = 1; ///< total flits in the packet
+    NodeId src = kInvalidNode;
+    NodeId dest = kInvalidNode;
+    std::uint64_t payload = 0;   ///< the 64 data bits on the wire
+    Cycle createCycle = 0;       ///< when the packet entered the source
+    Cycle injectCycle = 0;       ///< when this flit left the source
+                                 ///< queue into the router
+    TrafficClass cls = TrafficClass::Synthetic;
+    std::uint8_t vc = 0;         ///< virtual channel (VC routers only)
+
+    bool isHead() const { return seq == 0; }
+    bool isTail() const { return seq + 1 == packetSize; }
+    bool isMultiFlit() const { return packetSize > 1; }
+};
+
+/** Deterministic payload for (packet, seq), checkable at the sink. */
+std::uint64_t expectedPayload(PacketId packet, std::uint32_t seq);
+
+/** Deterministic uid for (packet, seq). */
+std::uint64_t flitUid(PacketId packet, std::uint32_t seq);
+
+/**
+ * A value travelling on a link or stored in an input FIFO: one flit,
+ * or the XOR superposition of several (NoX encoded form).
+ */
+struct WireFlit
+{
+    std::uint64_t payload = 0; ///< XOR of constituent payloads
+    bool encoded = false;      ///< encoded marker bit on the link
+    std::uint8_t vc = 0;       ///< virtual channel tag on the link
+    std::vector<FlitDesc> parts; ///< constituents (bookkeeping)
+
+    /** Wrap a single flit. */
+    static WireFlit fromDesc(const FlitDesc &d);
+
+    /** Build the XOR superposition of @p inputs (size >= 1). */
+    static WireFlit combine(const std::vector<FlitDesc> &inputs);
+
+    bool valid() const { return !parts.empty(); }
+    std::size_t fanin() const { return parts.size(); }
+};
+
+/**
+ * Decode one flit from two consecutively received WireFlits: returns
+ * the unique constituent of @p prev that is absent from @p next (the
+ * packet that won arbitration upstream, §2.2). Panics — and thereby
+ * verifies payload integrity end-to-end — if prev is not next plus
+ * exactly one flit, or if the XOR of the payloads does not equal the
+ * recovered flit's payload.
+ */
+FlitDesc decodeDiff(const WireFlit &prev, const WireFlit &next);
+
+} // namespace nox
+
+#endif // NOX_NOC_FLIT_HPP

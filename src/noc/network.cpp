@@ -1,0 +1,218 @@
+#include "noc/network.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace nox {
+
+Network::Network(const NetworkParams &params, RouterFactory factory)
+    : params_(params),
+      mesh_(params.width, params.height, params.concentration)
+{
+    NOX_ASSERT(factory, "router factory required");
+
+    // Router radix follows the topology's concentration factor.
+    RouterParams rp = params.router;
+    rp.numPorts = mesh_.radix();
+    params_.router = rp;
+
+    const int nr = mesh_.numRouters();
+    const int nn = mesh_.numNodes();
+    routers_.reserve(static_cast<std::size_t>(nr));
+    nics_.reserve(static_cast<std::size_t>(nn));
+
+    for (NodeId r = 0; r < nr; ++r)
+        routers_.push_back(factory(r, mesh_, params.route, rp));
+    // Sinks hold one buffer's worth per VC (per-VC output credits
+    // must all be backed by real sink capacity).
+    const int sink_depth = params.sinkBufferDepth * rp.vcCount;
+    for (NodeId node = 0; node < nn; ++node)
+        nics_.push_back(std::make_unique<Nic>(node, sink_depth));
+
+    // Wire inter-router links: for each router, connect the four mesh
+    // outputs to the neighbour's opposite input, and the matching
+    // credit return path.
+    for (NodeId r = 0; r < nr; ++r) {
+        Router &router = *routers_[r];
+        for (int port = kPortNorth; port <= kPortWest; ++port) {
+            const NodeId nb = mesh_.neighbor(r, port);
+            if (nb == kInvalidNode)
+                continue;
+            const int back = Mesh::oppositePort(port);
+
+            Router::FlitTarget ft;
+            ft.router = routers_[nb].get();
+            ft.port = back;
+            router.connectOutput(port, ft, rp.bufferDepth);
+
+            Router::CreditTarget ct;
+            ct.router = routers_[nb].get();
+            ct.port = back; // our input `port` is fed by nb's output
+            router.connectInputCredit(port, ct);
+        }
+    }
+    // Attach each terminal's NIC to its router's local port.
+    for (NodeId node = 0; node < nn; ++node) {
+        nics_[node]->connectRouter(
+            routers_[mesh_.routerOf(node)].get(),
+            mesh_.localPortOf(node));
+        nics_[node]->setListener(this);
+    }
+}
+
+void
+Network::addSource(std::unique_ptr<TrafficSource> source)
+{
+    NOX_ASSERT(source, "null traffic source");
+    sources_.push_back(std::move(source));
+}
+
+void
+Network::step()
+{
+    // 1. Traffic generation for this cycle.
+    if (sourcesEnabled_) {
+        for (auto &src : sources_)
+            src->tick(now_, *this);
+    }
+
+    // 2. NIC injection (stages flits into router local inputs).
+    for (auto &nic : nics_)
+        nic->evaluateInject(now_);
+
+    // 3. Router evaluation (order-independent; staged effects only).
+    for (auto &r : routers_)
+        r->evaluate(now_);
+
+    // 4. NIC sinks drain their committed FIFOs.
+    for (auto &nic : nics_)
+        nic->evaluateSink(now_);
+
+    // 5. Commit staged arrivals and credits everywhere.
+    for (auto &r : routers_) {
+        r->energy().cycles += 1;
+        r->commit();
+    }
+    for (auto &nic : nics_)
+        nic->commit();
+
+    ++now_;
+}
+
+void
+Network::run(Cycle cycles)
+{
+    for (Cycle i = 0; i < cycles; ++i)
+        step();
+}
+
+bool
+Network::drain(Cycle limit)
+{
+    const Cycle deadline = now_ + limit;
+    while (packetsInFlight() > 0 && now_ < deadline)
+        step();
+    return packetsInFlight() == 0;
+}
+
+void
+Network::setMeasurementWindow(Cycle start, Cycle end)
+{
+    NOX_ASSERT(start < end, "empty measurement window");
+    stats_.measureStart = start;
+    stats_.measureEnd = end;
+}
+
+std::uint64_t
+Network::packetsInFlight() const
+{
+    return stats_.packetsInjected - stats_.packetsEjected;
+}
+
+EnergyEvents
+Network::totalEnergyEvents() const
+{
+    EnergyEvents total;
+    for (const auto &r : routers_)
+        total.merge(r->energy());
+    for (const auto &nic : nics_)
+        total.merge(nic->energy());
+    return total;
+}
+
+PacketId
+Network::injectPacket(NodeId src, NodeId dst, int num_flits, Cycle now,
+                      TrafficClass cls)
+{
+    NOX_ASSERT(src >= 0 && src < numNodes(), "bad source node ", src);
+    NOX_ASSERT(dst >= 0 && dst < numNodes(), "bad dest node ", dst);
+    NOX_ASSERT(src != dst, "self-addressed packet");
+    NOX_ASSERT(num_flits >= 1, "packet needs at least one flit");
+
+    const PacketId id = nextPacket_++;
+    std::vector<FlitDesc> flits;
+    flits.reserve(static_cast<std::size_t>(num_flits));
+    for (int s = 0; s < num_flits; ++s) {
+        FlitDesc d;
+        d.uid = flitUid(id, static_cast<std::uint32_t>(s));
+        d.packet = id;
+        d.seq = static_cast<std::uint32_t>(s);
+        d.packetSize = static_cast<std::uint32_t>(num_flits);
+        d.src = src;
+        d.dest = dst;
+        d.payload = expectedPayload(id, static_cast<std::uint32_t>(s));
+        d.createCycle = now;
+        d.cls = cls;
+        // Static VC assignment by class (request/reply isolation).
+        if (params_.router.vcCount > 1 && cls == TrafficClass::Reply)
+            d.vc = 1;
+        flits.push_back(d);
+    }
+    nics_[src]->enqueuePacket(std::move(flits));
+
+    stats_.packetsInjected += 1;
+    stats_.flitsInjected += static_cast<std::uint64_t>(num_flits);
+    if (now >= stats_.measureStart && now < stats_.measureEnd) {
+        stats_.packetsMeasured += 1;
+        stats_.flitsCreatedInWindow +=
+            static_cast<std::uint64_t>(num_flits);
+    }
+    stats_.maxSourceQueueFlits =
+        std::max(stats_.maxSourceQueueFlits,
+                 nics_[src]->sourceQueueFlits());
+    return id;
+}
+
+std::size_t
+Network::sourceQueueFlits(NodeId node) const
+{
+    return nics_[node]->sourceQueueFlits();
+}
+
+void
+Network::onFlitDelivered(NodeId, const FlitDesc &, Cycle now)
+{
+    stats_.flitsEjected += 1;
+    if (now >= stats_.measureStart && now < stats_.measureEnd)
+        stats_.flitsEjectedInWindow += 1;
+}
+
+void
+Network::onPacketCompleted(NodeId, const FlitDesc &last_flit,
+                           Cycle head_inject, Cycle now)
+{
+    stats_.packetsEjected += 1;
+    const Cycle created = last_flit.createCycle;
+    if (created >= stats_.measureStart && created < stats_.measureEnd) {
+        const double lat = static_cast<double>(now - created) + 1.0;
+        stats_.latency.add(lat);
+        stats_.latencyHist.add(lat);
+        stats_.netLatency.add(
+            static_cast<double>(now - head_inject) + 1.0);
+        stats_.latencyByClass[static_cast<int>(last_flit.cls)].add(lat);
+        stats_.packetsMeasuredDone += 1;
+    }
+}
+
+} // namespace nox

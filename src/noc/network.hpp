@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The mesh network: routers, NICs, wiring and the cycle loop.
+ *
+ * The Network is architecture-agnostic — a router factory supplied at
+ * construction builds each node's router, so the same substrate hosts
+ * all four evaluated microarchitectures (and any future one).
+ */
+
+#ifndef NOX_NOC_NETWORK_HPP
+#define NOX_NOC_NETWORK_HPP
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "noc/energy_events.hpp"
+#include "noc/network_stats.hpp"
+#include "noc/nic.hpp"
+#include "noc/router.hpp"
+#include "noc/traffic_source.hpp"
+
+namespace nox {
+
+/** Builds one router for a node. */
+using RouterFactory = std::function<std::unique_ptr<Router>(
+    NodeId, const Mesh &, RoutingFunction, const RouterParams &)>;
+
+/** Network construction parameters. */
+struct NetworkParams
+{
+    int width = 8;
+    int height = 8;
+    int concentration = 1; ///< terminals per router (>1 = CMesh, §8)
+    RouterParams router;   ///< numPorts is derived from concentration
+    int sinkBufferDepth = 4;
+    RoutingFunction route = dorRoute;
+};
+
+/** A width x height mesh of single-cycle routers plus per-node NICs. */
+class Network : public PacketInjector, public SinkListener
+{
+  public:
+    Network(const NetworkParams &params, RouterFactory factory);
+
+    /** Attach a per-node traffic source (at most one per node). */
+    void addSource(std::unique_ptr<TrafficSource> source);
+
+    /** Enable/disable source ticking (off while draining a run). */
+    void setSourcesEnabled(bool enabled) { sourcesEnabled_ = enabled; }
+
+    /** Advance one clock cycle. */
+    void step();
+
+    /** Advance @p cycles clock cycles. */
+    void run(Cycle cycles);
+
+    /**
+     * Step until every injected packet has been delivered or @p limit
+     * cycles elapse. @return true if fully drained.
+     */
+    bool drain(Cycle limit);
+
+    /** Restrict latency measurement to packets created in
+     *  [start, end); throughput is counted over the same window. */
+    void setMeasurementWindow(Cycle start, Cycle end);
+
+    Cycle now() const { return now_; }
+    const Mesh &mesh() const { return mesh_; }
+    int numNodes() const { return mesh_.numNodes(); }
+    int numRouters() const { return mesh_.numRouters(); }
+    Router &router(NodeId r) { return *routers_[r]; }
+    const Router &router(NodeId r) const { return *routers_[r]; }
+    Nic &nic(NodeId n) { return *nics_[n]; }
+    const NetworkStats &stats() const { return stats_; }
+    std::uint64_t packetsInFlight() const;
+
+    /** Sum of all router + NIC energy-event counters. */
+    EnergyEvents totalEnergyEvents() const;
+
+    // -- PacketInjector --
+    PacketId injectPacket(NodeId src, NodeId dst, int num_flits,
+                          Cycle now, TrafficClass cls) override;
+    std::size_t sourceQueueFlits(NodeId node) const override;
+
+    // -- SinkListener --
+    void onFlitDelivered(NodeId node, const FlitDesc &flit,
+                         Cycle now) override;
+    void onPacketCompleted(NodeId node, const FlitDesc &last_flit,
+                           Cycle head_inject, Cycle now) override;
+
+  private:
+    NetworkParams params_;
+    Mesh mesh_;
+    std::vector<std::unique_ptr<Router>> routers_;
+    std::vector<std::unique_ptr<Nic>> nics_;
+    std::vector<std::unique_ptr<TrafficSource>> sources_;
+    NetworkStats stats_;
+    Cycle now_ = 0;
+    PacketId nextPacket_ = 1;
+    bool sourcesEnabled_ = true;
+};
+
+} // namespace nox
+
+#endif // NOX_NOC_NETWORK_HPP

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Aggregated per-run network statistics.
+ */
+
+#ifndef NOX_NOC_NETWORK_STATS_HPP
+#define NOX_NOC_NETWORK_STATS_HPP
+
+#include <array>
+#include <cstdint>
+
+#include "common/stats.hpp"
+#include "noc/types.hpp"
+
+// Histogram is bucketed in cycles; 1-cycle buckets up to 4096 cover
+// everything short of deep saturation (overflow bucket catches that).
+
+namespace nox {
+
+/** Latency / throughput statistics gathered by the Network. */
+struct NetworkStats
+{
+    // Totals over the whole simulation.
+    std::uint64_t packetsInjected = 0;
+    std::uint64_t flitsInjected = 0;
+    std::uint64_t packetsEjected = 0;
+    std::uint64_t flitsEjected = 0;
+
+    // Measurement window [measureStart, measureEnd).
+    Cycle measureStart = 0;
+    Cycle measureEnd = ~Cycle{0};
+
+    /** Packet latency in cycles (creation to last-flit delivery,
+     *  including source-queue time), for packets created inside the
+     *  measurement window. */
+    SampleStats latency;
+
+    /** Network latency in cycles (head-flit injection into the
+     *  router to last-flit delivery), same population. */
+    SampleStats netLatency;
+
+    /** Total-latency histogram (cycles) for percentile queries. */
+    Histogram latencyHist{1.0, 4096};
+
+    /** Per-class total latency (synthetic / request / reply). */
+    std::array<SampleStats, 3> latencyByClass;
+
+    /** Packets created in the window (for drain accounting). */
+    std::uint64_t packetsMeasured = 0;
+    std::uint64_t packetsMeasuredDone = 0;
+
+    /** Flits delivered during the window (accepted throughput). */
+    std::uint64_t flitsEjectedInWindow = 0;
+
+    /** Flits created during the window (actual offered load; silent
+     *  sources under deterministic patterns inject nothing). */
+    std::uint64_t flitsCreatedInWindow = 0;
+
+    /** Largest source-queue depth observed (saturation signal). */
+    std::size_t maxSourceQueueFlits = 0;
+
+    /** Accepted throughput in flits/cycle/node over the window. */
+    double
+    acceptedFlitsPerNodeCycle(int num_nodes) const
+    {
+        const Cycle window = measureEnd - measureStart;
+        if (window == 0 || num_nodes == 0)
+            return 0.0;
+        return static_cast<double>(flitsEjectedInWindow) /
+               (static_cast<double>(window) *
+                static_cast<double>(num_nodes));
+    }
+};
+
+} // namespace nox
+
+#endif // NOX_NOC_NETWORK_STATS_HPP

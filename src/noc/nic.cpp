@@ -1,0 +1,156 @@
+#include "noc/nic.hpp"
+
+#include "common/log.hpp"
+
+namespace nox {
+
+Nic::Nic(NodeId node, int sink_buffer_depth)
+    : node_(node), sinkFifo_(static_cast<std::size_t>(sink_buffer_depth))
+{
+    injectQueue_.resize(1);
+}
+
+void
+Nic::connectRouter(Router *router, int local_port)
+{
+    NOX_ASSERT(router, "null router");
+    router_ = router;
+    localPort_ = local_port;
+
+    // Our sink FIFO is the downstream buffer of the router's local
+    // output; freed source-queue slots come back from its local input.
+    Router::FlitTarget ft;
+    ft.nic = this;
+    router->connectOutput(local_port, ft,
+                          static_cast<int>(sinkFifo_.capacity()));
+
+    Router::CreditTarget ct;
+    ct.nic = this;
+    router->connectInputCredit(local_port, ct);
+
+    const int vcs = router->vcCount();
+    NOX_ASSERT(sourceQueueFlits() == 0,
+               "NIC rewired with packets queued");
+    injectQueue_.resize(static_cast<std::size_t>(vcs));
+    injectCredits_.assign(
+        static_cast<std::size_t>(vcs),
+        static_cast<int>(router->inputFifo(local_port).capacity()));
+    stagedInjectCredits_.assign(static_cast<std::size_t>(vcs), 0);
+}
+
+void
+Nic::evaluateInject(Cycle now)
+{
+    // One flit per cycle into the router's local port; round-robin
+    // across the per-VC source queues with available credits.
+    const int vcs = static_cast<int>(injectQueue_.size());
+    for (int i = 0; i < vcs; ++i) {
+        const auto vc =
+            static_cast<std::size_t>((injectRr_ + i) % vcs);
+        if (injectQueue_[vc].empty() || injectCredits_[vc] <= 0)
+            continue;
+        FlitDesc d = injectQueue_[vc].front();
+        injectQueue_[vc].pop_front();
+        --injectCredits_[vc];
+        d.injectCycle = now;
+        router_->stageFlit(localPort_, WireFlit::fromDesc(d));
+        energy_.localLinkFlits += 1;
+        injectRr_ = (static_cast<int>(vc) + 1) % vcs;
+        return;
+    }
+}
+
+void
+Nic::evaluateSink(Cycle now)
+{
+    const DecodeView v = decoder_.view(sinkFifo_);
+    if (v.latchBubble) {
+        const int vc = sinkFifo_.front().vc;
+        decoder_.latch(sinkFifo_);
+        energy_.bufferReads += 1;
+        energy_.decodeLatches += 1;
+        router_->stageCreditVc(localPort_, vc);
+        return;
+    }
+    if (!v.presented)
+        return;
+    if (v.decodedByXor)
+        energy_.decodeOps += 1;
+    const int vc = sinkFifo_.empty() ? 0 : sinkFifo_.front().vc;
+    const bool popped = decoder_.accept(sinkFifo_);
+    if (popped) {
+        energy_.bufferReads += 1;
+        router_->stageCreditVc(localPort_, vc);
+    }
+    deliver(*v.presented, now);
+}
+
+void
+Nic::deliver(const FlitDesc &flit, Cycle now)
+{
+    NOX_ASSERT(flit.dest == node_, "flit delivered to wrong node: dest ",
+               flit.dest, " at ", node_);
+    NOX_ASSERT(flit.payload == expectedPayload(flit.packet, flit.seq),
+               "payload corruption detected at sink for packet ",
+               flit.packet, " flit ", flit.seq);
+
+    if (listener_)
+        listener_->onFlitDelivered(node_, flit, now);
+
+    Arrival &a = arrived_[flit.packet];
+    if (a.count == 0 || flit.injectCycle < a.headInject)
+        a.headInject = flit.injectCycle;
+    a.count += 1;
+    NOX_ASSERT(a.count <= flit.packetSize, "packet ", flit.packet,
+               " delivered more flits than its size");
+    if (a.count == flit.packetSize) {
+        const Cycle head_inject = a.headInject;
+        arrived_.erase(flit.packet);
+        if (listener_)
+            listener_->onPacketCompleted(node_, flit, head_inject,
+                                         now);
+    }
+}
+
+void
+Nic::commit()
+{
+    if (stagedSinkFlit_) {
+        energy_.bufferWrites += 1;
+        sinkFifo_.push(std::move(*stagedSinkFlit_));
+        stagedSinkFlit_.reset();
+    }
+    for (std::size_t v = 0; v < injectCredits_.size(); ++v) {
+        injectCredits_[v] += stagedInjectCredits_[v];
+        stagedInjectCredits_[v] = 0;
+    }
+}
+
+void
+Nic::enqueuePacket(std::vector<FlitDesc> flits)
+{
+    NOX_ASSERT(!flits.empty(), "empty packet");
+    auto vc = static_cast<std::size_t>(flits.front().vc);
+    NOX_ASSERT(vc < injectQueue_.size(), "packet VC out of range");
+    for (auto &f : flits)
+        injectQueue_[vc].push_back(f);
+}
+
+void
+Nic::stageSinkFlit(WireFlit flit)
+{
+    NOX_ASSERT(!stagedSinkFlit_,
+               "two flits staged at one sink in one cycle");
+    stagedSinkFlit_ = std::move(flit);
+}
+
+void
+Nic::stageInjectCredit(int count, int vc)
+{
+    NOX_ASSERT(static_cast<std::size_t>(vc) <
+                   stagedInjectCredits_.size(),
+               "credit VC out of range");
+    stagedInjectCredits_[static_cast<std::size_t>(vc)] += count;
+}
+
+} // namespace nox

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Network interface controller: per-tile packet source queue feeding
+ * the router's local input port, and the ejection sink that drains the
+ * router's local output port.
+ *
+ * The sink contains the same XOR decode logic as a NoX input port
+ * (§2.4) so that encoded flits arriving at the ejection port of a NoX
+ * network are recovered exactly as in Figure 3. Non-NoX networks only
+ * ever deliver uncoded flits, for which the decoder is a pass-through.
+ */
+
+#ifndef NOX_NOC_NIC_HPP
+#define NOX_NOC_NIC_HPP
+
+#include <deque>
+#include <vector>
+#include <optional>
+#include <unordered_map>
+
+#include "noc/energy_events.hpp"
+#include "noc/fifo.hpp"
+#include "noc/flit.hpp"
+#include "noc/router.hpp"
+#include "noc/xor_decoder.hpp"
+
+namespace nox {
+
+/** Receives flit/packet delivery notifications from the sinks. */
+class SinkListener
+{
+  public:
+    virtual ~SinkListener() = default;
+
+    /** A (decoded) flit reached its destination NIC. */
+    virtual void onFlitDelivered(NodeId node, const FlitDesc &flit,
+                                 Cycle now) = 0;
+
+    /**
+     * All flits of a packet have reached the destination NIC.
+     * @param head_inject the cycle the packet's head flit left its
+     *        source queue (for network-latency accounting).
+     */
+    virtual void onPacketCompleted(NodeId node, const FlitDesc &last_flit,
+                                   Cycle head_inject, Cycle now) = 0;
+};
+
+/** Per-node network interface (source queue + ejection sink). */
+class Nic
+{
+  public:
+    Nic(NodeId node, int sink_buffer_depth);
+
+    Nic(Nic &&) = default;
+
+    /** Attach to the node's router at local port @p local_port
+     *  (kPortLocal + terminal index on a concentrated mesh). */
+    void connectRouter(Router *router, int local_port = kPortLocal);
+
+    /** Observer for delivered flits/packets (owned elsewhere). */
+    void setListener(SinkListener *listener) { listener_ = listener; }
+
+    // -- per-cycle evaluation (two-phase, like Router) --
+    void evaluateInject(Cycle now);
+    void evaluateSink(Cycle now);
+    void commit();
+
+    // -- traffic-generator side --
+    /** Queue all flits of a packet for injection (FIFO order). */
+    void enqueuePacket(std::vector<FlitDesc> flits);
+
+    /** Flits waiting in the source queues (saturation metric). */
+    std::size_t
+    sourceQueueFlits() const
+    {
+        std::size_t n = 0;
+        for (const auto &q : injectQueue_)
+            n += q.size();
+        return n;
+    }
+
+    // -- router side (staged until commit) --
+    void stageSinkFlit(WireFlit flit);
+    void stageInjectCredit(int count = 1, int vc = 0);
+
+    NodeId node() const { return node_; }
+    const EnergyEvents &energy() const { return energy_; }
+    const FlitFifo &sinkFifo() const { return sinkFifo_; }
+    int injectCredits(int vc = 0) const
+    {
+        return injectCredits_[static_cast<std::size_t>(vc)];
+    }
+
+  private:
+    void deliver(const FlitDesc &flit, Cycle now);
+
+    NodeId node_;
+    Router *router_ = nullptr;
+    int localPort_ = kPortLocal;
+    SinkListener *listener_ = nullptr;
+
+    // Injection side (per VC; one entry for the paper's VC-free
+    // routers). Per-VC source queues avoid head-of-line blocking
+    // between classes, mirroring the per-network queues of a
+    // multiple-physical-channel design.
+    std::vector<std::deque<FlitDesc>> injectQueue_;
+    std::vector<int> injectCredits_;
+    std::vector<int> stagedInjectCredits_;
+    int injectRr_ = 0; ///< round-robin pointer across VC queues
+
+    // Ejection side.
+    FlitFifo sinkFifo_;
+    std::optional<WireFlit> stagedSinkFlit_;
+    XorDecoder decoder_;
+
+    struct Arrival
+    {
+        std::uint32_t count = 0;
+        Cycle headInject = 0;
+    };
+    std::unordered_map<PacketId, Arrival> arrived_;
+
+    EnergyEvents energy_;
+};
+
+} // namespace nox
+
+#endif // NOX_NOC_NIC_HPP

@@ -1,0 +1,161 @@
+#include "noc/router.hpp"
+
+#include "common/log.hpp"
+#include "noc/nic.hpp"
+
+namespace nox {
+
+Router::Router(NodeId id, const Mesh &mesh, RoutingFunction route,
+               const RouterParams &params)
+    : id_(id), mesh_(mesh), route_(route), params_(params)
+{
+    NOX_ASSERT(params.bufferDepth > 0, "buffer depth must be positive");
+    NOX_ASSERT(params.numPorts >= 2 && params.numPorts <= 32,
+               "unsupported router radix ", params.numPorts);
+    in_.reserve(static_cast<std::size_t>(params.numPorts));
+    for (int p = 0; p < params.numPorts; ++p)
+        in_.emplace_back(static_cast<std::size_t>(params.bufferDepth));
+    stagedIn_.resize(static_cast<std::size_t>(params.numPorts));
+    stagedCredits_.assign(static_cast<std::size_t>(params.numPorts), 0);
+    credits_.assign(static_cast<std::size_t>(params.numPorts), 0);
+    outTarget_.resize(static_cast<std::size_t>(params.numPorts));
+    creditTarget_.resize(static_cast<std::size_t>(params.numPorts));
+}
+
+void
+Router::commit()
+{
+    for (int p = 0; p < params_.numPorts; ++p) {
+        if (stagedIn_[p]) {
+            energy_.bufferWrites += 1;
+            in_[p].push(std::move(*stagedIn_[p]));
+            stagedIn_[p].reset();
+        }
+        credits_[p] += stagedCredits_[p];
+        stagedCredits_[p] = 0;
+    }
+}
+
+void
+Router::connectOutput(int out_port, FlitTarget target, int credits)
+{
+    NOX_ASSERT(out_port >= 0 && out_port < params_.numPorts,
+               "bad port");
+    NOX_ASSERT(!outTarget_[out_port].connected(),
+               "output port wired twice");
+    outTarget_[out_port] = target;
+    credits_[out_port] = credits;
+}
+
+void
+Router::connectInputCredit(int in_port, CreditTarget target)
+{
+    NOX_ASSERT(in_port >= 0 && in_port < params_.numPorts,
+               "bad port");
+    NOX_ASSERT(!creditTarget_[in_port].connected(),
+               "input credit port wired twice");
+    creditTarget_[in_port] = target;
+}
+
+void
+Router::stageFlit(int in_port, WireFlit flit)
+{
+    NOX_ASSERT(in_port >= 0 && in_port < params_.numPorts,
+               "bad port");
+    NOX_ASSERT(!stagedIn_[in_port],
+               "two flits staged at one input in one cycle (router ",
+               id_, " port ", portName(in_port), ")");
+    stagedIn_[in_port] = std::move(flit);
+}
+
+void
+Router::stageCredit(int out_port, int count)
+{
+    NOX_ASSERT(out_port >= 0 && out_port < params_.numPorts,
+               "bad port");
+    stagedCredits_[out_port] += count;
+}
+
+void
+Router::sendFlit(int out_port, WireFlit flit)
+{
+    NOX_ASSERT(credits_[out_port] > 0,
+               "send without downstream credit on ", portName(out_port));
+    --credits_[out_port];
+    dispatchFlit(out_port, std::move(flit));
+}
+
+void
+Router::dispatchFlit(int out_port, WireFlit flit)
+{
+    NOX_ASSERT(outTarget_[out_port].connected(),
+               "send on unconnected output ", portName(out_port));
+
+    energy_.xbarOutputCycles += 1;
+    if (out_port >= kPortLocal)
+        energy_.localLinkFlits += 1;
+    else
+        energy_.linkFlits += 1;
+
+    const FlitTarget &t = outTarget_[out_port];
+    if (t.router)
+        t.router->stageFlit(t.port, std::move(flit));
+    else
+        t.nic->stageSinkFlit(std::move(flit));
+}
+
+void
+Router::driveWasted(int out_port)
+{
+    energy_.xbarOutputCycles += 1;
+    if (out_port >= kPortLocal)
+        energy_.localLinkWasted += 1;
+    else
+        energy_.linkWastedCycles += 1;
+}
+
+void
+Router::returnCredit(int in_port)
+{
+    const CreditTarget &t = creditTarget_[in_port];
+    if (!t.connected())
+        return; // edge port with no upstream (should stay unused)
+    if (t.router)
+        t.router->stageCredit(t.port);
+    else
+        t.nic->stageInjectCredit();
+}
+
+int
+Router::routeOf(const FlitDesc &flit) const
+{
+    return route_(mesh_, id_, flit.dest);
+}
+
+std::optional<FlitDesc>
+Router::plainHead(int port) const
+{
+    const FlitFifo &fifo = in_[port];
+    if (fifo.empty())
+        return std::nullopt;
+    const WireFlit &head = fifo.front();
+    NOX_ASSERT(!head.encoded,
+               "encoded flit reached a non-decoding input port");
+    return head.parts.front();
+}
+
+std::unique_ptr<Arbiter>
+Router::makeArbiter() const
+{
+    switch (params_.arbiterKind) {
+      case ArbiterKind::RoundRobin:
+        return std::make_unique<RoundRobinArbiter>(params_.numPorts);
+      case ArbiterKind::FixedPriority:
+        return std::make_unique<FixedPriorityArbiter>(params_.numPorts);
+      case ArbiterKind::Matrix:
+        return std::make_unique<MatrixArbiter>(params_.numPorts);
+    }
+    panic("unknown arbiter kind");
+}
+
+} // namespace nox

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Abstract single-cycle wormhole router.
+ *
+ * The four evaluated microarchitectures (non-speculative, Spec-Fast,
+ * Spec-Accurate, NoX) derive from Router and implement evaluate().
+ * The base class owns what they share: input FIFOs, credit counters
+ * for each downstream buffer, staged (next-cycle) arrivals, link
+ * wiring, route computation and energy-event counting.
+ *
+ * Two-phase update discipline: during evaluate() a router reads only
+ * its own committed state and *stages* flits/credits into neighbours;
+ * commit() latches staged arrivals. The network may therefore evaluate
+ * routers in any order with identical results.
+ */
+
+#ifndef NOX_NOC_ROUTER_HPP
+#define NOX_NOC_ROUTER_HPP
+
+#include <array>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "noc/arbiter.hpp"
+#include "noc/energy_events.hpp"
+#include "noc/fifo.hpp"
+#include "noc/flit.hpp"
+#include "noc/routing.hpp"
+#include "noc/topology.hpp"
+#include "noc/types.hpp"
+
+namespace nox {
+
+class Nic;
+
+/** Arbiter selection, exposed for the fairness ablation bench. */
+enum class ArbiterKind : std::uint8_t {
+    RoundRobin = 0,
+    FixedPriority = 1,
+    Matrix = 2,
+};
+
+/** Construction parameters shared by all router architectures. */
+struct RouterParams
+{
+    int numPorts = kNumPorts; ///< router radix (4 + concentration)
+    int bufferDepth = 4;      ///< flits per input FIFO (Table 1)
+    int vcCount = 1;          ///< virtual channels (>1 builds the
+                              ///< §2.8 exploration router)
+    ArbiterKind arbiterKind = ArbiterKind::RoundRobin;
+};
+
+/** Base class for all evaluated router microarchitectures. */
+class Router
+{
+  public:
+    /** Where an output port's flits go. */
+    struct FlitTarget
+    {
+        Router *router = nullptr;
+        Nic *nic = nullptr;
+        int port = 0;
+
+        bool connected() const { return router || nic; }
+    };
+
+    /** Where an input port's freed-buffer credits go. */
+    struct CreditTarget
+    {
+        Router *router = nullptr;
+        Nic *nic = nullptr;
+        int port = 0;
+
+        bool connected() const { return router || nic; }
+    };
+
+    Router(NodeId id, const Mesh &mesh, RoutingFunction route,
+           const RouterParams &params);
+    virtual ~Router() = default;
+
+    Router(const Router &) = delete;
+    Router &operator=(const Router &) = delete;
+
+    /** The architecture implemented by this router. */
+    virtual RouterArch arch() const = 0;
+
+    /** Evaluate one clock cycle (phase 1: combinational + sends). */
+    virtual void evaluate(Cycle now) = 0;
+
+    /** Latch staged flit/credit arrivals (phase 2). */
+    virtual void commit();
+
+    /** Virtual channels per input port (1 for the paper's wormhole
+     *  designs; >1 only for the §2.8 exploration router). */
+    virtual int vcCount() const { return 1; }
+
+    // -- wiring, performed once by the Network --
+    void connectOutput(int out_port, FlitTarget target, int credits);
+    void connectInputCredit(int in_port, CreditTarget target);
+
+    // -- interface used by upstream neighbours / NICs --
+    void stageFlit(int in_port, WireFlit flit);
+    void stageCredit(int out_port, int count = 1);
+
+    /** VC-tagged credit return; non-VC routers fold it into the
+     *  plain per-port credit. */
+    virtual void
+    stageCreditVc(int out_port, int vc)
+    {
+        (void)vc;
+        stageCredit(out_port);
+    }
+
+    // -- introspection (tests, stats) --
+    NodeId id() const { return id_; }
+    int numPorts() const { return params_.numPorts; }
+
+    /** Request-mask bit cover for all of this router's ports. */
+    RequestMask allPortsMask() const
+    {
+        return (1u << params_.numPorts) - 1;
+    }
+    const FlitFifo &inputFifo(int port) const { return in_[port]; }
+
+    /** Mutable FIFO access for test harnesses and trace tooling;
+     *  production code must go through stageFlit()/commit(). */
+    FlitFifo &inputFifo(int port) { return in_[port]; }
+    int outputCredits(int port) const { return credits_[port]; }
+    bool outputConnected(int port) const
+    {
+        return outTarget_[port].connected();
+    }
+    const EnergyEvents &energy() const { return energy_; }
+    EnergyEvents &energy() { return energy_; }
+
+  protected:
+    /** True when the downstream buffer of @p out_port has a slot. */
+    bool haveCredit(int out_port) const { return credits_[out_port] > 0; }
+
+    /**
+     * Transfer a flit across the output link: consumes one downstream
+     * credit, stages the flit at the receiver and counts link energy.
+     */
+    void sendFlit(int out_port, WireFlit flit);
+
+    /**
+     * Dispatch + energy accounting without the base per-port credit
+     * bookkeeping (used by routers that manage per-VC credits).
+     */
+    void dispatchFlit(int out_port, WireFlit flit);
+
+    /**
+     * Drive an invalid value on the output link (misspeculation or
+     * NoX multi-flit abort): energy is spent, nothing is delivered and
+     * no downstream credit is consumed.
+     */
+    void driveWasted(int out_port);
+
+    /** Return a freed input-buffer slot to the upstream sender. */
+    void returnCredit(int in_port);
+
+    /** Output port for a flit at this router (lookahead DOR). */
+    int routeOf(const FlitDesc &flit) const;
+
+    /**
+     * Head flit of input @p port, asserting it is uncoded — valid in
+     * every architecture except NoX, whose ports decode instead.
+     */
+    std::optional<FlitDesc> plainHead(int port) const;
+
+    /** Construct the configured arbiter flavour. */
+    std::unique_ptr<Arbiter> makeArbiter() const;
+
+    NodeId id_;
+    const Mesh &mesh_;
+    RoutingFunction route_;
+    RouterParams params_;
+
+    std::vector<FlitFifo> in_;
+    std::vector<std::optional<WireFlit>> stagedIn_;
+    std::vector<int> stagedCredits_;
+    std::vector<int> credits_;
+    std::vector<FlitTarget> outTarget_;
+    std::vector<CreditTarget> creditTarget_;
+
+    EnergyEvents energy_;
+};
+
+} // namespace nox
+
+#endif // NOX_NOC_ROUTER_HPP

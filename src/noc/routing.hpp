@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Routing functions. The paper uses dimension-ordered routing
+ * (Table 1) with lookahead route computation [Galles, SGI Spider], so
+ * route lookup costs no pipeline stage in any evaluated router.
+ */
+
+#ifndef NOX_NOC_ROUTING_HPP
+#define NOX_NOC_ROUTING_HPP
+
+#include "noc/topology.hpp"
+#include "noc/types.hpp"
+
+namespace nox {
+
+/** Routing function: output port at @p current for @p dest. */
+using RoutingFunction = int (*)(const Mesh &, NodeId current, NodeId dest);
+
+/**
+ * Dimension-ordered (X then Y) routing. Deterministic and deadlock
+ * free on a mesh. Returns kPortLocal when current == dest.
+ */
+int dorRoute(const Mesh &mesh, NodeId current, NodeId dest);
+
+/** Y-then-X variant (used by tests and the second physical network
+ *  could use it; the paper keeps DOR on both). */
+int dorRouteYX(const Mesh &mesh, NodeId current, NodeId dest);
+
+} // namespace nox
+
+#endif // NOX_NOC_ROUTING_HPP

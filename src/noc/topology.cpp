@@ -1,0 +1,104 @@
+#include "noc/topology.hpp"
+
+#include <cstdlib>
+
+#include "common/log.hpp"
+
+namespace nox {
+
+Mesh::Mesh(int width, int height, int concentration)
+    : width_(width), height_(height), concentration_(concentration)
+{
+    NOX_ASSERT(width > 0 && height > 0, "mesh dimensions must be > 0");
+    NOX_ASSERT(concentration >= 1 && concentration <= 16,
+               "unsupported concentration factor");
+}
+
+NodeId
+Mesh::routerOf(NodeId node) const
+{
+    NOX_ASSERT(node >= 0 && node < numNodes(), "node out of range");
+    return node / concentration_;
+}
+
+int
+Mesh::localPortOf(NodeId node) const
+{
+    NOX_ASSERT(node >= 0 && node < numNodes(), "node out of range");
+    return kPortLocal + static_cast<int>(node % concentration_);
+}
+
+NodeId
+Mesh::terminalAt(NodeId router, int port) const
+{
+    NOX_ASSERT(router >= 0 && router < numRouters(),
+               "router out of range");
+    NOX_ASSERT(port >= kPortLocal && port < radix(),
+               "not a local port: ", port);
+    return router * concentration_ + (port - kPortLocal);
+}
+
+Coord
+Mesh::coordOf(NodeId router) const
+{
+    NOX_ASSERT(router >= 0 && router < numRouters(),
+               "node out of range");
+    return {router % width_, router / width_};
+}
+
+NodeId
+Mesh::routerAt(Coord c) const
+{
+    NOX_ASSERT(contains(c), "coordinate outside mesh");
+    return c.y * width_ + c.x;
+}
+
+NodeId
+Mesh::nodeAt(Coord c) const
+{
+    return routerAt(c) * concentration_;
+}
+
+bool
+Mesh::contains(Coord c) const
+{
+    return c.x >= 0 && c.x < width_ && c.y >= 0 && c.y < height_;
+}
+
+NodeId
+Mesh::neighbor(NodeId router, int port) const
+{
+    Coord c = coordOf(router);
+    switch (port) {
+      case kPortNorth: c.y -= 1; break;
+      case kPortSouth: c.y += 1; break;
+      case kPortEast: c.x += 1; break;
+      case kPortWest: c.x -= 1; break;
+      default:
+        panic("neighbor() needs a mesh direction, got port ", port);
+    }
+    return contains(c) ? routerAt(c) : kInvalidNode;
+}
+
+int
+Mesh::oppositePort(int port)
+{
+    switch (port) {
+      case kPortNorth: return kPortSouth;
+      case kPortSouth: return kPortNorth;
+      case kPortEast: return kPortWest;
+      case kPortWest: return kPortEast;
+      default:
+        panic("oppositePort() needs a mesh direction, got ", port);
+    }
+}
+
+int
+Mesh::hopDistance(NodeId a, NodeId b) const
+{
+    const Coord ca = coordOf(routerOf(a));
+    const Coord cb = coordOf(routerOf(b));
+    return std::abs(ca.x - cb.x) + std::abs(ca.y - cb.y);
+}
+
+} // namespace nox

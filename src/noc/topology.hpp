@@ -1,0 +1,80 @@
+/**
+ * @file
+ * 2-D mesh topology helpers (the paper's 8x8 mesh, Table 1).
+ */
+
+#ifndef NOX_NOC_TOPOLOGY_HPP
+#define NOX_NOC_TOPOLOGY_HPP
+
+#include "noc/types.hpp"
+
+namespace nox {
+
+/** Integer tile coordinates within the mesh. */
+struct Coord
+{
+    int x = 0;
+    int y = 0;
+
+    bool operator==(const Coord &) const = default;
+};
+
+/**
+ * A width x height 2-D mesh of routers, each concentrating
+ * `concentration` terminal nodes (the paper's §8 future-work
+ * direction: higher-radix topologies such as the concentrated mesh
+ * of Balfour & Dally [1]). Concentration 1 is the paper's baseline
+ * 8x8 mesh. Routers are numbered row-major; terminal nodes are
+ * numbered router-major (node = router * concentration + terminal).
+ */
+class Mesh
+{
+  public:
+    Mesh(int width, int height, int concentration = 1);
+
+    int width() const { return width_; }
+    int height() const { return height_; }
+    int concentration() const { return concentration_; }
+    int numRouters() const { return width_ * height_; }
+    int numNodes() const { return numRouters() * concentration_; }
+
+    /** Router radix: four directions plus the local terminals. */
+    int radix() const { return meshRadix(concentration_); }
+
+    /** Router hosting a terminal node. */
+    NodeId routerOf(NodeId node) const;
+
+    /** Local port index of a terminal node at its router. */
+    int localPortOf(NodeId node) const;
+
+    /** Terminal node attached to @p router 's local port @p port. */
+    NodeId terminalAt(NodeId router, int port) const;
+
+    Coord coordOf(NodeId router) const;
+    NodeId routerAt(Coord c) const;
+    bool contains(Coord c) const;
+
+    /** Terminal node (concentration-1 convenience: node == router). */
+    NodeId nodeAt(Coord c) const;
+
+    /**
+     * Neighbour of @p router through mesh direction @p port
+     * (kPortNorth..kPortWest). Returns kInvalidNode at an edge.
+     */
+    NodeId neighbor(NodeId router, int port) const;
+
+    /** Port on the neighbour that faces back toward @p port. */
+    static int oppositePort(int port);
+
+    /** Minimal router-hop count between two terminal nodes. */
+    int hopDistance(NodeId a, NodeId b) const;
+
+  private:
+    int width_;
+    int height_;
+    int concentration_;
+};
+
+} // namespace nox
+
+#endif // NOX_NOC_TOPOLOGY_HPP

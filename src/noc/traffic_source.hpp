@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Interfaces decoupling traffic generation from the network model.
+ */
+
+#ifndef NOX_NOC_TRAFFIC_SOURCE_HPP
+#define NOX_NOC_TRAFFIC_SOURCE_HPP
+
+#include <cstddef>
+
+#include "noc/types.hpp"
+
+namespace nox {
+
+/** Sink through which traffic sources create packets. */
+class PacketInjector
+{
+  public:
+    virtual ~PacketInjector() = default;
+
+    /**
+     * Create a packet of @p num_flits flits from @p src to @p dst with
+     * creation timestamp @p now and queue it at the source NIC.
+     * @return the new packet's id.
+     */
+    virtual PacketId injectPacket(NodeId src, NodeId dst, int num_flits,
+                                  Cycle now, TrafficClass cls) = 0;
+
+    /** Flits currently waiting in @p node's source queue. */
+    virtual std::size_t sourceQueueFlits(NodeId node) const = 0;
+};
+
+/**
+ * A per-node packet generator, ticked once per network cycle before
+ * injection is evaluated.
+ */
+class TrafficSource
+{
+  public:
+    virtual ~TrafficSource() = default;
+
+    virtual void tick(Cycle now, PacketInjector &inj) = 0;
+};
+
+} // namespace nox
+
+#endif // NOX_NOC_TRAFFIC_SOURCE_HPP

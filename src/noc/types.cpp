@@ -1,0 +1,49 @@
+#include "noc/types.hpp"
+
+#include <cstring>
+
+#include "common/log.hpp"
+
+namespace nox {
+
+const char *
+portName(int port)
+{
+    switch (port) {
+      case kPortNorth: return "N";
+      case kPortEast: return "E";
+      case kPortSouth: return "S";
+      case kPortWest: return "W";
+      default: return port >= kPortLocal ? "L" : "?";
+    }
+}
+
+const char *
+archName(RouterArch arch)
+{
+    switch (arch) {
+      case RouterArch::NonSpeculative: return "NonSpec";
+      case RouterArch::SpecFast: return "Spec-Fast";
+      case RouterArch::SpecAccurate: return "Spec-Accurate";
+      case RouterArch::Nox: return "NoX";
+    }
+    return "?";
+}
+
+RouterArch
+parseArch(const char *name)
+{
+    if (!std::strcmp(name, "nonspec") || !std::strcmp(name, "NonSpec"))
+        return RouterArch::NonSpeculative;
+    if (!std::strcmp(name, "specfast") || !std::strcmp(name, "Spec-Fast"))
+        return RouterArch::SpecFast;
+    if (!std::strcmp(name, "specaccurate") ||
+        !std::strcmp(name, "Spec-Accurate"))
+        return RouterArch::SpecAccurate;
+    if (!std::strcmp(name, "nox") || !std::strcmp(name, "NoX"))
+        return RouterArch::Nox;
+    fatal("unknown router architecture: '", name,
+          "' (expected nonspec|specfast|specaccurate|nox)");
+}
+
+} // namespace nox

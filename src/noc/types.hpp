@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Fundamental identifiers and constants for the on-chip network.
+ */
+
+#ifndef NOX_NOC_TYPES_HPP
+#define NOX_NOC_TYPES_HPP
+
+#include <cstdint>
+
+namespace nox {
+
+/** Node (tile) identifier; row-major within the mesh. */
+using NodeId = std::int32_t;
+
+/** Simulation time in router clock cycles. */
+using Cycle = std::uint64_t;
+
+/** Globally unique packet identifier within one simulation. */
+using PacketId = std::uint64_t;
+
+constexpr NodeId kInvalidNode = -1;
+constexpr PacketId kInvalidPacket = 0;
+
+/**
+ * Router port numbering. The four mesh directions come first so that
+ * direction arithmetic is easy; local (NIC) ports follow. On a
+ * concentrated mesh with C terminals per router, the local ports are
+ * kPortLocal .. kPortLocal+C-1 and the router radix is 4+C.
+ */
+enum Port : int {
+    kPortNorth = 0,
+    kPortEast = 1,
+    kPortSouth = 2,
+    kPortWest = 3,
+    kPortLocal = 4,
+    kNumPorts = 5, ///< radix of the standard (concentration-1) router
+};
+
+/** Radix of a mesh router with @p concentration local terminals. */
+constexpr int
+meshRadix(int concentration)
+{
+    return 4 + concentration;
+}
+
+/** Human-readable port name ("N", "E", "S", "W", "L"). */
+const char *portName(int port);
+
+/** Traffic classes used for per-class statistics. */
+enum class TrafficClass : std::uint8_t {
+    Synthetic = 0,
+    Request = 1,
+    Reply = 2,
+};
+
+/** The four router microarchitectures evaluated in the paper. */
+enum class RouterArch : std::uint8_t {
+    NonSpeculative = 0, ///< SA then ST inside one long cycle (Fig 5)
+    SpecFast = 1,       ///< Mullins-style minimal-period speculation
+    SpecAccurate = 2,   ///< speculation with accurate Switch-Next
+    Nox = 3,            ///< XOR-coded crossbar (the paper's design)
+};
+
+/** Display name for a router architecture. */
+const char *archName(RouterArch arch);
+
+/** Parse an architecture name ("nonspec", "specfast", ...). */
+RouterArch parseArch(const char *name);
+
+/** All four architectures, in the paper's presentation order. */
+inline constexpr RouterArch kAllArchs[] = {
+    RouterArch::NonSpeculative,
+    RouterArch::SpecFast,
+    RouterArch::SpecAccurate,
+    RouterArch::Nox,
+};
+
+} // namespace nox
+
+#endif // NOX_NOC_TYPES_HPP

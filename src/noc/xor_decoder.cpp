@@ -1,0 +1,64 @@
+#include "noc/xor_decoder.hpp"
+
+#include "common/log.hpp"
+
+namespace nox {
+
+DecodeView
+XorDecoder::view(const FlitFifo &fifo) const
+{
+    DecodeView v;
+    if (reg_.has_value()) {
+        if (fifo.empty())
+            return v; // waiting for the next flit of the chain
+        const WireFlit &head = fifo.front();
+        v.presented = decodeDiff(*reg_, head);
+        v.decodedByXor = true;
+        // Popping only happens when the chain continues (head encoded);
+        // an uncoded head is kept and presented as itself next.
+        v.acceptPops = head.encoded;
+        return v;
+    }
+    if (fifo.empty())
+        return v;
+    const WireFlit &head = fifo.front();
+    if (head.encoded) {
+        v.latchBubble = true;
+        return v;
+    }
+    NOX_ASSERT(head.fanin() == 1, "uncoded flit with multiple parts");
+    v.presented = head.parts.front();
+    v.acceptPops = true;
+    return v;
+}
+
+bool
+XorDecoder::latch(FlitFifo &fifo)
+{
+    NOX_ASSERT(!reg_.has_value(), "latch with valid decode register");
+    NOX_ASSERT(!fifo.empty() && fifo.front().encoded,
+               "latch requires an encoded head flit");
+    reg_ = fifo.pop();
+    return true;
+}
+
+bool
+XorDecoder::accept(FlitFifo &fifo)
+{
+    if (reg_.has_value()) {
+        NOX_ASSERT(!fifo.empty(), "accept with empty FIFO");
+        const bool chain_continues = fifo.front().encoded;
+        if (chain_continues) {
+            reg_ = fifo.pop();
+            return true;
+        }
+        reg_.reset();
+        return false; // uncoded head kept; no pop, no credit yet
+    }
+    NOX_ASSERT(!fifo.empty() && !fifo.front().encoded,
+               "accept on invalid decoder state");
+    fifo.pop();
+    return true;
+}
+
+} // namespace nox

@@ -1,0 +1,104 @@
+#include "power/area_model.hpp"
+
+#include "common/log.hpp"
+#include "power/crossbar_model.hpp"
+#include "power/sram_model.hpp"
+
+namespace nox {
+
+AreaModel::AreaModel(const Technology &tech,
+                     const PhysicalParams &params)
+    : tech_(tech), params_(params), heightUm_(70.0)
+{
+}
+
+double
+AreaModel::sramColumnWidthUm() const
+{
+    const SramModel sram(tech_, params_.bufferDepth, params_.flitBits);
+    const double total = sram.areaUm2() * params_.ports;
+    return total / heightUm_;
+}
+
+double
+AreaModel::xbarWidthUm() const
+{
+    const CrossbarModel xbar(tech_, XbarKind::Mux, params_.ports,
+                             params_.flitBits);
+    return xbar.widthUm();
+}
+
+double
+AreaModel::repeaterColumnWidthUm() const
+{
+    // Four mesh channels x flit width x repeater stages; each
+    // repeater is a large inverter pair (~2.4 um^2).
+    const WireModel link(tech_, params_.linkLengthMm,
+                         params_.flitBits);
+    const double count =
+        4.0 * params_.flitBits * link.repeatersPerWire();
+    return count * 2.4 / heightUm_;
+}
+
+double
+AreaModel::driverColumnWidthUm() const
+{
+    // Output channel drivers: one large driver per wire.
+    const double count = 4.0 * params_.flitBits;
+    return count * 3.5 / heightUm_;
+}
+
+double
+AreaModel::controlColumnWidthUm() const
+{
+    // Credit counters, flow-control state, clocking spine.
+    return 800.0 / heightUm_;
+}
+
+double
+AreaModel::decodeMaskWidthUm() const
+{
+    // Per input port: 64 2-input XOR cells, a 64-bit decode register,
+    // and the port's share of mask logic; plus global mode control.
+    const double xor_cells = params_.flitBits * 2.0;   // um^2
+    const double reg_cells = params_.flitBits * 2.8;   // um^2
+    const double mask_logic = 57.2;                    // um^2
+    const double per_port = xor_cells + reg_cells + mask_logic;
+    const double control = 153.0;                      // um^2
+    const double total = per_port * params_.ports + control;
+    return total / heightUm_;
+}
+
+AreaBreakdown
+AreaModel::breakdown(RouterArch arch) const
+{
+    AreaBreakdown b;
+    b.arch = arch;
+    b.heightUm = heightUm_;
+
+    auto add = [&](const std::string &name, double width_um) {
+        b.blocks.push_back({name, width_um, width_um * heightUm_});
+        b.widthUm += width_um;
+    };
+
+    add("input SRAM buffers", sramColumnWidthUm());
+    add("crossbar switch", xbarWidthUm());
+    add("channel repeaters", repeaterColumnWidthUm());
+    add("output drivers", driverColumnWidthUm());
+    add("flow control + clocking", controlColumnWidthUm());
+    if (arch == RouterArch::Nox)
+        add("decode + masking", decodeMaskWidthUm());
+    return b;
+}
+
+double
+AreaModel::noxOverheadFraction() const
+{
+    const double base =
+        breakdown(RouterArch::NonSpeculative).areaUm2();
+    const double noxa = breakdown(RouterArch::Nox).areaUm2();
+    NOX_ASSERT(base > 0.0, "empty floorplan");
+    return noxa / base - 1.0;
+}
+
+} // namespace nox

@@ -1,0 +1,83 @@
+#include "power/crossbar_model.hpp"
+
+#include "common/log.hpp"
+
+namespace nox {
+
+CrossbarModel::CrossbarModel(const Technology &tech, XbarKind kind,
+                             int ports, int bits)
+    : tech_(tech), kind_(kind), ports_(ports), bits_(bits)
+{
+    NOX_ASSERT(ports > 1 && bits > 0, "invalid crossbar shape");
+}
+
+double
+CrossbarModel::widthUm() const
+{
+    // Width is set by wire spacing: every input's bus crosses the
+    // fabric on its own track group (§6.2).
+    return static_cast<double>(ports_) * bits_ * tech_.wirePitchUm;
+}
+
+double
+CrossbarModel::heightUm() const
+{
+    // One standard-cell row per bit-slice column group.
+    return static_cast<double>(bits_) * tech_.cellHeightUm / 4.0 +
+           static_cast<double>(ports_) * tech_.cellHeightUm;
+}
+
+double
+CrossbarModel::spanMm() const
+{
+    return widthUm() * 1e-3;
+}
+
+double
+CrossbarModel::traversalDelayPs() const
+{
+    // Wire flight across the fabric plus the merge gate.
+    const double wire = tech_.wireDelayPerMmPs * spanMm() * 2.0;
+    if (kind_ == XbarKind::Mux) {
+        // 5:1 mux tree (~6 FO4) plus time-critical select wires that
+        // must be routed across the fabric and fanned out (§2.5).
+        const double mux_gates = 6.0 * tech_.fo4Ps;
+        const double select_route = 3.1 * tech_.fo4Ps;
+        return wire + mux_gates + select_route;
+    }
+    // XOR gates have higher logical effort (~7 FO4) but the inhibit
+    // masks are precomputed and applied locally at each port, so no
+    // time-critical select distribution is needed (§2.5).
+    const double xor_gates = 7.0 * tech_.fo4Ps;
+    const double local_inhibit = 2.0 * tech_.fo4Ps;
+    return wire + xor_gates + local_inhibit;
+}
+
+double
+CrossbarModel::inputDriveEnergyPj() const
+{
+    // Driving one input's row wires across the fabric width.
+    const double cap_ff = tech_.wireCapPerMmFf * spanMm() * bits_;
+    const double gate_loading =
+        tech_.gateCapFf * bits_ * (ports_ - 1);
+    return tech_.switchingEnergyPj(cap_ff + gate_loading) *
+           tech_.activityFactor;
+}
+
+double
+CrossbarModel::outputDriveEnergyPj() const
+{
+    // Output column wire plus the merge gates' internal switching.
+    const double cap_ff = tech_.wireCapPerMmFf * spanMm() * bits_;
+    // XOR merge gates switch internally far more than pass-tristates:
+    // an XOR tree propagates every input transition through all of
+    // its levels (activity amplification), where a mux only toggles
+    // the selected path (§2.5: "XOR logic gates have higher logical
+    // effort ... consuming marginally more power").
+    const double gate_factor = (kind_ == XbarKind::Xor) ? 3.3 : 1.4;
+    const double gate_ff = tech_.gateCapFf * bits_ * gate_factor;
+    return tech_.switchingEnergyPj(cap_ff + gate_ff) *
+           tech_.activityFactor;
+}
+
+} // namespace nox

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Crossbar switch models: the conventional multiplexer/tristate
+ * switch and the NoX XOR switch (§2.5). Manual-floorplan style: width
+ * set by wire spacing, height by the standard-cell row (§6.2).
+ */
+
+#ifndef NOX_POWER_CROSSBAR_MODEL_HPP
+#define NOX_POWER_CROSSBAR_MODEL_HPP
+
+#include "power/technology.hpp"
+
+namespace nox {
+
+/** Switch fabric flavour. */
+enum class XbarKind { Mux, Xor };
+
+/** A ports x ports, bits-wide crossbar. */
+class CrossbarModel
+{
+  public:
+    CrossbarModel(const Technology &tech, XbarKind kind, int ports,
+                  int bits);
+
+    /** Input-to-output traversal delay [ps], including the select /
+     *  inhibit distribution appropriate to the flavour. */
+    double traversalDelayPs() const;
+
+    /** Energy of driving one input row for a cycle [pJ]. */
+    double inputDriveEnergyPj() const;
+
+    /** Energy of one active output column for a cycle [pJ]. */
+    double outputDriveEnergyPj() const;
+
+    /** Datapath footprint [um]. */
+    double widthUm() const;
+    double heightUm() const;
+    double areaUm2() const { return widthUm() * heightUm(); }
+
+    XbarKind kind() const { return kind_; }
+
+  private:
+    double spanMm() const;
+
+    Technology tech_;
+    XbarKind kind_;
+    int ports_;
+    int bits_;
+};
+
+} // namespace nox
+
+#endif // NOX_POWER_CROSSBAR_MODEL_HPP

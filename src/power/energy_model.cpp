@@ -1,0 +1,107 @@
+#include "power/energy_model.hpp"
+
+namespace nox {
+
+EnergyModel::EnergyModel(const Technology &tech, RouterArch arch,
+                         const PhysicalParams &params)
+    : tech_(tech), arch_(arch), params_(params),
+      link_(tech, params.linkLengthMm, params.flitBits),
+      local_(tech, params.localLinkLengthMm, params.flitBits),
+      sram_(tech, params.bufferDepth, params.flitBits),
+      xbar_(tech,
+            arch == RouterArch::Nox ? XbarKind::Xor : XbarKind::Mux,
+            params.ports, params.flitBits)
+{
+}
+
+double
+EnergyModel::arbDecisionPj() const
+{
+    // A 5-input arbiter: a few tens of gates.
+    return tech_.switchingEnergyPj(40.0 * tech_.gateCapFf) *
+           tech_.activityFactor;
+}
+
+double
+EnergyModel::allocEvalPj() const
+{
+    // Switch-Next request selection logic.
+    return tech_.switchingEnergyPj(50.0 * tech_.gateCapFf) *
+           tech_.activityFactor;
+}
+
+double
+EnergyModel::maskUpdatePj() const
+{
+    // Two 5-bit mask registers plus update gates.
+    return tech_.switchingEnergyPj(24.0 * tech_.gateCapFf) *
+           tech_.activityFactor;
+}
+
+double
+EnergyModel::decodeOpPj() const
+{
+    // 64 two-input XOR gates plus output wiring at the input port.
+    return tech_.switchingEnergyPj(2.4 * params_.flitBits *
+                                   tech_.gateCapFf) *
+           tech_.activityFactor;
+}
+
+double
+EnergyModel::decodeLatchPj() const
+{
+    // Writing the 64-bit decode register (clock-gated otherwise).
+    return tech_.switchingEnergyPj(2.0 * params_.flitBits *
+                                   tech_.gateCapFf);
+}
+
+double
+EnergyModel::clockCyclePj() const
+{
+    // Per-router clock tree: port registers, FIFO pointers, masks.
+    // NoX clock-gates its decode registers, so its extra state costs
+    // only a small increment.
+    const double base_ff = 380.0;
+    const double extra_ff = (arch_ == RouterArch::Nox) ? 40.0 : 0.0;
+    return tech_.switchingEnergyPj(base_ff + extra_ff) * 0.5;
+}
+
+EnergyBreakdown
+EnergyModel::energyOf(const EnergyEvents &e) const
+{
+    EnergyBreakdown b;
+    const double wf = static_cast<double>(e.linkFlits) +
+                      static_cast<double>(e.linkWastedCycles);
+    b.linkPj = wf * linkFlitPj();
+    const double lf = static_cast<double>(e.localLinkFlits) +
+                      static_cast<double>(e.localLinkWasted);
+    b.localPj = lf * localFlitPj();
+    b.bufferPj =
+        static_cast<double>(e.bufferWrites) * bufferWritePj() +
+        static_cast<double>(e.bufferReads) * bufferReadPj();
+    b.xbarPj =
+        static_cast<double>(e.xbarInputDrives) * xbarInputPj() +
+        static_cast<double>(e.xbarOutputCycles) * xbarOutputPj();
+    b.arbPj = static_cast<double>(e.arbDecisions) * arbDecisionPj() +
+              static_cast<double>(e.allocEvals) * allocEvalPj() +
+              static_cast<double>(e.maskUpdates) * maskUpdatePj();
+    b.decodePj =
+        static_cast<double>(e.decodeOps) * decodeOpPj() +
+        static_cast<double>(e.decodeLatches) * decodeLatchPj();
+    b.clockPj = static_cast<double>(e.cycles) * clockCyclePj();
+    return b;
+}
+
+double
+EnergyModel::powerW(const EnergyEvents &events, double period_ns,
+                    Cycle elapsed_cycles) const
+{
+    if (elapsed_cycles == 0 || period_ns <= 0.0)
+        return 0.0;
+    const double pj = energyOf(events).totalPj();
+    const double ns =
+        static_cast<double>(elapsed_cycles) * period_ns;
+    return pj / ns * 1e-3; // pJ/ns == mW; -> W
+}
+
+} // namespace nox

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Per-event energy model: turns the simulator's EnergyEvents counters
+ * into the paper's energy/power numbers (§4: "a cycle-accurate C++
+ * simulation model is complemented with necessary event counters to
+ * form an accurate power model"; §5.3 / Figure 12 break network power
+ * into link, switch, buffer and control components).
+ */
+
+#ifndef NOX_POWER_ENERGY_MODEL_HPP
+#define NOX_POWER_ENERGY_MODEL_HPP
+
+#include "noc/energy_events.hpp"
+#include "noc/types.hpp"
+#include "power/crossbar_model.hpp"
+#include "power/sram_model.hpp"
+#include "power/technology.hpp"
+#include "power/timing_model.hpp"
+#include "power/wire_model.hpp"
+
+namespace nox {
+
+/** Energy totals by component [pJ]. */
+struct EnergyBreakdown
+{
+    double linkPj = 0.0;    ///< inter-tile channels (incl. waste)
+    double localPj = 0.0;   ///< NIC-side wiring
+    double bufferPj = 0.0;  ///< input SRAM reads/writes
+    double xbarPj = 0.0;    ///< switch fabric
+    double arbPj = 0.0;     ///< arbitration / allocation / masking
+    double decodePj = 0.0;  ///< NoX XOR decode + decode registers
+    double clockPj = 0.0;   ///< clock distribution
+
+    double
+    totalPj() const
+    {
+        return linkPj + localPj + bufferPj + xbarPj + arbPj +
+               decodePj + clockPj;
+    }
+
+    /** Link share of total (paper: ~74% at 2 GB/s/node uniform). */
+    double
+    linkFraction() const
+    {
+        const double t = totalPj();
+        return t > 0.0 ? (linkPj + localPj) / t : 0.0;
+    }
+};
+
+/** Maps event counts to energy for one router architecture. */
+class EnergyModel
+{
+  public:
+    EnergyModel(const Technology &tech, RouterArch arch,
+                const PhysicalParams &params);
+
+    /** Energy consumed by the given activity counters. */
+    EnergyBreakdown energyOf(const EnergyEvents &events) const;
+
+    /**
+     * Mean power [W] over @p elapsed_cycles of simulated time at
+     * @p period_ns per cycle.
+     */
+    double powerW(const EnergyEvents &events, double period_ns,
+                  Cycle elapsed_cycles) const;
+
+    // Per-event energies [pJ], exposed for tests/benches.
+    double linkFlitPj() const { return link_.energyPerFlitPj(); }
+    double localFlitPj() const { return local_.energyPerFlitPj(); }
+    double bufferReadPj() const { return sram_.readEnergyPj(); }
+    double bufferWritePj() const { return sram_.writeEnergyPj(); }
+    double xbarInputPj() const { return xbar_.inputDriveEnergyPj(); }
+    double xbarOutputPj() const { return xbar_.outputDriveEnergyPj(); }
+    double arbDecisionPj() const;
+    double allocEvalPj() const;
+    double maskUpdatePj() const;
+    double decodeOpPj() const;
+    double decodeLatchPj() const;
+    double clockCyclePj() const;
+
+    RouterArch arch() const { return arch_; }
+
+  private:
+    Technology tech_;
+    RouterArch arch_;
+    PhysicalParams params_;
+    WireModel link_;
+    WireModel local_;
+    SramModel sram_;
+    CrossbarModel xbar_;
+};
+
+} // namespace nox
+
+#endif // NOX_POWER_ENERGY_MODEL_HPP

@@ -1,0 +1,53 @@
+#include "power/sram_model.hpp"
+
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace nox {
+
+SramModel::SramModel(const Technology &tech, int words,
+                     int bits_per_word)
+    : tech_(tech), words_(words), bits_(bits_per_word)
+{
+    NOX_ASSERT(words > 0 && bits_per_word > 0, "invalid SRAM shape");
+}
+
+double
+SramModel::readDelayPs() const
+{
+    // Decode + wordline + bitline + sense chain. For the tiny FIFO
+    // macros used here the access time is dominated by the fixed
+    // periphery chain; scale weakly (logarithmically) with depth.
+    // Calibrated so the 4x64b buffer reads in the paper's 248 ps.
+    const double base = 9.0 * tech_.fo4Ps;             // 225 ps
+    const double depth_term =
+        tech_.fo4Ps * 0.46 * std::log2(static_cast<double>(words_));
+    return base + depth_term; // 4 words -> 248 ps
+}
+
+double
+SramModel::readEnergyPj() const
+{
+    // Per-bit bitline + sense energy, plus a wordline/decoder term.
+    const double bit_fj = tech_.sramAccessEnergyPerBitFj;
+    const double array = bit_fj * bits_ * 1e-3; // fJ -> pJ
+    const double periphery = 0.12 * array;
+    return array + periphery;
+}
+
+double
+SramModel::writeEnergyPj() const
+{
+    // Writes drive full-swing bitlines: modestly more than reads.
+    return 1.25 * readEnergyPj();
+}
+
+double
+SramModel::areaUm2() const
+{
+    const double cells = static_cast<double>(words_) * bits_;
+    return cells * tech_.sramBitCellUm2 * tech_.sramArrayOverhead;
+}
+
+} // namespace nox

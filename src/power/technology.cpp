@@ -1,0 +1,11 @@
+#include "power/technology.hpp"
+
+namespace nox {
+
+Technology
+Technology::tsmc65()
+{
+    return Technology{};
+}
+
+} // namespace nox

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * First-order 65 nm technology parameters.
+ *
+ * The paper extracts channel/SRAM/logic parameters from a TSMC 65 nm
+ * standard-cell library, memory-compiler output and SPICE (§4). Those
+ * collateral are proprietary, so this model substitutes published
+ * first-order constants for the same node (FO4 delay, wire
+ * capacitance of repeated global wires, SRAM access energy) and
+ * documents each value. The *uses* of the numbers — clock periods
+ * (Table 2), per-event energies (Fig 9/11/12), areas (§6.2) — follow
+ * the same model structure as the paper's references [1] (Balfour &
+ * Dally) and [20] (Mui et al.).
+ */
+
+#ifndef NOX_POWER_TECHNOLOGY_HPP
+#define NOX_POWER_TECHNOLOGY_HPP
+
+namespace nox {
+
+/** Process / circuit constants for one technology node. */
+struct Technology
+{
+    // -- electrical --
+    double vdd = 1.1;            ///< supply voltage [V]
+    double fo4Ps = 25.0;         ///< FO4 inverter delay [ps]
+    double wireCapPerMmFf = 210.0; ///< repeated global wire incl.
+                                   ///< repeaters [fF/mm]
+    double wireDelayPerMmPs = 49.0; ///< optimally repeated wire [ps/mm]
+    double activityFactor = 0.5; ///< mean switching probability/bit
+    double gateCapFf = 1.3;      ///< min-size gate input cap [fF]
+
+    // -- geometry (standard-cell / SRAM) --
+    double cellHeightUm = 2.52;  ///< standard cell row height (§6.2)
+    double sramBitCellUm2 = 0.52; ///< 6T SRAM bit cell [um^2]
+    double sramArrayOverhead = 2.1; ///< periphery multiplier
+    double wirePitchUm = 0.21;   ///< intermediate-layer wire pitch
+
+    // -- memory timing/energy (memory-compiler substitutes) --
+    double sramReadPs = 248.0;   ///< input buffer read (paper §6.1)
+    double sramAccessEnergyPerBitFj = 21.0; ///< per-bit read/write
+
+    /** Energy to charge capacitance C [fF] across full swing [pJ]. */
+    double
+    switchingEnergyPj(double cap_ff) const
+    {
+        return cap_ff * vdd * vdd * 1e-3; // fF*V^2 -> pJ
+    }
+
+    /** The calibrated 65 nm node used throughout the reproduction. */
+    static Technology tsmc65();
+};
+
+} // namespace nox
+
+#endif // NOX_POWER_TECHNOLOGY_HPP

@@ -1,0 +1,97 @@
+#include "power/timing_model.hpp"
+
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace nox {
+
+TimingModel::TimingModel(const Technology &tech,
+                         const PhysicalParams &params)
+    : tech_(tech), params_(params),
+      sram_(tech, params.bufferDepth, params.flitBits),
+      link_(tech, params.linkLengthMm, params.flitBits),
+      mux_(tech, XbarKind::Mux, params.ports, params.flitBits),
+      xorXbar_(tech, XbarKind::Xor, params.ports, params.flitBits)
+{
+}
+
+double
+TimingModel::arbiterPs() const
+{
+    // Serialized round-robin output arbitration in the non-speculative
+    // router: priority encode + grant + mask. Depth grows with the
+    // radix (~log2): 13.6 FO4 at the paper's 5 ports, more on the
+    // higher-radix routers of §8's concentrated meshes.
+    const double lg =
+        std::log2(static_cast<double>(params_.ports));
+    return (6.17 + 3.2 * lg) * tech_.fo4Ps;
+}
+
+double
+TimingModel::specMaskPs() const
+{
+    // Applying the precomputed Switch-Fast mask and enabling the
+    // input drivers: ~4.4 FO4.
+    return 4.4 * tech_.fo4Ps;
+}
+
+double
+TimingModel::specNextAccuratePs() const
+{
+    // Spec-Accurate's Switch-Next must observe the current cycle's
+    // traversal successes before allocation: ~1.2 FO4 of margin.
+    return 1.2 * tech_.fo4Ps;
+}
+
+double
+TimingModel::decodeXorPs() const
+{
+    // One 2-input XOR level plus register mux at the input port
+    // (§6.1: "decoding logic ... incurs approximately 40 ps").
+    return 1.6 * tech_.fo4Ps;
+}
+
+TimingBreakdown
+TimingModel::breakdown(RouterArch arch) const
+{
+    TimingBreakdown b;
+    b.arch = arch;
+    auto add = [&b](const std::string &name, double ps) {
+        b.components.push_back({name, ps});
+        b.totalPs += ps;
+    };
+
+    add("sram read", sramReadPs());
+    switch (arch) {
+      case RouterArch::NonSpeculative:
+        add("switch arbitration", arbiterPs());
+        add("mux crossbar", xbarMuxPs());
+        break;
+      case RouterArch::SpecFast:
+        add("switch-fast mask", specMaskPs());
+        add("mux crossbar", xbarMuxPs());
+        break;
+      case RouterArch::SpecAccurate:
+        add("switch-fast mask", specMaskPs());
+        add("accurate switch-next", specNextAccuratePs());
+        add("mux crossbar", xbarMuxPs());
+        break;
+      case RouterArch::Nox:
+        add("xor decode", decodeXorPs());
+        add("switch mask", specMaskPs());
+        add("mask-mode control", specNextAccuratePs());
+        add("xor crossbar", xbarXorPs());
+        break;
+    }
+    add("2mm link", linkPs());
+    return b;
+}
+
+double
+TimingModel::clockPeriodNs(RouterArch arch) const
+{
+    return breakdown(arch).totalNs();
+}
+
+} // namespace nox

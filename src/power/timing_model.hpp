@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Clock-period model (reproduces Table 2 of the paper).
+ *
+ * Every evaluated design is a single-cycle router, so its clock period
+ * is the sum of the structures on its critical path: the input-buffer
+ * SRAM read (248 ps), the architecture-specific control logic, the
+ * switch fabric, and the 2 mm inter-tile link (98 ps). The paper
+ * obtains component delays from synthesis; we compose them from the
+ * logical-effort/FO4 estimates in the component models, calibrated so
+ * the four totals land on Table 2:
+ *
+ *   NonSpec 0.92 ns, Spec-Fast 0.69 ns, Spec-Accurate 0.72 ns,
+ *   NoX 0.76 ns (decode logic ~ +40 ps over Spec-Accurate).
+ */
+
+#ifndef NOX_POWER_TIMING_MODEL_HPP
+#define NOX_POWER_TIMING_MODEL_HPP
+
+#include <string>
+#include <vector>
+
+#include "noc/types.hpp"
+#include "power/crossbar_model.hpp"
+#include "power/sram_model.hpp"
+#include "power/technology.hpp"
+#include "power/wire_model.hpp"
+
+namespace nox {
+
+/** Physical configuration shared by the power/timing/area models. */
+struct PhysicalParams
+{
+    int ports = 5;
+    int flitBits = 64;
+    int bufferDepth = 4;
+    double linkLengthMm = 2.0;      ///< inter-tile channel (Table 1)
+    double localLinkLengthMm = 0.5; ///< router <-> NIC wiring
+};
+
+/** One named element of a critical path. */
+struct PathComponent
+{
+    std::string name;
+    double delayPs;
+};
+
+/** A router's critical path and its total. */
+struct TimingBreakdown
+{
+    RouterArch arch;
+    std::vector<PathComponent> components;
+    double totalPs = 0.0;
+
+    double totalNs() const { return totalPs * 1e-3; }
+};
+
+/** Composes per-architecture clock periods from component models. */
+class TimingModel
+{
+  public:
+    TimingModel(const Technology &tech, const PhysicalParams &params);
+
+    /** Clock period [ns] for one architecture. */
+    double clockPeriodNs(RouterArch arch) const;
+
+    /** Full critical-path breakdown (Table 2 bench output). */
+    TimingBreakdown breakdown(RouterArch arch) const;
+
+    // Component delays [ps], exposed for tests and the bench.
+    double sramReadPs() const { return sram_.readDelayPs(); }
+    double linkPs() const { return link_.delayPs(); }
+    double arbiterPs() const;
+    double specMaskPs() const;
+    double specNextAccuratePs() const;
+    double decodeXorPs() const;
+    double xbarMuxPs() const { return mux_.traversalDelayPs(); }
+    double xbarXorPs() const { return xorXbar_.traversalDelayPs(); }
+
+  private:
+    Technology tech_;
+    PhysicalParams params_;
+    SramModel sram_;
+    WireModel link_;
+    CrossbarModel mux_;
+    CrossbarModel xorXbar_;
+};
+
+} // namespace nox
+
+#endif // NOX_POWER_TIMING_MODEL_HPP

@@ -1,0 +1,47 @@
+#include "power/wire_model.hpp"
+
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace nox {
+
+WireModel::WireModel(const Technology &tech, double length_mm,
+                     int width_bits)
+    : tech_(tech), lengthMm_(length_mm), widthBits_(width_bits)
+{
+    NOX_ASSERT(length_mm > 0.0 && width_bits > 0,
+               "invalid channel geometry");
+}
+
+double
+WireModel::delayPs() const
+{
+    // Optimally repeated wires are delay-linear in length; the
+    // calibrated 49 ps/mm reproduces the paper's 98 ps for the 2 mm
+    // inter-tile channel (§6.1).
+    return tech_.wireDelayPerMmPs * lengthMm_;
+}
+
+double
+WireModel::capPerBitFf() const
+{
+    return tech_.wireCapPerMmFf * lengthMm_;
+}
+
+double
+WireModel::energyPerFlitPj() const
+{
+    const double per_bit =
+        tech_.switchingEnergyPj(capPerBitFf()) * tech_.activityFactor;
+    return per_bit * widthBits_;
+}
+
+int
+WireModel::repeatersPerWire() const
+{
+    // ~3 repeater stages per mm is typical for 65 nm global wires.
+    return static_cast<int>(std::ceil(3.0 * lengthMm_));
+}
+
+} // namespace nox

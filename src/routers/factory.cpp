@@ -1,0 +1,54 @@
+#include "routers/factory.hpp"
+
+#include "common/log.hpp"
+#include "routers/nonspec_router.hpp"
+#include "routers/nox_router.hpp"
+#include "routers/spec_router.hpp"
+#include "routers/vc_router.hpp"
+
+namespace nox {
+
+std::unique_ptr<Router>
+makeRouter(RouterArch arch, NodeId id, const Mesh &mesh,
+           RoutingFunction route, const RouterParams &params)
+{
+    if (params.vcCount > 1) {
+        // §2.8: virtual channels are only explored on the
+        // non-speculative baseline; a VC NoX is the paper's (and this
+        // repo's) future work.
+        NOX_ASSERT(arch == RouterArch::NonSpeculative,
+                   "vcCount > 1 requires the non-speculative router");
+        return std::make_unique<VcRouter>(id, mesh, route, params,
+                                          params.vcCount);
+    }
+    switch (arch) {
+      case RouterArch::NonSpeculative:
+        return std::make_unique<NonSpecRouter>(id, mesh, route, params);
+      case RouterArch::SpecFast:
+        return std::make_unique<SpecRouter>(id, mesh, route, params,
+                                            SpecRouter::Variant::Fast);
+      case RouterArch::SpecAccurate:
+        return std::make_unique<SpecRouter>(
+            id, mesh, route, params, SpecRouter::Variant::Accurate);
+      case RouterArch::Nox:
+        return std::make_unique<NoxRouter>(id, mesh, route, params);
+    }
+    panic("unknown router architecture");
+}
+
+RouterFactory
+routerFactoryFor(RouterArch arch)
+{
+    return [arch](NodeId id, const Mesh &mesh, RoutingFunction route,
+                  const RouterParams &params) {
+        return makeRouter(arch, id, mesh, route, params);
+    };
+}
+
+std::unique_ptr<Network>
+makeNetwork(const NetworkParams &params, RouterArch arch)
+{
+    return std::make_unique<Network>(params, routerFactoryFor(arch));
+}
+
+} // namespace nox

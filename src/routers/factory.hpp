@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Router construction helpers tying the architecture enum to the
+ * concrete classes.
+ */
+
+#ifndef NOX_ROUTERS_FACTORY_HPP
+#define NOX_ROUTERS_FACTORY_HPP
+
+#include <memory>
+
+#include "noc/network.hpp"
+#include "noc/router.hpp"
+
+namespace nox {
+
+/** Build one router of the given architecture. */
+std::unique_ptr<Router> makeRouter(RouterArch arch, NodeId id,
+                                   const Mesh &mesh,
+                                   RoutingFunction route,
+                                   const RouterParams &params);
+
+/** A RouterFactory (for Network) that builds @p arch routers. */
+RouterFactory routerFactoryFor(RouterArch arch);
+
+/** Convenience: a Network whose nodes all use @p arch routers. */
+std::unique_ptr<Network> makeNetwork(const NetworkParams &params,
+                                     RouterArch arch);
+
+} // namespace nox
+
+#endif // NOX_ROUTERS_FACTORY_HPP

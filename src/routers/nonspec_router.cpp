@@ -1,0 +1,85 @@
+#include "routers/nonspec_router.hpp"
+
+#include "common/log.hpp"
+
+namespace nox {
+
+NonSpecRouter::NonSpecRouter(NodeId id, const Mesh &mesh,
+                             RoutingFunction route,
+                             const RouterParams &params)
+    : Router(id, mesh, route, params)
+{
+    const auto ports = static_cast<std::size_t>(params.numPorts);
+    arb_.resize(ports);
+    lockOwner_.assign(ports, -1);
+    lockPacket_.assign(ports, kInvalidPacket);
+    for (auto &a : arb_)
+        a = makeArbiter();
+}
+
+void
+NonSpecRouter::evaluate(Cycle)
+{
+    // Combinational request gathering: each input's (uncoded) head
+    // flit requests exactly one output via lookahead DOR.
+    const int ports = numPorts();
+    std::vector<std::optional<FlitDesc>> head(
+        static_cast<std::size_t>(ports));
+    std::vector<int> out_of(static_cast<std::size_t>(ports));
+    for (int p = 0; p < ports; ++p) {
+        head[p] = plainHead(p);
+        out_of[p] = head[p] ? routeOf(*head[p]) : -1;
+    }
+
+    for (int o = 0; o < ports; ++o) {
+        if (!outputConnected(o) || !haveCredit(o))
+            continue;
+
+        if (lockOwner_[o] >= 0) {
+            // Wormhole: output reserved for an in-flight packet; body
+            // flits pass without re-arbitration.
+            const int p = lockOwner_[o];
+            if (head[p] && out_of[p] == o) {
+                NOX_ASSERT(head[p]->packet == lockPacket_[o],
+                           "foreign flit inside locked wormhole");
+                traverse(p, o);
+            }
+            continue;
+        }
+
+        RequestMask requests = 0;
+        for (int p = 0; p < ports; ++p) {
+            if (out_of[p] == o)
+                requests |= (1u << p);
+        }
+        if (!requests)
+            continue;
+
+        const int winner = arb_[o]->grant(requests);
+        energy_.arbDecisions += 1;
+        NOX_ASSERT(winner >= 0, "arbiter returned no grant");
+        traverse(winner, o);
+    }
+}
+
+void
+NonSpecRouter::traverse(int in_port, int out_port)
+{
+    WireFlit w = in_[in_port].pop();
+    const FlitDesc &d = w.parts.front();
+    energy_.bufferReads += 1;
+    energy_.xbarInputDrives += 1;
+    returnCredit(in_port);
+
+    if (d.isHead() && !d.isTail()) {
+        lockOwner_[out_port] = in_port;
+        lockPacket_[out_port] = d.packet;
+    } else if (d.isTail()) {
+        lockOwner_[out_port] = -1;
+        lockPacket_[out_port] = kInvalidPacket;
+    }
+
+    sendFlit(out_port, std::move(w));
+}
+
+} // namespace nox

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The non-speculative baseline router (§3.1.1, Figure 5).
+ *
+ * A canonical wormhole router with lookahead route computation: switch
+ * arbitration and switch traversal happen sequentially *within one
+ * long clock cycle* (0.92 ns in Table 2), so every output can move a
+ * flit every cycle regardless of contention — maximum efficiency, at
+ * the price of the slowest clock of the four designs.
+ */
+
+#ifndef NOX_ROUTERS_NONSPEC_ROUTER_HPP
+#define NOX_ROUTERS_NONSPEC_ROUTER_HPP
+
+#include <memory>
+#include <vector>
+
+#include "noc/router.hpp"
+
+namespace nox {
+
+/** Non-speculative single-cycle wormhole router. */
+class NonSpecRouter : public Router
+{
+  public:
+    NonSpecRouter(NodeId id, const Mesh &mesh, RoutingFunction route,
+                  const RouterParams &params);
+
+    RouterArch arch() const override
+    {
+        return RouterArch::NonSpeculative;
+    }
+
+    void evaluate(Cycle now) override;
+
+    /** Input currently owning output @p port mid-packet (-1 = none). */
+    int lockOwner(int port) const { return lockOwner_[port]; }
+
+  private:
+    void traverse(int in_port, int out_port);
+
+    std::vector<std::unique_ptr<Arbiter>> arb_;
+    std::vector<int> lockOwner_;
+    std::vector<PacketId> lockPacket_;
+};
+
+} // namespace nox
+
+#endif // NOX_ROUTERS_NONSPEC_ROUTER_HPP

@@ -1,0 +1,262 @@
+#include "routers/nox_router.hpp"
+
+#include <bit>
+
+#include "common/log.hpp"
+
+namespace nox {
+
+NoxRouter::NoxRouter(NodeId id, const Mesh &mesh, RoutingFunction route,
+                     const RouterParams &params)
+    : Router(id, mesh, route, params)
+{
+    decoders_.resize(static_cast<std::size_t>(params.numPorts));
+    out_.resize(static_cast<std::size_t>(params.numPorts));
+    for (auto &o : out_) {
+        o.switchMask = allPortsMask();
+        o.arbMask = allPortsMask();
+        o.arb = makeArbiter();
+    }
+}
+
+void
+NoxRouter::evaluate(Cycle)
+{
+    // Per-input decode views: what each input port can present to the
+    // switch this cycle (§2.4). Encoded heads consume the cycle
+    // latching into the decode register.
+    const int ports = numPorts();
+    const RequestMask all = allPortsMask();
+    std::vector<DecodeView> views(static_cast<std::size_t>(ports));
+    std::vector<int> out_of(static_cast<std::size_t>(ports));
+    for (int p = 0; p < ports; ++p) {
+        views[p] = decoders_[p].view(in_[p]);
+        out_of[p] = -1;
+        if (views[p].latchBubble) {
+            decoders_[p].latch(in_[p]);
+            energy_.bufferReads += 1;
+            energy_.decodeLatches += 1;
+            returnCredit(p);
+            continue;
+        }
+        if (views[p].presented)
+            out_of[p] = routeOf(*views[p].presented);
+    }
+
+    for (int o = 0; o < ports; ++o) {
+        if (!outputConnected(o))
+            continue;
+        OutState &st = out_[o];
+
+        RequestMask requests = 0;
+        for (int p = 0; p < ports; ++p) {
+            if (out_of[p] == o)
+                requests |= (1u << p);
+        }
+
+        // Switch requests are gated by downstream credits; when the
+        // output is back-pressured everything (including the masks)
+        // simply holds.
+        if (!haveCredit(o))
+            continue;
+
+        // Mode-residency accounting (only for outputs with activity
+        // potential: connected and credit-eligible this cycle).
+        if (st.lockOwner >= 0)
+            noxStats_.lockedCycles += 1;
+        else if (st.mode == Mode::Recovery)
+            noxStats_.recoveryCycles += 1;
+        else
+            noxStats_.scheduledCycles += 1;
+
+        if (st.lockOwner >= 0) {
+            // Exclusive multi-flit service: no other arbitration
+            // winners until the tail flit has passed (§2.7). On the
+            // tail cycle itself the output arbiter resumes Scheduled-
+            // mode operation, pre-scheduling a waiting input for the
+            // cycle after the tail — the §2.6 behaviour that lets the
+            // NoX perform like a perfectly speculating router when
+            // requests can be non-speculatively pre-scheduled.
+            const int p = st.lockOwner;
+            if (requests & (1u << p)) {
+                const FlitDesc d = *views[p].presented;
+                NOX_ASSERT(d.packet == st.lockPacket,
+                           "foreign flit inside locked NoX output");
+                traverseSingle(p, o, views[p]);
+                if (d.isTail()) {
+                    unlockOutput(st);
+                    const RequestMask others =
+                        requests & ~(1u << p);
+                    if (others) {
+                        const int g = st.arb->grant(others);
+                        energy_.arbDecisions += 1;
+                        st.mode = Mode::Scheduled;
+                        st.switchMask = 1u << g;
+                        st.arbMask = all & ~(1u << g);
+                        energy_.maskUpdates += 1;
+                    }
+                }
+            }
+            continue;
+        }
+
+        if (st.mode == Mode::Recovery) {
+            // Recovery: switch mask == arb mask; collisions resolve
+            // through successive masking of past winners.
+            const RequestMask part = requests & st.switchMask;
+            if (!part)
+                continue;
+            const int fanin = std::popcount(part);
+
+            if (fanin == 1) {
+                const int p = std::countr_zero(part);
+                const FlitDesc d = *views[p].presented;
+                // The arbiter ran in parallel; its (unneeded) grant is
+                // still a decision for energy purposes and RR state.
+                st.arb->grant(part);
+                energy_.arbDecisions += 1;
+                noxStats_.cleanTraversals += 1;
+                traverseSingle(p, o, views[p]);
+                if (d.isMultiFlit() && d.isHead() && !d.isTail()) {
+                    lockOutput(st, p, d.packet);
+                } else {
+                    // Masking all remaining inputs would inhibit
+                    // everything -> re-enable all
+
+                    st.switchMask = all;
+                    st.arbMask = all;
+                }
+                continue;
+            }
+
+            // Collision. Multi-flit involvement forces an abort.
+            bool multi_flit = false;
+            for (int p = 0; p < ports; ++p) {
+                if ((part & (1u << p)) &&
+                    views[p].presented->isMultiFlit())
+                    multi_flit = true;
+            }
+
+            if (multi_flit) {
+                // Abort: indeterminate value driven, nothing freed;
+                // the grant winner owns the output until its tail.
+                driveWasted(o);
+                energy_.abortCycles += 1;
+                noxStats_.aborts += 1;
+                energy_.xbarInputDrives +=
+                    static_cast<std::uint64_t>(fanin);
+                const int g = st.arb->grant(part);
+                energy_.arbDecisions += 1;
+                lockOutput(st, g, views[g].presented->packet);
+                continue;
+            }
+
+            // Productive XOR-coded transfer (§2.2): the output is the
+            // XOR of all colliding single-flit packets; the arbiter's
+            // winner is freed immediately.
+            std::vector<FlitDesc> colliding;
+            for (int p = 0; p < ports; ++p) {
+                if (part & (1u << p)) {
+                    colliding.push_back(*views[p].presented);
+                    energy_.xbarInputDrives += 1;
+                }
+            }
+            const int g = st.arb->grant(part);
+            energy_.arbDecisions += 1;
+            noxStats_.collisionsBySize[static_cast<std::size_t>(
+                fanin)] += 1;
+            acceptPresented(g, views[g]);
+            sendFlit(o, WireFlit::combine(colliding));
+
+            const RequestMask losers = part & ~(1u << g);
+            energy_.maskUpdates += 1;
+            NOX_ASSERT(losers != 0, "collision with no losers");
+            if (std::popcount(losers) == 1) {
+                st.mode = Mode::Scheduled;
+                st.switchMask = losers;
+                st.arbMask = all & ~losers;
+            } else {
+                st.switchMask = losers;
+                st.arbMask = losers;
+            }
+            continue;
+        }
+
+        // Scheduled mode: one input enabled for traversal, everyone
+        // else enabled for arbitration (§2.6).
+        const RequestMask sw = requests & st.switchMask;
+        NOX_ASSERT(std::popcount(sw) <= 1,
+                   "multiple switch-enabled inputs in Scheduled mode");
+        if (sw) {
+            const int p = std::countr_zero(sw);
+            const FlitDesc d = *views[p].presented;
+            noxStats_.prescheduled += 1;
+            traverseSingle(p, o, views[p]);
+            if (d.isMultiFlit() && d.isHead() && !d.isTail()) {
+                lockOutput(st, p, d.packet);
+                continue;
+            }
+        }
+
+        const RequestMask arb_requests = requests & st.arbMask;
+        energy_.maskUpdates += 1;
+        if (arb_requests) {
+            const int g = st.arb->grant(arb_requests);
+            energy_.arbDecisions += 1;
+            st.switchMask = 1u << g;
+            st.arbMask = all & ~(1u << g);
+        } else {
+            // No grant generated: transition back to the optimistic
+            // Recovery mode with everything enabled.
+            st.mode = Mode::Recovery;
+            st.switchMask = all;
+            st.arbMask = all;
+        }
+    }
+}
+
+void
+NoxRouter::acceptPresented(int port, const DecodeView &view)
+{
+    if (view.decodedByXor)
+        energy_.decodeOps += 1;
+    const bool popped = decoders_[port].accept(in_[port]);
+    if (popped) {
+        energy_.bufferReads += 1;
+        returnCredit(port);
+    }
+}
+
+void
+NoxRouter::traverseSingle(int in_port, int out_port,
+                          const DecodeView &view)
+{
+    const FlitDesc d = *view.presented;
+    energy_.xbarInputDrives += 1;
+    acceptPresented(in_port, view);
+    sendFlit(out_port, WireFlit::fromDesc(d));
+}
+
+void
+NoxRouter::lockOutput(OutState &st, int in_port, PacketId packet)
+{
+    st.mode = Mode::Scheduled;
+    st.lockOwner = in_port;
+    st.lockPacket = packet;
+    st.switchMask = 1u << in_port;
+    st.arbMask = 0;
+    energy_.maskUpdates += 1;
+}
+
+void
+NoxRouter::unlockOutput(OutState &st)
+{
+    st.mode = Mode::Recovery;
+    st.lockOwner = -1;
+    st.lockPacket = kInvalidPacket;
+    st.switchMask = allPortsMask();
+    st.arbMask = allPortsMask();
+    energy_.maskUpdates += 1;
+}
+
+} // namespace nox

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * The NoX router (§2 of the paper).
+ *
+ * The crossbar is an XOR of all switch-enabled inputs per output: with
+ * one driver the flit passes unmodified; with several, the output is
+ * their bitwise XOR, marked encoded, and *still productive* — the
+ * downstream router recovers every flit by XORing consecutively
+ * received values (see XorDecoder). An output arbiter runs in parallel
+ * with traversal; under contention its grant decides which input's
+ * buffer is freed immediately.
+ *
+ * Each output's arbitration/masking logic operates in two modes
+ * (§2.6):
+ *   - Recovery: switch mask == arb mask; collisions may occur freely
+ *     and are resolved by successive masking of past winners.
+ *   - Scheduled: the switch mask enables exactly one input and the
+ *     arb mask is its complement, pre-scheduling the next transfer
+ *     like a perfectly speculating router.
+ *
+ * Multi-flit packets (§2.7) are sent contiguously; any collision
+ * involving a multi-flit head aborts the cycle (invalid value on the
+ * link, nothing freed) and the arbiter's winner owns the output until
+ * its tail passes.
+ */
+
+#ifndef NOX_ROUTERS_NOX_ROUTER_HPP
+#define NOX_ROUTERS_NOX_ROUTER_HPP
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "noc/router.hpp"
+#include "noc/xor_decoder.hpp"
+
+namespace nox {
+
+/** Microarchitectural activity statistics specific to the NoX. */
+struct NoxStats
+{
+    /** Productive encoded transfers by collision fan-in (index =
+     *  number of colliding inputs; 2..radix used; sized generously
+     *  for concentrated-mesh radixes). */
+    std::array<std::uint64_t, 33> collisionsBySize{};
+
+    /** Output-cycles spent in each §2.6 mode. */
+    std::uint64_t recoveryCycles = 0;
+    std::uint64_t scheduledCycles = 0;
+    std::uint64_t lockedCycles = 0;
+
+    /** Uncontended single-input traversals. */
+    std::uint64_t cleanTraversals = 0;
+
+    /** Transfers that were pre-scheduled by Scheduled-mode
+     *  arbitration (including tail-cycle pre-scheduling). */
+    std::uint64_t prescheduled = 0;
+
+    /** Multi-flit abort events (§2.7). */
+    std::uint64_t aborts = 0;
+
+    std::uint64_t
+    totalCollisions() const
+    {
+        std::uint64_t t = 0;
+        for (auto c : collisionsBySize)
+            t += c;
+        return t;
+    }
+};
+
+/** The XOR-coded-crossbar router. */
+class NoxRouter : public Router
+{
+  public:
+    /** Output arbitration/masking mode (§2.6). */
+    enum class Mode { Recovery, Scheduled };
+
+    NoxRouter(NodeId id, const Mesh &mesh, RoutingFunction route,
+              const RouterParams &params);
+
+    RouterArch arch() const override { return RouterArch::Nox; }
+
+    void evaluate(Cycle now) override;
+
+    // Introspection for the golden timing tests.
+    Mode mode(int port) const { return out_[port].mode; }
+    RequestMask switchMask(int port) const
+    {
+        return out_[port].switchMask;
+    }
+    RequestMask arbMask(int port) const { return out_[port].arbMask; }
+    int lockOwner(int port) const { return out_[port].lockOwner; }
+    const XorDecoder &decoder(int port) const { return decoders_[port]; }
+    const NoxStats &noxStats() const { return noxStats_; }
+
+  private:
+    struct OutState
+    {
+        Mode mode = Mode::Recovery;
+        RequestMask switchMask = 0; // set in constructor
+        RequestMask arbMask = 0;
+        int lockOwner = -1;         // multi-flit exclusive owner
+        PacketId lockPacket = kInvalidPacket;
+        std::unique_ptr<Arbiter> arb;
+    };
+
+    /** Accept input @p port's presented flit (decoder advance, SRAM
+     *  read accounting, upstream credit). */
+    void acceptPresented(int port, const DecodeView &view);
+
+    /** Uncontended (or Scheduled) single-input traversal. */
+    void traverseSingle(int in_port, int out_port,
+                        const DecodeView &view);
+
+    void lockOutput(OutState &st, int in_port, PacketId packet);
+    void unlockOutput(OutState &st);
+
+    std::vector<XorDecoder> decoders_;
+    std::vector<OutState> out_;
+    NoxStats noxStats_;
+};
+
+} // namespace nox
+
+#endif // NOX_ROUTERS_NOX_ROUTER_HPP

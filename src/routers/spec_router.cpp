@@ -1,0 +1,162 @@
+#include "routers/spec_router.hpp"
+
+#include <bit>
+
+#include "common/log.hpp"
+
+namespace nox {
+
+SpecRouter::SpecRouter(NodeId id, const Mesh &mesh, RoutingFunction route,
+                       const RouterParams &params, Variant variant)
+    : Router(id, mesh, route, params), variant_(variant)
+{
+    const auto ports = static_cast<std::size_t>(params.numPorts);
+    arb_.resize(ports);
+    reserved_.assign(ports, -1);
+    lockOwner_.assign(ports, -1);
+    lockPacket_.assign(ports, kInvalidPacket);
+    prevHeadPacket_.assign(ports, kInvalidPacket);
+    for (auto &a : arb_)
+        a = makeArbiter();
+}
+
+void
+SpecRouter::evaluate(Cycle)
+{
+    const int ports = numPorts();
+    std::vector<std::optional<FlitDesc>> head(
+        static_cast<std::size_t>(ports));
+    std::vector<int> out_of(static_cast<std::size_t>(ports));
+    std::vector<PacketId> head_packet_at_start(
+        static_cast<std::size_t>(ports), kInvalidPacket);
+    for (int p = 0; p < ports; ++p) {
+        head[p] = plainHead(p);
+        out_of[p] = head[p] ? routeOf(*head[p]) : -1;
+        head_packet_at_start[p] = head[p] ? head[p]->packet
+                                          : kInvalidPacket;
+
+        // Spec-Fast fairness rule (§3.1.2): a packet newly exposed
+        // behind a departing packet on the same input may not request
+        // arbitration in its first cycle as head — its request wires
+        // still carry the predecessor's state, so it neither rides
+        // the stale reservation nor reaches the allocator. (A flit
+        // arriving into an empty input registers normally.)
+        if (variant_ == Variant::Fast && head[p]) {
+            const bool newly_exposed =
+                prevHeadPacket_[p] != kInvalidPacket &&
+                prevHeadPacket_[p] != head[p]->packet;
+            if (newly_exposed)
+                out_of[p] = -1;
+        }
+    }
+
+    for (int o = 0; o < ports; ++o) {
+        if (!outputConnected(o))
+            continue;
+
+        RequestMask requests = 0;
+        for (int p = 0; p < ports; ++p) {
+            if (out_of[p] == o)
+                requests |= (1u << p);
+        }
+
+        if (!haveCredit(o)) {
+            // Switch requests are gated by credits: nothing drives
+            // the output, Switch-Next sees no requests, and any
+            // pending reservation expires (the mask reopens). Letting
+            // a reservation survive back-pressure would let one input
+            // capture the output indefinitely under stop-and-go
+            // credit flow — defeating the fairness the §3.1.2 rules
+            // exist to protect.
+            reserved_[o] = -1;
+            continue;
+        }
+
+        // Switch-Fast mask for this cycle: a wormhole lock pins the
+        // mask to the owner; otherwise last cycle's reservation (if
+        // any) selects a single input; otherwise fully open.
+        RequestMask fast_mask;
+        if (lockOwner_[o] >= 0)
+            fast_mask = 1u << lockOwner_[o];
+        else if (reserved_[o] >= 0)
+            fast_mask = 1u << reserved_[o];
+        else
+            fast_mask = allPortsMask();
+
+        const RequestMask drivers = requests & fast_mask;
+        const int fanin = std::popcount(drivers);
+
+        int success = -1;
+        if (fanin == 1) {
+            success = std::countr_zero(drivers);
+            if (lockOwner_[o] >= 0) {
+                NOX_ASSERT(head[success]->packet == lockPacket_[o],
+                           "foreign flit inside locked wormhole");
+            }
+            traverse(success, o);
+        } else if (fanin > 1) {
+            // Misspeculation: the switch drives the XOR^W an
+            // indeterminate value; the cycle and link energy are lost.
+            driveWasted(o);
+            energy_.misspecCycles += 1;
+            energy_.xbarInputDrives += static_cast<std::uint64_t>(fanin);
+        }
+
+        // Reservation is single-use; recomputed below by Switch Next.
+        reserved_[o] = -1;
+
+        if (lockOwner_[o] >= 0) {
+            // Multi-flit transmission in progress (the traverse above
+            // may have just set or cleared the lock): all other
+            // requests are masked from arbitration.
+            continue;
+        }
+
+        // Switch Next: choose next cycle's reservation.
+        RequestMask next_requests;
+        if (variant_ == Variant::Fast) {
+            // All requests not masked by Switch-Fast — including one
+            // that succeeded this cycle (unnecessary reservations).
+            // Newly exposed packets were already excluded above.
+            next_requests = requests & fast_mask;
+        } else {
+            // Accurate: the same (post-mask) requests Switch-Fast saw,
+            // minus the one that successfully traversed this cycle —
+            // the only functional difference from Spec-Fast (§3.1.2),
+            // eliminating its unnecessary reservations.
+            next_requests = requests & fast_mask;
+            if (success >= 0)
+                next_requests &= ~(1u << success);
+        }
+
+        if (next_requests) {
+            energy_.allocEvals += 1;
+            reserved_[o] = arb_[o]->grant(next_requests);
+            energy_.arbDecisions += 1;
+        }
+    }
+
+    prevHeadPacket_ = head_packet_at_start;
+}
+
+void
+SpecRouter::traverse(int in_port, int out_port)
+{
+    WireFlit w = in_[in_port].pop();
+    const FlitDesc &d = w.parts.front();
+    energy_.bufferReads += 1;
+    energy_.xbarInputDrives += 1;
+    returnCredit(in_port);
+
+    if (d.isHead() && !d.isTail()) {
+        lockOwner_[out_port] = in_port;
+        lockPacket_[out_port] = d.packet;
+    } else if (d.isTail()) {
+        lockOwner_[out_port] = -1;
+        lockPacket_[out_port] = kInvalidPacket;
+    }
+
+    sendFlit(out_port, std::move(w));
+}
+
+} // namespace nox

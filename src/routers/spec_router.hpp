@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The speculative single-cycle routers (§3.1.2, Figure 6), adapted
+ * from Mullins et al. [21, 22] to wormhole flow control.
+ *
+ * Every request not masked by the Switch-Fast mask speculatively
+ * traverses the switch. If exactly one input drives an output the
+ * transfer succeeds; if several collide, the cycle is wasted and an
+ * indeterminate value is driven across the output channel (energy is
+ * spent, nothing is delivered). An allocator running in parallel
+ * ("Switch Next") computes the next cycle's Switch-Fast mask.
+ *
+ * The two variants differ only in what Switch Next sees:
+ *   - Spec-Fast: all requests not masked by Switch-Fast — including a
+ *     currently-succeeding one, producing the paper's "unnecessary
+ *     switch reservations" (the extra dead cycle of Figure 7b). For
+ *     wormhole fairness, a packet newly exposed behind a departing
+ *     packet may not request arbitration in its first cycle.
+ *   - Spec-Accurate: the same requests as Switch-Fast, minus those
+ *     that successfully traversed this cycle, so a collision loser is
+ *     pre-scheduled immediately (Figure 7c).
+ */
+
+#ifndef NOX_ROUTERS_SPEC_ROUTER_HPP
+#define NOX_ROUTERS_SPEC_ROUTER_HPP
+
+#include <memory>
+#include <vector>
+
+#include "noc/router.hpp"
+
+namespace nox {
+
+/** Speculative router; @see SpecVariant for the two flavours. */
+class SpecRouter : public Router
+{
+  public:
+    enum class Variant { Fast, Accurate };
+
+    SpecRouter(NodeId id, const Mesh &mesh, RoutingFunction route,
+               const RouterParams &params, Variant variant);
+
+    RouterArch arch() const override
+    {
+        return variant_ == Variant::Fast ? RouterArch::SpecFast
+                                         : RouterArch::SpecAccurate;
+    }
+
+    void evaluate(Cycle now) override;
+
+    Variant variant() const { return variant_; }
+
+    /** Reserved input for the next cycle on @p port (-1 = open). */
+    int reservation(int port) const { return reserved_[port]; }
+
+    /** Input currently owning output @p port mid-packet (-1 = none). */
+    int lockOwner(int port) const { return lockOwner_[port]; }
+
+  private:
+    void traverse(int in_port, int out_port);
+
+    Variant variant_;
+    std::vector<std::unique_ptr<Arbiter>> arb_;
+
+    /** Switch-Fast reservation for the *current* cycle (-1 = open). */
+    std::vector<int> reserved_;
+
+    /** Wormhole multi-flit exclusive ownership. */
+    std::vector<int> lockOwner_;
+    std::vector<PacketId> lockPacket_;
+
+    /** Head packet at each input at the start of the previous cycle
+     *  (0 = FIFO was empty) — drives the newly-exposed rule. */
+    std::vector<PacketId> prevHeadPacket_;
+};
+
+} // namespace nox
+
+#endif // NOX_ROUTERS_SPEC_ROUTER_HPP

@@ -1,0 +1,172 @@
+#include "routers/vc_router.hpp"
+
+#include <bit>
+
+#include "common/log.hpp"
+#include "noc/nic.hpp"
+
+namespace nox {
+
+VcRouter::VcRouter(NodeId id, const Mesh &mesh, RoutingFunction route,
+                   const RouterParams &params, int vc_count)
+    : Router(id, mesh, route, params), vcs_(vc_count)
+{
+    NOX_ASSERT(vc_count >= 1 && vc_count <= 8, "bad VC count");
+    const std::size_t slots =
+        static_cast<std::size_t>(params.numPorts) *
+        static_cast<std::size_t>(vc_count);
+    vcIn_.reserve(slots);
+    for (std::size_t i = 0; i < slots; ++i)
+        vcIn_.emplace_back(
+            static_cast<std::size_t>(params.bufferDepth));
+    // Downstream mirrors our own geometry; per-VC credits start at
+    // the per-VC buffer depth (NIC sinks are sized accordingly).
+    vcCredits_.assign(slots, params.bufferDepth);
+    stagedVcCredits_.assign(slots, 0);
+    lockOwner_.assign(slots, -1);
+    lockPacket_.assign(slots, kInvalidPacket);
+
+    outArb_.resize(static_cast<std::size_t>(params.numPorts));
+    vcArb_.resize(static_cast<std::size_t>(params.numPorts));
+    for (int p = 0; p < params.numPorts; ++p) {
+        outArb_[static_cast<std::size_t>(p)] = makeArbiter();
+        vcArb_[static_cast<std::size_t>(p)] =
+            std::make_unique<RoundRobinArbiter>(vc_count);
+    }
+}
+
+void
+VcRouter::commit()
+{
+    const int ports = numPorts();
+    for (int p = 0; p < ports; ++p) {
+        if (stagedIn_[p]) {
+            energy_.bufferWrites += 1;
+            WireFlit f = std::move(*stagedIn_[p]);
+            stagedIn_[p].reset();
+            NOX_ASSERT(f.vc < vcs_, "flit VC ", int(f.vc),
+                       " out of range");
+            vcIn_[index(p, f.vc)].push(std::move(f));
+        }
+        // Plain per-port credits are unused by this router, but the
+        // base bookkeeping still runs for wiring assertions.
+        credits_[p] += stagedCredits_[p];
+        stagedCredits_[p] = 0;
+        for (int v = 0; v < vcs_; ++v) {
+            vcCredits_[index(p, v)] += stagedVcCredits_[index(p, v)];
+            stagedVcCredits_[index(p, v)] = 0;
+        }
+    }
+}
+
+void
+VcRouter::stageCreditVc(int out_port, int vc)
+{
+    NOX_ASSERT(out_port >= 0 && out_port < numPorts(), "bad port");
+    NOX_ASSERT(vc >= 0 && vc < vcs_, "bad vc");
+    stagedVcCredits_[index(out_port, vc)] += 1;
+}
+
+void
+VcRouter::returnVcCredit(int in_port, int vc)
+{
+    const CreditTarget &t = creditTarget_[in_port];
+    if (!t.connected())
+        return;
+    if (t.router)
+        t.router->stageCreditVc(t.port, vc);
+    else
+        t.nic->stageInjectCredit(1, vc);
+}
+
+void
+VcRouter::evaluate(Cycle)
+{
+    const int ports = numPorts();
+
+    // Stage 1 (VC allocation): each input port selects one eligible
+    // (head present, downstream per-VC credit available) VC.
+    struct Candidate
+    {
+        int vc = -1;
+        int out = -1;
+    };
+    std::vector<Candidate> chosen(static_cast<std::size_t>(ports));
+    for (int p = 0; p < ports; ++p) {
+        RequestMask eligible = 0;
+        std::vector<int> out_of(static_cast<std::size_t>(vcs_), -1);
+        for (int v = 0; v < vcs_; ++v) {
+            const FlitFifo &fifo = vcIn_[index(p, v)];
+            if (fifo.empty())
+                continue;
+            const FlitDesc &d = fifo.front().parts.front();
+            const int o = routeOf(d);
+            // Wormhole: mid-packet, only the owner input may use the
+            // (o, v) lane; heads must find it unlocked.
+            const int owner = lockOwner_[index(o, v)];
+            if (owner >= 0 && owner != p)
+                continue;
+            if (owner < 0 && !d.isHead())
+                continue; // body flit of a packet we do not own here
+            if (vcCredits_[index(o, v)] <= 0)
+                continue;
+            eligible |= (1u << v);
+            out_of[static_cast<std::size_t>(v)] = o;
+        }
+        if (eligible) {
+            const int v =
+                vcArb_[static_cast<std::size_t>(p)]->grant(eligible);
+            chosen[static_cast<std::size_t>(p)] = {
+                v, out_of[static_cast<std::size_t>(v)]};
+        }
+    }
+
+    // Stage 2 (switch allocation): one winner per output port.
+    for (int o = 0; o < ports; ++o) {
+        if (!outputConnected(o))
+            continue;
+        RequestMask requests = 0;
+        for (int p = 0; p < ports; ++p) {
+            if (chosen[static_cast<std::size_t>(p)].out == o)
+                requests |= (1u << p);
+        }
+        if (!requests)
+            continue;
+        const int winner =
+            outArb_[static_cast<std::size_t>(o)]->grant(requests);
+        energy_.arbDecisions += 1;
+        traverse(winner, chosen[static_cast<std::size_t>(winner)].vc,
+                 o);
+    }
+}
+
+void
+VcRouter::traverse(int in_port, int vc, int out_port)
+{
+    FlitFifo &fifo = vcIn_[index(in_port, vc)];
+    WireFlit w = fifo.pop();
+    const FlitDesc &d = w.parts.front();
+    energy_.bufferReads += 1;
+    energy_.xbarInputDrives += 1;
+    returnVcCredit(in_port, vc);
+
+    const std::size_t lane = index(out_port, vc);
+    if (d.isHead() && !d.isTail()) {
+        lockOwner_[lane] = in_port;
+        lockPacket_[lane] = d.packet;
+    } else if (d.isTail()) {
+        NOX_ASSERT(lockOwner_[lane] < 0 || lockPacket_[lane] == d.packet,
+                   "foreign tail inside VC wormhole");
+        lockOwner_[lane] = -1;
+        lockPacket_[lane] = kInvalidPacket;
+    } else {
+        NOX_ASSERT(lockPacket_[lane] == d.packet,
+                   "foreign body inside VC wormhole");
+    }
+
+    NOX_ASSERT(vcCredits_[lane] > 0, "VC credit underflow");
+    --vcCredits_[lane];
+    dispatchFlit(out_port, std::move(w));
+}
+
+} // namespace nox

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Virtual-channel wormhole router — the §2.8 exploration.
+ *
+ * The paper's evaluated designs are all VC-free wormhole routers that
+ * rely on multiple physical networks for protocol-deadlock isolation,
+ * citing works [1, 17, 27, 29] that argue physical channels can be
+ * the more power-efficient choice. To let this repo *quantify* that
+ * §2.8 trade-off, VcRouter implements the conventional alternative:
+ * one physical network whose input ports hold V parallel buffers
+ * (virtual channels) with per-VC credit flow.
+ *
+ * Scope (documented, deliberate):
+ *  - the microarchitecture is the non-speculative baseline (§3.1.1)
+ *    with SA+ST in one cycle; no speculation, no XOR coding — the
+ *    paper explicitly leaves a VC NoX to future work;
+ *  - VC assignment is static per packet (by traffic class), i.e. VCs
+ *    are used for class isolation exactly as the request/reply
+ *    physical-network pair is — the comparison the §2.8 debate and
+ *    Yoon et al. [29] are about;
+ *  - allocation is two-stage: each input port round-robins across its
+ *    VCs with eligible heads, then each output round-robins across
+ *    input ports; one flit per output per cycle (single crossbar).
+ *
+ * Wormhole locks are per (output, vc): a blocked packet on one VC
+ * does not prevent the other VC from using the same physical link —
+ * the property that makes VCs an alternative to physical channels.
+ */
+
+#ifndef NOX_ROUTERS_VC_ROUTER_HPP
+#define NOX_ROUTERS_VC_ROUTER_HPP
+
+#include <memory>
+#include <vector>
+
+#include "noc/router.hpp"
+
+namespace nox {
+
+/** VC-enabled non-speculative wormhole router. */
+class VcRouter : public Router
+{
+  public:
+    VcRouter(NodeId id, const Mesh &mesh, RoutingFunction route,
+             const RouterParams &params, int vc_count);
+
+    RouterArch arch() const override
+    {
+        return RouterArch::NonSpeculative;
+    }
+
+    int vcCount() const override { return vcs_; }
+
+    void evaluate(Cycle now) override;
+    void commit() override;
+    void stageCreditVc(int out_port, int vc) override;
+
+    // Introspection (tests).
+    const FlitFifo &vcFifo(int port, int vc) const
+    {
+        return vcIn_[index(port, vc)];
+    }
+    int vcCredits(int out_port, int vc) const
+    {
+        return vcCredits_[index(out_port, vc)];
+    }
+    int lockOwner(int out_port, int vc) const
+    {
+        return lockOwner_[index(out_port, vc)];
+    }
+
+  private:
+    std::size_t
+    index(int port, int vc) const
+    {
+        return static_cast<std::size_t>(port) *
+                   static_cast<std::size_t>(vcs_) +
+               static_cast<std::size_t>(vc);
+    }
+
+    void traverse(int in_port, int vc, int out_port);
+
+    /** Send a VC-tagged credit for (in_port, vc) upstream. */
+    void returnVcCredit(int in_port, int vc);
+
+    int vcs_;
+    std::vector<FlitFifo> vcIn_;        ///< [port][vc]
+    std::vector<int> vcCredits_;        ///< [out_port][vc]
+    std::vector<int> stagedVcCredits_;  ///< [out_port][vc]
+    std::vector<int> lockOwner_;        ///< [out_port][vc] input or -1
+    std::vector<PacketId> lockPacket_;  ///< [out_port][vc]
+    std::vector<std::unique_ptr<Arbiter>> outArb_; ///< per output
+    std::vector<std::unique_ptr<Arbiter>> vcArb_;  ///< per input
+};
+
+} // namespace nox
+
+#endif // NOX_ROUTERS_VC_ROUTER_HPP

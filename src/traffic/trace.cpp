@@ -1,0 +1,110 @@
+#include "traffic/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "common/log.hpp"
+
+namespace nox {
+
+std::vector<TraceRecord>
+Trace::forNetwork(std::uint8_t net) const
+{
+    std::vector<TraceRecord> out;
+    for (const auto &r : records) {
+        if (r.network == net)
+            out.push_back(r);
+    }
+    std::stable_sort(out.begin(), out.end(),
+                     [](const TraceRecord &a, const TraceRecord &b) {
+                         return a.timeNs < b.timeNs;
+                     });
+    return out;
+}
+
+double
+Trace::bytesPerNsPerNode(int num_nodes, std::uint8_t net) const
+{
+    if (durationNs <= 0.0 || num_nodes <= 0)
+        return 0.0;
+    double bytes = 0.0;
+    for (const auto &r : records) {
+        if (r.network == net)
+            bytes += r.sizeBytes;
+    }
+    return bytes / durationNs / num_nodes;
+}
+
+void
+writeTrace(std::ostream &os, const Trace &trace)
+{
+    os << "# noxsim packet trace: " << trace.name << '\n';
+    os << "# duration_ns " << trace.durationNs << '\n';
+    os << "# time_ns src dst size_bytes network class\n";
+    for (const auto &r : trace.records) {
+        os << r.timeNs << ' ' << r.src << ' ' << r.dst << ' '
+           << r.sizeBytes << ' ' << static_cast<int>(r.network) << ' '
+           << static_cast<int>(r.cls) << '\n';
+    }
+}
+
+void
+writeTraceFile(const std::string &path, const Trace &trace)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open trace file for writing: ", path);
+    writeTrace(out, trace);
+}
+
+Trace
+readTrace(std::istream &is, const std::string &name)
+{
+    Trace trace;
+    trace.name = name;
+    std::string line;
+    int lineno = 0;
+    while (std::getline(is, line)) {
+        ++lineno;
+        if (line.empty())
+            continue;
+        if (line[0] == '#') {
+            std::istringstream hs(line.substr(1));
+            std::string key;
+            hs >> key;
+            if (key == "duration_ns")
+                hs >> trace.durationNs;
+            continue;
+        }
+        std::istringstream ls(line);
+        TraceRecord r;
+        int network = 0;
+        int cls = 0;
+        if (!(ls >> r.timeNs >> r.src >> r.dst >> r.sizeBytes >>
+              network >> cls)) {
+            fatal("malformed trace line ", lineno, ": '", line, "'");
+        }
+        r.network = static_cast<std::uint8_t>(network);
+        r.cls = static_cast<TrafficClass>(cls);
+        trace.records.push_back(r);
+    }
+    std::stable_sort(trace.records.begin(), trace.records.end(),
+                     [](const TraceRecord &a, const TraceRecord &b) {
+                         return a.timeNs < b.timeNs;
+                     });
+    if (trace.durationNs == 0.0 && !trace.records.empty())
+        trace.durationNs = trace.records.back().timeNs;
+    return trace;
+}
+
+Trace
+readTraceFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open trace file: ", path);
+    return readTrace(in, path);
+}
+
+} // namespace nox

@@ -1,0 +1,118 @@
+/** @file Unit tests for the set-associative cache model. */
+
+#include <gtest/gtest.h>
+
+#include "coherence/cache.hpp"
+
+namespace nox {
+namespace {
+
+TEST(Cache, GeometryDerivedFromParameters)
+{
+    // 32KB, 2-way, 64B lines -> 512 lines -> 256 sets (Table 1 L1).
+    SetAssocCache l1(32, 2, 64);
+    EXPECT_EQ(l1.numSets(), 256);
+    EXPECT_EQ(l1.ways(), 2);
+
+    // 256KB, 8-way, 64B lines -> 4096 lines -> 512 sets (Table 1 L2).
+    SetAssocCache l2(256, 8, 64);
+    EXPECT_EQ(l2.numSets(), 512);
+    EXPECT_EQ(l2.ways(), 8);
+}
+
+TEST(Cache, LineOfDividesByLineSize)
+{
+    SetAssocCache c(32, 2, 64);
+    EXPECT_EQ(c.lineOf(0), 0u);
+    EXPECT_EQ(c.lineOf(63), 0u);
+    EXPECT_EQ(c.lineOf(64), 1u);
+    EXPECT_EQ(c.lineOf(6400), 100u);
+}
+
+TEST(Cache, MissThenHit)
+{
+    SetAssocCache c(32, 2, 64);
+    EXPECT_FALSE(c.lookup(42));
+    c.insert(42, false);
+    EXPECT_TRUE(c.lookup(42));
+    EXPECT_EQ(c.hits(), 1u);
+    EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(Cache, LruEvictionWithinSet)
+{
+    SetAssocCache c(32, 2, 64); // 256 sets: lines n and n+256 collide
+    c.insert(0, false);
+    c.insert(256, false);
+    // Touch 0 so 256 becomes LRU.
+    EXPECT_TRUE(c.lookup(0));
+    const auto v = c.insert(512, false);
+    EXPECT_TRUE(v.evicted);
+    EXPECT_EQ(v.victimLine, 256u);
+    EXPECT_TRUE(c.contains(0));
+    EXPECT_FALSE(c.contains(256));
+}
+
+TEST(Cache, EvictionReportsDirtyVictim)
+{
+    SetAssocCache c(32, 2, 64);
+    c.insert(0, true);
+    c.insert(256, false);
+    c.lookup(256); // 0 becomes LRU
+    const auto v = c.insert(512, false);
+    EXPECT_TRUE(v.evicted);
+    EXPECT_EQ(v.victimLine, 0u);
+    EXPECT_TRUE(v.victimDirty);
+}
+
+TEST(Cache, DirtyBitLifecycle)
+{
+    SetAssocCache c(32, 2, 64);
+    c.insert(7, false);
+    EXPECT_FALSE(c.isDirty(7));
+    EXPECT_TRUE(c.markDirty(7));
+    EXPECT_TRUE(c.isDirty(7));
+    EXPECT_TRUE(c.clearDirty(7));
+    EXPECT_FALSE(c.isDirty(7));
+    EXPECT_FALSE(c.markDirty(999)); // absent line
+}
+
+TEST(Cache, InvalidateRemovesLine)
+{
+    SetAssocCache c(32, 2, 64);
+    c.insert(5, false);
+    EXPECT_TRUE(c.invalidate(5));
+    EXPECT_FALSE(c.contains(5));
+    EXPECT_FALSE(c.invalidate(5));
+}
+
+TEST(Cache, NoEvictionWhileSetHasRoom)
+{
+    SetAssocCache c(256, 8, 64); // 8-way
+    for (int i = 0; i < 8; ++i) {
+        const auto v = c.insert(
+            static_cast<std::uint64_t>(i) * 512, false);
+        EXPECT_FALSE(v.evicted) << i;
+    }
+    const auto v = c.insert(8 * 512, false);
+    EXPECT_TRUE(v.evicted);
+}
+
+TEST(Cache, WorkingSetSmallerThanCacheAlwaysHitsAfterWarm)
+{
+    SetAssocCache c(32, 2, 64); // 512 lines
+    for (std::uint64_t l = 0; l < 400; ++l)
+        c.insert(l, false);
+    for (std::uint64_t l = 0; l < 400; ++l)
+        EXPECT_TRUE(c.lookup(l)) << l;
+}
+
+TEST(CacheDeathTest, DoubleInsertAborts)
+{
+    SetAssocCache c(32, 2, 64);
+    c.insert(1, false);
+    EXPECT_DEATH(c.insert(1, false), "already-present");
+}
+
+} // namespace
+} // namespace nox

@@ -1,0 +1,47 @@
+/** @file Table 1 rendering test for the CMP parameter block. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "coherence/cmp_params.hpp"
+
+namespace nox {
+namespace {
+
+TEST(CmpParams, DefaultsMatchTable1)
+{
+    const CmpParams p;
+    EXPECT_EQ(p.cores, 64);
+    EXPECT_EQ(p.meshWidth * p.meshHeight, 64);
+    EXPECT_DOUBLE_EQ(p.cpuGhz, 3.0);
+    EXPECT_EQ(p.l1SizeKB, 32);
+    EXPECT_EQ(p.l1Ways, 2);
+    EXPECT_EQ(p.l2SizeKB, 256);
+    EXPECT_EQ(p.l2Ways, 8);
+    EXPECT_EQ(p.lineBytes, 64);
+    EXPECT_EQ(p.memLatencyCpuCycles, 100);
+    EXPECT_EQ(p.ctrlPacketBytes, 8);
+    EXPECT_EQ(p.dataPacketBytes, 72);
+    EXPECT_NEAR(p.cpuCycleNs(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(CmpParams, PrintsEveryTable1Row)
+{
+    const CmpParams p;
+    std::ostringstream os;
+    p.printTable(os);
+    const std::string out = os.str();
+    for (const char *needle :
+         {"Cores", "64", "8x8 mesh", "3GHz in order PowerPC",
+          "32KB, 2-way set associative",
+          "256KB, 8-way set associative", "64-bytes", "100 cycles",
+          "64-bit request, 64-bit reply network",
+          "8 byte control, 72 byte data", "4 64-bit entries/port",
+          "2mm", "Dimension Ordered Routing"}) {
+        EXPECT_NE(out.find(needle), std::string::npos) << needle;
+    }
+}
+
+} // namespace
+} // namespace nox

@@ -1,0 +1,90 @@
+/** @file Unit tests for the MSI directory. */
+
+#include <gtest/gtest.h>
+
+#include "coherence/directory.hpp"
+
+namespace nox {
+namespace {
+
+TEST(Directory, HomeInterleavedByLine)
+{
+    Directory d(64);
+    EXPECT_EQ(d.homeOf(0), 0);
+    EXPECT_EQ(d.homeOf(63), 63);
+    EXPECT_EQ(d.homeOf(64), 0);
+    EXPECT_EQ(d.homeOf(130), 2);
+}
+
+TEST(Directory, UntrackedLineIsInvalid)
+{
+    Directory d(64);
+    EXPECT_EQ(d.find(100), nullptr);
+}
+
+TEST(Directory, SharersAccumulate)
+{
+    Directory d(64);
+    d.addSharer(5, 3);
+    d.addSharer(5, 7);
+    const DirEntry *e = d.find(5);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->state, DirState::Shared);
+    EXPECT_EQ(e->sharerCount(), 2);
+    EXPECT_TRUE(e->isSharer(3));
+    EXPECT_TRUE(e->isSharer(7));
+    EXPECT_FALSE(e->isSharer(4));
+}
+
+TEST(Directory, ModifiedHasSingleOwner)
+{
+    Directory d(64);
+    d.addSharer(9, 1);
+    d.addSharer(9, 2);
+    d.setModified(9, 5);
+    const DirEntry *e = d.find(9);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->state, DirState::Modified);
+    EXPECT_EQ(e->owner, 5);
+    EXPECT_EQ(e->sharerCount(), 1);
+    EXPECT_TRUE(e->isSharer(5));
+}
+
+TEST(Directory, RemoveLastSharerInvalidates)
+{
+    Directory d(64);
+    d.addSharer(4, 2);
+    d.removeSharer(4, 2);
+    EXPECT_EQ(d.find(4), nullptr);
+    EXPECT_EQ(d.trackedLines(), 0u);
+}
+
+TEST(Directory, RemoveOwnerDowngrades)
+{
+    Directory d(64);
+    d.setModified(8, 3);
+    d.addSharer(8, 4); // reader joins; entry downgraded internally
+    const DirEntry *e = d.find(8);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->state, DirState::Shared);
+    EXPECT_EQ(e->owner, kInvalidNode);
+    EXPECT_EQ(e->sharerCount(), 2);
+}
+
+TEST(Directory, RemoveSharerOnUntrackedLineIsNoop)
+{
+    Directory d(64);
+    d.removeSharer(77, 3);
+    EXPECT_EQ(d.find(77), nullptr);
+}
+
+TEST(Directory, SetInvalidErases)
+{
+    Directory d(64);
+    d.setModified(6, 1);
+    d.setInvalid(6);
+    EXPECT_EQ(d.find(6), nullptr);
+}
+
+} // namespace
+} // namespace nox

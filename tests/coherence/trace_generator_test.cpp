@@ -1,0 +1,166 @@
+/** @file Integration tests for the coherence trace generator. */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "coherence/trace_generator.hpp"
+
+namespace nox {
+namespace {
+
+Trace
+smallTrace(const char *workload, double horizon = 3000.0,
+           double warmup = 6000.0)
+{
+    CmpParams params;
+    CoherenceTraceGenerator gen(params, findWorkload(workload), 42);
+    return gen.generate(horizon, warmup);
+}
+
+TEST(TraceGen, ProducesTraffic)
+{
+    const Trace t = smallTrace("barnes");
+    EXPECT_GT(t.records.size(), 1000u);
+    EXPECT_GE(t.durationNs, 3000.0);
+}
+
+TEST(TraceGen, Deterministic)
+{
+    const Trace a = smallTrace("fft");
+    const Trace b = smallTrace("fft");
+    ASSERT_EQ(a.records.size(), b.records.size());
+    for (std::size_t i = 0; i < a.records.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a.records[i].timeNs, b.records[i].timeNs);
+        EXPECT_EQ(a.records[i].src, b.records[i].src);
+        EXPECT_EQ(a.records[i].dst, b.records[i].dst);
+    }
+}
+
+TEST(TraceGen, PacketSizesMatchTable1)
+{
+    const Trace t = smallTrace("tpcc");
+    for (const auto &r : t.records) {
+        EXPECT_TRUE(r.sizeBytes == 8 || r.sizeBytes == 72)
+            << r.sizeBytes;
+    }
+}
+
+TEST(TraceGen, ControlPacketsAreTheMajority)
+{
+    // §2.7: "the majority of packets are single-flit control packets
+    // in cache coherent systems".
+    const Trace t = smallTrace("barnes", 6000.0);
+    std::size_t ctrl = 0;
+    for (const auto &r : t.records)
+        ctrl += (r.sizeBytes == 8);
+    EXPECT_GT(static_cast<double>(ctrl) /
+                  static_cast<double>(t.records.size()),
+              0.6);
+}
+
+TEST(TraceGen, TwoPhysicalNetworksBothUsed)
+{
+    const Trace t = smallTrace("ocean");
+    EXPECT_GT(t.forNetwork(0).size(), 100u);
+    EXPECT_GT(t.forNetwork(1).size(), 100u);
+    // Classes align with networks.
+    for (const auto &r : t.forNetwork(0))
+        EXPECT_EQ(static_cast<int>(r.cls),
+                  static_cast<int>(TrafficClass::Request));
+    for (const auto &r : t.forNetwork(1))
+        EXPECT_EQ(static_cast<int>(r.cls),
+                  static_cast<int>(TrafficClass::Reply));
+}
+
+TEST(TraceGen, NoSelfAddressedPackets)
+{
+    const Trace t = smallTrace("lu");
+    for (const auto &r : t.records)
+        EXPECT_NE(r.src, r.dst);
+}
+
+TEST(TraceGen, TimeSortedAndRebasedAfterWarmup)
+{
+    const Trace t = smallTrace("radix");
+    double prev = 0.0;
+    for (const auto &r : t.records) {
+        EXPECT_GE(r.timeNs, 0.0);
+        EXPECT_GE(r.timeNs, prev);
+        prev = r.timeNs;
+    }
+}
+
+TEST(TraceGen, WarmCachesHitMostly)
+{
+    CmpParams params;
+    CoherenceTraceGenerator gen(params, findWorkload("water"), 7);
+    (void)gen.generate(4000.0, 30000.0);
+    const TraceGenStats &s = gen.stats();
+    EXPECT_GT(s.memOps, 100000u);
+    // After warmup the overall hit rate must be high (spatial reuse).
+    const double l1_hit_rate =
+        static_cast<double>(s.l1Hits) / s.memOps;
+    EXPECT_GT(l1_hit_rate, 0.80);
+    EXPECT_LT(s.l2Misses, s.l1Misses);
+}
+
+TEST(TraceGen, CoherenceActivityPresent)
+{
+    CmpParams params;
+    CoherenceTraceGenerator gen(params, findWorkload("tpcc"), 7);
+    (void)gen.generate(8000.0, 20000.0);
+    const TraceGenStats &s = gen.stats();
+    EXPECT_GT(s.getS, 0u);
+    EXPECT_GT(s.getM, 0u);
+    EXPECT_GT(s.invalidations, 0u);
+    EXPECT_GT(s.forwards, 0u);
+}
+
+TEST(TraceGen, RequestsAndRepliesRoughlyPaired)
+{
+    // Every data-bearing transaction has a request; the request net
+    // cannot be empty relative to replies.
+    const Trace t = smallTrace("specjbb", 5000.0);
+    const double req = static_cast<double>(t.forNetwork(0).size());
+    const double rep = static_cast<double>(t.forNetwork(1).size());
+    EXPECT_GT(req / rep, 0.5);
+    EXPECT_LT(req / rep, 4.0);
+}
+
+TEST(TraceGen, LoadInEvaluationBand)
+{
+    // The shipped profiles target a per-node load below saturation
+    // but high enough to exercise contention (roughly 1.5-4 GB/s
+    // combined across both physical networks).
+    for (const char *name : {"barnes", "tpcc"}) {
+        const Trace t = smallTrace(name, 8000.0, 30000.0);
+        const double load = t.bytesPerNsPerNode(64, 0) +
+                            t.bytesPerNsPerNode(64, 1);
+        EXPECT_GT(load, 1.0) << name;
+        EXPECT_LT(load, 4.5) << name;
+    }
+}
+
+TEST(TraceGen, DifferentWorkloadsDifferentTraffic)
+{
+    // The sharing-heavy commercial profile produces far more
+    // invalidation activity per memory operation than the regular
+    // scientific kernel.
+    CmpParams params;
+    CoherenceTraceGenerator lu(params, findWorkload("lu"), 42);
+    (void)lu.generate(4000.0, 6000.0);
+    CoherenceTraceGenerator tpcc(params, findWorkload("tpcc"), 42);
+    (void)tpcc.generate(4000.0, 6000.0);
+
+    const double lu_inv =
+        static_cast<double>(lu.stats().invalidations) /
+        static_cast<double>(lu.stats().memOps);
+    const double tpcc_inv =
+        static_cast<double>(tpcc.stats().invalidations) /
+        static_cast<double>(tpcc.stats().memOps);
+    EXPECT_GT(tpcc_inv, 2.0 * lu_inv);
+}
+
+} // namespace
+} // namespace nox

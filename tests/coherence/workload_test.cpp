@@ -1,0 +1,146 @@
+/** @file Unit tests for workload profiles and address streams. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "coherence/workload.hpp"
+
+namespace nox {
+namespace {
+
+TEST(Workloads, SuiteHasScientificAndCommercial)
+{
+    const auto &ws = builtinWorkloads();
+    EXPECT_EQ(ws.size(), 10u);
+    for (const char *name : {"barnes", "fft", "lu", "ocean", "radix",
+                             "water", "apache", "specjbb", "specweb",
+                             "tpcc"}) {
+        EXPECT_EQ(findWorkload(name).name, name);
+    }
+}
+
+TEST(Workloads, ParametersSane)
+{
+    for (const auto &w : builtinWorkloads()) {
+        EXPECT_GT(w.memOpsPerCpuCycle, 0.0) << w.name;
+        EXPECT_LT(w.memOpsPerCpuCycle, 1.0) << w.name;
+        EXPECT_GE(w.writeFraction, 0.0);
+        EXPECT_LE(w.writeFraction, 1.0);
+        EXPECT_GT(w.privateWorkingSetKB, 0);
+        EXPECT_GT(w.sharedWorkingSetKB, 0);
+        EXPECT_GT(w.lineRepeatMean, 1.0);
+        EXPECT_GE(w.mlp, 1.0);
+        EXPECT_GT(w.hotLines, 0);
+        EXPECT_GT(w.hotHomes, 0);
+    }
+}
+
+TEST(WorkloadsDeathTest, UnknownNameFatal)
+{
+    EXPECT_EXIT((void)findWorkload("quake"),
+                ::testing::ExitedWithCode(1), "unknown workload");
+}
+
+TEST(AddressStream, PrivateRegionsDisjointAcrossCores)
+{
+    const WorkloadProfile &w = findWorkload("barnes");
+    AddressStream a(w, 0, 64, 1);
+    AddressStream b(w, 1, 64, 2);
+    std::set<std::uint64_t> seen_a;
+    for (int i = 0; i < 2000; ++i) {
+        const auto op = a.next(0.0); // private only
+        seen_a.insert(op.addr >> 26); // arena id
+    }
+    for (int i = 0; i < 2000; ++i) {
+        const auto op = b.next(0.0);
+        EXPECT_EQ(seen_a.count(op.addr >> 26), 0u);
+    }
+}
+
+TEST(AddressStream, SharedRegionCommon)
+{
+    const WorkloadProfile &w = findWorkload("tpcc");
+    AddressStream a(w, 0, 64, 1);
+    AddressStream b(w, 63, 64, 2);
+    std::set<std::uint64_t> lines_a, lines_b;
+    for (int i = 0; i < 30000; ++i) {
+        const auto opa = a.next(5.0); // force mostly shared
+        const auto opb = b.next(5.0);
+        if (opa.addr >= (1ULL << 40))
+            lines_a.insert(opa.addr / 64);
+        if (opb.addr >= (1ULL << 40))
+            lines_b.insert(opb.addr / 64);
+    }
+    // The two cores overlap on shared lines.
+    int common = 0;
+    for (auto l : lines_a)
+        common += lines_b.count(l);
+    EXPECT_GT(common, 10);
+}
+
+TEST(AddressStream, LineReuseMatchesRepeatMean)
+{
+    WorkloadProfile w = findWorkload("fft");
+    w.sharedFraction = 0.0;
+    w.sequentialProb = 0.0;
+    AddressStream s(w, 0, 64, 3);
+    // Average run length of identical consecutive line addresses.
+    int runs = 0;
+    std::uint64_t prev = ~0ULL;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const auto op = s.next();
+        const std::uint64_t line = op.addr / 64;
+        if (line != prev)
+            ++runs;
+        prev = line;
+    }
+    const double mean_run = static_cast<double>(n) / runs;
+    EXPECT_NEAR(mean_run, w.lineRepeatMean, w.lineRepeatMean * 0.15);
+}
+
+TEST(AddressStream, HotLinesConcentrateOnHotHomes)
+{
+    WorkloadProfile w = findWorkload("barnes");
+    AddressStream s(w, 0, 64, 4);
+    std::set<int> homes;
+    for (int i = 0; i < 50000; ++i) {
+        const auto op = s.next(5.0, 5.0);
+        if (op.hot)
+            homes.insert(static_cast<int>((op.addr / 64) % 64));
+    }
+    EXPECT_GT(homes.size(), 0u);
+    EXPECT_LE(static_cast<int>(homes.size()), w.hotHomes);
+}
+
+TEST(AddressStream, HotLinesAreReadMostly)
+{
+    WorkloadProfile w = findWorkload("water");
+    AddressStream s(w, 0, 64, 5);
+    int hot_ops = 0, hot_writes = 0;
+    for (int i = 0; i < 200000; ++i) {
+        const auto op = s.next(5.0, 3.0);
+        if (op.hot) {
+            ++hot_ops;
+            hot_writes += op.write;
+        }
+    }
+    ASSERT_GT(hot_ops, 1000);
+    EXPECT_NEAR(static_cast<double>(hot_writes) / hot_ops,
+                w.hotWriteFraction, 0.02);
+}
+
+TEST(AddressStream, SharedScaleZeroMeansPrivateOnly)
+{
+    const WorkloadProfile &w = findWorkload("apache");
+    AddressStream s(w, 3, 64, 6);
+    for (int i = 0; i < 5000; ++i) {
+        const auto op = s.next(0.0);
+        EXPECT_LT(op.addr, 1ULL << 40);
+        EXPECT_FALSE(op.hot);
+    }
+}
+
+} // namespace
+} // namespace nox

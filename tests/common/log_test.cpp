@@ -1,0 +1,92 @@
+/** @file Unit tests for logging and error reporting. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/log.hpp"
+
+namespace nox {
+namespace {
+
+class LogTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        setLogStream(&stream_);
+        setLogLevel(LogLevel::Debug);
+    }
+
+    void
+    TearDown() override
+    {
+        setLogStream(nullptr);
+        setLogLevel(LogLevel::Warn);
+    }
+
+    std::ostringstream stream_;
+};
+
+TEST_F(LogTest, InformEmitsAtInfoLevel)
+{
+    inform("hello ", 42);
+    EXPECT_EQ(stream_.str(), "info: hello 42\n");
+}
+
+TEST_F(LogTest, WarnEmits)
+{
+    warn("watch out");
+    EXPECT_EQ(stream_.str(), "warn: watch out\n");
+}
+
+TEST_F(LogTest, VerbosityFiltersInfo)
+{
+    setLogLevel(LogLevel::Warn);
+    inform("quiet");
+    EXPECT_TRUE(stream_.str().empty());
+    warn("loud");
+    EXPECT_EQ(stream_.str(), "warn: loud\n");
+}
+
+TEST_F(LogTest, SilentSuppressesWarn)
+{
+    setLogLevel(LogLevel::Silent);
+    warn("nope");
+    inform("nope");
+    debugLog("nope");
+    EXPECT_TRUE(stream_.str().empty());
+}
+
+TEST_F(LogTest, DebugOnlyAtDebugLevel)
+{
+    debugLog("trace me");
+    EXPECT_EQ(stream_.str(), "debug: trace me\n");
+}
+
+TEST(LogDeathTest, FatalExitsWithOne)
+{
+    EXPECT_EXIT(fatal("bad config"), ::testing::ExitedWithCode(1),
+                "fatal: bad config");
+}
+
+TEST(LogDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(panic("invariant"), "panic: invariant");
+}
+
+TEST(LogDeathTest, AssertMacroAborts)
+{
+    EXPECT_DEATH(NOX_ASSERT(1 == 2, "math broke"),
+                 "assertion failed");
+}
+
+TEST(LogDeathTest, AssertMacroPassesSilently)
+{
+    NOX_ASSERT(1 == 1);
+    SUCCEED();
+}
+
+} // namespace
+} // namespace nox

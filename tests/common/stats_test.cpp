@@ -1,0 +1,153 @@
+/** @file Unit tests for statistics primitives. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.hpp"
+
+namespace nox {
+namespace {
+
+TEST(SampleStats, EmptyIsZero)
+{
+    SampleStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 0.0);
+    EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(SampleStats, KnownValues)
+{
+    SampleStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    // Sample variance of this classic dataset is 32/7.
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_NEAR(s.sum(), 40.0, 1e-9);
+}
+
+TEST(SampleStats, MergeEqualsCombined)
+{
+    SampleStats a, b, all;
+    for (int i = 0; i < 100; ++i) {
+        const double x = std::sin(i) * 10.0;
+        (i % 2 ? a : b).add(x);
+        all.add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(SampleStats, MergeWithEmpty)
+{
+    SampleStats a, b;
+    a.add(1.0);
+    a.add(3.0);
+    a.merge(b); // no-op
+    EXPECT_EQ(a.count(), 2u);
+    b.merge(a); // copy
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(SampleStats, ResetClears)
+{
+    SampleStats s;
+    s.add(5.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    Histogram h(1.0, 4); // [0,1) [1,2) [2,3) [3,4) + overflow
+    h.add(0.5);
+    h.add(1.5);
+    h.add(1.9);
+    h.add(3.99);
+    h.add(10.0);
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(1), 2u);
+    EXPECT_EQ(h.bucketCount(2), 0u);
+    EXPECT_EQ(h.bucketCount(3), 1u);
+    EXPECT_EQ(h.overflowCount(), 1u);
+}
+
+TEST(Histogram, NegativeClampsToZeroBucket)
+{
+    Histogram h(1.0, 2);
+    h.add(-5.0);
+    EXPECT_EQ(h.bucketCount(0), 1u);
+}
+
+TEST(Histogram, QuantileMedian)
+{
+    Histogram h(1.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.add(static_cast<double>(i) + 0.5);
+    EXPECT_NEAR(h.quantile(0.5), 50.0, 1.0);
+    EXPECT_NEAR(h.quantile(0.95), 95.0, 1.0);
+    EXPECT_NEAR(h.quantile(0.0), 0.0, 1.0);
+}
+
+TEST(Histogram, QuantileInOverflowReturnsUpperBound)
+{
+    Histogram h(1.0, 2);
+    h.add(100.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.99), 2.0);
+}
+
+TEST(Histogram, ResetClears)
+{
+    Histogram h(1.0, 2);
+    h.add(0.5);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.bucketCount(0), 0u);
+}
+
+TEST(Counter, IncrementAndReset)
+{
+    Counter c("flits");
+    c.inc();
+    c.inc(4);
+    EXPECT_EQ(c.value(), 5u);
+    EXPECT_EQ(c.name(), "flits");
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Ewma, ConvergesToConstant)
+{
+    Ewma e(0.25);
+    EXPECT_FALSE(e.valid());
+    for (int i = 0; i < 100; ++i)
+        e.add(3.0);
+    EXPECT_TRUE(e.valid());
+    EXPECT_NEAR(e.value(), 3.0, 1e-9);
+}
+
+TEST(Ewma, FirstSamplePrimes)
+{
+    Ewma e(0.5);
+    e.add(10.0);
+    EXPECT_DOUBLE_EQ(e.value(), 10.0);
+    e.add(0.0);
+    EXPECT_DOUBLE_EQ(e.value(), 5.0);
+}
+
+} // namespace
+} // namespace nox

@@ -1,0 +1,86 @@
+/** @file Unit tests for the ASCII table printer. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/table.hpp"
+
+namespace nox {
+namespace {
+
+TEST(Table, AlignsColumns)
+{
+    Table t({"name", "v"});
+    t.addRow({"long-name", "1"});
+    t.addRow({"x", "22"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("name       v"), std::string::npos);
+    EXPECT_NE(out.find("long-name  1"), std::string::npos);
+    EXPECT_NE(out.find("x          22"), std::string::npos);
+}
+
+TEST(Table, HeaderRuleMatchesWidth)
+{
+    Table t({"ab"});
+    t.addRow({"abcd"});
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_NE(os.str().find("----"), std::string::npos);
+}
+
+TEST(Table, NumFormatsPrecision)
+{
+    EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+    EXPECT_EQ(Table::num(2.0, 0), "2");
+    EXPECT_EQ(Table::num(-0.5, 1), "-0.5");
+}
+
+TEST(Table, CountsRowsAndCols)
+{
+    Table t({"a", "b", "c"});
+    EXPECT_EQ(t.numCols(), 3u);
+    EXPECT_EQ(t.numRows(), 0u);
+    t.addRow({"1", "2", "3"});
+    EXPECT_EQ(t.numRows(), 1u);
+}
+
+TEST(TableDeathTest, RowArityMismatchAborts)
+{
+    Table t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "row arity mismatch");
+}
+
+TEST(TableCsv, PlainFields)
+{
+    Table t({"name", "value"});
+    t.addRow({"x", "1.5"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "name,value\nx,1.5\n");
+}
+
+TEST(TableCsv, QuotesCommasAndQuotes)
+{
+    Table t({"a"});
+    t.addRow({"hello, world"});
+    t.addRow({"say \"hi\""});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(),
+              "a\n\"hello, world\"\n\"say \"\"hi\"\"\"\n");
+}
+
+TEST(TableCsv, QuotesNewlines)
+{
+    Table t({"a", "b"});
+    t.addRow({"line1\nline2", "z"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n\"line1\nline2\",z\n");
+}
+
+} // namespace
+} // namespace nox

@@ -1,0 +1,201 @@
+/** @file Tests for the experiment runners (synthetic + application)
+ *  including paper-shape assertions on small configurations. */
+
+#include <gtest/gtest.h>
+
+#include "coherence/trace_generator.hpp"
+#include "core/sim_runner.hpp"
+
+namespace nox {
+namespace {
+
+TEST(UnitConversion, MbpsFlitsRoundTrip)
+{
+    // 8000 MB/s at a 1 ns clock is exactly one 8-byte flit per cycle.
+    EXPECT_DOUBLE_EQ(mbpsToFlitsPerCycle(8000.0, 1.0), 1.0);
+    EXPECT_DOUBLE_EQ(flitsPerCycleToMbps(1.0, 1.0), 8000.0);
+    for (double mbps : {100.0, 575.0, 2775.0}) {
+        for (double period : {0.69, 0.76, 0.92}) {
+            EXPECT_NEAR(flitsPerCycleToMbps(
+                            mbpsToFlitsPerCycle(mbps, period), period),
+                        mbps, 1e-9);
+        }
+    }
+}
+
+TEST(UnitConversion, FasterClockMeansFewerFlitsPerCycle)
+{
+    EXPECT_LT(mbpsToFlitsPerCycle(1000.0, 0.69),
+              mbpsToFlitsPerCycle(1000.0, 0.92));
+}
+
+SyntheticConfig
+quickConfig(RouterArch arch, double mbps)
+{
+    SyntheticConfig c;
+    c.arch = arch;
+    c.injectionMBps = mbps;
+    c.warmupCycles = 2000;
+    c.measureCycles = 6000;
+    c.drainLimitCycles = 60000;
+    return c;
+}
+
+TEST(RunSynthetic, LowLoadLatencyNearZeroLoad)
+{
+    const RunResult r = runSynthetic(quickConfig(RouterArch::Nox, 200));
+    EXPECT_FALSE(r.saturated);
+    EXPECT_TRUE(r.drained);
+    EXPECT_GT(r.packetsMeasured, 1000u);
+    // 8x8 mesh zero-load is ~9 cycles; allow queueing slack.
+    EXPECT_GT(r.avgLatencyCycles, 7.0);
+    EXPECT_LT(r.avgLatencyCycles, 12.0);
+    EXPECT_NEAR(r.avgLatencyNs, r.avgLatencyCycles * r.periodNs,
+                1e-9);
+}
+
+TEST(RunSynthetic, AcceptedTracksOfferedBelowSaturation)
+{
+    const RunResult r =
+        runSynthetic(quickConfig(RouterArch::SpecAccurate, 800));
+    EXPECT_FALSE(r.saturated);
+    EXPECT_NEAR(r.acceptedMBps, r.offeredMBps, r.offeredMBps * 0.08);
+}
+
+TEST(RunSynthetic, LatencyIncreasesWithLoad)
+{
+    const RunResult lo = runSynthetic(quickConfig(RouterArch::Nox, 300));
+    const RunResult hi =
+        runSynthetic(quickConfig(RouterArch::Nox, 1800));
+    EXPECT_GT(hi.avgLatencyNs, lo.avgLatencyNs);
+}
+
+TEST(RunSynthetic, SaturationDetected)
+{
+    const RunResult r =
+        runSynthetic(quickConfig(RouterArch::SpecFast, 4000));
+    EXPECT_TRUE(r.saturated);
+}
+
+TEST(RunSynthetic, BeyondPeakInjectionMarkedSaturated)
+{
+    const RunResult r =
+        runSynthetic(quickConfig(RouterArch::NonSpeculative, 20000));
+    EXPECT_TRUE(r.saturated);
+    EXPECT_EQ(r.packetsMeasured, 0u);
+}
+
+TEST(RunSynthetic, ClockPeriodRankingAtLowLoad)
+{
+    // At low load every router is near zero-load, so nanosecond
+    // latency must follow Table 2's clock ordering (§5.1).
+    double lat[4];
+    int i = 0;
+    for (RouterArch a : kAllArchs)
+        lat[i++] = runSynthetic(quickConfig(a, 200)).avgLatencyNs;
+    // NonSpec slowest; SpecFast fastest.
+    EXPECT_GT(lat[0], lat[1]);
+    EXPECT_GT(lat[0], lat[2]);
+    EXPECT_GT(lat[0], lat[3]);
+    EXPECT_LT(lat[1], lat[2]);
+    EXPECT_LT(lat[2], lat[3]);
+}
+
+TEST(RunSynthetic, NoxWinsHighLoadSingleFlit)
+{
+    // Above the crossover region the NoX offers the lowest latency
+    // (Fig 8a shape).
+    double lat[4];
+    int i = 0;
+    for (RouterArch a : kAllArchs)
+        lat[i++] = runSynthetic(quickConfig(a, 2500)).avgLatencyNs;
+    EXPECT_LT(lat[3], lat[0]);
+    EXPECT_LT(lat[3], lat[1]);
+    EXPECT_LT(lat[3], lat[2]);
+}
+
+TEST(RunSynthetic, EnergyBreakdownPopulated)
+{
+    const RunResult r = runSynthetic(quickConfig(RouterArch::Nox, 800));
+    EXPECT_GT(r.energy.totalPj(), 0.0);
+    EXPECT_GT(r.energy.linkFraction(), 0.4);
+    EXPECT_GT(r.powerW, 0.0);
+    EXPECT_GT(r.energyPerPacketPj, 0.0);
+    EXPECT_GT(r.ed2, 0.0);
+}
+
+TEST(RunSynthetic, SpecRoutersWasteLinkEnergyNoxDoesNot)
+{
+    const RunResult spec =
+        runSynthetic(quickConfig(RouterArch::SpecAccurate, 1500));
+    const RunResult noxr =
+        runSynthetic(quickConfig(RouterArch::Nox, 1500));
+    // Same offered bytes; the speculative router's link energy
+    // includes misspeculation drives (§3.2).
+    EXPECT_GT(spec.energy.linkPj, noxr.energy.linkPj * 1.005);
+}
+
+TEST(RunSynthetic, SelfSimilarRunsAndIsBurstier)
+{
+    SyntheticConfig c = quickConfig(RouterArch::Nox, 800);
+    c.selfSimilar = true;
+    c.measureCycles = 10000;
+    const RunResult pareto = runSynthetic(c);
+    EXPECT_GT(pareto.packetsMeasured, 100u);
+    // Bursty traffic queues more at equal mean load.
+    const RunResult bern = runSynthetic(quickConfig(RouterArch::Nox,
+                                                    800));
+    EXPECT_GT(pareto.avgLatencyNs, bern.avgLatencyNs);
+}
+
+TEST(RunSynthetic, DeterministicAcrossRuns)
+{
+    const RunResult a = runSynthetic(quickConfig(RouterArch::Nox, 600));
+    const RunResult b = runSynthetic(quickConfig(RouterArch::Nox, 600));
+    EXPECT_DOUBLE_EQ(a.avgLatencyNs, b.avgLatencyNs);
+    EXPECT_EQ(a.packetsMeasured, b.packetsMeasured);
+}
+
+TEST(RunApplication, ReplaysTraceThroughBothNetworks)
+{
+    CmpParams params;
+    CoherenceTraceGenerator gen(params, findWorkload("water"), 11);
+    const Trace trace = gen.generate(2500.0, 5000.0);
+
+    AppConfig config;
+    config.arch = RouterArch::Nox;
+    const AppResult r = runApplication(config, trace);
+    EXPECT_TRUE(r.drained);
+    EXPECT_GT(r.packets, 1000u);
+    EXPECT_GT(r.avgLatencyNs, 4.0);
+    EXPECT_LT(r.avgLatencyNs, 60.0);
+    EXPECT_GT(r.avgLatencyNsRequest, 0.0);
+    EXPECT_GT(r.avgLatencyNsReply, 0.0);
+    EXPECT_GE(r.avgTotalLatencyNs, r.avgLatencyNs);
+    EXPECT_GT(r.energyPerPacketPj, 0.0);
+    EXPECT_GT(r.ed2, 0.0);
+}
+
+TEST(RunApplication, ArchitectureOrderingOnApplicationTraffic)
+{
+    CmpParams params;
+    CoherenceTraceGenerator gen(params, findWorkload("barnes"), 11);
+    const Trace trace = gen.generate(4000.0, 8000.0);
+
+    double lat[4];
+    int i = 0;
+    for (RouterArch a : kAllArchs) {
+        AppConfig config;
+        config.arch = a;
+        lat[i++] = runApplication(config, trace).avgLatencyNs;
+    }
+    // NonSpec worst; the NoX/Spec-Accurate pair leads (EXPERIMENTS.md
+    // discusses the intra-pair placement vs the paper).
+    EXPECT_GT(lat[0], lat[2]);
+    EXPECT_GT(lat[0], lat[3]);
+    EXPECT_GT(lat[1], lat[2]);
+    EXPECT_GT(lat[1], lat[3]);
+}
+
+} // namespace
+} // namespace nox

@@ -1,0 +1,104 @@
+/** @file Unit tests for the output arbiters. */
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "noc/arbiter.hpp"
+
+namespace nox {
+namespace {
+
+TEST(RoundRobin, NoRequestsNoGrant)
+{
+    RoundRobinArbiter a(5);
+    EXPECT_EQ(a.grant(0), -1);
+}
+
+TEST(RoundRobin, SingleRequestWins)
+{
+    RoundRobinArbiter a(5);
+    EXPECT_EQ(a.grant(1u << 3), 3);
+}
+
+TEST(RoundRobin, RotatesAmongContenders)
+{
+    RoundRobinArbiter a(4);
+    const RequestMask all = 0xF;
+    EXPECT_EQ(a.grant(all), 0);
+    EXPECT_EQ(a.grant(all), 1);
+    EXPECT_EQ(a.grant(all), 2);
+    EXPECT_EQ(a.grant(all), 3);
+    EXPECT_EQ(a.grant(all), 0);
+}
+
+TEST(RoundRobin, SkipsNonRequesters)
+{
+    RoundRobinArbiter a(4);
+    EXPECT_EQ(a.grant(0b1010), 1);
+    EXPECT_EQ(a.grant(0b1010), 3);
+    EXPECT_EQ(a.grant(0b1010), 1);
+}
+
+TEST(RoundRobin, FairUnderSaturation)
+{
+    RoundRobinArbiter a(5);
+    std::array<int, 5> wins{};
+    for (int i = 0; i < 5000; ++i)
+        wins[static_cast<std::size_t>(a.grant(0b11111))] += 1;
+    for (int w : wins)
+        EXPECT_EQ(w, 1000);
+}
+
+TEST(RoundRobin, ResetRestoresPointer)
+{
+    RoundRobinArbiter a(3);
+    (void)a.grant(0b111);
+    a.reset();
+    EXPECT_EQ(a.pointer(), 0);
+    EXPECT_EQ(a.grant(0b111), 0);
+}
+
+TEST(FixedPriority, AlwaysLowestIndex)
+{
+    FixedPriorityArbiter a(5);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(a.grant(0b10110), 1);
+    EXPECT_EQ(a.grant(0), -1);
+}
+
+TEST(Matrix, SingleRequestWins)
+{
+    MatrixArbiter a(5);
+    EXPECT_EQ(a.grant(1u << 4), 4);
+}
+
+TEST(Matrix, LeastRecentlyServedWins)
+{
+    MatrixArbiter a(3);
+    EXPECT_EQ(a.grant(0b111), 0); // initial order by index
+    EXPECT_EQ(a.grant(0b111), 1);
+    EXPECT_EQ(a.grant(0b111), 2);
+    // 0 was served longest ago among {0,2}.
+    EXPECT_EQ(a.grant(0b101), 0);
+    EXPECT_EQ(a.grant(0b101), 2);
+}
+
+TEST(Matrix, FairUnderSaturation)
+{
+    MatrixArbiter a(4);
+    std::array<int, 4> wins{};
+    for (int i = 0; i < 4000; ++i)
+        wins[static_cast<std::size_t>(a.grant(0xF))] += 1;
+    for (int w : wins)
+        EXPECT_EQ(w, 1000);
+}
+
+TEST(Matrix, NoRequestsNoGrant)
+{
+    MatrixArbiter a(4);
+    EXPECT_EQ(a.grant(0), -1);
+}
+
+} // namespace
+} // namespace nox

@@ -1,0 +1,82 @@
+/** @file Unit tests for the bounded flit FIFO. */
+
+#include <gtest/gtest.h>
+
+#include "noc/fifo.hpp"
+
+namespace nox {
+namespace {
+
+WireFlit
+wf(PacketId p)
+{
+    FlitDesc d;
+    d.uid = flitUid(p, 0);
+    d.packet = p;
+    d.payload = expectedPayload(p, 0);
+    return WireFlit::fromDesc(d);
+}
+
+TEST(FlitFifo, StartsEmpty)
+{
+    FlitFifo f(4);
+    EXPECT_TRUE(f.empty());
+    EXPECT_FALSE(f.full());
+    EXPECT_EQ(f.size(), 0u);
+    EXPECT_EQ(f.capacity(), 4u);
+}
+
+TEST(FlitFifo, FifoOrder)
+{
+    FlitFifo f(4);
+    f.push(wf(1));
+    f.push(wf(2));
+    f.push(wf(3));
+    EXPECT_EQ(f.pop().parts.front().packet, 1u);
+    EXPECT_EQ(f.pop().parts.front().packet, 2u);
+    EXPECT_EQ(f.pop().parts.front().packet, 3u);
+    EXPECT_TRUE(f.empty());
+}
+
+TEST(FlitFifo, FullAtCapacity)
+{
+    FlitFifo f(2);
+    f.push(wf(1));
+    EXPECT_FALSE(f.full());
+    f.push(wf(2));
+    EXPECT_TRUE(f.full());
+}
+
+TEST(FlitFifo, FrontDoesNotConsume)
+{
+    FlitFifo f(2);
+    f.push(wf(9));
+    EXPECT_EQ(f.front().parts.front().packet, 9u);
+    EXPECT_EQ(f.size(), 1u);
+}
+
+TEST(FlitFifo, WrapsAroundManyTimes)
+{
+    FlitFifo f(3);
+    for (PacketId p = 1; p <= 100; ++p) {
+        f.push(wf(p));
+        EXPECT_EQ(f.pop().parts.front().packet, p);
+    }
+}
+
+TEST(FlitFifoDeathTest, OverflowAborts)
+{
+    FlitFifo f(1);
+    f.push(wf(1));
+    EXPECT_DEATH(f.push(wf(2)), "overflow");
+}
+
+TEST(FlitFifoDeathTest, UnderflowAborts)
+{
+    FlitFifo f(1);
+    EXPECT_DEATH((void)f.pop(), "empty");
+    EXPECT_DEATH((void)f.front(), "empty");
+}
+
+} // namespace
+} // namespace nox

@@ -1,0 +1,98 @@
+/** @file Unit tests for the mesh topology. */
+
+#include <gtest/gtest.h>
+
+#include "noc/topology.hpp"
+
+namespace nox {
+namespace {
+
+TEST(Mesh, CoordinateRoundTrip)
+{
+    const Mesh m(8, 8);
+    for (NodeId n = 0; n < m.numNodes(); ++n)
+        EXPECT_EQ(m.nodeAt(m.coordOf(n)), n);
+}
+
+TEST(Mesh, RowMajorNumbering)
+{
+    const Mesh m(8, 8);
+    EXPECT_EQ(m.coordOf(0), (Coord{0, 0}));
+    EXPECT_EQ(m.coordOf(7), (Coord{7, 0}));
+    EXPECT_EQ(m.coordOf(8), (Coord{0, 1}));
+    EXPECT_EQ(m.coordOf(63), (Coord{7, 7}));
+}
+
+TEST(Mesh, InteriorNeighbors)
+{
+    const Mesh m(8, 8);
+    const NodeId n = m.nodeAt({3, 3});
+    EXPECT_EQ(m.neighbor(n, kPortNorth), m.nodeAt({3, 2}));
+    EXPECT_EQ(m.neighbor(n, kPortSouth), m.nodeAt({3, 4}));
+    EXPECT_EQ(m.neighbor(n, kPortEast), m.nodeAt({4, 3}));
+    EXPECT_EQ(m.neighbor(n, kPortWest), m.nodeAt({2, 3}));
+}
+
+TEST(Mesh, EdgesHaveNoNeighbor)
+{
+    const Mesh m(4, 4);
+    EXPECT_EQ(m.neighbor(0, kPortNorth), kInvalidNode);
+    EXPECT_EQ(m.neighbor(0, kPortWest), kInvalidNode);
+    EXPECT_EQ(m.neighbor(15, kPortSouth), kInvalidNode);
+    EXPECT_EQ(m.neighbor(15, kPortEast), kInvalidNode);
+}
+
+TEST(Mesh, NeighborSymmetry)
+{
+    const Mesh m(5, 3);
+    for (NodeId n = 0; n < m.numNodes(); ++n) {
+        for (int p = kPortNorth; p <= kPortWest; ++p) {
+            const NodeId nb = m.neighbor(n, p);
+            if (nb == kInvalidNode)
+                continue;
+            EXPECT_EQ(m.neighbor(nb, Mesh::oppositePort(p)), n);
+        }
+    }
+}
+
+TEST(Mesh, OppositePorts)
+{
+    EXPECT_EQ(Mesh::oppositePort(kPortNorth), kPortSouth);
+    EXPECT_EQ(Mesh::oppositePort(kPortSouth), kPortNorth);
+    EXPECT_EQ(Mesh::oppositePort(kPortEast), kPortWest);
+    EXPECT_EQ(Mesh::oppositePort(kPortWest), kPortEast);
+}
+
+TEST(Mesh, HopDistanceManhattan)
+{
+    const Mesh m(8, 8);
+    EXPECT_EQ(m.hopDistance(0, 0), 0);
+    EXPECT_EQ(m.hopDistance(0, 7), 7);
+    EXPECT_EQ(m.hopDistance(0, 63), 14);
+    EXPECT_EQ(m.hopDistance(m.nodeAt({2, 3}), m.nodeAt({5, 1})), 5);
+}
+
+TEST(Mesh, NonSquareSupported)
+{
+    const Mesh m(4, 2);
+    EXPECT_EQ(m.numNodes(), 8);
+    EXPECT_EQ(m.coordOf(5), (Coord{1, 1}));
+}
+
+TEST(MeshDeathTest, InvalidNodeAborts)
+{
+    const Mesh m(2, 2);
+    EXPECT_DEATH((void)m.coordOf(4), "out of range");
+}
+
+TEST(PortNames, AllDistinct)
+{
+    EXPECT_STREQ(portName(kPortNorth), "N");
+    EXPECT_STREQ(portName(kPortEast), "E");
+    EXPECT_STREQ(portName(kPortSouth), "S");
+    EXPECT_STREQ(portName(kPortWest), "W");
+    EXPECT_STREQ(portName(kPortLocal), "L");
+}
+
+} // namespace
+} // namespace nox

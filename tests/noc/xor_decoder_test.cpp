@@ -1,0 +1,201 @@
+/** @file Unit tests for the NoX decode state machine (§2.4, Fig 3). */
+
+#include <gtest/gtest.h>
+
+#include "noc/xor_decoder.hpp"
+
+namespace nox {
+namespace {
+
+FlitDesc
+makeFlit(PacketId packet)
+{
+    FlitDesc d;
+    d.uid = flitUid(packet, 0);
+    d.packet = packet;
+    d.payload = expectedPayload(packet, 0);
+    return d;
+}
+
+TEST(XorDecoder, EmptyFifoPresentsNothing)
+{
+    FlitFifo fifo(4);
+    XorDecoder dec;
+    const DecodeView v = dec.view(fifo);
+    EXPECT_FALSE(v.presented.has_value());
+    EXPECT_FALSE(v.latchBubble);
+}
+
+TEST(XorDecoder, UncodedPassesThrough)
+{
+    FlitFifo fifo(4);
+    fifo.push(WireFlit::fromDesc(makeFlit(1)));
+    XorDecoder dec;
+    const DecodeView v = dec.view(fifo);
+    ASSERT_TRUE(v.presented.has_value());
+    EXPECT_EQ(v.presented->packet, 1u);
+    EXPECT_FALSE(v.decodedByXor);
+    EXPECT_TRUE(v.acceptPops);
+    EXPECT_TRUE(dec.accept(fifo));
+    EXPECT_TRUE(fifo.empty());
+}
+
+TEST(XorDecoder, EncodedHeadRequiresLatchBubble)
+{
+    FlitFifo fifo(4);
+    fifo.push(WireFlit::combine({makeFlit(1), makeFlit(2)}));
+    XorDecoder dec;
+    const DecodeView v = dec.view(fifo);
+    EXPECT_FALSE(v.presented.has_value());
+    EXPECT_TRUE(v.latchBubble);
+    EXPECT_TRUE(dec.latch(fifo));
+    EXPECT_TRUE(fifo.empty());
+    EXPECT_TRUE(dec.registerValid());
+}
+
+TEST(XorDecoder, Figure3Sequence)
+{
+    // Paper Figure 3: receive A, then (B^C), then C.
+    const FlitDesc a = makeFlit(1);
+    const FlitDesc b = makeFlit(2);
+    const FlitDesc c = makeFlit(3);
+
+    FlitFifo fifo(4);
+    XorDecoder dec;
+
+    // Cycle 0: A read, presented immediately (no decoding needed).
+    fifo.push(WireFlit::fromDesc(a));
+    DecodeView v = dec.view(fifo);
+    ASSERT_TRUE(v.presented);
+    EXPECT_EQ(v.presented->packet, a.packet);
+    dec.accept(fifo);
+
+    // Cycle 2: coded (B^C) read, latched, no switch request.
+    fifo.push(WireFlit::combine({b, c}));
+    v = dec.view(fifo);
+    EXPECT_TRUE(v.latchBubble);
+    dec.latch(fifo);
+
+    // Cycle 3: C read; (B^C)^C == B presented as the switch request.
+    fifo.push(WireFlit::fromDesc(c));
+    v = dec.view(fifo);
+    ASSERT_TRUE(v.presented);
+    EXPECT_EQ(v.presented->packet, b.packet);
+    EXPECT_EQ(v.presented->payload, b.payload);
+    EXPECT_TRUE(v.decodedByXor);
+    EXPECT_FALSE(v.acceptPops); // C stays in the FIFO
+    EXPECT_FALSE(dec.accept(fifo));
+
+    // Cycle 4: uncoded C transmitted from the input buffer.
+    v = dec.view(fifo);
+    ASSERT_TRUE(v.presented);
+    EXPECT_EQ(v.presented->packet, c.packet);
+    EXPECT_FALSE(v.decodedByXor);
+    EXPECT_TRUE(dec.accept(fifo));
+    EXPECT_TRUE(fifo.empty());
+    EXPECT_FALSE(dec.registerValid());
+}
+
+TEST(XorDecoder, ThreeWayChain)
+{
+    // Chain: (A^B^C), (B^C), C -> decoded A, B, C in win order.
+    const FlitDesc a = makeFlit(1);
+    const FlitDesc b = makeFlit(2);
+    const FlitDesc c = makeFlit(3);
+
+    FlitFifo fifo(4);
+    fifo.push(WireFlit::combine({a, b, c}));
+    fifo.push(WireFlit::combine({b, c}));
+    fifo.push(WireFlit::fromDesc(c));
+
+    XorDecoder dec;
+
+    DecodeView v = dec.view(fifo);
+    EXPECT_TRUE(v.latchBubble);
+    dec.latch(fifo);
+
+    v = dec.view(fifo);
+    ASSERT_TRUE(v.presented);
+    EXPECT_EQ(v.presented->packet, a.packet);
+    EXPECT_TRUE(v.acceptPops); // next head (B^C) is encoded: chain
+    EXPECT_TRUE(dec.accept(fifo));
+
+    v = dec.view(fifo);
+    ASSERT_TRUE(v.presented);
+    EXPECT_EQ(v.presented->packet, b.packet);
+    EXPECT_FALSE(dec.accept(fifo)); // C kept
+
+    v = dec.view(fifo);
+    ASSERT_TRUE(v.presented);
+    EXPECT_EQ(v.presented->packet, c.packet);
+    EXPECT_TRUE(dec.accept(fifo));
+    EXPECT_TRUE(fifo.empty());
+}
+
+TEST(XorDecoder, RegisterValidWithEmptyFifoStalls)
+{
+    FlitFifo fifo(4);
+    fifo.push(WireFlit::combine({makeFlit(1), makeFlit(2)}));
+    XorDecoder dec;
+    dec.latch(fifo);
+    const DecodeView v = dec.view(fifo);
+    EXPECT_FALSE(v.presented.has_value());
+    EXPECT_FALSE(v.latchBubble);
+}
+
+TEST(XorDecoder, ViewIsIdempotent)
+{
+    FlitFifo fifo(4);
+    fifo.push(WireFlit::fromDesc(makeFlit(7)));
+    XorDecoder dec;
+    const DecodeView v1 = dec.view(fifo);
+    const DecodeView v2 = dec.view(fifo);
+    ASSERT_TRUE(v1.presented && v2.presented);
+    EXPECT_EQ(v1.presented->packet, v2.presented->packet);
+    EXPECT_EQ(fifo.size(), 1u);
+}
+
+TEST(XorDecoder, BackToBackChains)
+{
+    // Two consecutive 2-way chains on the same port.
+    const FlitDesc a = makeFlit(1);
+    const FlitDesc b = makeFlit(2);
+    const FlitDesc c = makeFlit(3);
+    const FlitDesc d = makeFlit(4);
+
+    FlitFifo fifo(8);
+    fifo.push(WireFlit::combine({a, b}));
+    fifo.push(WireFlit::fromDesc(b));
+    fifo.push(WireFlit::combine({c, d}));
+    fifo.push(WireFlit::fromDesc(d));
+
+    XorDecoder dec;
+    std::vector<PacketId> got;
+    for (int cycle = 0; cycle < 12 && got.size() < 4; ++cycle) {
+        const DecodeView v = dec.view(fifo);
+        if (v.latchBubble) {
+            dec.latch(fifo);
+            continue;
+        }
+        if (v.presented) {
+            got.push_back(v.presented->packet);
+            dec.accept(fifo);
+        }
+    }
+    ASSERT_EQ(got.size(), 4u);
+    EXPECT_EQ(got, (std::vector<PacketId>{1, 2, 3, 4}));
+}
+
+TEST(XorDecoder, ResetClearsRegister)
+{
+    FlitFifo fifo(4);
+    fifo.push(WireFlit::combine({makeFlit(1), makeFlit(2)}));
+    XorDecoder dec;
+    dec.latch(fifo);
+    EXPECT_TRUE(dec.registerValid());
+    dec.reset();
+    EXPECT_FALSE(dec.registerValid());
+}
+
+} // namespace
+} // namespace nox

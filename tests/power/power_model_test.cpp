@@ -1,0 +1,268 @@
+/** @file Tests for the technology/wire/SRAM/crossbar models and the
+ *  Table-2 clock-period calibration. */
+
+#include <gtest/gtest.h>
+
+#include "power/area_model.hpp"
+#include "power/crossbar_model.hpp"
+#include "power/energy_model.hpp"
+#include "power/sram_model.hpp"
+#include "power/timing_model.hpp"
+#include "power/wire_model.hpp"
+
+namespace nox {
+namespace {
+
+Technology
+tech()
+{
+    return Technology::tsmc65();
+}
+
+PhysicalParams
+phys()
+{
+    return PhysicalParams{};
+}
+
+TEST(WireModel, PaperLinkDelay98ps)
+{
+    // §6.1: "98 ps link latency for the 2 mm interconnection channel".
+    const WireModel link(tech(), 2.0, 64);
+    EXPECT_NEAR(link.delayPs(), 98.0, 1.0);
+}
+
+TEST(WireModel, DelayLinearInLength)
+{
+    const WireModel a(tech(), 1.0, 64);
+    const WireModel b(tech(), 2.0, 64);
+    EXPECT_NEAR(2.0 * a.delayPs(), b.delayPs(), 1e-9);
+}
+
+TEST(WireModel, EnergyScalesWithWidthAndLength)
+{
+    const WireModel narrow(tech(), 2.0, 32);
+    const WireModel wide(tech(), 2.0, 64);
+    EXPECT_NEAR(2.0 * narrow.energyPerFlitPj(), wide.energyPerFlitPj(),
+                1e-9);
+    const WireModel half(tech(), 1.0, 64);
+    EXPECT_NEAR(2.0 * half.energyPerFlitPj(), wide.energyPerFlitPj(),
+                1e-9);
+    // Sanity: a 2 mm 64-bit flit transfer costs O(10) pJ at 65 nm.
+    EXPECT_GT(wide.energyPerFlitPj(), 5.0);
+    EXPECT_LT(wide.energyPerFlitPj(), 40.0);
+}
+
+TEST(WireModel, WastedDriveCostsAsMuchAsRealOne)
+{
+    // The core of the paper's energy argument: a misspeculating
+    // router toggles the channel with an indeterminate value.
+    const WireModel link(tech(), 2.0, 64);
+    EXPECT_DOUBLE_EQ(link.wastedDriveEnergyPj(),
+                     link.energyPerFlitPj());
+}
+
+TEST(SramModel, PaperReadDelay248ps)
+{
+    // §6.1: "All router latencies include a 248 ps SRAM delay".
+    const SramModel sram(tech(), 4, 64);
+    EXPECT_NEAR(sram.readDelayPs(), 248.0, 1.0);
+}
+
+TEST(SramModel, EnergySaneAndWriteCostsMore)
+{
+    const SramModel sram(tech(), 4, 64);
+    EXPECT_GT(sram.readEnergyPj(), 0.5);
+    EXPECT_LT(sram.readEnergyPj(), 5.0);
+    EXPECT_GT(sram.writeEnergyPj(), sram.readEnergyPj());
+}
+
+TEST(SramModel, DeeperArraysSlower)
+{
+    const SramModel four(tech(), 4, 64);
+    const SramModel sixteen(tech(), 16, 64);
+    EXPECT_GT(sixteen.readDelayPs(), four.readDelayPs());
+    EXPECT_GT(sixteen.areaUm2(), four.areaUm2());
+}
+
+TEST(CrossbarModel, XorCostsMoreEnergyPerOutput)
+{
+    // §2.5: "XOR logic gates have higher logical effort than
+    // comparable tristate based multiplexers, consuming marginally
+    // more power".
+    const CrossbarModel mux(tech(), XbarKind::Mux, 5, 64);
+    const CrossbarModel xr(tech(), XbarKind::Xor, 5, 64);
+    EXPECT_GT(xr.outputDriveEnergyPj(), mux.outputDriveEnergyPj());
+    // "Marginal" at the per-flit-hop level: the whole switch (input
+    // row + output column) grows ~10%, which is well under 1% of a
+    // hop's total energy (the 2 mm channel dominates).
+    const double mux_total =
+        mux.inputDriveEnergyPj() + mux.outputDriveEnergyPj();
+    const double xor_total =
+        xr.inputDriveEnergyPj() + xr.outputDriveEnergyPj();
+    EXPECT_LT(xor_total, 1.15 * mux_total);
+    const WireModel link(tech(), 2.0, 64);
+    EXPECT_LT(xor_total - mux_total,
+              0.02 * link.energyPerFlitPj());
+}
+
+TEST(CrossbarModel, DelaysComparable)
+{
+    // §2.5: the XOR switch avoids routing time-critical select wires,
+    // so traversal delays are comparable.
+    const CrossbarModel mux(tech(), XbarKind::Mux, 5, 64);
+    const CrossbarModel xr(tech(), XbarKind::Xor, 5, 64);
+    EXPECT_NEAR(xr.traversalDelayPs(), mux.traversalDelayPs(), 20.0);
+}
+
+TEST(TimingModel, Table2ClockPeriods)
+{
+    const TimingModel tm(tech(), phys());
+    EXPECT_NEAR(tm.clockPeriodNs(RouterArch::NonSpeculative), 0.92,
+                0.005);
+    EXPECT_NEAR(tm.clockPeriodNs(RouterArch::SpecFast), 0.69, 0.005);
+    EXPECT_NEAR(tm.clockPeriodNs(RouterArch::SpecAccurate), 0.72,
+                0.005);
+    EXPECT_NEAR(tm.clockPeriodNs(RouterArch::Nox), 0.76, 0.005);
+}
+
+TEST(TimingModel, DecodeOverheadApprox40ps)
+{
+    // §6.1: NoX vs Spec-Accurate clock difference is the decode logic,
+    // "approximately 40 ps of overhead".
+    const TimingModel tm(tech(), phys());
+    const double delta =
+        tm.clockPeriodNs(RouterArch::Nox) * 1000.0 -
+        tm.clockPeriodNs(RouterArch::SpecAccurate) * 1000.0;
+    EXPECT_NEAR(delta, 40.0, 6.0);
+}
+
+TEST(TimingModel, RelativeSpeedupsMatchPaper)
+{
+    // §6.1: Spec-Fast, Spec-Accurate, NoX are 33.3%, 27.8%, 21.1%
+    // faster than the non-speculative router on a clock-period basis.
+    const TimingModel tm(tech(), phys());
+    const double base = tm.clockPeriodNs(RouterArch::NonSpeculative);
+    // "Faster" in §6.1 is the frequency ratio: f/f_base - 1.
+    auto faster = [&](RouterArch a) {
+        return (base / tm.clockPeriodNs(a) - 1.0) * 100.0;
+    };
+    EXPECT_NEAR(faster(RouterArch::SpecFast), 33.3, 2.0);
+    EXPECT_NEAR(faster(RouterArch::SpecAccurate), 27.8, 2.0);
+    EXPECT_NEAR(faster(RouterArch::Nox), 21.1, 2.0);
+}
+
+TEST(TimingModel, BreakdownComponentsSumToTotal)
+{
+    const TimingModel tm(tech(), phys());
+    for (RouterArch arch : kAllArchs) {
+        const TimingBreakdown b = tm.breakdown(arch);
+        double sum = 0.0;
+        for (const auto &c : b.components)
+            sum += c.delayPs;
+        EXPECT_NEAR(sum, b.totalPs, 1e-9);
+        EXPECT_GE(b.components.size(), 3u);
+    }
+}
+
+TEST(TimingModel, PeriodOrderingMatchesPaper)
+{
+    const TimingModel tm(tech(), phys());
+    EXPECT_LT(tm.clockPeriodNs(RouterArch::SpecFast),
+              tm.clockPeriodNs(RouterArch::SpecAccurate));
+    EXPECT_LT(tm.clockPeriodNs(RouterArch::SpecAccurate),
+              tm.clockPeriodNs(RouterArch::Nox));
+    EXPECT_LT(tm.clockPeriodNs(RouterArch::Nox),
+              tm.clockPeriodNs(RouterArch::NonSpeculative));
+}
+
+TEST(AreaModel, NoxDecodeColumn28um)
+{
+    // §6.2: "The NoX architecture incurs 28.2 um additional
+    // horizontal length".
+    const AreaModel am(tech(), phys());
+    EXPECT_NEAR(am.decodeMaskWidthUm(), 28.2, 0.5);
+}
+
+TEST(AreaModel, NoxTileOverhead17Percent)
+{
+    // §6.2: "the total NoX router tile incurs a 17.2% area penalty".
+    const AreaModel am(tech(), phys());
+    EXPECT_NEAR(am.noxOverheadFraction(), 0.172, 0.01);
+}
+
+TEST(AreaModel, BlocksSumToWidth)
+{
+    const AreaModel am(tech(), phys());
+    for (RouterArch arch :
+         {RouterArch::NonSpeculative, RouterArch::Nox}) {
+        const AreaBreakdown b = am.breakdown(arch);
+        double w = 0.0;
+        for (const auto &blk : b.blocks)
+            w += blk.widthUm;
+        EXPECT_NEAR(w, b.widthUm, 1e-9);
+    }
+}
+
+TEST(EnergyModel, BreakdownAccumulatesEvents)
+{
+    const EnergyModel em(tech(), RouterArch::Nox, phys());
+    EnergyEvents e;
+    e.linkFlits = 10;
+    e.bufferWrites = 10;
+    e.bufferReads = 10;
+    e.xbarInputDrives = 10;
+    e.xbarOutputCycles = 10;
+    e.cycles = 100;
+    const EnergyBreakdown b = em.energyOf(e);
+    EXPECT_NEAR(b.linkPj, 10.0 * em.linkFlitPj(), 1e-9);
+    EXPECT_NEAR(b.bufferPj,
+                10.0 * (em.bufferWritePj() + em.bufferReadPj()), 1e-9);
+    EXPECT_NEAR(b.clockPj, 100.0 * em.clockCyclePj(), 1e-9);
+    EXPECT_GT(b.totalPj(), 0.0);
+}
+
+TEST(EnergyModel, LinkDominatesTypicalMix)
+{
+    // Per-hop event mix of one flit: write+read+switch+link. The
+    // channel should dominate (the premise behind Figure 12's ~74%
+    // link share).
+    const EnergyModel em(tech(), RouterArch::Nox, phys());
+    EnergyEvents e;
+    e.linkFlits = 1;
+    e.bufferWrites = 1;
+    e.bufferReads = 1;
+    e.xbarInputDrives = 1;
+    e.xbarOutputCycles = 1;
+    e.arbDecisions = 1;
+    const EnergyBreakdown b = em.energyOf(e);
+    EXPECT_GT(b.linkFraction(), 0.55);
+    EXPECT_LT(b.linkFraction(), 0.9);
+}
+
+TEST(EnergyModel, WastedCyclesChargedToLink)
+{
+    const EnergyModel em(tech(), RouterArch::SpecFast, phys());
+    EnergyEvents clean, wasteful;
+    clean.linkFlits = 10;
+    wasteful.linkFlits = 10;
+    wasteful.linkWastedCycles = 2;
+    EXPECT_GT(em.energyOf(wasteful).linkPj,
+              em.energyOf(clean).linkPj);
+}
+
+TEST(EnergyModel, PowerFromEnergyAndTime)
+{
+    const EnergyModel em(tech(), RouterArch::Nox, phys());
+    EnergyEvents e;
+    e.linkFlits = 1000;
+    // 1000 flits * ~16 pJ over 1000 cycles * 0.76 ns.
+    const double w = em.powerW(e, 0.76, 1000);
+    const double expect =
+        1000.0 * em.linkFlitPj() / (1000.0 * 0.76) * 1e-3;
+    EXPECT_NEAR(w, expect, 1e-12);
+    EXPECT_EQ(em.powerW(e, 0.76, 0), 0.0);
+}
+
+} // namespace
+} // namespace nox

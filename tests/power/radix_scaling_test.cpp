@@ -1,0 +1,105 @@
+/** @file §8 physical-model scaling tests: how timing/energy/area
+ *  respond to higher-radix routers and longer channels. */
+
+#include <gtest/gtest.h>
+
+#include "power/area_model.hpp"
+#include "power/energy_model.hpp"
+#include "power/timing_model.hpp"
+
+namespace nox {
+namespace {
+
+PhysicalParams
+radix(int ports, double link_mm)
+{
+    PhysicalParams p;
+    p.ports = ports;
+    p.linkLengthMm = link_mm;
+    return p;
+}
+
+TEST(RadixScaling, ArbiterDelayGrowsWithPorts)
+{
+    const Technology tech = Technology::tsmc65();
+    const TimingModel r5(tech, radix(5, 2.0));
+    const TimingModel r8(tech, radix(8, 2.0));
+    const TimingModel r12(tech, radix(12, 2.0));
+    EXPECT_GT(r8.arbiterPs(), r5.arbiterPs());
+    EXPECT_GT(r12.arbiterPs(), r8.arbiterPs());
+    // ...but sub-linearly (log-depth trees).
+    EXPECT_LT(r12.arbiterPs(), r5.arbiterPs() * 12.0 / 5.0);
+}
+
+TEST(RadixScaling, NoxClockPenaltyShrinksAtHigherRadix)
+{
+    // §8: the fixed ~40 ps decode cost amortizes over the longer
+    // critical paths of higher-radix, longer-channel routers.
+    const Technology tech = Technology::tsmc65();
+    const TimingModel mesh(tech, radix(5, 2.0));
+    const TimingModel cmesh(tech, radix(8, 4.0));
+
+    auto penalty = [](const TimingModel &tm) {
+        return tm.clockPeriodNs(RouterArch::Nox) /
+                   tm.clockPeriodNs(RouterArch::SpecAccurate) -
+               1.0;
+    };
+    EXPECT_LT(penalty(cmesh), penalty(mesh));
+    EXPECT_GT(penalty(cmesh), 0.0); // still a penalty, just smaller
+}
+
+TEST(RadixScaling, AllPeriodsGrowWithRadixAndChannel)
+{
+    const Technology tech = Technology::tsmc65();
+    const TimingModel mesh(tech, radix(5, 2.0));
+    const TimingModel cmesh(tech, radix(8, 4.0));
+    for (RouterArch arch : kAllArchs) {
+        EXPECT_GT(cmesh.clockPeriodNs(arch),
+                  mesh.clockPeriodNs(arch))
+            << archName(arch);
+    }
+}
+
+TEST(RadixScaling, LinkEnergyScalesWithLength)
+{
+    const Technology tech = Technology::tsmc65();
+    const EnergyModel e2(tech, RouterArch::Nox, radix(5, 2.0));
+    const EnergyModel e4(tech, RouterArch::Nox, radix(8, 4.0));
+    EXPECT_NEAR(e4.linkFlitPj(), 2.0 * e2.linkFlitPj(),
+                e2.linkFlitPj() * 0.01);
+}
+
+TEST(RadixScaling, WiderCrossbarCostsMoreEnergy)
+{
+    const Technology tech = Technology::tsmc65();
+    const EnergyModel r5(tech, RouterArch::Nox, radix(5, 2.0));
+    const EnergyModel r8(tech, RouterArch::Nox, radix(8, 2.0));
+    EXPECT_GT(r8.xbarInputPj(), r5.xbarInputPj());
+    EXPECT_GT(r8.xbarOutputPj(), r5.xbarOutputPj());
+}
+
+TEST(RadixScaling, DecodeColumnGrowsWithPorts)
+{
+    const Technology tech = Technology::tsmc65();
+    const AreaModel a5(tech, radix(5, 2.0));
+    const AreaModel a8(tech, radix(8, 2.0));
+    // One decode register + XOR column per input port.
+    EXPECT_GT(a8.decodeMaskWidthUm(), a5.decodeMaskWidthUm());
+}
+
+TEST(RadixScaling, Radix5RemainsTable2Calibrated)
+{
+    // The generalization must not move the paper-configuration
+    // numbers (Table 2 regression).
+    const Technology tech = Technology::tsmc65();
+    const TimingModel tm(tech, PhysicalParams{});
+    EXPECT_NEAR(tm.clockPeriodNs(RouterArch::NonSpeculative), 0.92,
+                0.005);
+    EXPECT_NEAR(tm.clockPeriodNs(RouterArch::SpecFast), 0.69, 0.005);
+    EXPECT_NEAR(tm.clockPeriodNs(RouterArch::SpecAccurate), 0.72,
+                0.005);
+    EXPECT_NEAR(tm.clockPeriodNs(RouterArch::Nox), 0.76, 0.005);
+}
+
+} // namespace
+} // namespace nox

@@ -1,0 +1,142 @@
+/** @file Behavioural tests for the non-speculative baseline. */
+
+#include <gtest/gtest.h>
+
+#include "router_fixture.hpp"
+#include "routers/nonspec_router.hpp"
+
+namespace nox {
+namespace {
+
+using testing::SingleRouterHarness;
+
+TEST(NonSpecRouter, OutputActiveEveryCycleUnderContention)
+{
+    // The defining property (§3.1.1): regardless of contention, the
+    // output moves a flit every cycle given downstream credits.
+    SingleRouterHarness h(RouterArch::NonSpeculative);
+    for (PacketId p = 1; p <= 3; ++p) {
+        h.arrive(kPortNorth, h.flitToEast(p * 3));
+        h.arrive(kPortSouth, h.flitToEast(p * 3 + 1));
+        h.arrive(kPortWest, h.flitToEast(p * 3 + 2));
+    }
+    int delivered = 0;
+    for (int t = 0; t < 9; ++t) {
+        ASSERT_TRUE(h.step()) << "idle output cycle " << t;
+        ++delivered;
+    }
+    EXPECT_EQ(delivered, 9);
+    EXPECT_EQ(h.wastedLinkCycles(), 0u);
+}
+
+TEST(NonSpecRouter, RoundRobinFairnessAcrossInputs)
+{
+    SingleRouterHarness h(RouterArch::NonSpeculative);
+    // Saturate two inputs with 4 packets each (buffer depth 8).
+    for (PacketId p = 0; p < 4; ++p) {
+        h.arrive(kPortSouth, h.flitToEast(10 + p));
+        h.arrive(kPortWest, h.flitToEast(20 + p));
+    }
+    std::vector<PacketId> order;
+    for (int t = 0; t < 8; ++t) {
+        auto f = h.step();
+        ASSERT_TRUE(f);
+        order.push_back(f->parts.front().packet);
+    }
+    // Strict alternation after the first grant.
+    for (std::size_t i = 2; i < order.size(); ++i) {
+        const bool a = order[i] >= 20;
+        const bool b = order[i - 1] >= 20;
+        EXPECT_NE(a, b) << "inputs must alternate under round-robin";
+    }
+}
+
+TEST(NonSpecRouter, WormholeLockUntilTail)
+{
+    SingleRouterHarness h(RouterArch::NonSpeculative);
+    auto &dut = static_cast<NonSpecRouter &>(h.dut());
+
+    const FlitDesc m0 = h.flitToEast(1, 0, 3);
+    const FlitDesc m1 = h.flitToEast(1, 1, 3);
+    const FlitDesc m2 = h.flitToEast(1, 2, 3);
+    const FlitDesc x = h.flitToEast(2);
+    h.arrive(kPortSouth, m0);
+    h.arrive(kPortWest, x);
+
+    auto f0 = h.step(); // M wins (round-robin), output locks
+    ASSERT_TRUE(f0);
+    EXPECT_EQ(f0->parts.front().uid, m0.uid);
+    EXPECT_EQ(dut.lockOwner(kPortEast), kPortSouth);
+
+    // Body flits trickle in; X must wait even though it is ready.
+    h.arrive(kPortSouth, m1);
+    auto f1 = h.step();
+    ASSERT_TRUE(f1);
+    EXPECT_EQ(f1->parts.front().uid, m1.uid);
+
+    h.arrive(kPortSouth, m2);
+    auto f2 = h.step();
+    ASSERT_TRUE(f2);
+    EXPECT_EQ(f2->parts.front().uid, m2.uid);
+    EXPECT_EQ(dut.lockOwner(kPortEast), -1);
+
+    auto f3 = h.step();
+    ASSERT_TRUE(f3);
+    EXPECT_EQ(f3->parts.front().packet, x.packet);
+}
+
+TEST(NonSpecRouter, LockedOutputIdlesWhenBodyLate)
+{
+    // If the locked packet's body has not arrived, the output idles
+    // but stays locked (no other input may steal it).
+    SingleRouterHarness h(RouterArch::NonSpeculative);
+    auto &dut = static_cast<NonSpecRouter &>(h.dut());
+
+    h.arrive(kPortSouth, h.flitToEast(1, 0, 2)); // head only
+    h.arrive(kPortWest, h.flitToEast(2));
+
+    ASSERT_TRUE(h.step()); // head traverses
+    EXPECT_EQ(dut.lockOwner(kPortEast), kPortSouth);
+
+    EXPECT_FALSE(h.step()); // bubble: body missing, X still blocked
+    EXPECT_EQ(dut.lockOwner(kPortEast), kPortSouth);
+
+    h.arrive(kPortSouth, h.flitToEast(1, 1, 2)); // tail arrives
+    auto f = h.step();
+    ASSERT_TRUE(f);
+    EXPECT_EQ(f->parts.front().seq, 1u);
+    EXPECT_EQ(dut.lockOwner(kPortEast), -1);
+}
+
+TEST(NonSpecRouter, IndependentOutputsServeConcurrently)
+{
+    SingleRouterHarness h(RouterArch::NonSpeculative);
+    // East-bound packet and North-bound packet in the same cycle.
+    h.arrive(kPortWest, h.flitToEast(1));
+    FlitDesc up;
+    up.uid = flitUid(2, 0);
+    up.packet = 2;
+    up.packetSize = 1;
+    up.src = SingleRouterHarness::center();
+    up.dest = 1;
+    up.payload = expectedPayload(2, 0);
+    h.arrive(kPortLocal, up);
+
+    auto f = h.step();
+    ASSERT_TRUE(f); // East moved
+    EXPECT_TRUE(h.dut().inputFifo(kPortLocal).empty()); // North too
+}
+
+TEST(NonSpecRouter, NoTrafficNoEnergyEvents)
+{
+    SingleRouterHarness h(RouterArch::NonSpeculative);
+    for (int t = 0; t < 10; ++t)
+        EXPECT_FALSE(h.step());
+    const EnergyEvents &e = h.dut().energy();
+    EXPECT_EQ(e.linkFlits, 0u);
+    EXPECT_EQ(e.bufferReads, 0u);
+    EXPECT_EQ(e.arbDecisions, 0u);
+}
+
+} // namespace
+} // namespace nox

@@ -1,0 +1,278 @@
+/** @file Behavioural tests for the NoX router beyond the golden
+ *  Figure-2 trace: longer chains, aborts, multi-flit locking,
+ *  Scheduled-mode pre-scheduling and backpressure. */
+
+#include <gtest/gtest.h>
+
+#include "router_fixture.hpp"
+#include "routers/nox_router.hpp"
+
+namespace nox {
+namespace {
+
+using testing::SingleRouterHarness;
+
+TEST(NoxRouter, ThreeWayCollisionProducesFullChain)
+{
+    SingleRouterHarness h(RouterArch::Nox);
+    const FlitDesc a = h.flitToEast(1);
+    const FlitDesc b = h.flitToEast(2);
+    const FlitDesc c = h.flitToEast(3);
+    h.arrive(kPortNorth, a);
+    h.arrive(kPortSouth, b);
+    h.arrive(kPortWest, c);
+
+    // Cycle 0: all three collide -> (A^B^C), one winner freed.
+    auto f0 = h.step();
+    ASSERT_TRUE(f0);
+    EXPECT_TRUE(f0->encoded);
+    EXPECT_EQ(f0->fanin(), 3u);
+    EXPECT_EQ(f0->payload, a.payload ^ b.payload ^ c.payload);
+
+    // Cycle 1: remaining two collide -> 2-way encoded.
+    auto f1 = h.step();
+    ASSERT_TRUE(f1);
+    EXPECT_TRUE(f1->encoded);
+    EXPECT_EQ(f1->fanin(), 2u);
+
+    // Cycle 2: final loser passes uncoded.
+    auto f2 = h.step();
+    ASSERT_TRUE(f2);
+    EXPECT_FALSE(f2->encoded);
+
+    // Every cycle was productive; all buffers now free.
+    EXPECT_EQ(h.wastedLinkCycles(), 0u);
+    EXPECT_TRUE(h.dut().inputFifo(kPortNorth).empty());
+    EXPECT_TRUE(h.dut().inputFifo(kPortSouth).empty());
+    EXPECT_TRUE(h.dut().inputFifo(kPortWest).empty());
+}
+
+TEST(NoxRouter, ChainDecodesDownstreamInWinOrder)
+{
+    // Whole-path check: run the 3-way chain through a decoder exactly
+    // as the downstream input port would.
+    SingleRouterHarness h(RouterArch::Nox);
+    const FlitDesc a = h.flitToEast(1);
+    const FlitDesc b = h.flitToEast(2);
+    const FlitDesc c = h.flitToEast(3);
+    h.arrive(kPortNorth, a);
+    h.arrive(kPortSouth, b);
+    h.arrive(kPortWest, c);
+
+    FlitFifo downstream(8);
+    for (int t = 0; t < 3; ++t) {
+        auto f = h.step();
+        ASSERT_TRUE(f);
+        downstream.push(*f);
+    }
+
+    XorDecoder dec;
+    std::vector<PacketId> order;
+    for (int t = 0; t < 8 && order.size() < 3; ++t) {
+        const DecodeView v = dec.view(downstream);
+        if (v.latchBubble) {
+            dec.latch(downstream);
+            continue;
+        }
+        if (v.presented) {
+            order.push_back(v.presented->packet);
+            dec.accept(downstream);
+        }
+    }
+    // Round-robin from port 0: N (packet 1), then S (2), then W (3).
+    EXPECT_EQ(order, (std::vector<PacketId>{1, 2, 3}));
+}
+
+TEST(NoxRouter, AbortOnMultiFlitCollision)
+{
+    SingleRouterHarness h(RouterArch::Nox);
+    auto &dut = static_cast<NoxRouter &>(h.dut());
+
+    // 2-flit packet M on South, single-flit X on West, colliding.
+    const FlitDesc m0 = h.flitToEast(1, 0, 2);
+    const FlitDesc m1 = h.flitToEast(1, 1, 2);
+    const FlitDesc x = h.flitToEast(2);
+    h.arrive(kPortSouth, m0);
+    h.arrive(kPortSouth, m1);
+    h.arrive(kPortWest, x);
+
+    // Cycle 0: collision involves a multi-flit head -> abort: wasted
+    // drive, nothing freed, winner owns the output until its tail.
+    EXPECT_FALSE(h.step());
+    EXPECT_EQ(h.wastedLinkCycles(), 1u);
+    EXPECT_EQ(dut.lockOwner(kPortEast), kPortSouth);
+    EXPECT_EQ(dut.mode(kPortEast), NoxRouter::Mode::Scheduled);
+
+    // Cycles 1-2: M flows contiguously, uncoded.
+    auto f1 = h.step();
+    ASSERT_TRUE(f1);
+    EXPECT_EQ(f1->parts.front().uid, m0.uid);
+    auto f2 = h.step();
+    ASSERT_TRUE(f2);
+    EXPECT_EQ(f2->parts.front().uid, m1.uid);
+    EXPECT_EQ(dut.lockOwner(kPortEast), -1);
+
+    // Cycle 3: X goes after the tail passed.
+    auto f3 = h.step();
+    ASSERT_TRUE(f3);
+    EXPECT_EQ(f3->parts.front().packet, x.packet);
+    EXPECT_EQ(h.wastedLinkCycles(), 1u);
+}
+
+TEST(NoxRouter, CleanMultiFlitTransmissionLocksOutput)
+{
+    SingleRouterHarness h(RouterArch::Nox);
+    auto &dut = static_cast<NoxRouter &>(h.dut());
+
+    const FlitDesc m0 = h.flitToEast(1, 0, 3);
+    const FlitDesc m1 = h.flitToEast(1, 1, 3);
+    const FlitDesc m2 = h.flitToEast(1, 2, 3);
+    const FlitDesc x = h.flitToEast(2);
+    h.arrive(kPortSouth, m0);
+    h.arrive(kPortSouth, m1);
+
+    auto f0 = h.step(); // head traverses uncontended, locks output
+    ASSERT_TRUE(f0);
+    EXPECT_EQ(f0->parts.front().uid, m0.uid);
+    EXPECT_EQ(dut.lockOwner(kPortEast), kPortSouth);
+
+    // X shows up mid-packet; it must wait, and no collision/encoding
+    // may occur with body flits.
+    h.arrive(kPortWest, x);
+    h.arrive(kPortSouth, m2);
+    auto f1 = h.step();
+    ASSERT_TRUE(f1);
+    EXPECT_FALSE(f1->encoded);
+    EXPECT_EQ(f1->parts.front().uid, m1.uid);
+
+    auto f2 = h.step(); // tail; lock released afterwards
+    ASSERT_TRUE(f2);
+    EXPECT_EQ(f2->parts.front().uid, m2.uid);
+    EXPECT_EQ(dut.lockOwner(kPortEast), -1);
+
+    auto f3 = h.step();
+    ASSERT_TRUE(f3);
+    EXPECT_EQ(f3->parts.front().packet, x.packet);
+    EXPECT_EQ(h.wastedLinkCycles(), 0u);
+}
+
+TEST(NoxRouter, ScheduledModePreSchedulesNewRequest)
+{
+    SingleRouterHarness h(RouterArch::Nox);
+    auto &dut = static_cast<NoxRouter &>(h.dut());
+
+    // 2-way collision puts the output into Scheduled mode.
+    h.arrive(kPortSouth, h.flitToEast(1));
+    h.arrive(kPortWest, h.flitToEast(2));
+    auto f0 = h.step();
+    ASSERT_TRUE(f0);
+    EXPECT_TRUE(f0->encoded);
+    ASSERT_EQ(dut.mode(kPortEast), NoxRouter::Mode::Scheduled);
+
+    // A new packet D arrives during the Scheduled cycle: it may
+    // arbitrate (arb mask is the complement of the switch mask) and is
+    // pre-scheduled for the next cycle, like a perfect speculator.
+    const FlitDesc d = h.flitToEast(3);
+    h.arrive(kPortNorth, d);
+    auto f1 = h.step(); // loser traverses; D wins arbitration
+    ASSERT_TRUE(f1);
+    EXPECT_FALSE(f1->encoded);
+    EXPECT_EQ(dut.mode(kPortEast), NoxRouter::Mode::Scheduled);
+    EXPECT_EQ(dut.switchMask(kPortEast), RequestMask{1u << kPortNorth});
+
+    auto f2 = h.step(); // D traverses uncontended
+    ASSERT_TRUE(f2);
+    EXPECT_EQ(f2->parts.front().packet, d.packet);
+    EXPECT_EQ(h.wastedLinkCycles(), 0u);
+}
+
+TEST(NoxRouter, WinnerCreditFreedImmediatelyUnderContention)
+{
+    // The paper's head-of-line-blocking argument: under contention the
+    // granted input's buffer is freed in the same cycle (the encoded
+    // transfer carries it), so upstream receives a credit immediately.
+    SingleRouterHarness h(RouterArch::Nox);
+    h.arrive(kPortSouth, h.flitToEast(1));
+    h.arrive(kPortWest, h.flitToEast(2));
+
+    const std::size_t south_before =
+        h.dut().inputFifo(kPortSouth).size();
+    EXPECT_EQ(south_before, 1u);
+    auto f0 = h.step();
+    ASSERT_TRUE(f0);
+    EXPECT_TRUE(f0->encoded);
+    EXPECT_TRUE(h.dut().inputFifo(kPortSouth).empty());
+    EXPECT_EQ(h.dut().inputFifo(kPortWest).size(), 1u);
+}
+
+TEST(NoxRouter, BackpressureHoldsMasksAndChain)
+{
+    // Fill the ejection sink (never drained here): the Local output
+    // stalls mid-chain and resumes without corrupting the sequence.
+    SingleRouterHarness h(RouterArch::Nox);
+    auto &net = h.network();
+
+    auto to_center = [&](PacketId p) {
+        FlitDesc d;
+        d.uid = flitUid(p, 0);
+        d.packet = p;
+        d.packetSize = 1;
+        d.src = 0;
+        d.dest = SingleRouterHarness::center();
+        d.payload = expectedPayload(p, 0);
+        return d;
+    };
+
+    // Two colliding packets for the local port start a chain.
+    h.arrive(kPortSouth, to_center(1));
+    h.arrive(kPortWest, to_center(2));
+    // Plus 8 more singles from the North to fill the sink FIFO.
+    for (PacketId p = 3; p <= 8; ++p)
+        h.arrive(kPortNorth, to_center(p));
+
+    // Run plenty of cycles WITHOUT draining the sink: at most
+    // sink-depth (8) wire flits can be accepted.
+    for (int t = 0; t < 20; ++t)
+        h.step();
+    EXPECT_EQ(net.nic(SingleRouterHarness::center()).sinkFifo().size(),
+              8u);
+
+    // Now drain; every packet must complete with payloads intact
+    // (deliver() asserts payload correctness internally).
+    for (int t = 0; t < 40; ++t) {
+        net.nic(SingleRouterHarness::center()).evaluateSink(h.now());
+        h.step();
+    }
+    EXPECT_EQ(net.stats().packetsEjected, 8u);
+}
+
+TEST(NoxRouter, EncodedDeliveryToEjectionSink)
+{
+    // Collision on the *local* output: the NIC sink must decode the
+    // chain exactly like a downstream router input port.
+    SingleRouterHarness h(RouterArch::Nox);
+    auto &net = h.network();
+
+    auto to_center = [&](PacketId p) {
+        FlitDesc d;
+        d.uid = flitUid(p, 0);
+        d.packet = p;
+        d.packetSize = 1;
+        d.src = 0;
+        d.dest = SingleRouterHarness::center();
+        d.payload = expectedPayload(p, 0);
+        return d;
+    };
+    h.arrive(kPortSouth, to_center(1));
+    h.arrive(kPortWest, to_center(2));
+
+    for (int t = 0; t < 10; ++t) {
+        net.nic(SingleRouterHarness::center()).evaluateSink(h.now());
+        h.step();
+    }
+    EXPECT_EQ(net.stats().packetsEjected, 2u);
+    EXPECT_EQ(net.stats().flitsEjected, 2u);
+}
+
+} // namespace
+} // namespace nox

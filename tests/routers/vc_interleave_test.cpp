@@ -1,0 +1,91 @@
+/** @file Link-level golden test: two wormhole packets on different
+ *  VCs time-multiplex one physical link flit-by-flit — the defining
+ *  §2.8 behaviour a single-VC wormhole cannot exhibit. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "noc/network.hpp"
+#include "routers/factory.hpp"
+#include "routers/vc_router.hpp"
+
+namespace nox {
+namespace {
+
+TEST(VcInterleave, TwoVcStreamsAlternateOnOneLink)
+{
+    // 2x1 mesh: node 0 -> node 1 over a single East link.
+    NetworkParams params;
+    params.width = 2;
+    params.height = 1;
+    params.router.vcCount = 2;
+    auto net = makeNetwork(params, RouterArch::NonSpeculative);
+
+    // Two 4-flit packets, one per class (hence one per VC), queued
+    // simultaneously.
+    net->injectPacket(0, 1, 4, net->now(), TrafficClass::Request);
+    net->injectPacket(0, 1, 4, net->now(), TrafficClass::Reply);
+
+    // Step a few cycles and confirm both VC buffers at router 1 see
+    // traffic while BOTH packets are still in flight — the two
+    // wormholes really are interleaving over the single link.
+    auto &r1 = static_cast<VcRouter &>(net->router(1));
+    bool both_vcs_concurrent = false;
+    std::size_t max0 = 0, max1 = 0;
+    for (Cycle t = 0; t < 12; ++t) {
+        net->step();
+        max0 = std::max(max0, r1.vcFifo(kPortWest, 0).size());
+        max1 = std::max(max1, r1.vcFifo(kPortWest, 1).size());
+        if (max0 > 0 && max1 > 0 && net->packetsInFlight() == 2)
+            both_vcs_concurrent = true;
+    }
+    EXPECT_TRUE(both_vcs_concurrent)
+        << "VC1 traffic only started after VC0 finished";
+
+    ASSERT_TRUE(net->drain(200));
+    EXPECT_EQ(net->stats().packetsEjected, 2u);
+    EXPECT_EQ(net->stats().flitsEjected, 8u);
+
+    // Both classes completed in comparable time (interleaved), not
+    // serialized: with interleaving, the second packet finishes
+    // within ~2x the first's span; a single-VC wormhole would fully
+    // serialize them.
+    const auto &req =
+        net->stats()
+            .latencyByClass[static_cast<int>(TrafficClass::Request)];
+    const auto &rep =
+        net->stats()
+            .latencyByClass[static_cast<int>(TrafficClass::Reply)];
+    ASSERT_EQ(req.count(), 1u);
+    ASSERT_EQ(rep.count(), 1u);
+    EXPECT_LT(std::abs(req.mean() - rep.mean()), 3.0)
+        << "req " << req.mean() << " vs rep " << rep.mean()
+        << ": streams were serialized, not interleaved";
+}
+
+TEST(VcInterleave, SingleVcSerializesTheSameWorkload)
+{
+    // Control experiment: same two packets, plain wormhole router —
+    // the second packet waits for the first's tail.
+    NetworkParams params;
+    params.width = 2;
+    params.height = 1;
+    auto net = makeNetwork(params, RouterArch::NonSpeculative);
+    net->injectPacket(0, 1, 4, net->now(), TrafficClass::Request);
+    net->injectPacket(0, 1, 4, net->now(), TrafficClass::Reply);
+    ASSERT_TRUE(net->drain(200));
+
+    const auto &req =
+        net->stats()
+            .latencyByClass[static_cast<int>(TrafficClass::Request)];
+    const auto &rep =
+        net->stats()
+            .latencyByClass[static_cast<int>(TrafficClass::Reply)];
+    // Serialization gap: roughly the first packet's length.
+    EXPECT_GE(std::abs(rep.mean() - req.mean()), 3.0);
+}
+
+} // namespace
+} // namespace nox

@@ -1,0 +1,151 @@
+/** @file Unit tests for the synthetic traffic patterns. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "traffic/patterns.hpp"
+
+namespace nox {
+namespace {
+
+TEST(Patterns, ParseAndNameRoundTrip)
+{
+    for (PatternKind k : kAllPatterns)
+        EXPECT_EQ(parsePattern(patternName(k)), k);
+}
+
+TEST(PatternsDeathTest, UnknownNameFatal)
+{
+    EXPECT_EXIT((void)parsePattern("nonsense"),
+                ::testing::ExitedWithCode(1), "unknown traffic");
+}
+
+TEST(Patterns, UniformNeverSelfCoversAll)
+{
+    const Mesh m(8, 8);
+    const DestinationPattern p(PatternKind::UniformRandom, m);
+    EXPECT_FALSE(p.isDeterministic());
+    Rng rng(1);
+    std::set<NodeId> seen;
+    for (int i = 0; i < 5000; ++i) {
+        const NodeId d = p.pick(7, rng);
+        EXPECT_NE(d, 7);
+        EXPECT_GE(d, 0);
+        EXPECT_LT(d, 64);
+        seen.insert(d);
+    }
+    EXPECT_EQ(seen.size(), 63u);
+}
+
+TEST(Patterns, TransposeSwapsCoordinates)
+{
+    const Mesh m(8, 8);
+    const DestinationPattern p(PatternKind::Transpose, m);
+    EXPECT_TRUE(p.isDeterministic());
+    Rng rng(1);
+    EXPECT_EQ(p.pick(m.nodeAt({2, 5}), rng), m.nodeAt({5, 2}));
+    EXPECT_EQ(p.pick(m.nodeAt({0, 7}), rng), m.nodeAt({7, 0}));
+    // Diagonal sources map to themselves and stay silent.
+    EXPECT_EQ(p.pick(m.nodeAt({3, 3}), rng), kInvalidNode);
+}
+
+TEST(Patterns, BitComplementMirrorsBothAxes)
+{
+    const Mesh m(8, 8);
+    const DestinationPattern p(PatternKind::BitComplement, m);
+    Rng rng(1);
+    EXPECT_EQ(p.pick(m.nodeAt({0, 0}), rng), m.nodeAt({7, 7}));
+    EXPECT_EQ(p.pick(m.nodeAt({2, 5}), rng), m.nodeAt({5, 2}));
+    EXPECT_EQ(p.pick(m.nodeAt({1, 6}), rng), m.nodeAt({6, 1}));
+}
+
+TEST(Patterns, BitReverseReversesIndexBits)
+{
+    const Mesh m(8, 8); // 64 nodes, 6 index bits
+    const DestinationPattern p(PatternKind::BitReverse, m);
+    Rng rng(1);
+    // 0b000001 -> 0b100000.
+    EXPECT_EQ(p.pick(1, rng), 32);
+    // 0b000110 -> 0b011000.
+    EXPECT_EQ(p.pick(6, rng), 24);
+    // Palindromic index maps to itself -> silent.
+    EXPECT_EQ(p.pick(0, rng), kInvalidNode);
+}
+
+TEST(Patterns, ShuffleRotatesLeft)
+{
+    const Mesh m(8, 8);
+    const DestinationPattern p(PatternKind::Shuffle, m);
+    Rng rng(1);
+    EXPECT_EQ(p.pick(1, rng), 2);
+    EXPECT_EQ(p.pick(33, rng), 3); // 0b100001 -> 0b000011
+    EXPECT_EQ(p.pick(0, rng), kInvalidNode);
+}
+
+TEST(Patterns, TornadoHalfwayAroundX)
+{
+    const Mesh m(8, 8);
+    const DestinationPattern p(PatternKind::Tornado, m);
+    Rng rng(1);
+    // k=8: offset (k+1)/2 - 1 = 3 columns east, same row.
+    EXPECT_EQ(p.pick(m.nodeAt({0, 2}), rng), m.nodeAt({3, 2}));
+    EXPECT_EQ(p.pick(m.nodeAt({6, 5}), rng), m.nodeAt({1, 5}));
+}
+
+TEST(Patterns, NeighborNextColumn)
+{
+    const Mesh m(8, 8);
+    const DestinationPattern p(PatternKind::Neighbor, m);
+    Rng rng(1);
+    EXPECT_EQ(p.pick(m.nodeAt({3, 4}), rng), m.nodeAt({4, 4}));
+    EXPECT_EQ(p.pick(m.nodeAt({7, 4}), rng), m.nodeAt({0, 4}));
+}
+
+TEST(Patterns, HotspotBiasTowardHotNode)
+{
+    const Mesh m(8, 8);
+    const DestinationPattern p(PatternKind::Hotspot, m, 0.3);
+    Rng rng(3);
+    int hot = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        hot += (p.pick(0, rng) == p.hotNode());
+    // 30% direct + small uniform residual (~1/63 of the rest).
+    EXPECT_NEAR(static_cast<double>(hot) / n, 0.311, 0.02);
+}
+
+TEST(Patterns, DeterministicPatternsIgnoreRngState)
+{
+    const Mesh m(8, 8);
+    for (PatternKind k :
+         {PatternKind::Transpose, PatternKind::BitComplement,
+          PatternKind::BitReverse, PatternKind::Shuffle,
+          PatternKind::Tornado, PatternKind::Neighbor}) {
+        const DestinationPattern p(k, m);
+        Rng r1(1), r2(999);
+        for (NodeId s = 0; s < 64; ++s)
+            EXPECT_EQ(p.pick(s, r1), p.pick(s, r2))
+                << patternName(k) << " src " << s;
+    }
+}
+
+TEST(Patterns, AllDestinationsValidOnWholeMesh)
+{
+    const Mesh m(8, 8);
+    Rng rng(5);
+    for (PatternKind k : kAllPatterns) {
+        const DestinationPattern p(k, m);
+        for (NodeId s = 0; s < 64; ++s) {
+            const NodeId d = p.pick(s, rng);
+            if (d == kInvalidNode)
+                continue;
+            EXPECT_GE(d, 0);
+            EXPECT_LT(d, 64);
+            EXPECT_NE(d, s) << patternName(k);
+        }
+    }
+}
+
+} // namespace
+} // namespace nox

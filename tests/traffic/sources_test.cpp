@@ -1,0 +1,180 @@
+/** @file Tests for the Bernoulli and self-similar Pareto sources. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "traffic/bernoulli_source.hpp"
+#include "traffic/pareto_source.hpp"
+
+namespace nox {
+namespace {
+
+/** Captures injections without a network. */
+class FakeInjector : public PacketInjector
+{
+  public:
+    struct Event
+    {
+        NodeId src, dst;
+        int flits;
+        Cycle when;
+    };
+
+    PacketId
+    injectPacket(NodeId src, NodeId dst, int flits, Cycle now,
+                 TrafficClass) override
+    {
+        events.push_back({src, dst, flits, now});
+        return static_cast<PacketId>(events.size());
+    }
+
+    std::size_t sourceQueueFlits(NodeId) const override { return 0; }
+
+    std::uint64_t
+    totalFlits() const
+    {
+        std::uint64_t f = 0;
+        for (const auto &e : events)
+            f += static_cast<std::uint64_t>(e.flits);
+        return f;
+    }
+
+    std::vector<Event> events;
+};
+
+TEST(BernoulliSource, RateMatchesTarget)
+{
+    const Mesh m(8, 8);
+    const DestinationPattern pattern(PatternKind::UniformRandom, m);
+    BernoulliSource src(0, pattern, 0.2, 1, 42);
+    FakeInjector inj;
+    const Cycle cycles = 100000;
+    for (Cycle t = 0; t < cycles; ++t)
+        src.tick(t, inj);
+    const double rate =
+        static_cast<double>(inj.totalFlits()) / cycles;
+    EXPECT_NEAR(rate, 0.2, 0.01);
+}
+
+TEST(BernoulliSource, MultiFlitPacketsKeepFlitRate)
+{
+    const Mesh m(8, 8);
+    const DestinationPattern pattern(PatternKind::UniformRandom, m);
+    BernoulliSource src(0, pattern, 0.18, 9, 43);
+    FakeInjector inj;
+    const Cycle cycles = 200000;
+    for (Cycle t = 0; t < cycles; ++t)
+        src.tick(t, inj);
+    const double rate =
+        static_cast<double>(inj.totalFlits()) / cycles;
+    EXPECT_NEAR(rate, 0.18, 0.01);
+    for (const auto &e : inj.events)
+        EXPECT_EQ(e.flits, 9);
+}
+
+TEST(BernoulliSource, ZeroRateInjectsNothing)
+{
+    const Mesh m(8, 8);
+    const DestinationPattern pattern(PatternKind::UniformRandom, m);
+    BernoulliSource src(0, pattern, 0.0, 1, 44);
+    FakeInjector inj;
+    for (Cycle t = 0; t < 1000; ++t)
+        src.tick(t, inj);
+    EXPECT_TRUE(inj.events.empty());
+}
+
+TEST(BernoulliSource, SilentOnSelfMappedDeterministicSource)
+{
+    const Mesh m(8, 8);
+    const DestinationPattern pattern(PatternKind::Transpose, m);
+    // Node (3,3) is on the transpose diagonal.
+    BernoulliSource src(m.nodeAt({3, 3}), pattern, 0.5, 1, 45);
+    FakeInjector inj;
+    for (Cycle t = 0; t < 1000; ++t)
+        src.tick(t, inj);
+    EXPECT_TRUE(inj.events.empty());
+}
+
+TEST(ParetoSource, MeanRateMatchesTarget)
+{
+    const Mesh m(8, 8);
+    const DestinationPattern pattern(PatternKind::UniformRandom, m);
+    // Long horizon: heavy-tailed phases converge slowly.
+    for (double target : {0.1, 0.3}) {
+        double total = 0.0;
+        const int streams = 16;
+        const Cycle cycles = 200000;
+        for (int s = 0; s < streams; ++s) {
+            ParetoSource src(0, pattern, target, 1,
+                             1000 + static_cast<std::uint64_t>(s));
+            FakeInjector inj;
+            for (Cycle t = 0; t < cycles; ++t)
+                src.tick(t, inj);
+            total += static_cast<double>(inj.totalFlits()) / cycles;
+        }
+        EXPECT_NEAR(total / streams, target, target * 0.15)
+            << "target " << target;
+    }
+}
+
+TEST(ParetoSource, TrafficIsBursty)
+{
+    // Self-similar traffic must be burstier than Bernoulli at equal
+    // rate: compare the variance of per-window packet counts.
+    const Mesh m(8, 8);
+    const DestinationPattern pattern(PatternKind::UniformRandom, m);
+    const double rate = 0.2;
+    const Cycle cycles = 200000;
+    const Cycle window = 100;
+
+    auto window_variance = [&](auto &src) {
+        FakeInjector inj;
+        for (Cycle t = 0; t < cycles; ++t)
+            src.tick(t, inj);
+        std::vector<double> counts(cycles / window, 0.0);
+        for (const auto &e : inj.events)
+            counts[e.when / window] += 1.0;
+        double mean = 0.0;
+        for (double c : counts)
+            mean += c;
+        mean /= static_cast<double>(counts.size());
+        double var = 0.0;
+        for (double c : counts)
+            var += (c - mean) * (c - mean);
+        return var / static_cast<double>(counts.size());
+    };
+
+    BernoulliSource bern(0, pattern, rate, 1, 7);
+    ParetoSource pareto(0, pattern, rate, 1, 7);
+    EXPECT_GT(window_variance(pareto), 3.0 * window_variance(bern));
+}
+
+TEST(ParetoSource, BurstAddressesSingleDestination)
+{
+    const Mesh m(8, 8);
+    const DestinationPattern pattern(PatternKind::UniformRandom, m);
+    ParetoSource src(0, pattern, 0.3, 1, 11);
+    FakeInjector inj;
+    for (Cycle t = 0; t < 5000; ++t)
+        src.tick(t, inj);
+    ASSERT_GT(inj.events.size(), 50u);
+    // Consecutive-cycle injections belong to one burst -> same dest.
+    for (std::size_t i = 1; i < inj.events.size(); ++i) {
+        if (inj.events[i].when == inj.events[i - 1].when + 1) {
+            EXPECT_EQ(inj.events[i].dst, inj.events[i - 1].dst);
+        }
+    }
+}
+
+TEST(ParetoSource, OffScaleGrowsAsRateShrinks)
+{
+    const Mesh m(8, 8);
+    const DestinationPattern pattern(PatternKind::UniformRandom, m);
+    ParetoSource slow(0, pattern, 0.05, 1, 1);
+    ParetoSource fast(0, pattern, 0.5, 1, 1);
+    EXPECT_GT(slow.offScale(), fast.offScale());
+}
+
+} // namespace
+} // namespace nox

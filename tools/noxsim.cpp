@@ -1,0 +1,158 @@
+/**
+ * @file
+ * noxsim — the general-purpose command-line front end.
+ *
+ * Runs a single synthetic or application experiment fully described
+ * by key=value arguments (or `--file experiment.cfg`), printing a
+ * machine-readable result block. This is the OSS entry point for
+ * anyone who wants one number instead of a whole figure sweep.
+ *
+ * Synthetic mode (default):
+ *   noxsim arch=nox pattern=tornado rate_mbps=1500 [selfsimilar=true]
+ *          [concentration=4]
+ *          [packet_flits=1] [width=8 height=8] [buffer_depth=4]
+ *          [warmup=N measure=N] [seed=N] [csv=path]
+ *
+ * Application mode:
+ *   noxsim mode=app arch=nox workload=tpcc [horizon_ns=25000]
+ *          [trace=path.trace]   (trace= replays a saved trace file)
+ */
+
+#include <fstream>
+#include <iostream>
+
+#include "coherence/trace_generator.hpp"
+#include "common/config.hpp"
+#include "common/table.hpp"
+#include "core/sim_runner.hpp"
+
+namespace {
+
+using namespace nox;
+
+int
+runSyntheticMode(const Config &config)
+{
+    SyntheticConfig c;
+    c.arch = parseArch(config.getString("arch", "nox").c_str());
+    c.pattern = parsePattern(config.getString("pattern", "uniform"));
+    c.injectionMBps = config.getDouble("rate_mbps", 1000.0);
+    c.selfSimilar = config.getBool("selfsimilar", false);
+    c.packetFlits =
+        static_cast<int>(config.getInt("packet_flits", 1));
+    c.width = static_cast<int>(config.getInt("width", 8));
+    c.height = static_cast<int>(config.getInt("height", 8));
+    c.concentration =
+        static_cast<int>(config.getInt("concentration", 1));
+    c.bufferDepth =
+        static_cast<int>(config.getInt("buffer_depth", 4));
+    c.sinkBufferDepth = c.bufferDepth;
+    c.warmupCycles = config.getUint("warmup", c.warmupCycles);
+    c.measureCycles = config.getUint("measure", c.measureCycles);
+    c.seed = config.getUint("seed", c.seed);
+
+    const std::string arb = config.getString("arbiter", "roundrobin");
+    if (arb == "fixed")
+        c.arbiterKind = ArbiterKind::FixedPriority;
+    else if (arb == "matrix")
+        c.arbiterKind = ArbiterKind::Matrix;
+
+    const RunResult r = runSynthetic(c);
+
+    Table t({"key", "value"});
+    t.addRow({"mode", "synthetic"});
+    t.addRow({"arch", archName(r.arch)});
+    t.addRow({"pattern", c.selfSimilar ? "selfsimilar"
+                                       : patternName(c.pattern)});
+    t.addRow({"period_ns", Table::num(r.periodNs, 4)});
+    t.addRow({"offered_mbps", Table::num(r.offeredMBps, 1)});
+    t.addRow({"accepted_mbps", Table::num(r.acceptedMBps, 1)});
+    t.addRow({"latency_cycles", Table::num(r.avgLatencyCycles, 3)});
+    t.addRow({"latency_ns", Table::num(r.avgLatencyNs, 3)});
+    t.addRow({"p95_latency_ns", Table::num(r.p95LatencyNs, 3)});
+    t.addRow({"p99_latency_ns", Table::num(r.p99LatencyNs, 3)});
+    t.addRow({"packets", std::to_string(r.packetsMeasured)});
+    t.addRow({"saturated", r.saturated ? "1" : "0"});
+    t.addRow({"power_w", Table::num(r.powerW, 4)});
+    t.addRow({"energy_per_packet_pj",
+              Table::num(r.energyPerPacketPj, 2)});
+    t.addRow({"ed2_pj_ns2", Table::num(r.ed2, 1)});
+    t.addRow({"link_energy_share",
+              Table::num(r.energy.linkFraction(), 4)});
+    if (config.has("csv")) {
+        std::ofstream out(config.getString("csv"));
+        t.printCsv(out);
+    }
+    t.print(std::cout);
+    return r.drained ? 0 : 1;
+}
+
+int
+runAppMode(const Config &config)
+{
+    AppConfig c;
+    c.arch = parseArch(config.getString("arch", "nox").c_str());
+
+    Trace trace;
+    if (config.has("trace")) {
+        trace = readTraceFile(config.getString("trace"));
+    } else {
+        CmpParams params;
+        CoherenceTraceGenerator gen(
+            params,
+            findWorkload(config.getString("workload", "tpcc")),
+            config.getUint("seed", 99));
+        trace = gen.generate(
+            config.getDouble("horizon_ns", 25000.0),
+            config.getDouble("warmup_ns", 50000.0));
+    }
+
+    const AppResult r = runApplication(c, trace);
+
+    Table t({"key", "value"});
+    t.addRow({"mode", "application"});
+    t.addRow({"arch", archName(r.arch)});
+    t.addRow({"trace", trace.name});
+    t.addRow({"period_ns", Table::num(r.periodNs, 4)});
+    t.addRow({"packets", std::to_string(r.packets)});
+    t.addRow({"net_latency_ns", Table::num(r.avgLatencyNs, 3)});
+    t.addRow({"total_latency_ns",
+              Table::num(r.avgTotalLatencyNs, 3)});
+    t.addRow({"req_latency_ns",
+              Table::num(r.avgLatencyNsRequest, 3)});
+    t.addRow({"reply_latency_ns",
+              Table::num(r.avgLatencyNsReply, 3)});
+    t.addRow({"power_w", Table::num(r.powerW, 4)});
+    t.addRow({"energy_per_packet_pj",
+              Table::num(r.energyPerPacketPj, 2)});
+    t.addRow({"ed2_pj_ns2", Table::num(r.ed2, 1)});
+    t.addRow({"drained", r.drained ? "1" : "0"});
+    if (config.has("csv")) {
+        std::ofstream out(config.getString("csv"));
+        t.printCsv(out);
+    }
+    t.print(std::cout);
+    return r.drained ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Config config;
+    config.parseArgs(argc, argv);
+    const std::string mode = config.getString("mode", "synthetic");
+    int rc;
+    if (mode == "app" || mode == "application") {
+        rc = runAppMode(config);
+    } else if (mode == "synthetic") {
+        rc = runSyntheticMode(config);
+    } else {
+        nox::fatal("unknown mode '", mode,
+                   "' (expected synthetic|app)");
+    }
+    for (const auto &key : config.unusedKeys())
+        nox::warn("unused config key: ", key);
+    return rc;
+}

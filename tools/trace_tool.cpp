@@ -1,0 +1,163 @@
+/**
+ * @file
+ * trace_tool — inspect, generate, filter and summarize packet traces.
+ *
+ *   trace_tool gen workload=barnes out=barnes.trace [horizon_ns=N]
+ *   trace_tool info in=barnes.trace
+ *   trace_tool filter in=a.trace out=b.trace [network=0] [src=N]
+ *                     [dst=N] [from_ns=X] [to_ns=Y]
+ *   trace_tool histogram in=a.trace [bins=20]
+ */
+
+#include <algorithm>
+#include <iostream>
+#include <string>
+
+#include "coherence/trace_generator.hpp"
+#include "common/config.hpp"
+#include "common/log.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "traffic/trace.hpp"
+
+namespace {
+
+using namespace nox;
+
+int
+cmdGen(const Config &config)
+{
+    CmpParams params;
+    CoherenceTraceGenerator gen(
+        params, findWorkload(config.getString("workload", "tpcc")),
+        config.getUint("seed", 99));
+    const Trace trace =
+        gen.generate(config.getDouble("horizon_ns", 25000.0),
+                     config.getDouble("warmup_ns", 50000.0));
+    const std::string out = config.getString("out");
+    if (out.empty())
+        fatal("gen requires out=<path>");
+    writeTraceFile(out, trace);
+    std::cout << "wrote " << trace.records.size() << " records ("
+              << trace.durationNs << " ns) to " << out << '\n';
+    return 0;
+}
+
+int
+cmdInfo(const Config &config)
+{
+    const Trace trace = readTraceFile(config.getString("in"));
+    std::uint64_t ctrl = 0, data = 0, bytes = 0;
+    SampleStats sizes;
+    for (const auto &r : trace.records) {
+        (r.sizeBytes <= 8 ? ctrl : data) += 1;
+        bytes += r.sizeBytes;
+        sizes.add(static_cast<double>(r.sizeBytes));
+    }
+    Table t({"metric", "value"});
+    t.addRow({"records", std::to_string(trace.records.size())});
+    t.addRow({"duration_ns", Table::num(trace.durationNs, 1)});
+    t.addRow({"control packets", std::to_string(ctrl)});
+    t.addRow({"data packets", std::to_string(data)});
+    t.addRow({"bytes", std::to_string(bytes)});
+    t.addRow({"mean packet bytes", Table::num(sizes.mean(), 2)});
+    t.addRow({"request-net records",
+              std::to_string(trace.forNetwork(0).size())});
+    t.addRow({"reply-net records",
+              std::to_string(trace.forNetwork(1).size())});
+    for (int net : {0, 1}) {
+        t.addRow({"net " + std::to_string(net) + " GB/s/node",
+                  Table::num(trace.bytesPerNsPerNode(64, net), 3)});
+    }
+    t.print(std::cout);
+    return 0;
+}
+
+int
+cmdFilter(const Config &config)
+{
+    const Trace in = readTraceFile(config.getString("in"));
+    Trace out;
+    out.name = in.name + "-filtered";
+    out.durationNs = in.durationNs;
+    const double from = config.getDouble("from_ns", 0.0);
+    const double to = config.getDouble("to_ns", 1e300);
+    for (const auto &r : in.records) {
+        if (r.timeNs < from || r.timeNs > to)
+            continue;
+        if (config.has("network") &&
+            r.network != config.getUint("network"))
+            continue;
+        if (config.has("src") &&
+            r.src != static_cast<NodeId>(config.getInt("src")))
+            continue;
+        if (config.has("dst") &&
+            r.dst != static_cast<NodeId>(config.getInt("dst")))
+            continue;
+        out.records.push_back(r);
+    }
+    writeTraceFile(config.getString("out"), out);
+    std::cout << "kept " << out.records.size() << " of "
+              << in.records.size() << " records\n";
+    return 0;
+}
+
+int
+cmdHistogram(const Config &config)
+{
+    const Trace trace = readTraceFile(config.getString("in"));
+    const int bins = static_cast<int>(config.getInt("bins", 20));
+    if (trace.records.empty() || trace.durationNs <= 0.0) {
+        std::cout << "empty trace\n";
+        return 0;
+    }
+    std::vector<std::uint64_t> counts(
+        static_cast<std::size_t>(bins), 0);
+    for (const auto &r : trace.records) {
+        auto b = static_cast<std::size_t>(
+            r.timeNs / trace.durationNs * bins);
+        if (b >= counts.size())
+            b = counts.size() - 1;
+        counts[b] += 1;
+    }
+    std::uint64_t peak = 1;
+    for (auto c : counts)
+        peak = std::max(peak, c);
+    std::cout << "packets over time (" << bins << " bins of "
+              << Table::num(trace.durationNs / bins, 0) << " ns):\n";
+    for (int b = 0; b < bins; ++b) {
+        const auto c = counts[static_cast<std::size_t>(b)];
+        const int stars =
+            static_cast<int>(60.0 * static_cast<double>(c) /
+                             static_cast<double>(peak));
+        std::cout << Table::num(b * trace.durationNs / bins, 0)
+                  << "\t" << c << "\t" << std::string(
+                         static_cast<std::size_t>(stars), '*')
+                  << '\n';
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Config config;
+    const auto positional = config.parseArgs(argc, argv);
+    if (positional.empty()) {
+        std::cerr << "usage: trace_tool <gen|info|filter|histogram> "
+                     "key=value...\n";
+        return 2;
+    }
+    const std::string &cmd = positional.front();
+    if (cmd == "gen")
+        return cmdGen(config);
+    if (cmd == "info")
+        return cmdInfo(config);
+    if (cmd == "filter")
+        return cmdFilter(config);
+    if (cmd == "histogram")
+        return cmdHistogram(config);
+    nox::fatal("unknown command '", cmd, "'");
+}
