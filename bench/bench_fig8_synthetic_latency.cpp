@@ -31,7 +31,8 @@ struct PatternSummary
 PatternSummary
 runPattern(PatternKind pattern, bool self_similar,
            const std::vector<RouterArch> &archs,
-           const std::vector<double> &rates, const Config &config)
+           const std::vector<double> &rates, const Config &config,
+           std::vector<bench::PerfRecord> *perf)
 {
     std::cout << "--- Figure 8: "
               << (self_similar ? "selfsimilar"
@@ -56,6 +57,12 @@ runPattern(PatternKind pattern, bool self_similar,
             c.injectionMBps = rate;
             bench::applyCommon(config, &c);
             const RunResult r = runSynthetic(c);
+            perf->push_back(
+                {std::string(self_similar ? "selfsimilar"
+                                          : patternName(pattern)) +
+                     "/" + archName(arch) + "/" +
+                     Table::num(rate, 0),
+                 r.wallSeconds, r.cyclesSimulated});
             if (r.saturated) {
                 row.push_back("sat");
                 if (!summary.saturationMBps.count(arch))
@@ -108,8 +115,10 @@ main(int argc, char **argv)
 
     double best_nox_gain = 0.0;
     const char *best_pattern = "";
+    std::vector<bench::PerfRecord> perf;
     for (PatternKind p : patterns) {
-        const auto s = runPattern(p, false, archs, rates, config);
+        const auto s =
+            runPattern(p, false, archs, rates, config, &perf);
         if (s.saturationMBps.count(RouterArch::Nox)) {
             double other = 0.0;
             for (const auto &[a, sat] : s.saturationMBps) {
@@ -129,13 +138,14 @@ main(int argc, char **argv)
     }
     // The paper's eighth pattern: self-similar Pareto traffic.
     runPattern(PatternKind::UniformRandom, true, archs, rates,
-               config);
+               config, &perf);
 
     std::cout << "NoX best saturation-throughput gain over the best "
                  "other architecture: "
               << Table::num(best_nox_gain * 100.0, 1) << "% ("
               << best_pattern << ")  [paper: up to 9.9%]\n";
 
+    bench::writePerfJson(config, "fig8_synthetic_latency", perf);
     bench::warnUnused(config);
     return 0;
 }

@@ -69,6 +69,9 @@ applyCommon(const Config &config, SyntheticConfig *synth)
     synth->seed = config.getUint("seed", synth->seed);
     synth->width = static_cast<int>(config.getInt("width", 8));
     synth->height = static_cast<int>(config.getInt("height", 8));
+    const std::string sched = config.getString("scheduling");
+    if (!sched.empty())
+        synth->schedulingMode = parseSchedulingMode(sched.c_str());
 }
 
 std::vector<double>
@@ -111,6 +114,35 @@ writeCsv(const Config &config, const std::string &name,
     }
     table.printCsv(out);
     std::cout << "[csv] " << path << '\n';
+}
+
+void
+writePerfJson(const Config &config, const std::string &bench,
+              const std::vector<PerfRecord> &records)
+{
+    const std::string path = config.getString("perf_json");
+    if (path.empty())
+        return;
+    std::ofstream out(path);
+    if (!out) {
+        warn("cannot write ", path);
+        return;
+    }
+    out << "{\n  \"bench\": \"" << bench << "\",\n"
+        << "  \"records\": [\n";
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        const PerfRecord &r = records[i];
+        const double cps =
+            r.wallSeconds > 0.0
+                ? static_cast<double>(r.cycles) / r.wallSeconds
+                : 0.0;
+        out << "    {\"label\": \"" << r.label << "\", \"wall_s\": "
+            << r.wallSeconds << ", \"cycles\": " << r.cycles
+            << ", \"cycles_per_s\": " << cps << "}"
+            << (i + 1 < records.size() ? "," : "") << '\n';
+    }
+    out << "  ]\n}\n";
+    std::cout << "[perf] " << path << '\n';
 }
 
 void

@@ -31,8 +31,25 @@ std::vector<RouterArch> archsFrom(const Config &config);
 /** Parse `workloads=` config (default: the built-in ten). */
 std::vector<std::string> workloadsFrom(const Config &config);
 
-/** Apply warmup/measure/seed overrides from config. */
+/** Apply warmup/measure/seed/scheduling overrides from config. */
 void applyCommon(const Config &config, SyntheticConfig *synth);
+
+/** One simulator-performance sample for writePerfJson(). */
+struct PerfRecord
+{
+    std::string label;      ///< e.g. "NoX/uniform/activity"
+    double wallSeconds = 0.0;
+    std::uint64_t cycles = 0;
+};
+
+/**
+ * If `perf_json=<path>` is configured, write the simulator
+ * performance records (wall-clock seconds, simulated cycles, and
+ * derived cycles/second) as a JSON document at that path — the
+ * artifact CI uploads from the bench-smoke step.
+ */
+void writePerfJson(const Config &config, const std::string &bench,
+                   const std::vector<PerfRecord> &records);
 
 /** Offered-rate sweep from config (`rates=` or quick/full default). */
 std::vector<double> ratesFrom(const Config &config);

@@ -36,6 +36,15 @@ class SampleStats
     double min() const { return n_ ? min_ : 0.0; }
     double max() const { return n_ ? max_ : 0.0; }
 
+    /** Exact (bit-level) accumulator equality — used by the kernel
+     *  equivalence checks, where "close" is not good enough. */
+    bool identicalTo(const SampleStats &other) const
+    {
+        return n_ == other.n_ && mean_ == other.mean_ &&
+               m2_ == other.m2_ && min_ == other.min_ &&
+               max_ == other.max_;
+    }
+
   private:
     std::uint64_t n_ = 0;
     double mean_ = 0.0;
@@ -68,6 +77,13 @@ class Histogram
      * if the quantile falls in the overflow bucket.
      */
     double quantile(double p) const;
+
+    /** Exact equality of geometry and every bucket count. */
+    bool identicalTo(const Histogram &other) const
+    {
+        return width_ == other.width_ && counts_ == other.counts_ &&
+               overflow_ == other.overflow_ && total_ == other.total_;
+    }
 
   private:
     double width_;

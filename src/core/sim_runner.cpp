@@ -1,6 +1,7 @@
 #include "core/sim_runner.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <memory>
 
@@ -62,6 +63,7 @@ runSynthetic(const SyntheticConfig &config)
     params.router.bufferDepth = config.bufferDepth;
     params.router.arbiterKind = config.arbiterKind;
     params.sinkBufferDepth = config.sinkBufferDepth;
+    params.schedulingMode = config.schedulingMode;
     auto net = makeNetwork(params, config.arch);
 
     const DestinationPattern pattern(config.pattern, net->mesh(),
@@ -83,6 +85,10 @@ runSynthetic(const SyntheticConfig &config)
     const Cycle m1 = config.warmupCycles + config.measureCycles;
     net->setMeasurementWindow(m0, m1);
 
+    // Wall-clock the whole simulation (warmup + measure + drain) —
+    // this is the quantity the scheduling kernels are compared on.
+    const auto wall0 = std::chrono::steady_clock::now();
+
     net->run(config.warmupCycles);
     const EnergyEvents before = net->totalEnergyEvents();
     net->run(config.measureCycles);
@@ -90,6 +96,11 @@ runSynthetic(const SyntheticConfig &config)
 
     net->setSourcesEnabled(false);
     res.drained = net->drain(config.drainLimitCycles);
+
+    const auto wall1 = std::chrono::steady_clock::now();
+    res.wallSeconds =
+        std::chrono::duration<double>(wall1 - wall0).count();
+    res.cyclesSimulated = net->now();
 
     const NetworkStats &stats = net->stats();
     res.packetsMeasured = stats.latency.count();

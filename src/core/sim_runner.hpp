@@ -18,6 +18,7 @@
 
 #include <cstdint>
 
+#include "noc/network.hpp"
 #include "noc/router.hpp"
 #include "noc/types.hpp"
 #include "power/energy_model.hpp"
@@ -47,6 +48,7 @@ struct SyntheticConfig
     Cycle measureCycles = 30000;
     Cycle drainLimitCycles = 150000;
     std::uint64_t seed = 0xA11CE5;
+    SchedulingMode schedulingMode = SchedulingMode::AlwaysTick;
     Technology tech = Technology::tsmc65();
     PhysicalParams phys;
 };
@@ -71,6 +73,18 @@ struct RunResult
     bool saturated = false;
     bool drained = true;
     std::size_t maxSourceQueueFlits = 0;
+
+    // Simulator (host) performance over warmup+measure+drain; the
+    // activity-driven kernel is evaluated on cyclesPerSecond().
+    double wallSeconds = 0.0;
+    std::uint64_t cyclesSimulated = 0;
+    double
+    cyclesPerSecond() const
+    {
+        return wallSeconds > 0.0
+                   ? static_cast<double>(cyclesSimulated) / wallSeconds
+                   : 0.0;
+    }
 
     EnergyBreakdown energy;      ///< over the measurement window
     double powerW = 0.0;         ///< mean power over the window

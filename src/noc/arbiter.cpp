@@ -7,7 +7,8 @@ namespace nox {
 RoundRobinArbiter::RoundRobinArbiter(int num_inputs)
     : Arbiter(num_inputs), pointer_(0)
 {
-    NOX_ASSERT(num_inputs > 0 && num_inputs <= 32, "bad arbiter width");
+    NOX_ASSERT(num_inputs > 0 && num_inputs <= kMaxMaskBits,
+               "bad arbiter width");
 }
 
 int
@@ -17,7 +18,7 @@ RoundRobinArbiter::grant(RequestMask requests)
         return -1;
     for (int i = 0; i < numInputs_; ++i) {
         const int idx = (pointer_ + i) % numInputs_;
-        if (requests & (1u << idx)) {
+        if (requests & maskBit(idx)) {
             pointer_ = (idx + 1) % numInputs_;
             return idx;
         }
@@ -37,7 +38,7 @@ FixedPriorityArbiter::grant(RequestMask requests)
     if (requests == 0)
         return -1;
     for (int i = 0; i < numInputs_; ++i) {
-        if (requests & (1u << i))
+        if (requests & maskBit(i))
             return i;
     }
     return -1;
@@ -46,7 +47,8 @@ FixedPriorityArbiter::grant(RequestMask requests)
 MatrixArbiter::MatrixArbiter(int num_inputs)
     : Arbiter(num_inputs)
 {
-    NOX_ASSERT(num_inputs > 0 && num_inputs <= 32, "bad arbiter width");
+    NOX_ASSERT(num_inputs > 0 && num_inputs <= kMaxMaskBits,
+               "bad arbiter width");
     reset();
 }
 
@@ -57,11 +59,11 @@ MatrixArbiter::grant(RequestMask requests)
         return -1;
     int winner = -1;
     for (int i = 0; i < numInputs_; ++i) {
-        if (!(requests & (1u << i)))
+        if (!(requests & maskBit(i)))
             continue;
         bool beaten = false;
         for (int j = 0; j < numInputs_; ++j) {
-            if (j == i || !(requests & (1u << j)))
+            if (j == i || !(requests & maskBit(j)))
                 continue;
             if (prio_[j][i]) {
                 beaten = true;

@@ -16,8 +16,30 @@
 
 namespace nox {
 
-/** Request bit-vector; bit i set means input i requests the output. */
-using RequestMask = std::uint32_t;
+/**
+ * Request bit-vector; bit i set means input i requests the output.
+ * 64 bits wide so high-radix concentrated-mesh routers (radix
+ * 4 + concentration) cannot silently truncate a request.
+ */
+using RequestMask = std::uint64_t;
+
+/** Widest request vector any arbiter or router may be built with. */
+inline constexpr int kMaxMaskBits = 64;
+
+/** Single-input request mask for input @p i. */
+constexpr RequestMask
+maskBit(int i)
+{
+    return RequestMask{1} << i;
+}
+
+/** Mask with the low @p n bits set (all inputs of an n-wide port). */
+constexpr RequestMask
+maskAll(int n)
+{
+    return n >= kMaxMaskBits ? ~RequestMask{0}
+                             : (RequestMask{1} << n) - 1;
+}
 
 /** Common arbiter interface: pick one set bit of the request mask. */
 class Arbiter

@@ -17,6 +17,8 @@
 #ifndef NOX_NOC_FLIT_HPP
 #define NOX_NOC_FLIT_HPP
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -45,6 +47,55 @@ struct FlitDesc
     bool isMultiFlit() const { return packetSize > 1; }
 };
 
+/**
+ * Small-buffer sequence of WireFlit constituents. WireFlits are
+ * copied on every hop (FIFO staging, decode registers), and almost
+ * all of them are uncoded singles; keeping up to kInlineParts
+ * in-place makes those copies allocation-free. Longer encoded chains
+ * (NoX collisions) spill to the heap transparently.
+ */
+class PartsVec
+{
+  public:
+    static constexpr std::size_t kInlineParts = 1;
+
+    void
+    push_back(const FlitDesc &d)
+    {
+        if (!onHeap()) {
+            if (size_ < kInlineParts) {
+                inline_[size_++] = d;
+                return;
+            }
+            // Spill: from here on heap_ is the single source of truth.
+            heap_.reserve(size_ + 1);
+            heap_.assign(inline_.begin(), inline_.end());
+        }
+        heap_.push_back(d);
+    }
+
+    std::size_t size() const { return onHeap() ? heap_.size() : size_; }
+    bool empty() const { return size() == 0; }
+    const FlitDesc *
+    begin() const
+    {
+        return onHeap() ? heap_.data() : inline_.data();
+    }
+    const FlitDesc *end() const { return begin() + size(); }
+    const FlitDesc &front() const { return *begin(); }
+    const FlitDesc &operator[](std::size_t i) const
+    {
+        return begin()[i];
+    }
+
+  private:
+    bool onHeap() const { return !heap_.empty(); }
+
+    std::array<FlitDesc, kInlineParts> inline_{};
+    std::size_t size_ = 0;
+    std::vector<FlitDesc> heap_;
+};
+
 /** Deterministic payload for (packet, seq), checkable at the sink. */
 std::uint64_t expectedPayload(PacketId packet, std::uint32_t seq);
 
@@ -60,7 +111,7 @@ struct WireFlit
     std::uint64_t payload = 0; ///< XOR of constituent payloads
     bool encoded = false;      ///< encoded marker bit on the link
     std::uint8_t vc = 0;       ///< virtual channel tag on the link
-    std::vector<FlitDesc> parts; ///< constituents (bookkeeping)
+    PartsVec parts;            ///< constituents (bookkeeping)
 
     /** Wrap a single flit. */
     static WireFlit fromDesc(const FlitDesc &d);

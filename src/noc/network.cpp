@@ -1,10 +1,39 @@
 #include "noc/network.hpp"
 
 #include <algorithm>
+#include <string_view>
 
 #include "common/log.hpp"
 
 namespace nox {
+
+const char *
+schedulingModeName(SchedulingMode mode)
+{
+    switch (mode) {
+      case SchedulingMode::AlwaysTick:
+        return "alwaystick";
+      case SchedulingMode::ActivityDriven:
+        return "activity";
+      case SchedulingMode::EquivalenceCheck:
+        return "equivalence";
+    }
+    panic("unknown scheduling mode");
+}
+
+SchedulingMode
+parseSchedulingMode(const char *name)
+{
+    const std::string_view n(name);
+    if (n == "alwaystick" || n == "always")
+        return SchedulingMode::AlwaysTick;
+    if (n == "activity" || n == "scheduled")
+        return SchedulingMode::ActivityDriven;
+    if (n == "equivalence" || n == "check")
+        return SchedulingMode::EquivalenceCheck;
+    fatal("unknown scheduling mode '", n,
+          "' (alwaystick | activity | equivalence)");
+}
 
 Network::Network(const NetworkParams &params, RouterFactory factory)
     : params_(params),
@@ -59,6 +88,18 @@ Network::Network(const NetworkParams &params, RouterFactory factory)
             mesh_.localPortOf(node));
         nics_[node]->setListener(this);
     }
+
+    // Active-set bookkeeping: everything starts armed (the first
+    // cycles retire whatever is genuinely idle). The flag vectors are
+    // sized once here and never reallocated, so the bound pointers
+    // stay valid for the network's lifetime.
+    routerActive_.assign(static_cast<std::size_t>(nr), 1);
+    nicActive_.assign(static_cast<std::size_t>(nn), 1);
+    scratchRouters_.reserve(static_cast<std::size_t>(nr));
+    for (NodeId r = 0; r < nr; ++r)
+        routers_[r]->bindActivity(&routerActive_[r]);
+    for (NodeId node = 0; node < nn; ++node)
+        nics_[node]->bindActivity(&nicActive_[node]);
 }
 
 void
@@ -70,6 +111,23 @@ Network::addSource(std::unique_ptr<TrafficSource> source)
 
 void
 Network::step()
+{
+    switch (params_.schedulingMode) {
+      case SchedulingMode::AlwaysTick:
+        stepAlwaysTick();
+        return;
+      case SchedulingMode::ActivityDriven:
+        stepScheduled(false);
+        return;
+      case SchedulingMode::EquivalenceCheck:
+        stepScheduled(true);
+        return;
+    }
+    panic("unknown scheduling mode");
+}
+
+void
+Network::stepAlwaysTick()
 {
     // 1. Traffic generation for this cycle.
     if (sourcesEnabled_) {
@@ -94,10 +152,111 @@ Network::step()
         r->energy().cycles += 1;
         r->commit();
     }
-    for (auto &nic : nics_)
-        nic->commit();
+    for (NodeId n = 0; n < numNodes(); ++n) {
+        nics_[n]->commit();
+        sampleSourceQueue(n);
+    }
 
     ++now_;
+}
+
+void
+Network::stepScheduled(bool check)
+{
+    const int nr = numRouters();
+    const int nn = numNodes();
+
+    // Equivalence mode: every retired component must still honour the
+    // quiescence contract at the start of the cycle. Because a
+    // retired component's flag is only re-set by staging, this also
+    // proves (inductively) that ticking it last cycle was a no-op.
+    if (check) {
+        for (NodeId r = 0; r < nr; ++r) {
+            NOX_ASSERT(routerActive_[r] || routers_[r]->quiescent(),
+                       "retired router ", r, " is not quiescent");
+        }
+        for (NodeId n = 0; n < nn; ++n) {
+            NOX_ASSERT(nicActive_[n] || nics_[n]->quiescent(),
+                       "retired NIC ", n, " is not quiescent");
+        }
+    }
+
+    // 1. Traffic generation always runs: sources draw from their RNG
+    // every cycle regardless of kernel, so both kernels see the same
+    // injection sequence. injectPacket() re-arms the target NIC.
+    if (sourcesEnabled_) {
+        for (auto &src : sources_)
+            src->tick(now_, *this);
+    }
+
+    // 2. NIC injection for the active set (live flags: a NIC armed by
+    // this cycle's traffic injects this cycle, as in always-tick).
+    for (NodeId n = 0; n < nn; ++n) {
+        if (nicActive_[n] || check)
+            nics_[n]->evaluateInject(now_);
+    }
+
+    // 3. Router evaluation over a snapshot of the active set: a
+    // router woken mid-phase by a staged flit starts evaluating next
+    // cycle — its staged arrival is latched by this cycle's commit,
+    // exactly as under always-tick where evaluation reads committed
+    // state only.
+    scratchRouters_.clear();
+    for (NodeId r = 0; r < nr; ++r) {
+        if (routerActive_[r] || check)
+            scratchRouters_.push_back(r);
+    }
+    for (NodeId r : scratchRouters_)
+        routers_[r]->evaluate(now_);
+
+    // 4. NIC sinks (live flags; a sink woken this cycle has an empty
+    // committed FIFO, so evaluating it is the same no-op as under
+    // always-tick).
+    for (NodeId n = 0; n < nn; ++n) {
+        if (nicActive_[n] || check)
+            nics_[n]->evaluateSink(now_);
+    }
+
+    // 5. Commit every component that is (or became) active this
+    // cycle, then retire those that report quiescent. Clock energy is
+    // only charged to committed routers — retired routers are clock
+    // gated (equivalence mode charges everyone, like always-tick).
+    for (NodeId r = 0; r < nr; ++r) {
+        if (!(routerActive_[r] || check))
+            continue;
+        routers_[r]->energy().cycles += 1;
+        routers_[r]->commit();
+        if (routerActive_[r] && routers_[r]->quiescent())
+            routerActive_[r] = 0;
+    }
+    for (NodeId n = 0; n < nn; ++n) {
+        if (!(nicActive_[n] || check))
+            continue;
+        nics_[n]->commit();
+        sampleSourceQueue(n);
+        if (nicActive_[n] && nics_[n]->quiescent())
+            nicActive_[n] = 0;
+    }
+
+    ++now_;
+}
+
+int
+Network::activeRouters() const
+{
+    if (params_.schedulingMode == SchedulingMode::AlwaysTick)
+        return numRouters();
+    return static_cast<int>(std::count(routerActive_.begin(),
+                                       routerActive_.end(), 1));
+}
+
+int
+Network::activeNics() const
+{
+    if (params_.schedulingMode == SchedulingMode::AlwaysTick)
+        return numNodes();
+    return static_cast<int>(
+        std::count(nicActive_.begin(), nicActive_.end(), 1));
 }
 
 void
@@ -110,9 +269,15 @@ Network::run(Cycle cycles)
 bool
 Network::drain(Cycle limit)
 {
+    // Draining with live sources would keep injecting fresh packets
+    // and burn the whole cycle limit; suspend them for the duration
+    // and restore the caller's setting on exit.
+    const bool sources_were_enabled = sourcesEnabled_;
+    sourcesEnabled_ = false;
     const Cycle deadline = now_ + limit;
     while (packetsInFlight() > 0 && now_ < deadline)
         step();
+    sourcesEnabled_ = sources_were_enabled;
     return packetsInFlight() == 0;
 }
 

@@ -10,6 +10,8 @@
 #ifndef NOX_NOC_NETWORK_HPP
 #define NOX_NOC_NETWORK_HPP
 
+#include <algorithm>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -26,6 +28,31 @@ namespace nox {
 using RouterFactory = std::function<std::unique_ptr<Router>(
     NodeId, const Mesh &, RoutingFunction, const RouterParams &)>;
 
+/**
+ * How Network::step() schedules component evaluation.
+ *
+ * AlwaysTick is the classic kernel: every router and NIC is evaluated
+ * and committed every cycle. ActivityDriven maintains an active set —
+ * components are re-armed when a flit or credit is staged to them and
+ * retired once they report quiescent() at commit — so an idle mesh
+ * region costs nothing (and, as clock gating, accrues no clock
+ * energy). EquivalenceCheck runs the always-tick kernel while
+ * maintaining the active set and asserts, every cycle, that each
+ * retired component is genuinely quiescent — the in-situ validation
+ * mode for the activity kernel's contract.
+ */
+enum class SchedulingMode : std::uint8_t {
+    AlwaysTick = 0,
+    ActivityDriven = 1,
+    EquivalenceCheck = 2,
+};
+
+/** Display name ("alwaystick", "activity", "equivalence"). */
+const char *schedulingModeName(SchedulingMode mode);
+
+/** Parse a scheduling-mode name (fatal on unknown names). */
+SchedulingMode parseSchedulingMode(const char *name);
+
 /** Network construction parameters. */
 struct NetworkParams
 {
@@ -35,6 +62,7 @@ struct NetworkParams
     RouterParams router;   ///< numPorts is derived from concentration
     int sinkBufferDepth = 4;
     RoutingFunction route = dorRoute;
+    SchedulingMode schedulingMode = SchedulingMode::AlwaysTick;
 };
 
 /** A width x height mesh of single-cycle routers plus per-node NICs. */
@@ -66,6 +94,18 @@ class Network : public PacketInjector, public SinkListener
     void setMeasurementWindow(Cycle start, Cycle end);
 
     Cycle now() const { return now_; }
+    SchedulingMode schedulingMode() const
+    {
+        return params_.schedulingMode;
+    }
+
+    /** Routers currently in the active set (all of them under the
+     *  always-tick kernel; introspection for tests and benches). */
+    int activeRouters() const;
+
+    /** NICs currently in the active set. */
+    int activeNics() const;
+
     const Mesh &mesh() const { return mesh_; }
     int numNodes() const { return mesh_.numNodes(); }
     int numRouters() const { return mesh_.numRouters(); }
@@ -90,11 +130,35 @@ class Network : public PacketInjector, public SinkListener
                            Cycle head_inject, Cycle now) override;
 
   private:
+    /** The classic kernel: evaluate and commit everything. */
+    void stepAlwaysTick();
+
+    /** The activity kernel; @p check adds the equivalence-mode
+     *  full evaluation and per-cycle quiescence asserts. */
+    void stepScheduled(bool check);
+
+    /** Track the peak source-queue occupancy of NIC @p node. */
+    void sampleSourceQueue(NodeId node)
+    {
+        stats_.maxSourceQueueFlits =
+            std::max(stats_.maxSourceQueueFlits,
+                     nics_[static_cast<std::size_t>(node)]
+                         ->sourceQueueFlits());
+    }
+
     NetworkParams params_;
     Mesh mesh_;
     std::vector<std::unique_ptr<Router>> routers_;
     std::vector<std::unique_ptr<Nic>> nics_;
     std::vector<std::unique_ptr<TrafficSource>> sources_;
+
+    /** Active-set flags, indexed by router / node id. Routers and
+     *  NICs hold pointers into these (bindActivity) and set them on
+     *  any staging; step() clears them on quiescent retirement. */
+    std::vector<std::uint8_t> routerActive_;
+    std::vector<std::uint8_t> nicActive_;
+    std::vector<NodeId> scratchRouters_; ///< per-cycle snapshot
+
     NetworkStats stats_;
     Cycle now_ = 0;
     PacketId nextPacket_ = 1;

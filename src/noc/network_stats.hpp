@@ -72,6 +72,35 @@ struct NetworkStats
     }
 };
 
+/**
+ * Bit-exact equality across every field, including the floating-point
+ * latency accumulators. This is the predicate behind the scheduling-
+ * kernel equivalence guarantee: an always-tick run and an activity-
+ * driven run of the same seeded configuration must satisfy it.
+ */
+inline bool
+identicalStats(const NetworkStats &a, const NetworkStats &b)
+{
+    for (std::size_t c = 0; c < a.latencyByClass.size(); ++c) {
+        if (!a.latencyByClass[c].identicalTo(b.latencyByClass[c]))
+            return false;
+    }
+    return a.packetsInjected == b.packetsInjected &&
+           a.flitsInjected == b.flitsInjected &&
+           a.packetsEjected == b.packetsEjected &&
+           a.flitsEjected == b.flitsEjected &&
+           a.measureStart == b.measureStart &&
+           a.measureEnd == b.measureEnd &&
+           a.latency.identicalTo(b.latency) &&
+           a.netLatency.identicalTo(b.netLatency) &&
+           a.latencyHist.identicalTo(b.latencyHist) &&
+           a.packetsMeasured == b.packetsMeasured &&
+           a.packetsMeasuredDone == b.packetsMeasuredDone &&
+           a.flitsEjectedInWindow == b.flitsEjectedInWindow &&
+           a.flitsCreatedInWindow == b.flitsCreatedInWindow &&
+           a.maxSourceQueueFlits == b.maxSourceQueueFlits;
+}
+
 } // namespace nox
 
 #endif // NOX_NOC_NETWORK_STATS_HPP

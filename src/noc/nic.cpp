@@ -134,6 +134,7 @@ Nic::enqueuePacket(std::vector<FlitDesc> flits)
     NOX_ASSERT(vc < injectQueue_.size(), "packet VC out of range");
     for (auto &f : flits)
         injectQueue_[vc].push_back(f);
+    wake();
 }
 
 void
@@ -142,6 +143,7 @@ Nic::stageSinkFlit(WireFlit flit)
     NOX_ASSERT(!stagedSinkFlit_,
                "two flits staged at one sink in one cycle");
     stagedSinkFlit_ = std::move(flit);
+    wake();
 }
 
 void
@@ -151,6 +153,22 @@ Nic::stageInjectCredit(int count, int vc)
                    stagedInjectCredits_.size(),
                "credit VC out of range");
     stagedInjectCredits_[static_cast<std::size_t>(vc)] += count;
+    wake();
+}
+
+bool
+Nic::quiescent() const
+{
+    for (const auto &q : injectQueue_) {
+        if (!q.empty())
+            return false;
+    }
+    for (int staged : stagedInjectCredits_) {
+        if (staged != 0)
+            return false;
+    }
+    return sinkFifo_.empty() && !stagedSinkFlit_ &&
+           !decoder_.registerValid();
 }
 
 } // namespace nox

@@ -65,6 +65,20 @@ class Nic
     void evaluateSink(Cycle now);
     void commit();
 
+    /**
+     * Activity contract (see Router::quiescent): true iff ticking
+     * this NIC would be a no-op — empty source queues (a stalled but
+     * non-empty queue keeps the NIC active so it injects the moment a
+     * credit returns), empty sink FIFO, no staged flit/credits, and
+     * an empty ejection decode register. Partially-arrived packets
+     * (`arrived_`) do not block quiescence: their remaining flits are
+     * elsewhere in the network and re-arm the NIC on arrival.
+     */
+    bool quiescent() const;
+
+    /** Bind the network's active-set flag (see Router::bindActivity). */
+    void bindActivity(std::uint8_t *flag) { activityFlag_ = flag; }
+
     // -- traffic-generator side --
     /** Queue all flits of a packet for injection (FIFO order). */
     void enqueuePacket(std::vector<FlitDesc> flits);
@@ -94,6 +108,13 @@ class Nic
   private:
     void deliver(const FlitDesc &flit, Cycle now);
 
+    void wake()
+    {
+        if (activityFlag_)
+            *activityFlag_ = 1;
+    }
+
+    std::uint8_t *activityFlag_ = nullptr;
     NodeId node_;
     Router *router_ = nullptr;
     int localPort_ = kPortLocal;

@@ -10,7 +10,7 @@ Router::Router(NodeId id, const Mesh &mesh, RoutingFunction route,
     : id_(id), mesh_(mesh), route_(route), params_(params)
 {
     NOX_ASSERT(params.bufferDepth > 0, "buffer depth must be positive");
-    NOX_ASSERT(params.numPorts >= 2 && params.numPorts <= 32,
+    NOX_ASSERT(params.numPorts >= 2 && params.numPorts <= kMaxMaskBits,
                "unsupported router radix ", params.numPorts);
     in_.reserve(static_cast<std::size_t>(params.numPorts));
     for (int p = 0; p < params.numPorts; ++p)
@@ -34,6 +34,16 @@ Router::commit()
         credits_[p] += stagedCredits_[p];
         stagedCredits_[p] = 0;
     }
+}
+
+bool
+Router::quiescent() const
+{
+    for (int p = 0; p < params_.numPorts; ++p) {
+        if (!in_[p].empty() || stagedIn_[p] || stagedCredits_[p] != 0)
+            return false;
+    }
+    return true;
 }
 
 void
@@ -66,6 +76,7 @@ Router::stageFlit(int in_port, WireFlit flit)
                "two flits staged at one input in one cycle (router ",
                id_, " port ", portName(in_port), ")");
     stagedIn_[in_port] = std::move(flit);
+    wake();
 }
 
 void
@@ -74,6 +85,7 @@ Router::stageCredit(int out_port, int count)
     NOX_ASSERT(out_port >= 0 && out_port < params_.numPorts,
                "bad port");
     stagedCredits_[out_port] += count;
+    wake();
 }
 
 void

@@ -91,6 +91,27 @@ class Router
     /** Latch staged flit/credit arrivals (phase 2). */
     virtual void commit();
 
+    /**
+     * Activity contract for the scheduled kernel: true iff ticking
+     * this router would be a no-op — no buffered flits, no staged
+     * arrivals, no pending (staged) credits, and no architecture-
+     * specific in-progress state (wormhole locks, reservations,
+     * decode registers, non-reset mask automata). A quiescent router
+     * may be retired from the active set; it is re-armed whenever a
+     * flit or credit is staged to it.
+     *
+     * The base implementation covers the shared state; overrides must
+     * AND in their own (and err on the side of returning false).
+     */
+    virtual bool quiescent() const;
+
+    /**
+     * Bind the network's active-set flag for this router. Staging a
+     * flit or credit to the router sets the flag (re-arming it in the
+     * scheduled kernel). Standalone routers (tests) leave it unbound.
+     */
+    void bindActivity(std::uint8_t *flag) { activityFlag_ = flag; }
+
     /** Virtual channels per input port (1 for the paper's wormhole
      *  designs; >1 only for the §2.8 exploration router). */
     virtual int vcCount() const { return 1; }
@@ -119,7 +140,7 @@ class Router
     /** Request-mask bit cover for all of this router's ports. */
     RequestMask allPortsMask() const
     {
-        return (1u << params_.numPorts) - 1;
+        return maskAll(params_.numPorts);
     }
     const FlitFifo &inputFifo(int port) const { return in_[port]; }
 
@@ -172,6 +193,13 @@ class Router
     /** Construct the configured arbiter flavour. */
     std::unique_ptr<Arbiter> makeArbiter() const;
 
+    /** Mark this router active (called on every staging into it). */
+    void wake()
+    {
+        if (activityFlag_)
+            *activityFlag_ = 1;
+    }
+
     NodeId id_;
     const Mesh &mesh_;
     RoutingFunction route_;
@@ -185,6 +213,9 @@ class Router
     std::vector<CreditTarget> creditTarget_;
 
     EnergyEvents energy_;
+
+  private:
+    std::uint8_t *activityFlag_ = nullptr;
 };
 
 } // namespace nox

@@ -23,9 +23,13 @@ NonSpecRouter::evaluate(Cycle)
     // Combinational request gathering: each input's (uncoded) head
     // flit requests exactly one output via lookahead DOR.
     const int ports = numPorts();
-    std::vector<std::optional<FlitDesc>> head(
-        static_cast<std::size_t>(ports));
-    std::vector<int> out_of(static_cast<std::size_t>(ports));
+    // Member scratch: evaluate() runs once per active router per
+    // cycle, so per-call vector allocation dominates the idle-path
+    // cost; reuse the buffers instead.
+    auto &head = scratchHead_;
+    auto &out_of = scratchOut_;
+    head.assign(static_cast<std::size_t>(ports), std::nullopt);
+    out_of.assign(static_cast<std::size_t>(ports), -1);
     for (int p = 0; p < ports; ++p) {
         head[p] = plainHead(p);
         out_of[p] = head[p] ? routeOf(*head[p]) : -1;
@@ -50,7 +54,7 @@ NonSpecRouter::evaluate(Cycle)
         RequestMask requests = 0;
         for (int p = 0; p < ports; ++p) {
             if (out_of[p] == o)
-                requests |= (1u << p);
+                requests |= maskBit(p);
         }
         if (!requests)
             continue;
@@ -60,6 +64,18 @@ NonSpecRouter::evaluate(Cycle)
         NOX_ASSERT(winner >= 0, "arbiter returned no grant");
         traverse(winner, o);
     }
+}
+
+bool
+NonSpecRouter::quiescent() const
+{
+    if (!Router::quiescent())
+        return false;
+    for (int owner : lockOwner_) {
+        if (owner >= 0)
+            return false; // multi-flit transfer in progress
+    }
+    return true;
 }
 
 void

@@ -33,6 +33,9 @@ class NonSpecRouter : public Router
 
     void evaluate(Cycle now) override;
 
+    /** Quiescent iff base state is idle and no wormhole is open. */
+    bool quiescent() const override;
+
     /** Input currently owning output @p port mid-packet (-1 = none). */
     int lockOwner(int port) const { return lockOwner_[port]; }
 
@@ -42,6 +45,10 @@ class NonSpecRouter : public Router
     std::vector<std::unique_ptr<Arbiter>> arb_;
     std::vector<int> lockOwner_;
     std::vector<PacketId> lockPacket_;
+
+    // Per-evaluate scratch (reused across cycles, see evaluate()).
+    std::vector<std::optional<FlitDesc>> scratchHead_;
+    std::vector<int> scratchOut_;
 };
 
 } // namespace nox

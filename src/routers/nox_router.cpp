@@ -27,8 +27,11 @@ NoxRouter::evaluate(Cycle)
     // latching into the decode register.
     const int ports = numPorts();
     const RequestMask all = allPortsMask();
-    std::vector<DecodeView> views(static_cast<std::size_t>(ports));
-    std::vector<int> out_of(static_cast<std::size_t>(ports));
+    // Member scratch — per-call allocation would dominate evaluate().
+    auto &views = scratchViews_;
+    auto &out_of = scratchOut_;
+    views.assign(static_cast<std::size_t>(ports), DecodeView{});
+    out_of.assign(static_cast<std::size_t>(ports), -1);
     for (int p = 0; p < ports; ++p) {
         views[p] = decoders_[p].view(in_[p]);
         out_of[p] = -1;
@@ -51,7 +54,7 @@ NoxRouter::evaluate(Cycle)
         RequestMask requests = 0;
         for (int p = 0; p < ports; ++p) {
             if (out_of[p] == o)
-                requests |= (1u << p);
+                requests |= maskBit(p);
         }
 
         // Switch requests are gated by downstream credits; when the
@@ -78,7 +81,7 @@ NoxRouter::evaluate(Cycle)
             // NoX perform like a perfectly speculating router when
             // requests can be non-speculatively pre-scheduled.
             const int p = st.lockOwner;
-            if (requests & (1u << p)) {
+            if (requests & maskBit(p)) {
                 const FlitDesc d = *views[p].presented;
                 NOX_ASSERT(d.packet == st.lockPacket,
                            "foreign flit inside locked NoX output");
@@ -86,13 +89,13 @@ NoxRouter::evaluate(Cycle)
                 if (d.isTail()) {
                     unlockOutput(st);
                     const RequestMask others =
-                        requests & ~(1u << p);
+                        requests & ~maskBit(p);
                     if (others) {
                         const int g = st.arb->grant(others);
                         energy_.arbDecisions += 1;
                         st.mode = Mode::Scheduled;
-                        st.switchMask = 1u << g;
-                        st.arbMask = all & ~(1u << g);
+                        st.switchMask = maskBit(g);
+                        st.arbMask = all & ~maskBit(g);
                         energy_.maskUpdates += 1;
                     }
                 }
@@ -132,7 +135,7 @@ NoxRouter::evaluate(Cycle)
             // Collision. Multi-flit involvement forces an abort.
             bool multi_flit = false;
             for (int p = 0; p < ports; ++p) {
-                if ((part & (1u << p)) &&
+                if ((part & maskBit(p)) &&
                     views[p].presented->isMultiFlit())
                     multi_flit = true;
             }
@@ -156,7 +159,7 @@ NoxRouter::evaluate(Cycle)
             // winner is freed immediately.
             std::vector<FlitDesc> colliding;
             for (int p = 0; p < ports; ++p) {
-                if (part & (1u << p)) {
+                if (part & maskBit(p)) {
                     colliding.push_back(*views[p].presented);
                     energy_.xbarInputDrives += 1;
                 }
@@ -168,7 +171,7 @@ NoxRouter::evaluate(Cycle)
             acceptPresented(g, views[g]);
             sendFlit(o, WireFlit::combine(colliding));
 
-            const RequestMask losers = part & ~(1u << g);
+            const RequestMask losers = part & ~maskBit(g);
             energy_.maskUpdates += 1;
             NOX_ASSERT(losers != 0, "collision with no losers");
             if (std::popcount(losers) == 1) {
@@ -203,8 +206,8 @@ NoxRouter::evaluate(Cycle)
         if (arb_requests) {
             const int g = st.arb->grant(arb_requests);
             energy_.arbDecisions += 1;
-            st.switchMask = 1u << g;
-            st.arbMask = all & ~(1u << g);
+            st.switchMask = maskBit(g);
+            st.arbMask = all & ~maskBit(g);
         } else {
             // No grant generated: transition back to the optimistic
             // Recovery mode with everything enabled.
@@ -213,6 +216,24 @@ NoxRouter::evaluate(Cycle)
             st.arbMask = all;
         }
     }
+}
+
+bool
+NoxRouter::quiescent() const
+{
+    if (!Router::quiescent())
+        return false;
+    for (const XorDecoder &d : decoders_) {
+        if (d.registerValid())
+            return false; // mid-decode of an encoded chain
+    }
+    const RequestMask all = allPortsMask();
+    for (const OutState &st : out_) {
+        if (st.lockOwner >= 0 || st.mode != Mode::Recovery ||
+            st.switchMask != all || st.arbMask != all)
+            return false;
+    }
+    return true;
 }
 
 void
@@ -243,7 +264,7 @@ NoxRouter::lockOutput(OutState &st, int in_port, PacketId packet)
     st.mode = Mode::Scheduled;
     st.lockOwner = in_port;
     st.lockPacket = packet;
-    st.switchMask = 1u << in_port;
+    st.switchMask = maskBit(in_port);
     st.arbMask = 0;
     energy_.maskUpdates += 1;
 }

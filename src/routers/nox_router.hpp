@@ -83,6 +83,15 @@ class NoxRouter : public Router
 
     void evaluate(Cycle now) override;
 
+    /**
+     * Quiescent iff base state is idle, every input decode register
+     * is empty, and every output's mask automaton has settled back to
+     * the fully-open Recovery state (a Scheduled or partially-masked
+     * output still needs ticks — or a returning credit — before a
+     * newly arriving flit would see the open switch).
+     */
+    bool quiescent() const override;
+
     // Introspection for the golden timing tests.
     Mode mode(int port) const { return out_[port].mode; }
     RequestMask switchMask(int port) const
@@ -119,6 +128,10 @@ class NoxRouter : public Router
     std::vector<XorDecoder> decoders_;
     std::vector<OutState> out_;
     NoxStats noxStats_;
+
+    // Per-evaluate scratch (reused across cycles, see evaluate()).
+    std::vector<DecodeView> scratchViews_;
+    std::vector<int> scratchOut_;
 };
 
 } // namespace nox

@@ -24,11 +24,14 @@ void
 SpecRouter::evaluate(Cycle)
 {
     const int ports = numPorts();
-    std::vector<std::optional<FlitDesc>> head(
-        static_cast<std::size_t>(ports));
-    std::vector<int> out_of(static_cast<std::size_t>(ports));
-    std::vector<PacketId> head_packet_at_start(
-        static_cast<std::size_t>(ports), kInvalidPacket);
+    // Member scratch — per-call allocation would dominate evaluate().
+    auto &head = scratchHead_;
+    auto &out_of = scratchOut_;
+    auto &head_packet_at_start = scratchHeadPacket_;
+    head.assign(static_cast<std::size_t>(ports), std::nullopt);
+    out_of.assign(static_cast<std::size_t>(ports), -1);
+    head_packet_at_start.assign(static_cast<std::size_t>(ports),
+                                kInvalidPacket);
     for (int p = 0; p < ports; ++p) {
         head[p] = plainHead(p);
         out_of[p] = head[p] ? routeOf(*head[p]) : -1;
@@ -57,7 +60,7 @@ SpecRouter::evaluate(Cycle)
         RequestMask requests = 0;
         for (int p = 0; p < ports; ++p) {
             if (out_of[p] == o)
-                requests |= (1u << p);
+                requests |= maskBit(p);
         }
 
         if (!haveCredit(o)) {
@@ -77,9 +80,9 @@ SpecRouter::evaluate(Cycle)
         // any) selects a single input; otherwise fully open.
         RequestMask fast_mask;
         if (lockOwner_[o] >= 0)
-            fast_mask = 1u << lockOwner_[o];
+            fast_mask = maskBit(lockOwner_[o]);
         else if (reserved_[o] >= 0)
-            fast_mask = 1u << reserved_[o];
+            fast_mask = maskBit(reserved_[o]);
         else
             fast_mask = allPortsMask();
 
@@ -126,7 +129,7 @@ SpecRouter::evaluate(Cycle)
             // eliminating its unnecessary reservations.
             next_requests = requests & fast_mask;
             if (success >= 0)
-                next_requests &= ~(1u << success);
+                next_requests &= ~maskBit(success);
         }
 
         if (next_requests) {
@@ -137,6 +140,26 @@ SpecRouter::evaluate(Cycle)
     }
 
     prevHeadPacket_ = head_packet_at_start;
+}
+
+bool
+SpecRouter::quiescent() const
+{
+    if (!Router::quiescent())
+        return false;
+    for (int owner : lockOwner_) {
+        if (owner >= 0)
+            return false;
+    }
+    for (int r : reserved_) {
+        if (r >= 0)
+            return false;
+    }
+    for (PacketId p : prevHeadPacket_) {
+        if (p != kInvalidPacket)
+            return false;
+    }
+    return true;
 }
 
 void

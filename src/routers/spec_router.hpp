@@ -48,6 +48,15 @@ class SpecRouter : public Router
 
     void evaluate(Cycle now) override;
 
+    /**
+     * Quiescent iff base state is idle, no wormhole is open, no
+     * reservation is pending, and the previous-head registers have
+     * settled to invalid (the Spec-Fast newly-exposed rule reads
+     * them, so retiring the router with a stale entry would mask a
+     * future head's first request — one idle tick clears them).
+     */
+    bool quiescent() const override;
+
     Variant variant() const { return variant_; }
 
     /** Reserved input for the next cycle on @p port (-1 = open). */
@@ -72,6 +81,11 @@ class SpecRouter : public Router
     /** Head packet at each input at the start of the previous cycle
      *  (0 = FIFO was empty) — drives the newly-exposed rule. */
     std::vector<PacketId> prevHeadPacket_;
+
+    // Per-evaluate scratch (reused across cycles, see evaluate()).
+    std::vector<std::optional<FlitDesc>> scratchHead_;
+    std::vector<int> scratchOut_;
+    std::vector<PacketId> scratchHeadPacket_;
 };
 
 } // namespace nox

@@ -65,6 +65,27 @@ VcRouter::stageCreditVc(int out_port, int vc)
     NOX_ASSERT(out_port >= 0 && out_port < numPorts(), "bad port");
     NOX_ASSERT(vc >= 0 && vc < vcs_, "bad vc");
     stagedVcCredits_[index(out_port, vc)] += 1;
+    wake();
+}
+
+bool
+VcRouter::quiescent() const
+{
+    if (!Router::quiescent())
+        return false;
+    for (const FlitFifo &fifo : vcIn_) {
+        if (!fifo.empty())
+            return false;
+    }
+    for (int staged : stagedVcCredits_) {
+        if (staged != 0)
+            return false;
+    }
+    for (int owner : lockOwner_) {
+        if (owner >= 0)
+            return false;
+    }
+    return true;
 }
 
 void
@@ -86,15 +107,13 @@ VcRouter::evaluate(Cycle)
 
     // Stage 1 (VC allocation): each input port selects one eligible
     // (head present, downstream per-VC credit available) VC.
-    struct Candidate
-    {
-        int vc = -1;
-        int out = -1;
-    };
-    std::vector<Candidate> chosen(static_cast<std::size_t>(ports));
+    // Member scratch — per-call allocation would dominate evaluate().
+    auto &chosen = scratchChosen_;
+    chosen.assign(static_cast<std::size_t>(ports), Candidate{});
+    auto &out_of = scratchVcOut_;
     for (int p = 0; p < ports; ++p) {
         RequestMask eligible = 0;
-        std::vector<int> out_of(static_cast<std::size_t>(vcs_), -1);
+        out_of.assign(static_cast<std::size_t>(vcs_), -1);
         for (int v = 0; v < vcs_; ++v) {
             const FlitFifo &fifo = vcIn_[index(p, v)];
             if (fifo.empty())
@@ -110,7 +129,7 @@ VcRouter::evaluate(Cycle)
                 continue; // body flit of a packet we do not own here
             if (vcCredits_[index(o, v)] <= 0)
                 continue;
-            eligible |= (1u << v);
+            eligible |= maskBit(v);
             out_of[static_cast<std::size_t>(v)] = o;
         }
         if (eligible) {
@@ -128,7 +147,7 @@ VcRouter::evaluate(Cycle)
         RequestMask requests = 0;
         for (int p = 0; p < ports; ++p) {
             if (chosen[static_cast<std::size_t>(p)].out == o)
-                requests |= (1u << p);
+                requests |= maskBit(p);
         }
         if (!requests)
             continue;

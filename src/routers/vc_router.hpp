@@ -55,6 +55,10 @@ class VcRouter : public Router
     void commit() override;
     void stageCreditVc(int out_port, int vc) override;
 
+    /** Quiescent iff base state is idle and every per-VC buffer,
+     *  staged credit and wormhole lane is empty/closed. */
+    bool quiescent() const override;
+
     // Introspection (tests).
     const FlitFifo &vcFifo(int port, int vc) const
     {
@@ -91,6 +95,17 @@ class VcRouter : public Router
     std::vector<PacketId> lockPacket_;  ///< [out_port][vc]
     std::vector<std::unique_ptr<Arbiter>> outArb_; ///< per output
     std::vector<std::unique_ptr<Arbiter>> vcArb_;  ///< per input
+
+    /** Stage-1 winner of one input port (see evaluate()). */
+    struct Candidate
+    {
+        int vc = -1;
+        int out = -1;
+    };
+
+    // Per-evaluate scratch (reused across cycles, see evaluate()).
+    std::vector<Candidate> scratchChosen_;
+    std::vector<int> scratchVcOut_;
 };
 
 } // namespace nox

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Seeded determinism and scheduling-kernel equivalence.
+ *
+ * The guardrail for the activity-driven kernel: for every router
+ * architecture and a representative pattern set, a seeded fig-8-style
+ * run must produce bit-identical NetworkStats (a) across repeated
+ * runs, (b) across scheduling kernels stepped in lockstep, and
+ * (c) under the self-checking equivalence kernel, whose per-cycle
+ * asserts verify every retired component is genuinely quiescent.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <memory>
+#include <string>
+
+#include "common/rng.hpp"
+#include "noc/network.hpp"
+#include "routers/factory.hpp"
+#include "traffic/bernoulli_source.hpp"
+#include "traffic/patterns.hpp"
+
+namespace nox {
+namespace {
+
+constexpr Cycle kWarmup = 300;
+constexpr Cycle kMeasure = 900;
+constexpr Cycle kDrainLimit = 20000;
+constexpr std::uint64_t kSeed = 0xF1683;
+
+std::unique_ptr<Network>
+buildNetwork(RouterArch arch, PatternKind pattern, SchedulingMode mode,
+             double load, int packet_flits)
+{
+    NetworkParams params;
+    params.width = 8;
+    params.height = 8;
+    params.schedulingMode = mode;
+    auto net = makeNetwork(params, arch);
+
+    // Sources are seeded per node from one seeder, as runSynthetic
+    // does, so every kernel sees the same injection sequence.
+    static const Mesh mesh(8, 8);
+    static const DestinationPattern uniform(PatternKind::UniformRandom,
+                                            mesh, 0.2);
+    static const DestinationPattern transpose(PatternKind::Transpose,
+                                              mesh, 0.2);
+    const DestinationPattern &pat =
+        pattern == PatternKind::Transpose ? transpose : uniform;
+    Rng seeder(kSeed);
+    for (NodeId n = 0; n < net->numNodes(); ++n) {
+        net->addSource(std::make_unique<BernoulliSource>(
+            n, pat, load, packet_flits, seeder.next()));
+    }
+    net->setMeasurementWindow(kWarmup, kWarmup + kMeasure);
+    return net;
+}
+
+NetworkStats
+runOnce(RouterArch arch, PatternKind pattern, SchedulingMode mode,
+        double load = 0.05, int packet_flits = 1)
+{
+    auto net = buildNetwork(arch, pattern, mode, load, packet_flits);
+    net->run(kWarmup + kMeasure);
+    EXPECT_TRUE(net->drain(kDrainLimit));
+    return net->stats();
+}
+
+struct Case
+{
+    RouterArch arch;
+    PatternKind pattern;
+};
+
+class SchedulingEquivalence : public ::testing::TestWithParam<Case>
+{
+};
+
+TEST_P(SchedulingEquivalence, RepeatedRunsBitIdentical)
+{
+    const auto [arch, pattern] = GetParam();
+    for (SchedulingMode mode : {SchedulingMode::AlwaysTick,
+                                SchedulingMode::ActivityDriven}) {
+        const NetworkStats a = runOnce(arch, pattern, mode);
+        const NetworkStats b = runOnce(arch, pattern, mode);
+        EXPECT_TRUE(identicalStats(a, b))
+            << archName(arch) << "/" << schedulingModeName(mode)
+            << " diverged between identical seeded runs";
+    }
+}
+
+TEST_P(SchedulingEquivalence, KernelsBitIdenticalInLockstep)
+{
+    const auto [arch, pattern] = GetParam();
+    auto tick = buildNetwork(arch, pattern,
+                             SchedulingMode::AlwaysTick, 0.05, 1);
+    auto activity = buildNetwork(
+        arch, pattern, SchedulingMode::ActivityDriven, 0.05, 1);
+
+    // Lockstep: both kernels advance one cycle at a time and must
+    // agree on every statistic at every cycle boundary.
+    for (Cycle t = 0; t < kWarmup + kMeasure; ++t) {
+        tick->step();
+        activity->step();
+        ASSERT_TRUE(identicalStats(tick->stats(), activity->stats()))
+            << archName(arch) << ": kernels diverged at cycle " << t;
+    }
+    EXPECT_TRUE(tick->drain(kDrainLimit));
+    EXPECT_TRUE(activity->drain(kDrainLimit));
+    EXPECT_EQ(tick->now(), activity->now())
+        << "kernels drained in different cycle counts";
+    EXPECT_TRUE(identicalStats(tick->stats(), activity->stats()));
+}
+
+TEST_P(SchedulingEquivalence, MultiFlitKernelsBitIdentical)
+{
+    // Multi-flit packets exercise the wormhole locks, NoX aborts and
+    // the decode registers — the state the quiescence contract must
+    // cover honestly.
+    const auto [arch, pattern] = GetParam();
+    const NetworkStats a = runOnce(arch, pattern,
+                                   SchedulingMode::AlwaysTick,
+                                   0.08, 5);
+    const NetworkStats b = runOnce(arch, pattern,
+                                   SchedulingMode::ActivityDriven,
+                                   0.08, 5);
+    EXPECT_TRUE(identicalStats(a, b))
+        << archName(arch) << ": multi-flit kernels diverged";
+}
+
+TEST_P(SchedulingEquivalence, EquivalenceModeSelfChecksClean)
+{
+    // The equivalence kernel asserts per cycle that retired
+    // components are quiescent, and must reproduce always-tick stats.
+    const auto [arch, pattern] = GetParam();
+    const NetworkStats always = runOnce(arch, pattern,
+                                        SchedulingMode::AlwaysTick);
+    const NetworkStats checked =
+        runOnce(arch, pattern, SchedulingMode::EquivalenceCheck);
+    EXPECT_TRUE(identicalStats(always, checked))
+        << archName(arch) << ": equivalence mode diverged";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ArchesAndPatterns, SchedulingEquivalence,
+    ::testing::Values(
+        Case{RouterArch::NonSpeculative, PatternKind::UniformRandom},
+        Case{RouterArch::SpecFast, PatternKind::UniformRandom},
+        Case{RouterArch::SpecAccurate, PatternKind::UniformRandom},
+        Case{RouterArch::Nox, PatternKind::UniformRandom},
+        Case{RouterArch::NonSpeculative, PatternKind::Transpose},
+        Case{RouterArch::SpecFast, PatternKind::Transpose},
+        Case{RouterArch::SpecAccurate, PatternKind::Transpose},
+        Case{RouterArch::Nox, PatternKind::Transpose}),
+    [](const ::testing::TestParamInfo<Case> &info) {
+        // archName() values contain '-', which gtest names reject.
+        std::string name = std::string(archName(info.param.arch)) +
+                           "_" + patternName(info.param.pattern);
+        std::erase_if(name, [](char c) {
+            return c != '_' && !std::isalnum(
+                                   static_cast<unsigned char>(c));
+        });
+        return name;
+    });
+
+TEST(ActivityKernel, IdleNetworkRetiresEverything)
+{
+    NetworkParams params;
+    params.width = 8;
+    params.height = 8;
+    params.schedulingMode = SchedulingMode::ActivityDriven;
+    auto net = makeNetwork(params, RouterArch::Nox);
+
+    // With no traffic, a few settle cycles retire the whole mesh.
+    net->run(4);
+    EXPECT_EQ(net->activeRouters(), 0);
+    EXPECT_EQ(net->activeNics(), 0);
+
+    // One packet re-arms only the touched corridor, and the network
+    // goes fully idle again after it drains.
+    net->injectPacket(0, 63, 1, net->now(), TrafficClass::Synthetic);
+    EXPECT_GT(net->activeNics(), 0);
+    EXPECT_TRUE(net->drain(200));
+    net->run(4);
+    EXPECT_EQ(net->activeRouters(), 0);
+    EXPECT_EQ(net->activeNics(), 0);
+}
+
+TEST(ActivityKernel, GatedRoutersAccrueNoClockEnergy)
+{
+    NetworkParams params;
+    params.width = 4;
+    params.height = 4;
+    params.schedulingMode = SchedulingMode::ActivityDriven;
+    auto net = makeNetwork(params, RouterArch::Nox);
+
+    net->run(100);
+    // After the initial settle cycles no router is clocked.
+    const std::uint64_t cycles = net->totalEnergyEvents().cycles;
+    net->run(100);
+    EXPECT_EQ(net->totalEnergyEvents().cycles, cycles);
+}
+
+} // namespace
+} // namespace nox

@@ -100,5 +100,59 @@ TEST(Matrix, NoRequestsNoGrant)
     EXPECT_EQ(a.grant(0), -1);
 }
 
+// -- boundary-width coverage: RequestMask is 64 bits wide so a
+// concentrated CMesh radix beyond 32 cannot silently truncate.
+
+TEST(MaskHelpers, CoverFullWidth)
+{
+    EXPECT_EQ(maskBit(0), RequestMask{1});
+    EXPECT_EQ(maskBit(33), RequestMask{1} << 33);
+    EXPECT_EQ(maskBit(63), RequestMask{1} << 63);
+    EXPECT_EQ(maskAll(1), RequestMask{1});
+    EXPECT_EQ(maskAll(33), (RequestMask{1} << 33) - 1);
+    EXPECT_EQ(maskAll(64), ~RequestMask{0});
+}
+
+TEST(RoundRobin, GrantsAboveBit32)
+{
+    RoundRobinArbiter a(64);
+    EXPECT_EQ(a.grant(maskBit(40)), 40);
+    EXPECT_EQ(a.grant(maskBit(63)), 63);
+    // Pointer wrapped past 63: lowest index wins again.
+    EXPECT_EQ(a.grant(maskBit(5) | maskBit(45)), 5);
+    EXPECT_EQ(a.grant(maskBit(5) | maskBit(45)), 45);
+}
+
+TEST(RoundRobin, FairAtBoundaryWidth)
+{
+    RoundRobinArbiter a(64);
+    std::array<int, 64> wins{};
+    for (int i = 0; i < 6400; ++i)
+        wins[static_cast<std::size_t>(a.grant(~RequestMask{0}))] += 1;
+    for (int w : wins)
+        EXPECT_EQ(w, 100);
+}
+
+TEST(FixedPriority, GrantsAboveBit32)
+{
+    FixedPriorityArbiter a(64);
+    EXPECT_EQ(a.grant(maskBit(63)), 63);
+    EXPECT_EQ(a.grant(maskBit(34) | maskBit(63)), 34);
+}
+
+TEST(Matrix, LeastRecentlyServedAtBoundaryWidth)
+{
+    MatrixArbiter a(64);
+    EXPECT_EQ(a.grant(maskBit(2) | maskBit(62)), 2);
+    EXPECT_EQ(a.grant(maskBit(2) | maskBit(62)), 62);
+    EXPECT_EQ(a.grant(maskBit(2) | maskBit(62)), 2);
+}
+
+TEST(ArbiterDeathTest, WidthBeyondMaskRejected)
+{
+    EXPECT_DEATH(RoundRobinArbiter a(65), "bad arbiter width");
+    EXPECT_DEATH(MatrixArbiter a(65), "bad arbiter width");
+}
+
 } // namespace
 } // namespace nox

@@ -16,6 +16,12 @@
  *
  *   nettest arch=nox seconds=10 [width=8 height=8 concentration=1]
  *           [seed=N] [buffer_depth=4]
+ *           [scheduling=alwaystick|activity|equivalence]
+ *
+ * The default scheduling mode is `equivalence`: the always-tick
+ * kernel plus per-cycle asserts that every component retired from
+ * the active set is genuinely quiescent, so the soak also fuzzes the
+ * activity-driven kernel's quiescence contracts.
  */
 
 #include <chrono>
@@ -87,6 +93,8 @@ main(int argc, char **argv)
     params.router.bufferDepth =
         static_cast<int>(config.getInt("buffer_depth", 4));
     params.sinkBufferDepth = params.router.bufferDepth;
+    params.schedulingMode = parseSchedulingMode(
+        config.getString("scheduling", "equivalence").c_str());
 
     Rng rng(seed);
     std::uint64_t total_packets = 0;
