@@ -64,6 +64,7 @@ runSynthetic(const SyntheticConfig &config)
     params.router.arbiterKind = config.arbiterKind;
     params.sinkBufferDepth = config.sinkBufferDepth;
     params.schedulingMode = config.schedulingMode;
+    params.faults = config.faults;
     auto net = makeNetwork(params, config.arch);
 
     const DestinationPattern pattern(config.pattern, net->mesh(),
@@ -96,6 +97,8 @@ runSynthetic(const SyntheticConfig &config)
 
     net->setSourcesEnabled(false);
     res.drained = net->drain(config.drainLimitCycles);
+    if (!res.drained)
+        res.drainDiagnosis = net->lastDrainReport().summary();
 
     const auto wall1 = std::chrono::steady_clock::now();
     res.wallSeconds =
@@ -113,6 +116,7 @@ runSynthetic(const SyntheticConfig &config)
     res.acceptedMBps =
         flitsPerCycleToMbps(res.acceptedFlitsPerCycle, res.periodNs);
     res.maxSourceQueueFlits = stats.maxSourceQueueFlits;
+    res.faults = stats.faults;
 
     // Saturation: the network no longer accepts the load its sources
     // actually created (silent sources under deterministic patterns

@@ -49,6 +49,7 @@ struct SyntheticConfig
     Cycle drainLimitCycles = 150000;
     std::uint64_t seed = 0xA11CE5;
     SchedulingMode schedulingMode = SchedulingMode::AlwaysTick;
+    FaultParams faults; ///< link-fault injection (disabled by default)
     Technology tech = Technology::tsmc65();
     PhysicalParams phys;
 };
@@ -72,7 +73,12 @@ struct RunResult
 
     bool saturated = false;
     bool drained = true;
+    std::string drainDiagnosis; ///< non-empty when drain timed out
     std::size_t maxSourceQueueFlits = 0;
+
+    /** Fault-injection counters over the whole run (all zero when
+     *  injection is disabled). */
+    FaultStats faults;
 
     // Simulator (host) performance over warmup+measure+drain; the
     // activity-driven kernel is evaluated on cyclesPerSecond().

@@ -1,0 +1,169 @@
+#include "noc/fault_injector.hpp"
+
+#include "common/config.hpp"
+#include "common/rng.hpp"
+
+namespace nox {
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+    case FaultKind::BitFlip:
+        return "bitflip";
+    case FaultKind::Drop:
+        return "drop";
+    case FaultKind::CreditLoss:
+        return "creditloss";
+    }
+    return "?";
+}
+
+FaultParams
+faultParamsFromConfig(const Config &config)
+{
+    FaultParams p;
+    p.bitflipRate = config.getDouble("fault_bitflip_rate", 0.0);
+    p.dropRate = config.getDouble("fault_drop_rate", 0.0);
+    p.creditLossRate =
+        config.getDouble("fault_credit_loss_rate", 0.0);
+    p.seed = config.getUint("fault_seed", p.seed);
+    p.protect = config.getBool("fault_recovery", true);
+    p.retryTimeout = config.getUint("fault_retry_timeout", p.retryTimeout);
+    p.watchdogPeriod =
+        config.getUint("fault_watchdog_period", p.watchdogPeriod);
+    p.enabled = p.anyRate() || config.has("fault_seed") ||
+                config.has("fault_recovery");
+    return p;
+}
+
+FaultInjector::FaultInjector(const FaultParams &params)
+    : params_(params), seedMix_(mix64(params.seed ^ 0x6E6F58F4ULL))
+{
+}
+
+void
+FaultInjector::scheduleOneShot(FaultKind kind, Cycle cycle,
+                               NodeId router, int port,
+                               std::uint64_t flip_mask)
+{
+    oneShots_.push_back({kind, cycle, router, port, flip_mask, false});
+}
+
+std::size_t
+FaultInjector::pendingOneShots() const
+{
+    std::size_t n = 0;
+    for (const auto &o : oneShots_)
+        if (!o.fired)
+            ++n;
+    return n;
+}
+
+double
+FaultInjector::eventUniform(FaultKind kind, NodeId router, int port,
+                            std::uint64_t salt) const
+{
+    // Pure function of (seed, kind, cycle, endpoint): the draw does
+    // not depend on evaluation order, so every scheduling kernel sees
+    // the same fault schedule.
+    std::uint64_t key = seedMix_;
+    key ^= mix64((static_cast<std::uint64_t>(kind) << 56) ^
+                 (static_cast<std::uint64_t>(now_) << 24) ^
+                 (static_cast<std::uint64_t>(router) << 8) ^
+                 static_cast<std::uint64_t>(port & 0xFF) ^
+                 (salt << 16));
+    // 53 high bits -> uniform double in [0, 1).
+    return static_cast<double>(mix64(key) >> 11) * 0x1.0p-53;
+}
+
+bool
+FaultInjector::takeOneShot(FaultKind kind, NodeId router, int port,
+                           std::uint64_t *flip_mask)
+{
+    for (auto &o : oneShots_) {
+        if (o.fired || o.kind != kind || o.cycle > now_ ||
+            o.router != router || o.port != port)
+            continue;
+        o.fired = true;
+        if (flip_mask)
+            *flip_mask = o.flipMask ? o.flipMask : 1ULL;
+        return true;
+    }
+    return false;
+}
+
+void
+FaultInjector::record(FaultKind kind, NodeId router, int port,
+                      std::uint64_t flip_mask)
+{
+    stats_->faultsInjected += 1;
+    switch (kind) {
+    case FaultKind::BitFlip:
+        stats_->bitflipsInjected += 1;
+        break;
+    case FaultKind::Drop:
+        stats_->dropsInjected += 1;
+        break;
+    case FaultKind::CreditLoss:
+        stats_->creditsLostInjected += 1;
+        break;
+    }
+    if (log_.size() < kLogCap)
+        log_.push_back({now_, kind, router, port, flip_mask});
+}
+
+FlitFaults
+FaultInjector::drawFlitFaults(NodeId router, int in_port)
+{
+    FlitFaults f;
+
+    // Drop beats bit flip: a vanished flit has no bits to corrupt.
+    if (takeOneShot(FaultKind::Drop, router, in_port, nullptr) ||
+        (params_.dropRate > 0.0 &&
+         eventUniform(FaultKind::Drop, router, in_port, 0) <
+             params_.dropRate)) {
+        f.dropped = true;
+        record(FaultKind::Drop, router, in_port, 0);
+        return f;
+    }
+
+    std::uint64_t mask = 0;
+    if (takeOneShot(FaultKind::BitFlip, router, in_port, &mask)) {
+        f.flipMask = mask;
+    } else if (params_.bitflipRate > 0.0 &&
+               eventUniform(FaultKind::BitFlip, router, in_port, 0) <
+                   params_.bitflipRate) {
+        // Exactly one payload bit flips per event: a single-bit upset
+        // is always caught by the link CRC, and the detection
+        // accounting stays exact (one event = one fault).
+        const int bit = static_cast<int>(
+            mix64(seedMix_ ^
+                  mix64((static_cast<std::uint64_t>(now_) << 20) ^
+                        (static_cast<std::uint64_t>(router) << 6) ^
+                        static_cast<std::uint64_t>(in_port) ^
+                        0xB17FULL)) &
+            63);
+        f.flipMask = 1ULL << bit;
+    }
+    if (f.flipMask != 0)
+        record(FaultKind::BitFlip, router, in_port, f.flipMask);
+    return f;
+}
+
+bool
+FaultInjector::drawCreditLoss(NodeId router, int out_port,
+                              std::uint64_t salt)
+{
+    if (takeOneShot(FaultKind::CreditLoss, router, out_port,
+                    nullptr) ||
+        (params_.creditLossRate > 0.0 &&
+         eventUniform(FaultKind::CreditLoss, router, out_port, salt) <
+             params_.creditLossRate)) {
+        record(FaultKind::CreditLoss, router, out_port, 0);
+        return true;
+    }
+    return false;
+}
+
+} // namespace nox

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Deterministic link-fault injection.
+ *
+ * The injector perturbs traffic at the inter-router link boundary
+ * (flit bit flips, whole-flit drops, lost credits) and keeps the
+ * authoritative record of every injected event. Local (router<->NIC)
+ * links are modelled as short, protected terminal connections and are
+ * never faulted; the long global mesh wires are where upsets happen.
+ *
+ * Determinism: every decision is a pure function of the fault seed and
+ * the event's identity (cycle, receiving router, input port, kind) —
+ * a hash-keyed stream rather than a sequential one. Because link
+ * events themselves are identical across scheduling kernels, the same
+ * seed therefore produces the same fault schedule — and bit-identical
+ * NetworkStats — under alwaystick, activity and equivalence
+ * scheduling, regardless of which components happen to be evaluated.
+ * The stream is independent of every traffic RNG.
+ */
+
+#ifndef NOX_NOC_FAULT_INJECTOR_HPP
+#define NOX_NOC_FAULT_INJECTOR_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "noc/network_stats.hpp"
+#include "noc/types.hpp"
+
+namespace nox {
+
+class Config;
+
+/** The three fault classes injected at link boundaries. */
+enum class FaultKind : std::uint8_t {
+    BitFlip = 0,    ///< one payload bit inverted in flight
+    Drop = 1,       ///< the whole wire value vanishes
+    CreditLoss = 2, ///< a returning credit vanishes
+};
+
+/** Display name ("bitflip", "drop", "creditloss"). */
+const char *faultKindName(FaultKind kind);
+
+/** Fault-injection configuration (all rates are per link event). */
+struct FaultParams
+{
+    /** Master switch; no injector is built when false. */
+    bool enabled = false;
+
+    double bitflipRate = 0.0;    ///< P(one payload bit flips) per flit
+    double dropRate = 0.0;       ///< P(flit lost) per link traversal
+    double creditLossRate = 0.0; ///< P(credit lost) per credit return
+
+    /** Seed of the injector's own stream (independent of traffic). */
+    std::uint64_t seed = 0xFA01;
+
+    /**
+     * Link-level protection: CRC stamped at send and checked at
+     * receive, nack/timeout-driven retransmission from a per-port
+     * retry buffer, and the credit watchdog. With protection off the
+     * fabric is raw: corruption propagates (detected only by decode
+     * integrity checks and the sink payload check) and dropped flits
+     * or credits are simply lost.
+     */
+    bool protect = true;
+
+    /** Cycles a sender waits for the (synchronous) ack before it
+     *  declares the flit dropped and retransmits. */
+    Cycle retryTimeout = 8;
+
+    /** Cycles between a received nack and the retransmission
+     *  (nack turnaround of the link-level protocol). */
+    Cycle nackDelay = 1;
+
+    /** Period of the credit watchdog's divergence audit. */
+    Cycle watchdogPeriod = 64;
+
+    bool
+    anyRate() const
+    {
+        return bitflipRate > 0.0 || dropRate > 0.0 ||
+               creditLossRate > 0.0;
+    }
+};
+
+/**
+ * Read `fault_*` keys from @p config:
+ *   fault_bitflip_rate=, fault_drop_rate=, fault_credit_loss_rate=,
+ *   fault_seed=, fault_recovery= (default true),
+ *   fault_retry_timeout=, fault_watchdog_period=.
+ * `enabled` is set when any rate is positive or fault_seed/
+ * fault_recovery is given explicitly.
+ */
+FaultParams faultParamsFromConfig(const Config &config);
+
+/** One injected fault, as recorded in the fault log. */
+struct FaultEvent
+{
+    Cycle cycle = 0;
+    FaultKind kind = FaultKind::BitFlip;
+    NodeId router = kInvalidNode; ///< receiving router
+    int port = -1;                ///< receiving input port (flits) or
+                                  ///< sender output port (credits)
+    std::uint64_t flipMask = 0;   ///< payload bits inverted (BitFlip)
+};
+
+/** Outcome of the fault draw for one flit link traversal. */
+struct FlitFaults
+{
+    std::uint64_t flipMask = 0; ///< payload bits to invert (0 = none)
+    bool dropped = false;
+};
+
+/**
+ * Deterministic, seeded fault source shared by all routers of one
+ * network. Also owns the fault log and (unless rebound) the
+ * FaultStats counters the defence layers report into.
+ */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(const FaultParams &params);
+
+    const FaultParams &params() const { return params_; }
+    bool protectEnabled() const { return params_.protect; }
+
+    /** Advance the injector's notion of time (once per Network
+     *  cycle, before any evaluation phase). */
+    void beginCycle(Cycle now) { now_ = now; }
+    Cycle now() const { return now_; }
+
+    /** Point the counters at external storage (the Network binds its
+     *  NetworkStats::faults here). */
+    void bindStats(FaultStats *stats) { stats_ = stats; }
+    const FaultStats &stats() const { return *stats_; }
+
+    /**
+     * Schedule a targeted one-shot fault: fires on the first matching
+     * link event at/after @p cycle on (receiving router, port) —
+     * irrespective of the configured rates. @p flip_mask selects the
+     * payload bits to invert for BitFlip (0 picks bit 0).
+     */
+    void scheduleOneShot(FaultKind kind, Cycle cycle, NodeId router,
+                         int port, std::uint64_t flip_mask = 0);
+
+    /** Pending (not yet fired) one-shot faults. */
+    std::size_t pendingOneShots() const;
+
+    // -- draws, called by the link layer at event boundaries --
+
+    /** Fault draw for a flit arriving at (router, in_port). Records
+     *  any injected fault in the counters and log. */
+    FlitFaults drawFlitFaults(NodeId router, int in_port);
+
+    /** True iff the credit returning to (router, out_port) is lost.
+     *  @p salt distinguishes multiple credits on the same port in the
+     *  same cycle (index, or VC id for per-VC credit returns). */
+    bool drawCreditLoss(NodeId router, int out_port,
+                        std::uint64_t salt = 0);
+
+    // -- detection / recovery reporting from the defence layers --
+
+    void
+    onCorruptionRejected() // link CRC caught a bad flit
+    {
+        stats_->faultsDetected += 1;
+    }
+    void
+    onDropDetected() // retry timeout expired: flit declared lost
+    {
+        stats_->faultsDetected += 1;
+    }
+    void
+    onRetransmission()
+    {
+        stats_->retransmissions += 1;
+    }
+    void
+    onCreditResync(std::uint64_t credits_restored)
+    {
+        stats_->creditResyncs += 1;
+        stats_->faultsDetected += credits_restored;
+    }
+    void
+    onDecodeMismatch()
+    {
+        stats_->decodeMismatches += 1;
+        stats_->faultsDetected += 1;
+    }
+    void
+    onCorruptedDelivery()
+    {
+        stats_->corruptedEscapes += 1;
+    }
+
+    /** Every injected fault, in injection order (capped; counters
+     *  stay exact past the cap). */
+    const std::vector<FaultEvent> &log() const { return log_; }
+
+  private:
+    /** Uniform double in [0, 1) keyed by the event identity. */
+    double eventUniform(FaultKind kind, NodeId router, int port,
+                        std::uint64_t salt) const;
+
+    /** True + consumes a matching one-shot, if one is due. */
+    bool takeOneShot(FaultKind kind, NodeId router, int port,
+                     std::uint64_t *flip_mask);
+
+    void record(FaultKind kind, NodeId router, int port,
+                std::uint64_t flip_mask);
+
+    static constexpr std::size_t kLogCap = 4096;
+
+    FaultParams params_;
+    std::uint64_t seedMix_; ///< pre-mixed seed for event hashing
+    Cycle now_ = 0;
+
+    struct OneShot
+    {
+        FaultKind kind;
+        Cycle cycle;
+        NodeId router;
+        int port;
+        std::uint64_t flipMask;
+        bool fired = false;
+    };
+    std::vector<OneShot> oneShots_;
+
+    FaultStats ownStats_; ///< used until bindStats() rebinds
+    FaultStats *stats_ = &ownStats_;
+    std::vector<FaultEvent> log_;
+};
+
+} // namespace nox
+
+#endif // NOX_NOC_FAULT_INJECTOR_HPP

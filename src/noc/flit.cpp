@@ -46,12 +46,35 @@ WireFlit::combine(const std::vector<FlitDesc> &inputs)
     return w;
 }
 
-FlitDesc
-decodeDiff(const WireFlit &prev, const WireFlit &next)
+std::uint32_t
+wireChecksum(const WireFlit &w)
 {
-    NOX_ASSERT(prev.parts.size() == next.parts.size() + 1,
-               "decode requires |prev| == |next| + 1, got ",
-               prev.parts.size(), " and ", next.parts.size());
+    // CRC-32C (Castagnoli), bitwise over the 64-bit payload plus the
+    // link sideband bits (encoded marker, VC tag). Software speed is
+    // irrelevant here: the checksum is only computed on fault-
+    // protected links, never on the fault-free hot path.
+    constexpr std::uint32_t kPoly = 0x82F63B78u; // reflected 0x1EDC6F41
+    std::uint32_t crc = 0xFFFFFFFFu;
+    const auto feed = [&crc](std::uint8_t byte) {
+        crc ^= byte;
+        for (int b = 0; b < 8; ++b)
+            crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+    };
+    for (int i = 0; i < 8; ++i)
+        feed(static_cast<std::uint8_t>(w.payload >> (8 * i)));
+    feed(static_cast<std::uint8_t>(w.encoded ? 1 : 0));
+    feed(w.vc);
+    return crc ^ 0xFFFFFFFFu;
+}
+
+DecodeResult
+tryDecodeDiff(const WireFlit &prev, const WireFlit &next)
+{
+    DecodeResult r;
+    if (prev.parts.size() != next.parts.size() + 1) {
+        r.fault = DecodeFault::Structural;
+        return r;
+    }
 
     const FlitDesc *found = nullptr;
     for (const auto &p : prev.parts) {
@@ -59,18 +82,45 @@ decodeDiff(const WireFlit &prev, const WireFlit &next)
             std::any_of(next.parts.begin(), next.parts.end(),
                         [&](const FlitDesc &q) { return q.uid == p.uid; });
         if (!in_next) {
-            NOX_ASSERT(!found, "decode found two unmatched flits");
+            if (found) {
+                r.fault = DecodeFault::Structural;
+                return r;
+            }
             found = &p;
         }
     }
-    NOX_ASSERT(found, "decode found no unmatched flit");
+    if (!found) {
+        r.fault = DecodeFault::Structural;
+        return r;
+    }
 
     // Integrity: the XOR of the two received values must reproduce the
     // recovered flit's bits exactly — this is the paper's decoding
-    // property (A^B^C) ^ (B^C) == A, checked on real payload bits.
-    NOX_ASSERT((prev.payload ^ next.payload) == found->payload,
-               "XOR decode payload mismatch for packet ", found->packet);
-    return *found;
+    // property (A^B^C) ^ (B^C) == A, checked on real payload bits. On
+    // mismatch the hardware would still compute prev^next, so that is
+    // what the recovered flit carries (corruption propagates instead
+    // of being silently repaired from bookkeeping).
+    r.flit = *found;
+    const std::uint64_t recovered = prev.payload ^ next.payload;
+    if (recovered != found->payload) {
+        r.flit->payload = recovered;
+        r.fault = DecodeFault::PayloadMismatch;
+    }
+    return r;
+}
+
+FlitDesc
+decodeDiff(const WireFlit &prev, const WireFlit &next)
+{
+    const DecodeResult r = tryDecodeDiff(prev, next);
+    NOX_ASSERT(r.fault != DecodeFault::Structural,
+               "decode requires |prev| == |next| + 1 with one unmatched "
+               "flit, got ",
+               prev.parts.size(), " and ", next.parts.size());
+    NOX_ASSERT(r.fault != DecodeFault::PayloadMismatch,
+               "XOR decode payload mismatch for packet ",
+               r.flit->packet);
+    return *r.flit;
 }
 
 } // namespace nox

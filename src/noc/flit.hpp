@@ -20,6 +20,7 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "noc/types.hpp"
@@ -111,6 +112,8 @@ struct WireFlit
     std::uint64_t payload = 0; ///< XOR of constituent payloads
     bool encoded = false;      ///< encoded marker bit on the link
     std::uint8_t vc = 0;       ///< virtual channel tag on the link
+    std::uint32_t crc = 0;     ///< link-level checksum (set at send
+                               ///< when fault protection is enabled)
     PartsVec parts;            ///< constituents (bookkeeping)
 
     /** Wrap a single flit. */
@@ -124,9 +127,52 @@ struct WireFlit
 };
 
 /**
- * Decode one flit from two consecutively received WireFlits: returns
- * the unique constituent of @p prev that is absent from @p next (the
- * packet that won arbitration upstream, §2.2). Panics — and thereby
+ * CRC-32C over the bits a link physically carries: the 64-bit payload
+ * plus the encoded marker and VC tag. Senders stamp WireFlit::crc with
+ * this before link traversal (fault-protected links only); receivers
+ * recompute and compare to detect in-flight corruption.
+ */
+std::uint32_t wireChecksum(const WireFlit &w);
+
+/** True iff @p w's stored crc matches its current contents. */
+inline bool
+wireChecksumOk(const WireFlit &w)
+{
+    return w.crc == wireChecksum(w);
+}
+
+/** What went wrong (if anything) during one XOR decode step. */
+enum class DecodeFault : std::uint8_t {
+    None = 0,
+    /** Structure is intact but the XOR of the received payloads does
+     *  not reproduce the recovered flit's bits — in-flight payload
+     *  corruption reached the decode chain. */
+    PayloadMismatch = 1,
+    /** prev is not next plus exactly one flit: a wire value was lost
+     *  or duplicated mid-chain. No flit can be recovered. */
+    Structural = 2,
+};
+
+/** Outcome of a fault-tolerant decode step. */
+struct DecodeResult
+{
+    /** Recovered flit. On PayloadMismatch this carries the payload
+     *  the hardware would actually compute (prev XOR next), i.e. the
+     *  corruption propagates bit-faithfully. Empty on Structural. */
+    std::optional<FlitDesc> flit;
+    DecodeFault fault = DecodeFault::None;
+};
+
+/**
+ * Fault-tolerant decode of one flit from two consecutively received
+ * WireFlits: the unique constituent of @p prev absent from @p next
+ * (the packet that won arbitration upstream, §2.2). Never panics;
+ * integrity violations are reported in DecodeResult::fault.
+ */
+DecodeResult tryDecodeDiff(const WireFlit &prev, const WireFlit &next);
+
+/**
+ * Strict decode for fault-free operation: panics — and thereby
  * verifies payload integrity end-to-end — if prev is not next plus
  * exactly one flit, or if the XOR of the payloads does not equal the
  * recovered flit's payload.

@@ -1,11 +1,45 @@
 #include "noc/network.hpp"
 
 #include <algorithm>
+#include <sstream>
 #include <string_view>
 
 #include "common/log.hpp"
 
 namespace nox {
+
+std::string
+DrainReport::summary() const
+{
+    std::ostringstream os;
+    if (drained) {
+        os << "drained by cycle " << stoppedAt;
+        return os.str();
+    }
+    os << "drain timed out at cycle " << stoppedAt << " with "
+       << packetsInFlight << " packet(s) in flight; ";
+    os << busyRouters.size() << " busy router(s)";
+    if (!busyRouters.empty()) {
+        os << " [";
+        for (std::size_t i = 0; i < busyRouters.size(); ++i)
+            os << (i ? " " : "") << busyRouters[i];
+        os << "]";
+    }
+    os << ", " << busyNics.size() << " busy NIC(s)";
+    if (!busyNics.empty()) {
+        os << " [";
+        for (std::size_t i = 0; i < busyNics.size(); ++i)
+            os << (i ? " " : "") << busyNics[i];
+        os << "]";
+    }
+    if (!partialPackets.empty()) {
+        os << "; partially delivered:";
+        for (const auto &p : partialPackets)
+            os << " packet " << p.packet << " (" << p.flitsArrived
+               << " flits at node " << p.node << ")";
+    }
+    return os.str();
+}
 
 const char *
 schedulingModeName(SchedulingMode mode)
@@ -89,6 +123,18 @@ Network::Network(const NetworkParams &params, RouterFactory factory)
         nics_[node]->setListener(this);
     }
 
+    // Fault injection: one shared injector, counters bound to this
+    // network's stats so the fault schedule and its detection record
+    // are part of the cross-kernel equivalence contract.
+    if (params.faults.enabled) {
+        faults_ = std::make_unique<FaultInjector>(params.faults);
+        faults_->bindStats(&stats_.faults);
+        for (auto &r : routers_)
+            r->attachFaults(faults_.get());
+        for (auto &nic : nics_)
+            nic->attachFaults(faults_.get());
+    }
+
     // Active-set bookkeeping: everything starts armed (the first
     // cycles retire whatever is genuinely idle). The flag vectors are
     // sized once here and never reallocated, so the bound pointers
@@ -129,10 +175,22 @@ Network::step()
 void
 Network::stepAlwaysTick()
 {
+    // 0. Fault-injection clock: draws during this cycle key off now_.
+    if (faults_)
+        faults_->beginCycle(now_);
+
     // 1. Traffic generation for this cycle.
     if (sourcesEnabled_) {
         for (auto &src : sources_)
             src->tick(now_, *this);
+    }
+
+    // 1b. Link-layer maintenance (retransmissions, credit watchdog)
+    // runs before any router reads its committed state, so a
+    // retransmitted flit is staged exactly like a first transmission.
+    if (faults_) {
+        for (auto &r : routers_)
+            r->evaluateLink(now_);
     }
 
     // 2. NIC injection (stages flits into router local inputs).
@@ -181,12 +239,26 @@ Network::stepScheduled(bool check)
         }
     }
 
+    // 0. Fault-injection clock (see stepAlwaysTick).
+    if (faults_)
+        faults_->beginCycle(now_);
+
     // 1. Traffic generation always runs: sources draw from their RNG
     // every cycle regardless of kernel, so both kernels see the same
     // injection sequence. injectPacket() re-arms the target NIC.
     if (sourcesEnabled_) {
         for (auto &src : sources_)
             src->tick(now_, *this);
+    }
+
+    // 1b. Link-layer maintenance over the active set. Retired routers
+    // are guaranteed a no-op here (quiescent() covers retry entries
+    // and owed watchdog credits), so skipping them is exact.
+    if (faults_) {
+        for (NodeId r = 0; r < nr; ++r) {
+            if (routerActive_[r] || check)
+                routers_[r]->evaluateLink(now_);
+        }
     }
 
     // 2. NIC injection for the active set (live flags: a NIC armed by
@@ -278,7 +350,26 @@ Network::drain(Cycle limit)
     while (packetsInFlight() > 0 && now_ < deadline)
         step();
     sourcesEnabled_ = sources_were_enabled;
-    return packetsInFlight() == 0;
+
+    drainReport_ = DrainReport{};
+    drainReport_.drained = packetsInFlight() == 0;
+    drainReport_.stoppedAt = now_;
+    drainReport_.packetsInFlight = packetsInFlight();
+    if (!drainReport_.drained) {
+        for (NodeId r = 0; r < numRouters(); ++r) {
+            if (!routers_[r]->quiescent())
+                drainReport_.busyRouters.push_back(r);
+        }
+        for (NodeId n = 0; n < numNodes(); ++n) {
+            if (!nics_[n]->quiescent())
+                drainReport_.busyNics.push_back(n);
+            for (const auto &[packet, count] :
+                 nics_[n]->partialPackets())
+                drainReport_.partialPackets.push_back(
+                    {n, packet, count});
+        }
+    }
+    return drainReport_.drained;
 }
 
 void

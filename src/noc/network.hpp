@@ -14,9 +14,12 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "noc/energy_events.hpp"
+#include "noc/fault_injector.hpp"
 #include "noc/network_stats.hpp"
 #include "noc/nic.hpp"
 #include "noc/router.hpp"
@@ -63,6 +66,37 @@ struct NetworkParams
     int sinkBufferDepth = 4;
     RoutingFunction route = dorRoute;
     SchedulingMode schedulingMode = SchedulingMode::AlwaysTick;
+    FaultParams faults; ///< link-fault injection (disabled by default)
+};
+
+/**
+ * Structured diagnosis of a drain attempt. When a drain times out —
+ * typically only under fault injection with recovery off, where
+ * dropped flits strand their packets — the report names the
+ * non-quiescent components and the partially-delivered packets, so a
+ * fault-induced livelock is debuggable instead of a bare `false`.
+ */
+struct DrainReport
+{
+    bool drained = true;
+    Cycle stoppedAt = 0;
+    std::uint64_t packetsInFlight = 0;
+
+    std::vector<NodeId> busyRouters; ///< non-quiescent routers
+    std::vector<NodeId> busyNics;    ///< non-quiescent NICs
+
+    /** Packets some of whose flits reached the destination NIC
+     *  (node, packet id, flits arrived so far), sorted. */
+    struct PartialPacket
+    {
+        NodeId node = kInvalidNode;
+        PacketId packet = kInvalidPacket;
+        std::uint32_t flitsArrived = 0;
+    };
+    std::vector<PartialPacket> partialPackets;
+
+    /** One-paragraph human-readable rendering of the diagnosis. */
+    std::string summary() const;
 };
 
 /** A width x height mesh of single-cycle routers plus per-node NICs. */
@@ -85,9 +119,17 @@ class Network : public PacketInjector, public SinkListener
 
     /**
      * Step until every injected packet has been delivered or @p limit
-     * cycles elapse. @return true if fully drained.
+     * cycles elapse. @return true if fully drained. On timeout, a
+     * structured diagnosis of the stuck components is available via
+     * lastDrainReport().
      */
     bool drain(Cycle limit);
+
+    /** Diagnosis of the most recent drain() call. */
+    const DrainReport &lastDrainReport() const
+    {
+        return drainReport_;
+    }
 
     /** Restrict latency measurement to packets created in
      *  [start, end); throughput is counted over the same window. */
@@ -113,6 +155,11 @@ class Network : public PacketInjector, public SinkListener
     const Router &router(NodeId r) const { return *routers_[r]; }
     Nic &nic(NodeId n) { return *nics_[n]; }
     const NetworkStats &stats() const { return stats_; }
+
+    /** The fault injector, or nullptr when injection is disabled
+     *  (tests use it to schedule targeted one-shot faults). */
+    FaultInjector *faultInjector() { return faults_.get(); }
+    const FaultInjector *faultInjector() const { return faults_.get(); }
     std::uint64_t packetsInFlight() const;
 
     /** Sum of all router + NIC energy-event counters. */
@@ -151,6 +198,8 @@ class Network : public PacketInjector, public SinkListener
     std::vector<std::unique_ptr<Router>> routers_;
     std::vector<std::unique_ptr<Nic>> nics_;
     std::vector<std::unique_ptr<TrafficSource>> sources_;
+    std::unique_ptr<FaultInjector> faults_;
+    DrainReport drainReport_;
 
     /** Active-set flags, indexed by router / node id. Routers and
      *  NICs hold pointers into these (bindActivity) and set them on

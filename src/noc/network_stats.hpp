@@ -17,6 +17,58 @@
 
 namespace nox {
 
+/**
+ * Fault-injection and recovery counters. Injected counts are bumped by
+ * the FaultInjector at the moment a fault perturbs the fabric;
+ * detection/recovery counts are bumped by the link layer, decode
+ * logic and sinks as faults are caught and healed. All counters are
+ * part of the bit-identical cross-kernel equivalence contract.
+ */
+struct FaultStats
+{
+    /** Total injected faults (bit flips + drops + credit losses). */
+    std::uint64_t faultsInjected = 0;
+    std::uint64_t bitflipsInjected = 0;
+    std::uint64_t dropsInjected = 0;
+    std::uint64_t creditsLostInjected = 0;
+
+    /** Faults caught by a defence layer: link CRC rejections,
+     *  retry-timeout drop detections, XOR-decode payload mismatches
+     *  and watchdog credit-divergence detections. */
+    std::uint64_t faultsDetected = 0;
+
+    /** Link-level retransmission attempts (includes re-faulted
+     *  retries, so this can exceed dropsInjected+bitflipsInjected). */
+    std::uint64_t retransmissions = 0;
+
+    /** Credit-watchdog resynchronization events. */
+    std::uint64_t creditResyncs = 0;
+
+    /** Corrupted payloads that escaped the link layer and reached a
+     *  destination sink (caught there by the end-to-end payload
+     *  check; zero whenever recovery is enabled). */
+    std::uint64_t corruptedEscapes = 0;
+
+    /** XOR-decode payload mismatches observed mid-network (NoX input
+     *  ports) or at ejection sinks — NoX's decode property acting as
+     *  a free corruption detector. Also counted in faultsDetected. */
+    std::uint64_t decodeMismatches = 0;
+
+    bool
+    identicalTo(const FaultStats &o) const
+    {
+        return faultsInjected == o.faultsInjected &&
+               bitflipsInjected == o.bitflipsInjected &&
+               dropsInjected == o.dropsInjected &&
+               creditsLostInjected == o.creditsLostInjected &&
+               faultsDetected == o.faultsDetected &&
+               retransmissions == o.retransmissions &&
+               creditResyncs == o.creditResyncs &&
+               corruptedEscapes == o.corruptedEscapes &&
+               decodeMismatches == o.decodeMismatches;
+    }
+};
+
 /** Latency / throughput statistics gathered by the Network. */
 struct NetworkStats
 {
@@ -59,6 +111,10 @@ struct NetworkStats
     /** Largest source-queue depth observed (saturation signal). */
     std::size_t maxSourceQueueFlits = 0;
 
+    /** Fault-injection and recovery counters (all zero when fault
+     *  injection is disabled). */
+    FaultStats faults;
+
     /** Accepted throughput in flits/cycle/node over the window. */
     double
     acceptedFlitsPerNodeCycle(int num_nodes) const
@@ -98,7 +154,8 @@ identicalStats(const NetworkStats &a, const NetworkStats &b)
            a.packetsMeasuredDone == b.packetsMeasuredDone &&
            a.flitsEjectedInWindow == b.flitsEjectedInWindow &&
            a.flitsCreatedInWindow == b.flitsCreatedInWindow &&
-           a.maxSourceQueueFlits == b.maxSourceQueueFlits;
+           a.maxSourceQueueFlits == b.maxSourceQueueFlits &&
+           a.faults.identicalTo(b.faults);
 }
 
 } // namespace nox

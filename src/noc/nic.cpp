@@ -1,6 +1,9 @@
 #include "noc/nic.hpp"
 
+#include <algorithm>
+
 #include "common/log.hpp"
+#include "noc/fault_injector.hpp"
 
 namespace nox {
 
@@ -63,7 +66,7 @@ Nic::evaluateInject(Cycle now)
 void
 Nic::evaluateSink(Cycle now)
 {
-    const DecodeView v = decoder_.view(sinkFifo_);
+    const DecodeView v = decoder_.view(sinkFifo_, faults_ != nullptr);
     if (v.latchBubble) {
         const int vc = sinkFifo_.front().vc;
         decoder_.latch(sinkFifo_);
@@ -76,6 +79,10 @@ Nic::evaluateSink(Cycle now)
         return;
     if (v.decodedByXor)
         energy_.decodeOps += 1;
+    // Mid-chain corruption surfaces here when the NoX ejection port
+    // decodes it (counted once, at acceptance).
+    if (v.fault == DecodeFault::PayloadMismatch)
+        faults_->onDecodeMismatch();
     const int vc = sinkFifo_.empty() ? 0 : sinkFifo_.front().vc;
     const bool popped = decoder_.accept(sinkFifo_);
     if (popped) {
@@ -90,9 +97,16 @@ Nic::deliver(const FlitDesc &flit, Cycle now)
 {
     NOX_ASSERT(flit.dest == node_, "flit delivered to wrong node: dest ",
                flit.dest, " at ", node_);
-    NOX_ASSERT(flit.payload == expectedPayload(flit.packet, flit.seq),
-               "payload corruption detected at sink for packet ",
-               flit.packet, " flit ", flit.seq);
+    if (flit.payload != expectedPayload(flit.packet, flit.seq)) {
+        // End-to-end payload check: the last line of defence. Under
+        // fault injection a corrupted delivery is an accounted escape
+        // (it can only happen with link protection off); without an
+        // injector it is a simulator bug, as before.
+        NOX_ASSERT(faults_ != nullptr,
+                   "payload corruption detected at sink for packet ",
+                   flit.packet, " flit ", flit.seq);
+        faults_->onCorruptedDelivery();
+    }
 
     if (listener_)
         listener_->onFlitDelivered(node_, flit, now);
@@ -154,6 +168,17 @@ Nic::stageInjectCredit(int count, int vc)
                "credit VC out of range");
     stagedInjectCredits_[static_cast<std::size_t>(vc)] += count;
     wake();
+}
+
+std::vector<std::pair<PacketId, std::uint32_t>>
+Nic::partialPackets() const
+{
+    std::vector<std::pair<PacketId, std::uint32_t>> out;
+    out.reserve(arrived_.size());
+    for (const auto &[packet, arrival] : arrived_)
+        out.emplace_back(packet, arrival.count);
+    std::sort(out.begin(), out.end());
+    return out;
 }
 
 bool

@@ -26,6 +26,8 @@
 
 namespace nox {
 
+class FaultInjector;
+
 /** Receives flit/packet delivery notifications from the sinks. */
 class SinkListener
 {
@@ -59,6 +61,11 @@ class Nic
 
     /** Observer for delivered flits/packets (owned elsewhere). */
     void setListener(SinkListener *listener) { listener_ = listener; }
+
+    /** Attach the network's fault injector: the ejection sink then
+     *  decodes leniently and reports corrupted deliveries instead of
+     *  asserting (nullptr = fault-free, legacy behavior). */
+    void attachFaults(FaultInjector *faults) { faults_ = faults; }
 
     // -- per-cycle evaluation (two-phase, like Router) --
     void evaluateInject(Cycle now);
@@ -99,6 +106,13 @@ class Nic
 
     NodeId node() const { return node_; }
     const EnergyEvents &energy() const { return energy_; }
+
+    /** Packets with some but not all flits delivered here, sorted by
+     *  id — the receiver-side view of in-flight traffic, used by the
+     *  drain-timeout diagnosis. */
+    std::vector<std::pair<PacketId, std::uint32_t>>
+    partialPackets() const;
+
     const FlitFifo &sinkFifo() const { return sinkFifo_; }
     int injectCredits(int vc = 0) const
     {
@@ -119,6 +133,7 @@ class Nic
     Router *router_ = nullptr;
     int localPort_ = kPortLocal;
     SinkListener *listener_ = nullptr;
+    FaultInjector *faults_ = nullptr;
 
     // Injection side (per VC; one entry for the paper's VC-free
     // routers). Per-VC source queues avoid head-of-line blocking

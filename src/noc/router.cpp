@@ -1,6 +1,7 @@
 #include "noc/router.hpp"
 
 #include "common/log.hpp"
+#include "noc/fault_injector.hpp"
 #include "noc/nic.hpp"
 
 namespace nox {
@@ -43,7 +44,86 @@ Router::quiescent() const
         if (!in_[p].empty() || stagedIn_[p] || stagedCredits_[p] != 0)
             return false;
     }
+    // Link-layer state keeps a router live: a pending retry entry
+    // still needs its ack timeout, and lost credits still need the
+    // watchdog to run. Retiring here would strand both.
+    if (faults_) {
+        for (int p = 0; p < params_.numPorts; ++p) {
+            if (retry_[p].has_value() || creditsLost_[p] != 0)
+                return false;
+        }
+    }
     return true;
+}
+
+void
+Router::attachFaults(FaultInjector *faults)
+{
+    faults_ = faults;
+    if (!faults_)
+        return;
+    retry_.assign(static_cast<std::size_t>(params_.numPorts),
+                  std::nullopt);
+    lastLinkSend_.assign(static_cast<std::size_t>(params_.numPorts),
+                         ~Cycle{0});
+    creditsLost_.assign(static_cast<std::size_t>(params_.numPorts), 0);
+}
+
+void
+Router::linkAck(int out_port)
+{
+    retry_[out_port].reset();
+}
+
+void
+Router::linkNack(int out_port)
+{
+    NOX_ASSERT(retry_[out_port].has_value(),
+               "link nack with no pending retry entry on ",
+               portName(out_port));
+    retry_[out_port]->due = faults_->now() + faults_->params().nackDelay;
+    retry_[out_port]->nacked = true;
+}
+
+void
+Router::evaluateLink(Cycle now)
+{
+    if (!faults_)
+        return;
+    for (int o = 0; o < params_.numPorts; ++o) {
+        if (!retry_[o] || retry_[o]->due > now)
+            continue;
+        // Timeout with no nack means the wire value never arrived:
+        // the link layer has detected a drop.
+        if (!retry_[o]->nacked)
+            faults_->onDropDetected();
+        // Re-arm before driving the wire — the receiver's synchronous
+        // ack/nack during stageFlit overrides this entry.
+        retry_[o]->nacked = false;
+        retry_[o]->due = now + faults_->params().retryTimeout;
+        faults_->onRetransmission();
+        lastLinkSend_[o] = now;
+        // The retry buffer drives the link directly (no crossbar
+        // traversal); no downstream credit is consumed — the slot was
+        // reserved by the original send.
+        energy_.linkFlits += 1;
+        const FlitTarget &t = outTarget_[o];
+        WireFlit copy = retry_[o]->flit;
+        t.router->stageFlit(t.port, std::move(copy));
+    }
+    const Cycle period = faults_->params().watchdogPeriod;
+    if (faults_->protectEnabled() && period > 0 && now % period == 0) {
+        for (int o = 0; o < params_.numPorts; ++o) {
+            if (creditsLost_[o] == 0)
+                continue;
+            // The watchdog audits the credit loop and restores the
+            // counter to what the downstream buffer really holds.
+            faults_->onCreditResync(
+                static_cast<std::uint64_t>(creditsLost_[o]));
+            credits_[o] += creditsLost_[o];
+            creditsLost_[o] = 0;
+        }
+    }
 }
 
 void
@@ -72,6 +152,27 @@ Router::stageFlit(int in_port, WireFlit flit)
 {
     NOX_ASSERT(in_port >= 0 && in_port < params_.numPorts,
                "bad port");
+    // Fault boundary: only inter-router mesh links are perturbed —
+    // a router upstream on the credit path identifies one (NIC
+    // inject/eject connections are short, protected terminal wires).
+    if (faults_ && creditTarget_[in_port].router) {
+        const FlitFaults f = faults_->drawFlitFaults(id_, in_port);
+        if (f.dropped)
+            return; // vanished on the wire; sender timeout recovers
+        flit.payload ^= f.flipMask;
+        if (faults_->protectEnabled()) {
+            Router *up = creditTarget_[in_port].router;
+            const int up_port = creditTarget_[in_port].port;
+            if (!wireChecksumOk(flit)) {
+                // Corrupted arrival: reject (never buffered, so the
+                // XOR decode chain stays clean) and nack the sender.
+                faults_->onCorruptionRejected();
+                up->linkNack(up_port);
+                return;
+            }
+            up->linkAck(up_port);
+        }
+    }
     NOX_ASSERT(!stagedIn_[in_port],
                "two flits staged at one input in one cycle (router ",
                id_, " port ", portName(in_port), ")");
@@ -84,6 +185,22 @@ Router::stageCredit(int out_port, int count)
 {
     NOX_ASSERT(out_port >= 0 && out_port < params_.numPorts,
                "bad port");
+    if (faults_ && outTarget_[out_port].router) {
+        int survived = 0;
+        for (int i = 0; i < count; ++i) {
+            if (!faults_->drawCreditLoss(
+                    id_, out_port, static_cast<std::uint64_t>(i))) {
+                ++survived;
+                continue;
+            }
+            // With protection, the loss is owed to this port until
+            // the watchdog's next audit restores it; raw mode just
+            // leaks the downstream buffer slot.
+            if (faults_->protectEnabled())
+                creditsLost_[out_port] += 1;
+        }
+        count = survived;
+    }
     stagedCredits_[out_port] += count;
     wake();
 }
@@ -110,10 +227,23 @@ Router::dispatchFlit(int out_port, WireFlit flit)
         energy_.linkFlits += 1;
 
     const FlitTarget &t = outTarget_[out_port];
-    if (t.router)
+    if (t.router) {
+        if (faults_ && faults_->protectEnabled()) {
+            // Stamp the link CRC and park a copy in the retry buffer
+            // *before* driving the wire: the receiver's synchronous
+            // ack/nack lands on this entry.
+            flit.crc = wireChecksum(flit);
+            NOX_ASSERT(!retry_[out_port].has_value(),
+                       "send while link retry pending on ",
+                       portName(out_port));
+            retry_[out_port] = RetryEntry{
+                flit, faults_->now() + faults_->params().retryTimeout,
+                false};
+        }
         t.router->stageFlit(t.port, std::move(flit));
-    else
+    } else {
         t.nic->stageSinkFlit(std::move(flit));
+    }
 }
 
 void

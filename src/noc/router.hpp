@@ -32,6 +32,7 @@
 
 namespace nox {
 
+class FaultInjector;
 class Nic;
 
 /** Arbiter selection, exposed for the fairness ablation bench. */
@@ -88,6 +89,15 @@ class Router
     /** Evaluate one clock cycle (phase 1: combinational + sends). */
     virtual void evaluate(Cycle now) = 0;
 
+    /**
+     * Link-layer maintenance, run by the Network before any router's
+     * evaluate() each cycle (fault injection only): retransmits
+     * nacked or timed-out retry-buffer entries and runs the credit
+     * watchdog resync. Guaranteed a no-op on quiescent routers, so
+     * the scheduled kernel may skip retired routers here too.
+     */
+    virtual void evaluateLink(Cycle now);
+
     /** Latch staged flit/credit arrivals (phase 2). */
     virtual void commit();
 
@@ -120,9 +130,22 @@ class Router
     void connectOutput(int out_port, FlitTarget target, int credits);
     void connectInputCredit(int in_port, CreditTarget target);
 
+    /** Attach the network's fault injector (nullptr = fault-free;
+     *  every hot path then behaves exactly as before). */
+    void attachFaults(FaultInjector *faults);
+
     // -- interface used by upstream neighbours / NICs --
     void stageFlit(int in_port, WireFlit flit);
     void stageCredit(int out_port, int count = 1);
+
+    /**
+     * Synchronous link-level handshake from the downstream receiver
+     * of output @p out_port (fault-protected router-router links
+     * only). Ack retires the retry-buffer entry; nack schedules its
+     * retransmission after the nack turnaround delay.
+     */
+    void linkAck(int out_port);
+    void linkNack(int out_port);
 
     /** VC-tagged credit return; non-VC routers fold it into the
      *  plain per-port credit. */
@@ -158,6 +181,20 @@ class Router
   protected:
     /** True when the downstream buffer of @p out_port has a slot. */
     bool haveCredit(int out_port) const { return credits_[out_port] > 0; }
+
+    /**
+     * True while the link-level retry protocol owns @p out_port: a
+     * retry entry is awaiting ack/timeout, or the retry buffer drove
+     * the wire this very cycle. Normal sends must stall — the link
+     * layer guarantees in-order delivery by never interleaving new
+     * flits with an unacknowledged one. Always false without faults.
+     */
+    bool linkBusy(int out_port, Cycle now) const
+    {
+        return faults_ != nullptr &&
+               (retry_[out_port].has_value() ||
+                lastLinkSend_[out_port] == now);
+    }
 
     /**
      * Transfer a flit across the output link: consumes one downstream
@@ -211,6 +248,23 @@ class Router
     std::vector<int> credits_;
     std::vector<FlitTarget> outTarget_;
     std::vector<CreditTarget> creditTarget_;
+
+    /** Unacknowledged wire value of a protected output link. At most
+     *  one per port: linkBusy() stalls the datapath until it clears,
+     *  which is what keeps link delivery in-order. */
+    struct RetryEntry
+    {
+        WireFlit flit;
+        Cycle due = 0;      ///< retransmit time unless acked first
+        bool nacked = false; ///< due set by a nack, not the timeout
+    };
+
+    FaultInjector *faults_ = nullptr; ///< nullptr = fault-free build
+    std::vector<std::optional<RetryEntry>> retry_;
+    std::vector<Cycle> lastLinkSend_; ///< cycle the retry buffer last
+                                      ///< drove each output wire
+    std::vector<int> creditsLost_;    ///< per-port credits the injector
+                                      ///< swallowed, owed by watchdog
 
     EnergyEvents energy_;
 

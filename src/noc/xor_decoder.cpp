@@ -5,14 +5,22 @@
 namespace nox {
 
 DecodeView
-XorDecoder::view(const FlitFifo &fifo) const
+XorDecoder::view(const FlitFifo &fifo, bool lenient) const
 {
     DecodeView v;
     if (reg_.has_value()) {
         if (fifo.empty())
             return v; // waiting for the next flit of the chain
         const WireFlit &head = fifo.front();
-        v.presented = decodeDiff(*reg_, head);
+        if (lenient) {
+            const DecodeResult r = tryDecodeDiff(*reg_, head);
+            v.fault = r.fault;
+            if (r.fault == DecodeFault::Structural)
+                return v; // unrecoverable: nothing to present
+            v.presented = r.flit;
+        } else {
+            v.presented = decodeDiff(*reg_, head);
+        }
         v.decodedByXor = true;
         // Popping only happens when the chain continues (head encoded);
         // an uncoded head is kept and presented as itself next.
@@ -28,6 +36,14 @@ XorDecoder::view(const FlitFifo &fifo) const
     }
     NOX_ASSERT(head.fanin() == 1, "uncoded flit with multiple parts");
     v.presented = head.parts.front();
+    if (lenient && head.payload != v.presented->payload) {
+        // The wire bits are what the hardware actually has; the parts
+        // bookkeeping records what was sent. A divergence means the
+        // flit was corrupted in flight — present the corrupted bits
+        // and flag it, exactly like a decode mismatch.
+        v.presented->payload = head.payload;
+        v.fault = DecodeFault::PayloadMismatch;
+    }
     v.acceptPops = true;
     return v;
 }

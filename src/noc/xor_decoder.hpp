@@ -41,6 +41,13 @@ struct DecodeView
 
     /** True when this presentation performed an XOR decode. */
     bool decodedByXor = false;
+
+    /** Integrity outcome of the decode (lenient mode only; strict
+     *  mode panics instead). PayloadMismatch still presents a flit —
+     *  carrying the corrupted prev^next payload the hardware would
+     *  compute. Structural presents nothing: the chain is
+     *  unrecoverable and the port wedges. */
+    DecodeFault fault = DecodeFault::None;
 };
 
 /** Per-port decode register state machine. */
@@ -52,8 +59,13 @@ class XorDecoder
     /**
      * Inspect @p fifo and report what this port can do this cycle.
      * Does not mutate state; call latch()/accept() to commit.
+     *
+     * Strict mode (@p lenient false, the default) panics on decode
+     * integrity violations — fault-free operation treats them as
+     * simulator bugs. Lenient mode (fault injection active) reports
+     * them in DecodeView::fault instead.
      */
-    DecodeView view(const FlitFifo &fifo) const;
+    DecodeView view(const FlitFifo &fifo, bool lenient = false) const;
 
     /**
      * Commit the bubble-latch indicated by DecodeView::latchBubble:

@@ -18,7 +18,7 @@ NonSpecRouter::NonSpecRouter(NodeId id, const Mesh &mesh,
 }
 
 void
-NonSpecRouter::evaluate(Cycle)
+NonSpecRouter::evaluate(Cycle now)
 {
     // Combinational request gathering: each input's (uncoded) head
     // flit requests exactly one output via lookahead DOR.
@@ -36,7 +36,7 @@ NonSpecRouter::evaluate(Cycle)
     }
 
     for (int o = 0; o < ports; ++o) {
-        if (!outputConnected(o) || !haveCredit(o))
+        if (!outputConnected(o) || !haveCredit(o) || linkBusy(o, now))
             continue;
 
         if (lockOwner_[o] >= 0) {

@@ -3,6 +3,7 @@
 #include <bit>
 
 #include "common/log.hpp"
+#include "noc/fault_injector.hpp"
 
 namespace nox {
 
@@ -20,7 +21,7 @@ NoxRouter::NoxRouter(NodeId id, const Mesh &mesh, RoutingFunction route,
 }
 
 void
-NoxRouter::evaluate(Cycle)
+NoxRouter::evaluate(Cycle now)
 {
     // Per-input decode views: what each input port can present to the
     // switch this cycle (§2.4). Encoded heads consume the cycle
@@ -33,7 +34,9 @@ NoxRouter::evaluate(Cycle)
     views.assign(static_cast<std::size_t>(ports), DecodeView{});
     out_of.assign(static_cast<std::size_t>(ports), -1);
     for (int p = 0; p < ports; ++p) {
-        views[p] = decoders_[p].view(in_[p]);
+        // Lenient decode under fault injection: integrity violations
+        // surface in DecodeView::fault instead of killing the run.
+        views[p] = decoders_[p].view(in_[p], faults_ != nullptr);
         out_of[p] = -1;
         if (views[p].latchBubble) {
             decoders_[p].latch(in_[p]);
@@ -57,10 +60,11 @@ NoxRouter::evaluate(Cycle)
                 requests |= maskBit(p);
         }
 
-        // Switch requests are gated by downstream credits; when the
-        // output is back-pressured everything (including the masks)
-        // simply holds.
-        if (!haveCredit(o))
+        // Switch requests are gated by downstream credits and by the
+        // link-level retry protocol (which owns the wire until its
+        // pending flit is acknowledged); when the output is back-
+        // pressured everything (including the masks) simply holds.
+        if (!haveCredit(o) || linkBusy(o, now))
             continue;
 
         // Mode-residency accounting (only for outputs with activity
@@ -241,6 +245,10 @@ NoxRouter::acceptPresented(int port, const DecodeView &view)
 {
     if (view.decodedByXor)
         energy_.decodeOps += 1;
+    // Count integrity violations when the flit is accepted (view()
+    // re-inspects the same head every cycle; accept happens once).
+    if (view.fault == DecodeFault::PayloadMismatch)
+        faults_->onDecodeMismatch();
     const bool popped = decoders_[port].accept(in_[port]);
     if (popped) {
         energy_.bufferReads += 1;

@@ -21,7 +21,7 @@ SpecRouter::SpecRouter(NodeId id, const Mesh &mesh, RoutingFunction route,
 }
 
 void
-SpecRouter::evaluate(Cycle)
+SpecRouter::evaluate(Cycle now)
 {
     const int ports = numPorts();
     // Member scratch — per-call allocation would dominate evaluate().
@@ -63,9 +63,11 @@ SpecRouter::evaluate(Cycle)
                 requests |= maskBit(p);
         }
 
-        if (!haveCredit(o)) {
-            // Switch requests are gated by credits: nothing drives
-            // the output, Switch-Next sees no requests, and any
+        if (!haveCredit(o) || linkBusy(o, now)) {
+            // Switch requests are gated by credits (and by the link-
+            // level retry protocol, which owns the wire until its
+            // pending flit is acknowledged): nothing drives the
+            // output, Switch-Next sees no requests, and any
             // pending reservation expires (the mask reopens). Letting
             // a reservation survive back-pressure would let one input
             // capture the output indefinitely under stop-and-go

@@ -3,6 +3,7 @@
 #include <bit>
 
 #include "common/log.hpp"
+#include "noc/fault_injector.hpp"
 #include "noc/nic.hpp"
 
 namespace nox {
@@ -23,6 +24,7 @@ VcRouter::VcRouter(NodeId id, const Mesh &mesh, RoutingFunction route,
     // the per-VC buffer depth (NIC sinks are sized accordingly).
     vcCredits_.assign(slots, params.bufferDepth);
     stagedVcCredits_.assign(slots, 0);
+    vcCreditsLost_.assign(slots, 0);
     lockOwner_.assign(slots, -1);
     lockPacket_.assign(slots, kInvalidPacket);
 
@@ -64,8 +66,37 @@ VcRouter::stageCreditVc(int out_port, int vc)
 {
     NOX_ASSERT(out_port >= 0 && out_port < numPorts(), "bad port");
     NOX_ASSERT(vc >= 0 && vc < vcs_, "bad vc");
+    if (faults_ && outTarget_[out_port].router &&
+        faults_->drawCreditLoss(id_, out_port,
+                                static_cast<std::uint64_t>(vc))) {
+        // With protection the loss is owed to this lane until the
+        // watchdog's next audit; raw mode just leaks the slot.
+        if (faults_->protectEnabled())
+            vcCreditsLost_[index(out_port, vc)] += 1;
+        wake();
+        return;
+    }
     stagedVcCredits_[index(out_port, vc)] += 1;
     wake();
+}
+
+void
+VcRouter::evaluateLink(Cycle now)
+{
+    Router::evaluateLink(now);
+    if (!faults_ || !faults_->protectEnabled())
+        return;
+    const Cycle period = faults_->params().watchdogPeriod;
+    if (period == 0 || now % period != 0)
+        return;
+    for (std::size_t lane = 0; lane < vcCreditsLost_.size(); ++lane) {
+        if (vcCreditsLost_[lane] == 0)
+            continue;
+        faults_->onCreditResync(
+            static_cast<std::uint64_t>(vcCreditsLost_[lane]));
+        vcCredits_[lane] += vcCreditsLost_[lane];
+        vcCreditsLost_[lane] = 0;
+    }
 }
 
 bool
@@ -80,6 +111,10 @@ VcRouter::quiescent() const
     for (int staged : stagedVcCredits_) {
         if (staged != 0)
             return false;
+    }
+    for (int lost : vcCreditsLost_) {
+        if (lost != 0)
+            return false; // the watchdog still owes this lane credits
     }
     for (int owner : lockOwner_) {
         if (owner >= 0)
@@ -101,7 +136,7 @@ VcRouter::returnVcCredit(int in_port, int vc)
 }
 
 void
-VcRouter::evaluate(Cycle)
+VcRouter::evaluate(Cycle now)
 {
     const int ports = numPorts();
 
@@ -127,7 +162,7 @@ VcRouter::evaluate(Cycle)
                 continue;
             if (owner < 0 && !d.isHead())
                 continue; // body flit of a packet we do not own here
-            if (vcCredits_[index(o, v)] <= 0)
+            if (vcCredits_[index(o, v)] <= 0 || linkBusy(o, now))
                 continue;
             eligible |= maskBit(v);
             out_of[static_cast<std::size_t>(v)] = o;

@@ -55,6 +55,9 @@ class VcRouter : public Router
     void commit() override;
     void stageCreditVc(int out_port, int vc) override;
 
+    /** Base retry handling plus the per-VC credit watchdog. */
+    void evaluateLink(Cycle now) override;
+
     /** Quiescent iff base state is idle and every per-VC buffer,
      *  staged credit and wormhole lane is empty/closed. */
     bool quiescent() const override;
@@ -91,6 +94,9 @@ class VcRouter : public Router
     std::vector<FlitFifo> vcIn_;        ///< [port][vc]
     std::vector<int> vcCredits_;        ///< [out_port][vc]
     std::vector<int> stagedVcCredits_;  ///< [out_port][vc]
+    std::vector<int> vcCreditsLost_;    ///< [out_port][vc] credits the
+                                        ///< injector swallowed, owed
+                                        ///< by the watchdog
     std::vector<int> lockOwner_;        ///< [out_port][vc] input or -1
     std::vector<PacketId> lockPacket_;  ///< [out_port][vc]
     std::vector<std::unique_ptr<Arbiter>> outArb_; ///< per output

@@ -97,6 +97,8 @@ struct ConservationCase
     RouterArch arch;
     double rate;          // packets/node/cycle
     double dataFraction;  // fraction of 9-flit packets
+    bool faults = false;  // link faults + recovery enabled
+    int vcCount = 1;
 };
 
 std::string
@@ -110,6 +112,10 @@ caseName(const ::testing::TestParamInfo<ConservationCase> &info)
                     info.param.rate * 1000));
     n += "_d" + std::to_string(static_cast<int>(
                     info.param.dataFraction * 100));
+    if (info.param.vcCount > 1)
+        n += "_vc" + std::to_string(info.param.vcCount);
+    if (info.param.faults)
+        n += "_faults";
     return n;
 }
 
@@ -124,6 +130,16 @@ TEST_P(Conservation, AllPacketsDeliveredOnceInOrder)
     NetworkParams params;
     params.width = 4;
     params.height = 4;
+    params.router.vcCount = c.vcCount;
+    if (c.faults) {
+        // Link faults with full recovery: conservation, payload
+        // integrity and ordering must all survive the injected bit
+        // flips, drops and credit losses.
+        params.faults.enabled = true;
+        params.faults.bitflipRate = 0.002;
+        params.faults.dropRate = 0.001;
+        params.faults.creditLossRate = 0.001;
+    }
     auto net = makeNetwork(params, c.arch);
 
     OrderRecorder recorder(net.get());
@@ -144,9 +160,13 @@ TEST_P(Conservation, AllPacketsDeliveredOnceInOrder)
 
     // Quiesce the sources, then drain everything still in flight.
     net->setSourcesEnabled(false);
-    ASSERT_TRUE(net->drain(50000));
+    ASSERT_TRUE(net->drain(50000)) << net->lastDrainReport().summary();
     EXPECT_EQ(net->stats().packetsEjected, net->stats().packetsInjected);
     EXPECT_EQ(net->stats().flitsEjected, net->stats().flitsInjected);
+    if (c.faults) {
+        EXPECT_GT(net->stats().faults.faultsInjected, 0u);
+        EXPECT_EQ(net->stats().faults.corruptedEscapes, 0u);
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -164,7 +184,13 @@ INSTANTIATE_TEST_SUITE_P(
         ConservationCase{RouterArch::Nox, 0.02, 0.0},
         ConservationCase{RouterArch::Nox, 0.08, 0.0},
         ConservationCase{RouterArch::Nox, 0.05, 0.3},
-        ConservationCase{RouterArch::Nox, 0.12, 0.1}),
+        ConservationCase{RouterArch::Nox, 0.12, 0.1},
+        ConservationCase{RouterArch::NonSpeculative, 0.05, 0.3, true},
+        ConservationCase{RouterArch::SpecFast, 0.04, 0.3, true},
+        ConservationCase{RouterArch::SpecAccurate, 0.05, 0.3, true},
+        ConservationCase{RouterArch::Nox, 0.05, 0.3, true},
+        ConservationCase{RouterArch::NonSpeculative, 0.05, 0.3, true,
+                         2}),
     caseName);
 
 } // namespace

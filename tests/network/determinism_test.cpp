@@ -32,12 +32,14 @@ constexpr std::uint64_t kSeed = 0xF1683;
 
 std::unique_ptr<Network>
 buildNetwork(RouterArch arch, PatternKind pattern, SchedulingMode mode,
-             double load, int packet_flits)
+             double load, int packet_flits,
+             const FaultParams &faults = {})
 {
     NetworkParams params;
     params.width = 8;
     params.height = 8;
     params.schedulingMode = mode;
+    params.faults = faults;
     auto net = makeNetwork(params, arch);
 
     // Sources are seeded per node from one seeder, as runSynthetic
@@ -163,6 +165,68 @@ INSTANTIATE_TEST_SUITE_P(
                                    static_cast<unsigned char>(c));
         });
         return name;
+    });
+
+NetworkStats
+runOnceFaulty(RouterArch arch, SchedulingMode mode)
+{
+    FaultParams faults;
+    faults.enabled = true;
+    faults.bitflipRate = 0.002;
+    faults.dropRate = 0.001;
+    faults.creditLossRate = 0.001;
+    faults.seed = 0xD15EA5E;
+    auto net = buildNetwork(arch, PatternKind::UniformRandom, mode,
+                            0.05, 3, faults);
+    net->run(kWarmup + kMeasure);
+    EXPECT_TRUE(net->drain(kDrainLimit))
+        << net->lastDrainReport().summary();
+    return net->stats();
+}
+
+class FaultDeterminism : public ::testing::TestWithParam<RouterArch>
+{
+};
+
+TEST_P(FaultDeterminism, SameFaultSeedBitIdenticalAcrossKernels)
+{
+    // The fault schedule is keyed by event identity, not draw order,
+    // so the same seed must yield bit-identical NetworkStats —
+    // including every fault counter — whichever scheduling kernel
+    // evaluates the mesh, and the equivalence kernel's per-cycle
+    // quiescence asserts must stay clean while faults and recovery
+    // (retries, watchdog resyncs) are in flight.
+    const RouterArch arch = GetParam();
+    const NetworkStats always =
+        runOnceFaulty(arch, SchedulingMode::AlwaysTick);
+    const NetworkStats repeat =
+        runOnceFaulty(arch, SchedulingMode::AlwaysTick);
+    const NetworkStats activity =
+        runOnceFaulty(arch, SchedulingMode::ActivityDriven);
+    const NetworkStats checked =
+        runOnceFaulty(arch, SchedulingMode::EquivalenceCheck);
+
+    EXPECT_GT(always.faults.faultsInjected, 0u);
+    EXPECT_TRUE(identicalStats(always, repeat))
+        << archName(arch) << ": faulty runs diverged across repeats";
+    EXPECT_TRUE(identicalStats(always, activity))
+        << archName(arch)
+        << ": fault schedule diverged under activity scheduling";
+    EXPECT_TRUE(identicalStats(always, checked))
+        << archName(arch)
+        << ": fault schedule diverged under equivalence checking";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Arches, FaultDeterminism,
+    ::testing::Values(RouterArch::NonSpeculative, RouterArch::SpecFast,
+                      RouterArch::SpecAccurate, RouterArch::Nox),
+    [](const ::testing::TestParamInfo<RouterArch> &info) {
+        std::string n = archName(info.param);
+        std::erase_if(n, [](char c) {
+            return !std::isalnum(static_cast<unsigned char>(c));
+        });
+        return n;
     });
 
 TEST(ActivityKernel, IdleNetworkRetiresEverything)

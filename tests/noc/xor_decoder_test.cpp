@@ -186,6 +186,127 @@ TEST(XorDecoder, BackToBackChains)
     EXPECT_EQ(got, (std::vector<PacketId>{1, 2, 3, 4}));
 }
 
+TEST(TryDecodeDiff, CleanChainDecodesWithoutFault)
+{
+    const FlitDesc a = makeFlit(1);
+    const FlitDesc b = makeFlit(2);
+    const WireFlit prev = WireFlit::combine({a, b});
+    const WireFlit next = WireFlit::fromDesc(b);
+    const DecodeResult r = tryDecodeDiff(prev, next);
+    EXPECT_EQ(r.fault, DecodeFault::None);
+    ASSERT_TRUE(r.flit.has_value());
+    EXPECT_EQ(r.flit->packet, a.packet);
+    EXPECT_EQ(r.flit->payload, a.payload);
+}
+
+TEST(TryDecodeDiff, PayloadMismatchIsStructuredNotFatal)
+{
+    // A bit upset on a coded wire value reaches the decode chain: the
+    // structure is intact, so the flit is still recovered — but with
+    // the payload the hardware would actually compute (prev XOR next),
+    // carrying the corruption forward bit-faithfully — and the
+    // mismatch is reported instead of tripping an assert.
+    const FlitDesc a = makeFlit(1);
+    const FlitDesc b = makeFlit(2);
+    WireFlit prev = WireFlit::combine({a, b});
+    prev.payload ^= 1ULL << 17; // in-flight corruption
+    const WireFlit next = WireFlit::fromDesc(b);
+
+    const DecodeResult r = tryDecodeDiff(prev, next);
+    EXPECT_EQ(r.fault, DecodeFault::PayloadMismatch);
+    ASSERT_TRUE(r.flit.has_value());
+    EXPECT_EQ(r.flit->packet, a.packet);
+    EXPECT_EQ(r.flit->payload, prev.payload ^ next.payload);
+    EXPECT_NE(r.flit->payload, a.payload);
+}
+
+TEST(TryDecodeDiff, StructuralFaultRecoversNothing)
+{
+    const FlitDesc a = makeFlit(1);
+    const FlitDesc b = makeFlit(2);
+    const FlitDesc c = makeFlit(3);
+
+    // next is unrelated to prev: a wire value vanished mid-chain.
+    DecodeResult r = tryDecodeDiff(WireFlit::fromDesc(a),
+                                   WireFlit::fromDesc(b));
+    EXPECT_EQ(r.fault, DecodeFault::Structural);
+    EXPECT_FALSE(r.flit.has_value());
+
+    // prev is next plus TWO flits — also unrecoverable.
+    r = tryDecodeDiff(WireFlit::combine({a, b, c}),
+                      WireFlit::fromDesc(c));
+    EXPECT_EQ(r.fault, DecodeFault::Structural);
+    EXPECT_FALSE(r.flit.has_value());
+}
+
+TEST(XorDecoder, LenientViewFlagsCorruptUncodedHead)
+{
+    // The parts bookkeeping remembers the clean payload; the wire
+    // bits are what the hardware has. The lenient view must present
+    // the corrupted wire bits (not silently repair them) and flag the
+    // divergence.
+    const FlitDesc a = makeFlit(5);
+    WireFlit w = WireFlit::fromDesc(a);
+    w.payload ^= 1ULL << 3;
+
+    FlitFifo fifo(4);
+    fifo.push(w);
+    XorDecoder dec;
+    const DecodeView v = dec.view(fifo, /*lenient=*/true);
+    ASSERT_TRUE(v.presented.has_value());
+    EXPECT_EQ(v.fault, DecodeFault::PayloadMismatch);
+    EXPECT_EQ(v.presented->payload, a.payload ^ (1ULL << 3));
+}
+
+TEST(XorDecoder, LenientViewDecodeMismatchFlaggedOnce)
+{
+    // Figure-3 sequence with the coded value corrupted: the decode of
+    // B is flagged, and the corrupt payload rides B (prev XOR next),
+    // so the follow-on presentation of C is clean again.
+    const FlitDesc b = makeFlit(2);
+    const FlitDesc c = makeFlit(3);
+    WireFlit coded = WireFlit::combine({b, c});
+    coded.payload ^= 1ULL << 40;
+
+    FlitFifo fifo(4);
+    fifo.push(coded);
+    XorDecoder dec;
+    DecodeView v = dec.view(fifo, true);
+    EXPECT_TRUE(v.latchBubble);
+    dec.latch(fifo);
+
+    fifo.push(WireFlit::fromDesc(c));
+    v = dec.view(fifo, true);
+    ASSERT_TRUE(v.presented);
+    EXPECT_EQ(v.presented->packet, b.packet);
+    EXPECT_EQ(v.fault, DecodeFault::PayloadMismatch);
+    EXPECT_EQ(v.presented->payload, b.payload ^ (1ULL << 40));
+    dec.accept(fifo);
+
+    v = dec.view(fifo, true);
+    ASSERT_TRUE(v.presented);
+    EXPECT_EQ(v.presented->packet, c.packet);
+    EXPECT_EQ(v.fault, DecodeFault::None);
+}
+
+TEST(XorDecoder, LenientViewStructuralPresentsNothing)
+{
+    const FlitDesc a = makeFlit(1);
+    const FlitDesc b = makeFlit(2);
+    const FlitDesc c = makeFlit(3);
+
+    FlitFifo fifo(4);
+    fifo.push(WireFlit::combine({a, b}));
+    XorDecoder dec;
+    dec.latch(fifo);
+
+    // The chain's closing flit was lost; an unrelated one arrives.
+    fifo.push(WireFlit::fromDesc(c));
+    const DecodeView v = dec.view(fifo, true);
+    EXPECT_FALSE(v.presented.has_value());
+    EXPECT_EQ(v.fault, DecodeFault::Structural);
+}
+
 TEST(XorDecoder, ResetClearsRegister)
 {
     FlitFifo fifo(4);

@@ -92,13 +92,22 @@ main(int argc, char **argv)
         static_cast<int>(config.getInt("concentration", 1));
     params.router.bufferDepth =
         static_cast<int>(config.getInt("buffer_depth", 4));
+    params.router.vcCount =
+        static_cast<int>(config.getInt("vc_count", 1));
     params.sinkBufferDepth = params.router.bufferDepth;
     params.schedulingMode = parseSchedulingMode(
         config.getString("scheduling", "equivalence").c_str());
+    // Optional deterministic link-fault injection (fault_bitflip_rate=
+    // etc.). With recovery enabled (the default) every invariant below
+    // must still hold — the soak then fuzzes the CRC/retransmission
+    // and watchdog machinery on top of the router logic.
+    params.faults = faultParamsFromConfig(config);
 
     Rng rng(seed);
     std::uint64_t total_packets = 0;
     std::uint64_t total_cycles = 0;
+    std::uint64_t total_faults = 0;
+    std::uint64_t total_retransmissions = 0;
     int phase = 0;
 
     const auto deadline =
@@ -148,12 +157,21 @@ main(int argc, char **argv)
             fatal("DRAIN FAILURE in phase ", phase, " (arch ",
                   archName(arch), ", rate ", rate, ", max_flits ",
                   max_flits, ", seed ", seed, "): ",
-                  net->packetsInFlight(), " packets stuck");
+                  net->lastDrainReport().summary());
         }
         if (net->stats().packetsEjected !=
             net->stats().packetsInjected) {
             fatal("CONSERVATION FAILURE in phase ", phase);
         }
+        if (params.faults.enabled && params.faults.protect &&
+            net->stats().faults.corruptedEscapes != 0) {
+            fatal("CORRUPTION ESCAPE in phase ", phase, ": ",
+                  net->stats().faults.corruptedEscapes,
+                  " corrupted payload(s) delivered despite recovery");
+        }
+        total_faults += net->stats().faults.faultsInjected;
+        total_retransmissions +=
+            net->stats().faults.retransmissions;
         total_packets += net->stats().packetsEjected;
         total_cycles += net->now();
         std::cout << "phase " << phase << ": rate="
@@ -165,6 +183,11 @@ main(int argc, char **argv)
 
     std::cout << "SOAK PASSED: " << archName(arch) << ", " << phase
               << " phases, " << total_packets << " packets over "
-              << total_cycles << " cycles, every delivery checked\n";
+              << total_cycles << " cycles, every delivery checked";
+    if (params.faults.enabled) {
+        std::cout << ", " << total_faults << " faults injected, "
+                  << total_retransmissions << " retransmissions";
+    }
+    std::cout << "\n";
     return 0;
 }

@@ -49,7 +49,12 @@ runSyntheticMode(const Config &config)
     c.sinkBufferDepth = c.bufferDepth;
     c.warmupCycles = config.getUint("warmup", c.warmupCycles);
     c.measureCycles = config.getUint("measure", c.measureCycles);
+    c.drainLimitCycles =
+        config.getUint("drain_limit", c.drainLimitCycles);
     c.seed = config.getUint("seed", c.seed);
+    c.schedulingMode = parseSchedulingMode(
+        config.getString("scheduling", "alwaystick").c_str());
+    c.faults = faultParamsFromConfig(config);
 
     const std::string arb = config.getString("arbiter", "roundrobin");
     if (arb == "fixed")
@@ -79,6 +84,23 @@ runSyntheticMode(const Config &config)
     t.addRow({"ed2_pj_ns2", Table::num(r.ed2, 1)});
     t.addRow({"link_energy_share",
               Table::num(r.energy.linkFraction(), 4)});
+    if (c.faults.enabled) {
+        t.addRow({"faults_injected",
+                  std::to_string(r.faults.faultsInjected)});
+        t.addRow({"faults_detected",
+                  std::to_string(r.faults.faultsDetected)});
+        t.addRow({"retransmissions",
+                  std::to_string(r.faults.retransmissions)});
+        t.addRow({"credit_resyncs",
+                  std::to_string(r.faults.creditResyncs)});
+        t.addRow({"corrupted_escapes",
+                  std::to_string(r.faults.corruptedEscapes)});
+        t.addRow({"decode_mismatches",
+                  std::to_string(r.faults.decodeMismatches)});
+    }
+    t.addRow({"drained", r.drained ? "1" : "0"});
+    if (!r.drained)
+        nox::warn("synthetic run did not drain: ", r.drainDiagnosis);
     if (config.has("csv")) {
         std::ofstream out(config.getString("csv"));
         t.printCsv(out);
