@@ -58,11 +58,27 @@ SampleStats::stddev() const
     return std::sqrt(variance());
 }
 
-Histogram::Histogram(double bucket_width, std::size_t num_buckets)
-    : width_(bucket_width), counts_(num_buckets, 0)
+Histogram::Histogram(double bucket_width, std::size_t num_buckets,
+                     bool auto_widen)
+    : width_(bucket_width), autoWiden_(auto_widen),
+      counts_(num_buckets, 0)
 {
     NOX_ASSERT(bucket_width > 0.0 && num_buckets > 0,
                "invalid histogram shape");
+}
+
+void
+Histogram::widen()
+{
+    const std::size_t n = counts_.size();
+    const std::size_t keep = (n + 1) / 2;
+    for (std::size_t i = 0; i < keep; ++i)
+        counts_[i] = counts_[2 * i] +
+                     (2 * i + 1 < n ? counts_[2 * i + 1] : 0);
+    std::fill(counts_.begin() + static_cast<std::ptrdiff_t>(keep),
+              counts_.end(), 0);
+    width_ *= 2.0;
+    ++widenings_;
 }
 
 void
@@ -71,6 +87,10 @@ Histogram::add(double x)
     ++total_;
     if (x < 0.0)
         x = 0.0;
+    if (autoWiden_) {
+        while (x / width_ >= static_cast<double>(counts_.size()))
+            widen();
+    }
     const auto idx = static_cast<std::size_t>(x / width_);
     if (idx >= counts_.size()) {
         ++overflow_;

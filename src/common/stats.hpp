@@ -56,11 +56,19 @@ class SampleStats
 /**
  * Fixed-width bucket histogram over [0, bucketWidth*numBuckets), with
  * an overflow bucket. Supports approximate percentile queries.
+ *
+ * With auto_widen the range grows to fit the data: a sample past the
+ * upper bound merges adjacent bucket pairs (doubling the bucket width,
+ * keeping the bucket count) until it fits. Widening is a pure function
+ * of the sample sequence, so identicalTo() still certifies identical
+ * histories across runs. Resolution degrades gracefully — quantiles of
+ * a widened histogram are coarser, never silently clipped.
  */
 class Histogram
 {
   public:
-    Histogram(double bucket_width, std::size_t num_buckets);
+    Histogram(double bucket_width, std::size_t num_buckets,
+              bool auto_widen = false);
 
     void add(double x);
     void reset();
@@ -71,12 +79,18 @@ class Histogram
     std::uint64_t bucketCount(std::size_t i) const { return counts_[i]; }
     std::uint64_t overflowCount() const { return overflow_; }
 
+    /** Times the bucket width has doubled to fit a sample. */
+    std::uint32_t widenings() const { return widenings_; }
+
     /**
      * Approximate p-quantile (0 <= p <= 1) via linear interpolation
      * inside the containing bucket. Returns the histogram upper bound
      * if the quantile falls in the overflow bucket.
      */
     double quantile(double p) const;
+
+    /** quantile() with p in percent (50 -> median, 99 -> p99). */
+    double percentile(double pct) const { return quantile(pct / 100.0); }
 
     /** Exact equality of geometry and every bucket count. */
     bool identicalTo(const Histogram &other) const
@@ -86,7 +100,12 @@ class Histogram
     }
 
   private:
+    /** Merge adjacent bucket pairs: same bucket count, double width. */
+    void widen();
+
     double width_;
+    bool autoWiden_ = false;
+    std::uint32_t widenings_ = 0;
     std::vector<std::uint64_t> counts_;
     std::uint64_t overflow_ = 0;
     std::uint64_t total_ = 0;

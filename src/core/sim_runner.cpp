@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 #include <memory>
+#include <sstream>
 
 #include "common/log.hpp"
 #include "common/rng.hpp"
@@ -65,6 +66,7 @@ runSynthetic(const SyntheticConfig &config)
     params.sinkBufferDepth = config.sinkBufferDepth;
     params.schedulingMode = config.schedulingMode;
     params.faults = config.faults;
+    params.obs = config.obs;
     auto net = makeNetwork(params, config.arch);
 
     const DestinationPattern pattern(config.pattern, net->mesh(),
@@ -105,12 +107,27 @@ runSynthetic(const SyntheticConfig &config)
         std::chrono::duration<double>(wall1 - wall0).count();
     res.cyclesSimulated = net->now();
 
+    // End-of-run observability flush: final partial metrics window,
+    // JSONL + Chrome trace exports. Outside the wall-clock window so
+    // export I/O never pollutes the kernel-speed comparison.
+    net->finishObservability();
+    if (net->metrics() && net->metrics()->params().heatmap) {
+        std::ostringstream os;
+        net->metrics()
+            ->heatmapTable(config.width, config.height)
+            .print(os);
+        res.metricsHeatmap = os.str();
+    }
+
     const NetworkStats &stats = net->stats();
     res.packetsMeasured = stats.latency.count();
     res.avgLatencyCycles = stats.latency.mean();
     res.avgLatencyNs = res.avgLatencyCycles * res.periodNs;
-    res.p95LatencyNs = stats.latencyHist.quantile(0.95) * res.periodNs;
-    res.p99LatencyNs = stats.latencyHist.quantile(0.99) * res.periodNs;
+    res.p50LatencyNs = stats.latencyHist.percentile(50) * res.periodNs;
+    res.p95LatencyNs = stats.latencyHist.percentile(95) * res.periodNs;
+    res.p99LatencyNs = stats.latencyHist.percentile(99) * res.periodNs;
+    res.latencyHistOverflow = stats.latencyHist.overflowCount();
+    res.latencyHistWidenings = stats.latencyHist.widenings();
     res.acceptedFlitsPerCycle =
         stats.acceptedFlitsPerNodeCycle(net->numNodes());
     res.acceptedMBps =

@@ -50,6 +50,7 @@ struct SyntheticConfig
     std::uint64_t seed = 0xA11CE5;
     SchedulingMode schedulingMode = SchedulingMode::AlwaysTick;
     FaultParams faults; ///< link-fault injection (disabled by default)
+    ObsParams obs;      ///< tracing + metrics (disabled by default)
     Technology tech = Technology::tsmc65();
     PhysicalParams phys;
 };
@@ -68,8 +69,18 @@ struct RunResult
     std::uint64_t packetsMeasured = 0;
     double avgLatencyCycles = 0.0;
     double avgLatencyNs = 0.0;
+    double p50LatencyNs = 0.0;
     double p95LatencyNs = 0.0;
     double p99LatencyNs = 0.0;
+
+    /** Latency-histogram coverage diagnostics: samples past the upper
+     *  bound (should be 0 — auto-widening absorbs them) and how many
+     *  times the bucket width doubled to keep them in range. */
+    std::uint64_t latencyHistOverflow = 0;
+    std::uint32_t latencyHistWidenings = 0;
+
+    /** Rendered link-utilization heatmap ("" when metrics are off). */
+    std::string metricsHeatmap;
 
     bool saturated = false;
     bool drained = true;

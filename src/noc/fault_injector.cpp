@@ -111,6 +111,11 @@ FaultInjector::record(FaultKind kind, NodeId router, int port,
     }
     if (log_.size() < kLogCap)
         log_.push_back({now_, kind, router, port, flip_mask});
+    if (tracer_) {
+        tracer_->record(TraceEventKind::FaultInject, router, port,
+                        flip_mask,
+                        static_cast<std::uint32_t>(kind));
+    }
 }
 
 FlitFaults

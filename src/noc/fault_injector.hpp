@@ -26,6 +26,7 @@
 
 #include "noc/network_stats.hpp"
 #include "noc/types.hpp"
+#include "obs/trace_recorder.hpp"
 
 namespace nox {
 
@@ -134,6 +135,10 @@ class FaultInjector
     void bindStats(FaultStats *stats) { stats_ = stats; }
     const FaultStats &stats() const { return *stats_; }
 
+    /** Attach the network's trace recorder: every injected fault is
+     *  then also recorded as a FaultInject trace event. */
+    void attachTracer(TraceRecorder *tracer) { tracer_ = tracer; }
+
     /**
      * Schedule a targeted one-shot fault: fires on the first matching
      * link event at/after @p cycle on (receiving router, port) —
@@ -228,6 +233,7 @@ class FaultInjector
 
     FaultStats ownStats_; ///< used until bindStats() rebinds
     FaultStats *stats_ = &ownStats_;
+    TraceRecorder *tracer_ = nullptr;
     std::vector<FaultEvent> log_;
 };
 

@@ -146,6 +146,27 @@ Network::Network(const NetworkParams &params, RouterFactory factory)
         routers_[r]->bindActivity(&routerActive_[r]);
     for (NodeId node = 0; node < nn; ++node)
         nics_[node]->bindActivity(&nicActive_[node]);
+
+    // Observability: the recorder and sampler are passive observers —
+    // they read committed state and counters but never mutate router,
+    // NIC, RNG or stats state, so enabling them cannot change a run.
+    if (params.obs.trace.enabled) {
+        tracer_ = std::make_unique<TraceRecorder>(params.obs.trace);
+        for (auto &r : routers_)
+            r->attachTracer(tracer_.get());
+        for (auto &nic : nics_)
+            nic->attachTracer(tracer_.get());
+        if (faults_)
+            faults_->attachTracer(tracer_.get());
+        prevRouterActive_ = routerActive_;
+        prevNicActive_ = nicActive_;
+    }
+    if (params.obs.metrics.enabled) {
+        metrics_ =
+            std::make_unique<MetricsSampler>(params.obs.metrics, nr);
+        lastLinkFlits_.assign(static_cast<std::size_t>(nr), 0);
+        lastCollisions_.assign(static_cast<std::size_t>(nr), 0);
+    }
 }
 
 void
@@ -178,6 +199,8 @@ Network::stepAlwaysTick()
     // 0. Fault-injection clock: draws during this cycle key off now_.
     if (faults_)
         faults_->beginCycle(now_);
+    if (tracer_)
+        tracer_->beginCycle(now_);
 
     // 1. Traffic generation for this cycle.
     if (sourcesEnabled_) {
@@ -216,6 +239,8 @@ Network::stepAlwaysTick()
     }
 
     ++now_;
+    if (metrics_ && metrics_->windowEnds(now_))
+        sampleMetricsWindow();
 }
 
 void
@@ -242,6 +267,10 @@ Network::stepScheduled(bool check)
     // 0. Fault-injection clock (see stepAlwaysTick).
     if (faults_)
         faults_->beginCycle(now_);
+    if (tracer_) {
+        tracer_->beginCycle(now_);
+        traceWakes();
+    }
 
     // 1. Traffic generation always runs: sources draw from their RNG
     // every cycle regardless of kernel, so both kernels see the same
@@ -298,19 +327,89 @@ Network::stepScheduled(bool check)
             continue;
         routers_[r]->energy().cycles += 1;
         routers_[r]->commit();
-        if (routerActive_[r] && routers_[r]->quiescent())
+        if (routerActive_[r] && routers_[r]->quiescent()) {
             routerActive_[r] = 0;
+            if (tracer_)
+                tracer_->record(TraceEventKind::SchedRetire, r, -1, 0);
+        }
     }
     for (NodeId n = 0; n < nn; ++n) {
         if (!(nicActive_[n] || check))
             continue;
         nics_[n]->commit();
         sampleSourceQueue(n);
-        if (nicActive_[n] && nics_[n]->quiescent())
+        if (nicActive_[n] && nics_[n]->quiescent()) {
             nicActive_[n] = 0;
+            if (tracer_) {
+                tracer_->record(TraceEventKind::SchedRetire, n, -1, 0,
+                                0, true);
+            }
+        }
     }
 
     ++now_;
+    if (metrics_ && metrics_->windowEnds(now_))
+        sampleMetricsWindow();
+}
+
+void
+Network::traceWakes()
+{
+    // A component whose flag went 0 -> 1 since the last cycle's edge
+    // scan was woken by some staging (or fresh traffic); record the
+    // edge against the cycle it first gets evaluated as active.
+    for (NodeId r = 0; r < numRouters(); ++r) {
+        if (routerActive_[r] && !prevRouterActive_[r])
+            tracer_->record(TraceEventKind::SchedWake, r, -1, 0);
+        prevRouterActive_[r] = routerActive_[r];
+    }
+    for (NodeId n = 0; n < numNodes(); ++n) {
+        if (nicActive_[n] && !prevNicActive_[n])
+            tracer_->record(TraceEventKind::SchedWake, n, -1, 0, 0,
+                            true);
+        prevNicActive_[n] = nicActive_[n];
+    }
+}
+
+void
+Network::sampleMetricsWindow()
+{
+    std::vector<RouterWindowSample> samples;
+    samples.reserve(routers_.size());
+    for (NodeId r = 0; r < numRouters(); ++r) {
+        const Router &router = *routers_[r];
+        RouterWindowSample s;
+        s.bufferedFlits = router.bufferedFlits();
+        const std::uint64_t link = router.energy().linkFlits;
+        const std::uint64_t coll = router.xorCollisions();
+        s.linkFlits =
+            static_cast<std::uint32_t>(link - lastLinkFlits_[r]);
+        s.xorCollisions =
+            static_cast<std::uint32_t>(coll - lastCollisions_[r]);
+        lastLinkFlits_[r] = link;
+        lastCollisions_[r] = coll;
+        s.retryPending = router.retryPending();
+        s.active = routerActive_[r] != 0;
+        samples.push_back(s);
+    }
+    metrics_->recordWindow(now_, std::move(samples), activeRouters(),
+                           activeNics());
+}
+
+void
+Network::finishObservability()
+{
+    if (metrics_) {
+        if (metrics_->openWindowDirty(now_))
+            sampleMetricsWindow();
+        if (!metrics_->params().jsonlPath.empty())
+            metrics_->writeJsonl(metrics_->params().jsonlPath);
+    }
+    if (tracer_ && !tracer_->params().chromePath.empty()) {
+        tracer_->writeChromeTrace(tracer_->params().chromePath,
+                                  params_.width,
+                                  params_.concentration);
+    }
 }
 
 int
@@ -367,6 +466,13 @@ Network::drain(Cycle limit)
                  nics_[n]->partialPackets())
                 drainReport_.partialPackets.push_back(
                     {n, packet, count});
+        }
+        // Flight recorder: a drain timeout is exactly the situation
+        // the ring exists for — dump the recent event history around
+        // the stuck components before anyone tears the network down.
+        if (tracer_) {
+            tracer_->triggerFlightDump("drain-timeout",
+                                       drainReport_.busyRouters);
         }
     }
     return drainReport_.drained;
@@ -427,6 +533,12 @@ Network::injectPacket(NodeId src, NodeId dst, int num_flits, Cycle now,
     }
     nics_[src]->enqueuePacket(std::move(flits));
 
+    if (tracer_) {
+        tracer_->record(TraceEventKind::PacketCreate, src, -1, id,
+                        (static_cast<std::uint32_t>(dst) << 16) |
+                            static_cast<std::uint32_t>(num_flits),
+                        true);
+    }
     stats_.packetsInjected += 1;
     stats_.flitsInjected += static_cast<std::uint64_t>(num_flits);
     if (now >= stats_.measureStart && now < stats_.measureEnd) {
@@ -450,14 +562,24 @@ void
 Network::onFlitDelivered(NodeId, const FlitDesc &, Cycle now)
 {
     stats_.flitsEjected += 1;
-    if (now >= stats_.measureStart && now < stats_.measureEnd)
+    const bool measured =
+        now >= stats_.measureStart && now < stats_.measureEnd;
+    if (measured)
         stats_.flitsEjectedInWindow += 1;
+    if (metrics_)
+        metrics_->onFlitEjected(measured);
 }
 
 void
-Network::onPacketCompleted(NodeId, const FlitDesc &last_flit,
+Network::onPacketCompleted(NodeId node, const FlitDesc &last_flit,
                            Cycle head_inject, Cycle now)
 {
+    if (tracer_) {
+        tracer_->record(
+            TraceEventKind::PacketDone, node, -1, last_flit.packet,
+            static_cast<std::uint32_t>(now - last_flit.createCycle),
+            true);
+    }
     stats_.packetsEjected += 1;
     const Cycle created = last_flit.createCycle;
     if (created >= stats_.measureStart && created < stats_.measureEnd) {

@@ -24,6 +24,7 @@
 #include "noc/nic.hpp"
 #include "noc/router.hpp"
 #include "noc/traffic_source.hpp"
+#include "obs/obs_params.hpp"
 
 namespace nox {
 
@@ -67,6 +68,7 @@ struct NetworkParams
     RoutingFunction route = dorRoute;
     SchedulingMode schedulingMode = SchedulingMode::AlwaysTick;
     FaultParams faults; ///< link-fault injection (disabled by default)
+    ObsParams obs;      ///< tracing + metrics (disabled by default)
 };
 
 /**
@@ -160,6 +162,23 @@ class Network : public PacketInjector, public SinkListener
      *  (tests use it to schedule targeted one-shot faults). */
     FaultInjector *faultInjector() { return faults_.get(); }
     const FaultInjector *faultInjector() const { return faults_.get(); }
+
+    /** The trace recorder, or nullptr when tracing is disabled. */
+    TraceRecorder *tracer() { return tracer_.get(); }
+    const TraceRecorder *tracer() const { return tracer_.get(); }
+
+    /** The metrics sampler, or nullptr when sampling is disabled. */
+    MetricsSampler *metrics() { return metrics_.get(); }
+    const MetricsSampler *metrics() const { return metrics_.get(); }
+
+    /**
+     * End-of-run observability flush: closes the final partial
+     * metrics window and writes the configured exports (metrics
+     * JSONL, Chrome trace JSON). Idempotent on the window flush;
+     * call once after the last step()/drain().
+     */
+    void finishObservability();
+
     std::uint64_t packetsInFlight() const;
 
     /** Sum of all router + NIC energy-event counters. */
@@ -184,6 +203,13 @@ class Network : public PacketInjector, public SinkListener
      *  full evaluation and per-cycle quiescence asserts. */
     void stepScheduled(bool check);
 
+    /** Emit SchedWake for components that (re)entered the active set
+     *  since the previous cycle (tracing + scheduled kernels only). */
+    void traceWakes();
+
+    /** Close the metrics window ending at the current cycle. */
+    void sampleMetricsWindow();
+
     /** Track the peak source-queue occupancy of NIC @p node. */
     void sampleSourceQueue(NodeId node)
     {
@@ -199,7 +225,19 @@ class Network : public PacketInjector, public SinkListener
     std::vector<std::unique_ptr<Nic>> nics_;
     std::vector<std::unique_ptr<TrafficSource>> sources_;
     std::unique_ptr<FaultInjector> faults_;
+    std::unique_ptr<TraceRecorder> tracer_;
+    std::unique_ptr<MetricsSampler> metrics_;
     DrainReport drainReport_;
+
+    /** Per-router counter values at the last closed metrics window
+     *  (to form window deltas of the monotonic counters). */
+    std::vector<std::uint64_t> lastLinkFlits_;
+    std::vector<std::uint64_t> lastCollisions_;
+
+    /** Previous-cycle active flags (SchedWake edge detection; only
+     *  maintained when tracing a scheduled kernel). */
+    std::vector<std::uint8_t> prevRouterActive_;
+    std::vector<std::uint8_t> prevNicActive_;
 
     /** Active-set flags, indexed by router / node id. Routers and
      *  NICs hold pointers into these (bindActivity) and set them on

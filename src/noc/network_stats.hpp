@@ -91,8 +91,10 @@ struct NetworkStats
      *  router to last-flit delivery), same population. */
     SampleStats netLatency;
 
-    /** Total-latency histogram (cycles) for percentile queries. */
-    Histogram latencyHist{1.0, 4096};
+    /** Total-latency histogram (cycles) for percentile queries.
+     *  Auto-widening: deeply congested runs double the bucket width
+     *  instead of silently piling tail latencies into overflow. */
+    Histogram latencyHist{1.0, 4096, true};
 
     /** Per-class total latency (synthetic / request / reply). */
     std::array<SampleStats, 3> latencyByClass;

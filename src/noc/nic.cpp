@@ -56,6 +56,8 @@ Nic::evaluateInject(Cycle now)
         injectQueue_[vc].pop_front();
         --injectCredits_[vc];
         d.injectCycle = now;
+        trace(TraceEventKind::FlitInject, d.uid,
+              static_cast<std::uint32_t>(d.seq));
         router_->stageFlit(localPort_, WireFlit::fromDesc(d));
         energy_.localLinkFlits += 1;
         injectRr_ = (static_cast<int>(vc) + 1) % vcs;
@@ -77,12 +79,18 @@ Nic::evaluateSink(Cycle now)
     }
     if (!v.presented)
         return;
-    if (v.decodedByXor)
+    if (v.decodedByXor) {
         energy_.decodeOps += 1;
+        trace(TraceEventKind::XorDecode, v.presented->uid);
+    }
     // Mid-chain corruption surfaces here when the NoX ejection port
     // decodes it (counted once, at acceptance).
-    if (v.fault == DecodeFault::PayloadMismatch)
+    if (v.fault == DecodeFault::PayloadMismatch) {
         faults_->onDecodeMismatch();
+        trace(TraceEventKind::DecodeFault, v.presented->uid);
+        if (tracer_)
+            tracer_->triggerFlightDump("decode-fault", {node_});
+    }
     const int vc = sinkFifo_.empty() ? 0 : sinkFifo_.front().vc;
     const bool popped = decoder_.accept(sinkFifo_);
     if (popped) {
@@ -106,8 +114,14 @@ Nic::deliver(const FlitDesc &flit, Cycle now)
                    "payload corruption detected at sink for packet ",
                    flit.packet, " flit ", flit.seq);
         faults_->onCorruptedDelivery();
+        trace(TraceEventKind::CorruptEscape, flit.uid,
+              static_cast<std::uint32_t>(flit.seq));
+        if (tracer_)
+            tracer_->triggerFlightDump("corrupt-escape", {node_});
     }
 
+    trace(TraceEventKind::FlitEject, flit.uid,
+          static_cast<std::uint32_t>(flit.seq));
     if (listener_)
         listener_->onFlitDelivered(node_, flit, now);
 

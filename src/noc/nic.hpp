@@ -67,6 +67,9 @@ class Nic
      *  asserting (nullptr = fault-free, legacy behavior). */
     void attachFaults(FaultInjector *faults) { faults_ = faults; }
 
+    /** Attach the network's trace recorder (nullptr = tracing off). */
+    void attachTracer(TraceRecorder *tracer) { tracer_ = tracer; }
+
     // -- per-cycle evaluation (two-phase, like Router) --
     void evaluateInject(Cycle now);
     void evaluateSink(Cycle now);
@@ -128,12 +131,21 @@ class Nic
             *activityFlag_ = 1;
     }
 
+    /** Record a NIC-side trace event (no-op when tracing is off). */
+    void
+    trace(TraceEventKind kind, std::uint64_t id, std::uint32_t arg = 0)
+    {
+        if (tracer_)
+            tracer_->record(kind, node_, localPort_, id, arg, true);
+    }
+
     std::uint8_t *activityFlag_ = nullptr;
     NodeId node_;
     Router *router_ = nullptr;
     int localPort_ = kPortLocal;
     SinkListener *listener_ = nullptr;
     FaultInjector *faults_ = nullptr;
+    TraceRecorder *tracer_ = nullptr;
 
     // Injection side (per VC; one entry for the paper's VC-free
     // routers). Per-VC source queues avoid head-of-line blocking

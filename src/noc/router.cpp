@@ -83,6 +83,8 @@ Router::linkNack(int out_port)
                portName(out_port));
     retry_[out_port]->due = faults_->now() + faults_->params().nackDelay;
     retry_[out_port]->nacked = true;
+    trace(TraceEventKind::LinkNack, out_port,
+          retry_[out_port]->flit.parts.front().uid);
 }
 
 void
@@ -102,6 +104,8 @@ Router::evaluateLink(Cycle now)
         retry_[o]->nacked = false;
         retry_[o]->due = now + faults_->params().retryTimeout;
         faults_->onRetransmission();
+        trace(TraceEventKind::Retransmit, o,
+              retry_[o]->flit.parts.front().uid);
         lastLinkSend_[o] = now;
         // The retry buffer drives the link directly (no crossbar
         // traversal); no downstream credit is consumed — the slot was
@@ -120,6 +124,8 @@ Router::evaluateLink(Cycle now)
             // counter to what the downstream buffer really holds.
             faults_->onCreditResync(
                 static_cast<std::uint64_t>(creditsLost_[o]));
+            trace(TraceEventKind::CreditResync, o, 0,
+                  static_cast<std::uint32_t>(creditsLost_[o]));
             credits_[o] += creditsLost_[o];
             creditsLost_[o] = 0;
         }
@@ -167,6 +173,8 @@ Router::stageFlit(int in_port, WireFlit flit)
                 // Corrupted arrival: reject (never buffered, so the
                 // XOR decode chain stays clean) and nack the sender.
                 faults_->onCorruptionRejected();
+                trace(TraceEventKind::CrcReject, in_port,
+                      flit.parts.front().uid);
                 up->linkNack(up_port);
                 return;
             }
@@ -220,6 +228,11 @@ Router::dispatchFlit(int out_port, WireFlit flit)
     NOX_ASSERT(outTarget_[out_port].connected(),
                "send on unconnected output ", portName(out_port));
 
+    if (tracer_) {
+        tracer_->record(TraceEventKind::FlitSend, id_, out_port,
+                        flit.encoded ? 0 : flit.parts.front().uid,
+                        static_cast<std::uint32_t>(flit.fanin()));
+    }
     energy_.xbarOutputCycles += 1;
     if (out_port >= kPortLocal)
         energy_.localLinkFlits += 1;

@@ -29,6 +29,7 @@
 #include "noc/routing.hpp"
 #include "noc/topology.hpp"
 #include "noc/types.hpp"
+#include "obs/trace_recorder.hpp"
 
 namespace nox {
 
@@ -134,6 +135,11 @@ class Router
      *  every hot path then behaves exactly as before). */
     void attachFaults(FaultInjector *faults);
 
+    /** Attach the network's trace recorder (nullptr = tracing off;
+     *  every emission site is guarded by this pointer, so disabled
+     *  tracing costs one predictable branch). */
+    void attachTracer(TraceRecorder *tracer) { tracer_ = tracer; }
+
     // -- interface used by upstream neighbours / NICs --
     void stageFlit(int in_port, WireFlit flit);
     void stageCredit(int out_port, int count = 1);
@@ -177,6 +183,34 @@ class Router
     }
     const EnergyEvents &energy() const { return energy_; }
     EnergyEvents &energy() { return energy_; }
+
+    // -- observability introspection (MetricsSampler inputs) --
+
+    /** Flits currently held across all input FIFOs. */
+    std::uint32_t
+    bufferedFlits() const
+    {
+        std::uint32_t n = 0;
+        for (const FlitFifo &f : in_)
+            n += static_cast<std::uint32_t>(f.size());
+        return n;
+    }
+
+    /** Occupied link-retry buffers (0 without fault injection). */
+    std::uint32_t
+    retryPending() const
+    {
+        std::uint32_t n = 0;
+        if (faults_) {
+            for (const auto &r : retry_)
+                n += r.has_value() ? 1 : 0;
+        }
+        return n;
+    }
+
+    /** Productive XOR-encoded transfers so far (NoX routers only;
+     *  every other architecture reports 0). */
+    virtual std::uint64_t xorCollisions() const { return 0; }
 
   protected:
     /** True when the downstream buffer of @p out_port has a slot. */
@@ -237,6 +271,16 @@ class Router
             *activityFlag_ = 1;
     }
 
+    /** Record a trace event against this router (no-op when tracing
+     *  is disabled; the recorder stamps the current cycle). */
+    void
+    trace(TraceEventKind kind, int port, std::uint64_t id,
+          std::uint32_t arg = 0)
+    {
+        if (tracer_)
+            tracer_->record(kind, id_, port, id, arg);
+    }
+
     NodeId id_;
     const Mesh &mesh_;
     RoutingFunction route_;
@@ -260,6 +304,7 @@ class Router
     };
 
     FaultInjector *faults_ = nullptr; ///< nullptr = fault-free build
+    TraceRecorder *tracer_ = nullptr; ///< nullptr = tracing disabled
     std::vector<std::optional<RetryEntry>> retry_;
     std::vector<Cycle> lastLinkSend_; ///< cycle the retry buffer last
                                       ///< drove each output wire

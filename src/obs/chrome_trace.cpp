@@ -1,0 +1,129 @@
+#include "obs/chrome_trace.hpp"
+
+#include <fstream>
+#include <set>
+#include <utility>
+
+#include "common/log.hpp"
+#include "obs/trace_recorder.hpp"
+
+namespace nox {
+
+namespace {
+
+/** NIC tracks live in a disjoint pid range from router tracks. */
+constexpr int kNicPidBase = 1 << 20;
+
+/** Local port naming without linking nox_noc (ports 0..3 are the
+ *  mesh directions, >= 4 the local/terminal ports). */
+std::string
+obsPortName(int port)
+{
+    switch (port) {
+      case 0:
+        return "N";
+      case 1:
+        return "E";
+      case 2:
+        return "S";
+      case 3:
+        return "W";
+      default:
+        break;
+    }
+    return "L" + std::to_string(port - 4);
+}
+
+int
+eventPid(const TraceEvent &e)
+{
+    return e.nic ? kNicPidBase + e.node : static_cast<int>(e.node);
+}
+
+/** tid 0 is the node-scope track; ports are offset by one. */
+int
+eventTid(const TraceEvent &e)
+{
+    return e.port < 0 ? 0 : e.port + 1;
+}
+
+void
+writeMetadata(std::ostream &os, int pid, int tid,
+              const std::string &name, bool process, bool &first)
+{
+    os << (first ? "" : ",\n") << " {\"name\":\""
+       << (process ? "process_name" : "thread_name")
+       << "\",\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":" << tid
+       << ",\"args\":{\"name\":\"" << name << "\"}}";
+    first = false;
+}
+
+} // namespace
+
+bool
+writeChromeTraceFile(const TraceRecorder &recorder,
+                     const std::string &path, int mesh_width,
+                     int concentration)
+{
+    std::ofstream out(path);
+    if (!out) {
+        warn("chrome trace: cannot write ", path);
+        return false;
+    }
+    const std::vector<TraceEvent> events = recorder.snapshot();
+
+    out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+    bool first = true;
+
+    // Name every (pid, tid) track that actually carries events.
+    std::set<std::pair<int, int>> tracks;
+    for (const TraceEvent &e : events)
+        tracks.insert({eventPid(e), eventTid(e)});
+    std::set<int> pids;
+    for (const auto &[pid, tid] : tracks) {
+        if (pids.insert(pid).second) {
+            std::string name;
+            if (pid >= kNicPidBase) {
+                const int node = pid - kNicPidBase;
+                const int router =
+                    concentration > 0 ? node / concentration : node;
+                name = "nic " + std::to_string(node) + " @ router " +
+                       std::to_string(router);
+            } else {
+                const int x = mesh_width > 0 ? pid % mesh_width : pid;
+                const int y = mesh_width > 0 ? pid / mesh_width : 0;
+                name = "router " + std::to_string(pid) + " (" +
+                       std::to_string(x) + "," + std::to_string(y) +
+                       ")";
+            }
+            writeMetadata(out, pid, 0, name, true, first);
+        }
+        writeMetadata(out, pid, tid,
+                      tid == 0 ? std::string("node")
+                               : "port " + obsPortName(tid - 1),
+                      false, first);
+    }
+
+    for (const TraceEvent &e : events) {
+        out << (first ? "" : ",\n") << " {\"name\":\""
+            << traceEventKindName(e.kind)
+            << "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":" << e.cycle
+            << ",\"pid\":" << eventPid(e) << ",\"tid\":" << eventTid(e)
+            << ",\"args\":{\"id\":" << e.id << ",\"arg\":" << e.arg
+            << "}}";
+        first = false;
+    }
+    out << "\n]}\n";
+    inform("chrome trace: wrote ", events.size(), " event(s) to ",
+           path, " (open in ui.perfetto.dev)");
+    return true;
+}
+
+bool
+TraceRecorder::writeChromeTrace(const std::string &path, int mesh_width,
+                                int concentration) const
+{
+    return writeChromeTraceFile(*this, path, mesh_width, concentration);
+}
+
+} // namespace nox

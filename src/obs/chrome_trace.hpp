@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Chrome trace_event JSON export of a TraceRecorder ring.
+ *
+ * The emitted file loads directly in Perfetto (ui.perfetto.dev) or
+ * chrome://tracing: each router becomes a process track (named with
+ * its mesh coordinates), each port a thread track, and every recorded
+ * event an instant on its (router, port) track with the flit id and
+ * kind-specific detail in args. NIC-side events get their own process
+ * tracks so injection/ejection reads separately from switching.
+ * Timestamps are the simulated cycle numbers (1 cycle = 1 "us" in the
+ * viewer's timeline — only relative position matters).
+ */
+
+#ifndef NOX_OBS_CHROME_TRACE_HPP
+#define NOX_OBS_CHROME_TRACE_HPP
+
+#include <string>
+
+namespace nox {
+
+class TraceRecorder;
+
+/**
+ * Write @p recorder's held events to @p path. @p mesh_width maps
+ * router ids to (x, y) names; @p concentration maps NIC node ids to
+ * their router. Returns false (with a warning) if the file cannot be
+ * written.
+ */
+bool writeChromeTraceFile(const TraceRecorder &recorder,
+                          const std::string &path, int mesh_width,
+                          int concentration);
+
+} // namespace nox
+
+#endif // NOX_OBS_CHROME_TRACE_HPP

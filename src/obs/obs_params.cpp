@@ -1,0 +1,32 @@
+#include "obs/obs_params.hpp"
+
+#include "common/config.hpp"
+
+namespace nox {
+
+ObsParams
+obsParamsFromConfig(const Config &config)
+{
+    ObsParams obs;
+
+    obs.trace.enabled =
+        config.getBool("trace", false) || config.has("trace_file");
+    obs.trace.capacity = static_cast<std::size_t>(config.getUint(
+        "trace_capacity", obs.trace.capacity));
+    obs.trace.chromePath = config.getString("trace_file", "");
+    obs.trace.flightPath =
+        config.getString("trace_flight_file", obs.trace.flightPath);
+
+    obs.metrics.enabled =
+        config.getBool("metrics", false) || config.has("metrics_file");
+    obs.metrics.interval =
+        config.getUint("metrics_interval", obs.metrics.interval);
+    obs.metrics.jsonlPath =
+        config.getString("metrics_file", "nox-metrics.jsonl");
+    obs.metrics.heatmap =
+        config.getBool("metrics_heatmap", obs.metrics.heatmap);
+
+    return obs;
+}
+
+} // namespace nox

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Observability configuration: tracing + metrics, parsed from the
+ * shared key=value Config so every tool (noxsim, nettest, benches)
+ * accepts the same `trace_*` / `metrics_*` knobs.
+ */
+
+#ifndef NOX_OBS_OBS_PARAMS_HPP
+#define NOX_OBS_OBS_PARAMS_HPP
+
+#include "obs/metrics.hpp"
+#include "obs/trace_recorder.hpp"
+
+namespace nox {
+
+class Config;
+
+/** Combined observability switchboard for one Network. */
+struct ObsParams
+{
+    TraceParams trace;
+    MetricsParams metrics;
+
+    bool
+    any() const
+    {
+        return trace.enabled || metrics.enabled;
+    }
+};
+
+/**
+ * Read the observability keys from @p config:
+ *   trace=            master switch for event tracing (default false)
+ *   trace_capacity=   ring size in events (default 65536)
+ *   trace_file=       Chrome trace_event JSON export path; setting it
+ *                     implies trace=true (default: no export)
+ *   trace_flight_file= flight-recorder dump path (default
+ *                     nox-flight.jsonl; "" disables the file write)
+ *   metrics=          master switch for time-series sampling
+ *   metrics_interval= cycles per sampling window (default 256)
+ *   metrics_file=     JSONL export path; setting it implies
+ *                     metrics=true (default nox-metrics.jsonl)
+ *   metrics_heatmap=  print the link-utilization heatmap (default
+ *                     true when metrics are enabled)
+ */
+ObsParams obsParamsFromConfig(const Config &config);
+
+} // namespace nox
+
+#endif // NOX_OBS_OBS_PARAMS_HPP

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Compact binary trace events for the flight-recorder ring buffer.
+ *
+ * One TraceEvent records one micro-architectural occurrence: a step in
+ * a flit's lifecycle (create/inject/send/encode/decode/eject), a
+ * link-layer protection event (CRC reject, nack, retransmission,
+ * credit resync), or a scheduling-kernel transition (wake/retire).
+ * Events are 32 bytes and are written into a fixed-capacity ring, so
+ * recording cost is a branch plus a struct store — cheap enough to
+ * leave compiled into every hot path behind an `if (tracer)` guard
+ * that is false (a null pointer) whenever tracing is disabled.
+ */
+
+#ifndef NOX_OBS_TRACE_EVENT_HPP
+#define NOX_OBS_TRACE_EVENT_HPP
+
+#include <cstdint>
+
+#include "noc/types.hpp"
+
+namespace nox {
+
+/** What happened. Grouped by emitting layer. */
+enum class TraceEventKind : std::uint8_t {
+    // -- flit lifecycle --
+    PacketCreate = 0, ///< packet entered a source queue (Network)
+    FlitInject,       ///< flit left the source queue into the router
+    FlitSend,         ///< flit (or encoded chain value) drove a link
+    Arbitrate,        ///< an output arbiter issued a grant
+    XorEncode,        ///< NoX collision: encoded value on the link
+    XorDecode,        ///< an XOR decode recovered a flit
+    NoxAbort,         ///< multi-flit collision abort (§2.7)
+    FlitEject,        ///< decoded flit delivered at its NIC sink
+    PacketDone,       ///< all flits of a packet delivered
+    // -- link protection / faults --
+    FaultInject,   ///< the injector perturbed a link event
+    CrcReject,     ///< receiver CRC check rejected a corrupted flit
+    LinkNack,      ///< sender received a nack for its retry entry
+    Retransmit,    ///< retry buffer re-drove the wire
+    CreditResync,  ///< watchdog restored lost credits
+    DecodeFault,   ///< XOR decode integrity violation observed
+    CorruptEscape, ///< corrupted payload delivered at a sink
+    // -- scheduling kernel --
+    SchedWake,   ///< component joined the active set
+    SchedRetire, ///< quiescent component left the active set
+};
+
+/** Stable display name ("flit_send", "crc_reject", ...). */
+const char *traceEventKindName(TraceEventKind kind);
+
+/**
+ * One recorded event. `node` is the emitting component (router id, or
+ * NIC node id for NIC-side events — the chrome exporter separates the
+ * two into distinct tracks); `port` is the relevant port or -1;
+ * `id` is the flit uid (or packet id for packet-scope events, or the
+ * flip mask for FaultInject); `arg` carries kind-specific detail
+ * (collision fan-in, arbitration winner, restored credits, ...).
+ */
+struct TraceEvent
+{
+    Cycle cycle = 0;
+    std::uint64_t id = 0;
+    std::uint32_t arg = 0;
+    NodeId node = kInvalidNode;
+    std::int8_t port = -1;
+    TraceEventKind kind = TraceEventKind::PacketCreate;
+    bool nic = false; ///< emitted by a NIC (shares node numbering)
+};
+
+} // namespace nox
+
+#endif // NOX_OBS_TRACE_EVENT_HPP

@@ -1,0 +1,120 @@
+#include "obs/trace_recorder.hpp"
+
+#include <fstream>
+
+#include "common/log.hpp"
+
+namespace nox {
+
+const char *
+traceEventKindName(TraceEventKind kind)
+{
+    switch (kind) {
+      case TraceEventKind::PacketCreate:
+        return "packet_create";
+      case TraceEventKind::FlitInject:
+        return "flit_inject";
+      case TraceEventKind::FlitSend:
+        return "flit_send";
+      case TraceEventKind::Arbitrate:
+        return "arbitrate";
+      case TraceEventKind::XorEncode:
+        return "xor_encode";
+      case TraceEventKind::XorDecode:
+        return "xor_decode";
+      case TraceEventKind::NoxAbort:
+        return "nox_abort";
+      case TraceEventKind::FlitEject:
+        return "flit_eject";
+      case TraceEventKind::PacketDone:
+        return "packet_done";
+      case TraceEventKind::FaultInject:
+        return "fault_inject";
+      case TraceEventKind::CrcReject:
+        return "crc_reject";
+      case TraceEventKind::LinkNack:
+        return "link_nack";
+      case TraceEventKind::Retransmit:
+        return "retransmit";
+      case TraceEventKind::CreditResync:
+        return "credit_resync";
+      case TraceEventKind::DecodeFault:
+        return "decode_fault";
+      case TraceEventKind::CorruptEscape:
+        return "corrupt_escape";
+      case TraceEventKind::SchedWake:
+        return "sched_wake";
+      case TraceEventKind::SchedRetire:
+        return "sched_retire";
+    }
+    panic("unknown trace event kind");
+}
+
+TraceRecorder::TraceRecorder(const TraceParams &params)
+    : params_(params)
+{
+    NOX_ASSERT(params.capacity > 0, "trace ring needs capacity");
+    ring_.resize(params.capacity);
+}
+
+std::vector<TraceEvent>
+TraceRecorder::snapshot() const
+{
+    std::vector<TraceEvent> out;
+    const std::size_t n = size();
+    out.reserve(n);
+    // Oldest event: at head_ once wrapped, at 0 before.
+    const std::size_t start = total_ < ring_.size() ? 0 : head_;
+    for (std::size_t i = 0; i < n; ++i)
+        out.push_back(ring_[(start + i) % ring_.size()]);
+    return out;
+}
+
+namespace {
+
+void
+writeEventJson(std::ostream &os, const TraceEvent &e)
+{
+    os << "{\"c\":" << e.cycle << ",\"k\":\""
+       << traceEventKindName(e.kind) << "\",\"n\":" << e.node
+       << ",\"nic\":" << (e.nic ? 1 : 0)
+       << ",\"p\":" << static_cast<int>(e.port) << ",\"id\":" << e.id
+       << ",\"a\":" << e.arg << "}\n";
+}
+
+} // namespace
+
+bool
+TraceRecorder::triggerFlightDump(const std::string &reason,
+                                 const std::vector<NodeId> &implicated)
+{
+    if (dumped_)
+        return false; // keep the evidence of the *first* failure
+    dumped_ = true;
+    dumpReason_ = reason;
+    if (params_.flightPath.empty())
+        return false;
+
+    std::ofstream out(params_.flightPath);
+    if (!out) {
+        warn("flight recorder: cannot write ", params_.flightPath);
+        return false;
+    }
+    const std::vector<TraceEvent> events = snapshot();
+    out << "{\"flight_recorder\":\"" << reason << "\",\"cycle\":" << now_
+        << ",\"events\":" << events.size() << ",\"first_cycle\":"
+        << (events.empty() ? now_ : events.front().cycle)
+        << ",\"last_cycle\":"
+        << (events.empty() ? now_ : events.back().cycle)
+        << ",\"implicated\":[";
+    for (std::size_t i = 0; i < implicated.size(); ++i)
+        out << (i ? "," : "") << implicated[i];
+    out << "]}\n";
+    for (const TraceEvent &e : events)
+        writeEventJson(out, e);
+    inform("flight recorder: ", reason, " -> wrote ", events.size(),
+           " event(s) to ", params_.flightPath);
+    return true;
+}
+
+} // namespace nox

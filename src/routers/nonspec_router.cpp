@@ -62,6 +62,9 @@ NonSpecRouter::evaluate(Cycle now)
         const int winner = arb_[o]->grant(requests);
         energy_.arbDecisions += 1;
         NOX_ASSERT(winner >= 0, "arbiter returned no grant");
+        trace(TraceEventKind::Arbitrate, o,
+              static_cast<std::uint64_t>(winner),
+              static_cast<std::uint32_t>(requests));
         traverse(winner, o);
     }
 }

@@ -97,6 +97,9 @@ NoxRouter::evaluate(Cycle now)
                     if (others) {
                         const int g = st.arb->grant(others);
                         energy_.arbDecisions += 1;
+                        trace(TraceEventKind::Arbitrate, o,
+                              static_cast<std::uint64_t>(g),
+                              static_cast<std::uint32_t>(others));
                         st.mode = Mode::Scheduled;
                         st.switchMask = maskBit(g);
                         st.arbMask = all & ~maskBit(g);
@@ -154,6 +157,12 @@ NoxRouter::evaluate(Cycle now)
                     static_cast<std::uint64_t>(fanin);
                 const int g = st.arb->grant(part);
                 energy_.arbDecisions += 1;
+                trace(TraceEventKind::Arbitrate, o,
+                      static_cast<std::uint64_t>(g),
+                      static_cast<std::uint32_t>(part));
+                trace(TraceEventKind::NoxAbort, o,
+                      views[g].presented->uid,
+                      static_cast<std::uint32_t>(fanin));
                 lockOutput(st, g, views[g].presented->packet);
                 continue;
             }
@@ -170,8 +179,14 @@ NoxRouter::evaluate(Cycle now)
             }
             const int g = st.arb->grant(part);
             energy_.arbDecisions += 1;
+            trace(TraceEventKind::Arbitrate, o,
+                  static_cast<std::uint64_t>(g),
+                  static_cast<std::uint32_t>(part));
             noxStats_.collisionsBySize[static_cast<std::size_t>(
                 fanin)] += 1;
+            trace(TraceEventKind::XorEncode, o,
+                  views[g].presented->uid,
+                  static_cast<std::uint32_t>(fanin));
             acceptPresented(g, views[g]);
             sendFlit(o, WireFlit::combine(colliding));
 
@@ -210,6 +225,9 @@ NoxRouter::evaluate(Cycle now)
         if (arb_requests) {
             const int g = st.arb->grant(arb_requests);
             energy_.arbDecisions += 1;
+            trace(TraceEventKind::Arbitrate, o,
+                  static_cast<std::uint64_t>(g),
+                  static_cast<std::uint32_t>(arb_requests));
             st.switchMask = maskBit(g);
             st.arbMask = all & ~maskBit(g);
         } else {
@@ -243,12 +261,18 @@ NoxRouter::quiescent() const
 void
 NoxRouter::acceptPresented(int port, const DecodeView &view)
 {
-    if (view.decodedByXor)
+    if (view.decodedByXor) {
         energy_.decodeOps += 1;
+        trace(TraceEventKind::XorDecode, port, view.presented->uid);
+    }
     // Count integrity violations when the flit is accepted (view()
     // re-inspects the same head every cycle; accept happens once).
-    if (view.fault == DecodeFault::PayloadMismatch)
+    if (view.fault == DecodeFault::PayloadMismatch) {
         faults_->onDecodeMismatch();
+        trace(TraceEventKind::DecodeFault, port, view.presented->uid);
+        if (tracer_)
+            tracer_->triggerFlightDump("decode-fault", {id_});
+    }
     const bool popped = decoders_[port].accept(in_[port]);
     if (popped) {
         energy_.bufferReads += 1;

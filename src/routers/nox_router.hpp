@@ -103,6 +103,11 @@ class NoxRouter : public Router
     const XorDecoder &decoder(int port) const { return decoders_[port]; }
     const NoxStats &noxStats() const { return noxStats_; }
 
+    std::uint64_t xorCollisions() const override
+    {
+        return noxStats_.totalCollisions();
+    }
+
   private:
     struct OutState
     {

@@ -138,6 +138,9 @@ SpecRouter::evaluate(Cycle now)
             energy_.allocEvals += 1;
             reserved_[o] = arb_[o]->grant(next_requests);
             energy_.arbDecisions += 1;
+            trace(TraceEventKind::Arbitrate, o,
+                  static_cast<std::uint64_t>(reserved_[o]),
+                  static_cast<std::uint32_t>(next_requests));
         }
     }
 

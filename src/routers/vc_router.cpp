@@ -189,6 +189,9 @@ VcRouter::evaluate(Cycle now)
         const int winner =
             outArb_[static_cast<std::size_t>(o)]->grant(requests);
         energy_.arbDecisions += 1;
+        trace(TraceEventKind::Arbitrate, o,
+              static_cast<std::uint64_t>(winner),
+              static_cast<std::uint32_t>(requests));
         traverse(winner, chosen[static_cast<std::size_t>(winner)].vc,
                  o);
     }

@@ -119,6 +119,76 @@ TEST(Histogram, ResetClears)
     EXPECT_EQ(h.bucketCount(0), 0u);
 }
 
+TEST(Histogram, AutoWidenDoublesWidthInsteadOfOverflowing)
+{
+    Histogram h(1.0, 4, true); // [0,4) initially
+    h.add(0.5);
+    h.add(1.5);
+    h.add(3.5);
+    EXPECT_EQ(h.widenings(), 0u);
+
+    // 10.0 needs [0,16): two widenings, width 1 -> 4.
+    h.add(10.0);
+    EXPECT_EQ(h.widenings(), 2u);
+    EXPECT_DOUBLE_EQ(h.bucketWidth(), 4.0);
+    EXPECT_EQ(h.overflowCount(), 0u);
+    EXPECT_EQ(h.count(), 4u);
+    // Old buckets merged pairwise twice: [0,4) holds the first three
+    // samples, [8,12) holds the new one.
+    EXPECT_EQ(h.bucketCount(0), 3u);
+    EXPECT_EQ(h.bucketCount(2), 1u);
+}
+
+TEST(Histogram, AutoWidenPreservesTotalAndQuantileOrder)
+{
+    Histogram h(1.0, 8, true);
+    for (int i = 0; i < 1000; ++i)
+        h.add(static_cast<double>(i));
+    EXPECT_EQ(h.count(), 1000u);
+    EXPECT_EQ(h.overflowCount(), 0u);
+    EXPECT_GT(h.widenings(), 0u);
+    // Quantiles stay monotone and in range despite coarser buckets.
+    const double p50 = h.percentile(50);
+    const double p95 = h.percentile(95);
+    const double p99 = h.percentile(99);
+    EXPECT_LE(p50, p95);
+    EXPECT_LE(p95, p99);
+    EXPECT_NEAR(p50, 500.0, h.bucketWidth());
+    EXPECT_NEAR(p99, 990.0, h.bucketWidth());
+}
+
+TEST(Histogram, AutoWidenIsDeterministic)
+{
+    // identicalTo() must keep certifying equal histories when the
+    // same samples arrive in the same order (the kernel-equivalence
+    // contract covers the auto-widened latency histogram).
+    Histogram a(1.0, 16, true), b(1.0, 16, true);
+    for (int i = 0; i < 300; ++i) {
+        const double x = static_cast<double>((i * 37) % 977);
+        a.add(x);
+        b.add(x);
+    }
+    EXPECT_TRUE(a.identicalTo(b));
+    EXPECT_EQ(a.widenings(), b.widenings());
+}
+
+TEST(Histogram, FixedShapeStillOverflowsWithoutAutoWiden)
+{
+    Histogram h(1.0, 4);
+    h.add(100.0);
+    EXPECT_EQ(h.overflowCount(), 1u);
+    EXPECT_EQ(h.widenings(), 0u);
+}
+
+TEST(Histogram, PercentileMatchesQuantile)
+{
+    Histogram h(1.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.add(static_cast<double>(i) + 0.5);
+    EXPECT_DOUBLE_EQ(h.percentile(50), h.quantile(0.5));
+    EXPECT_DOUBLE_EQ(h.percentile(99), h.quantile(0.99));
+}
+
 TEST(Counter, IncrementAndReset)
 {
     Counter c("flits");

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Observer-effect determinism: enabling the full observability stack
+ * (flight-recorder tracing + periodic metrics sampling) must not
+ * perturb simulation results. For every router architecture and both
+ * scheduling kernels, a seeded run with observability on produces
+ * bit-identical NetworkStats to the same run with it off — the
+ * recorder and sampler read simulator state but never touch it, its
+ * RNGs, or its statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <memory>
+#include <string>
+
+#include "common/rng.hpp"
+#include "noc/network.hpp"
+#include "routers/factory.hpp"
+#include "traffic/bernoulli_source.hpp"
+#include "traffic/patterns.hpp"
+
+namespace nox {
+namespace {
+
+constexpr Cycle kWarmup = 300;
+constexpr Cycle kMeasure = 900;
+constexpr Cycle kDrainLimit = 20000;
+constexpr std::uint64_t kSeed = 0xF1683;
+
+/** Fully enabled observability with no file exports (the exports are
+ *  covered by the obs tests; here only the hot-path effect matters). */
+ObsParams
+fullObservability()
+{
+    ObsParams obs;
+    obs.trace.enabled = true;
+    obs.trace.capacity = 1u << 14;
+    obs.trace.chromePath = "";
+    obs.trace.flightPath = "";
+    obs.metrics.enabled = true;
+    obs.metrics.interval = 128;
+    obs.metrics.jsonlPath = "";
+    obs.metrics.heatmap = false;
+    return obs;
+}
+
+std::unique_ptr<Network>
+buildNetwork(RouterArch arch, SchedulingMode mode, bool observed)
+{
+    NetworkParams params;
+    params.width = 8;
+    params.height = 8;
+    params.schedulingMode = mode;
+    if (observed)
+        params.obs = fullObservability();
+    auto net = makeNetwork(params, arch);
+
+    static const Mesh mesh(8, 8);
+    static const DestinationPattern pat(PatternKind::UniformRandom,
+                                        mesh, 0.2);
+    Rng seeder(kSeed);
+    for (NodeId n = 0; n < net->numNodes(); ++n) {
+        net->addSource(std::make_unique<BernoulliSource>(
+            n, pat, 0.08, 5, seeder.next()));
+    }
+    net->setMeasurementWindow(kWarmup, kWarmup + kMeasure);
+    return net;
+}
+
+struct Case
+{
+    RouterArch arch;
+    SchedulingMode mode;
+};
+
+class ObserverEffect : public ::testing::TestWithParam<Case>
+{
+};
+
+TEST_P(ObserverEffect, TracingAndMetricsDoNotPerturbStats)
+{
+    const auto [arch, mode] = GetParam();
+
+    auto plain = buildNetwork(arch, mode, false);
+    plain->run(kWarmup + kMeasure);
+    plain->setSourcesEnabled(false);
+    ASSERT_TRUE(plain->drain(kDrainLimit));
+
+    auto observed = buildNetwork(arch, mode, true);
+    observed->run(kWarmup + kMeasure);
+    observed->setSourcesEnabled(false);
+    ASSERT_TRUE(observed->drain(kDrainLimit));
+    observed->finishObservability();
+
+    EXPECT_TRUE(identicalStats(plain->stats(), observed->stats()))
+        << archName(arch) << "/" << schedulingModeName(mode)
+        << ": observability perturbed the simulation";
+    EXPECT_EQ(plain->now(), observed->now());
+
+    // The run was genuinely observed, not silently disabled.
+    ASSERT_NE(observed->tracer(), nullptr);
+    EXPECT_GT(observed->tracer()->totalRecorded(), 0u);
+    EXPECT_FALSE(observed->tracer()->flightDumped());
+    ASSERT_NE(observed->metrics(), nullptr);
+    EXPECT_GT(observed->metrics()->numWindows(), 0u);
+    EXPECT_EQ(observed->metrics()->totalEjected(),
+              observed->stats().flitsEjected);
+    EXPECT_EQ(plain->tracer(), nullptr);
+    EXPECT_EQ(plain->metrics(), nullptr);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ArchesAndKernels, ObserverEffect,
+    ::testing::Values(
+        Case{RouterArch::NonSpeculative, SchedulingMode::AlwaysTick},
+        Case{RouterArch::SpecFast, SchedulingMode::AlwaysTick},
+        Case{RouterArch::SpecAccurate, SchedulingMode::AlwaysTick},
+        Case{RouterArch::Nox, SchedulingMode::AlwaysTick},
+        Case{RouterArch::NonSpeculative,
+             SchedulingMode::ActivityDriven},
+        Case{RouterArch::SpecFast, SchedulingMode::ActivityDriven},
+        Case{RouterArch::SpecAccurate,
+             SchedulingMode::ActivityDriven},
+        Case{RouterArch::Nox, SchedulingMode::ActivityDriven}),
+    [](const ::testing::TestParamInfo<Case> &info) {
+        std::string name =
+            std::string(archName(info.param.arch)) + "_" +
+            schedulingModeName(info.param.mode);
+        std::erase_if(name, [](char c) {
+            return c != '_' &&
+                   !std::isalnum(static_cast<unsigned char>(c));
+        });
+        return name;
+    });
+
+TEST(ObserverEffect, SchedulerEventsOnlyUnderActivityKernel)
+{
+    // The wake/retire taxonomy is a property of the activity kernel;
+    // the always-tick kernel must emit none of it.
+    auto count_sched = [](const Network &net) {
+        std::uint64_t sched = 0;
+        for (const TraceEvent &e : net.tracer()->snapshot()) {
+            if (e.kind == TraceEventKind::SchedWake ||
+                e.kind == TraceEventKind::SchedRetire)
+                ++sched;
+        }
+        return sched;
+    };
+
+    auto tick = buildNetwork(RouterArch::Nox,
+                             SchedulingMode::AlwaysTick, true);
+    tick->run(200);
+    EXPECT_EQ(count_sched(*tick), 0u);
+
+    auto activity = buildNetwork(RouterArch::Nox,
+                                 SchedulingMode::ActivityDriven, true);
+    activity->run(200);
+    EXPECT_GT(count_sched(*activity), 0u);
+}
+
+} // namespace
+} // namespace nox

@@ -32,6 +32,7 @@
 #include "common/log.hpp"
 #include "common/rng.hpp"
 #include "noc/network.hpp"
+#include "obs/obs_params.hpp"
 #include "routers/factory.hpp"
 
 namespace {
@@ -102,6 +103,11 @@ main(int argc, char **argv)
     // must still hold — the soak then fuzzes the CRC/retransmission
     // and watchdog machinery on top of the router logic.
     params.faults = faultParamsFromConfig(config);
+    // Optional observability (trace=/metrics= keys): the soak then
+    // doubles as a stress test for the recorder/sampler hot paths.
+    // Per-phase networks overwrite the export files; the last phase's
+    // exports survive.
+    params.obs = obsParamsFromConfig(config);
 
     Rng rng(seed);
     std::uint64_t total_packets = 0;
@@ -169,15 +175,19 @@ main(int argc, char **argv)
                   net->stats().faults.corruptedEscapes,
                   " corrupted payload(s) delivered despite recovery");
         }
+        net->finishObservability();
         total_faults += net->stats().faults.faultsInjected;
         total_retransmissions +=
             net->stats().faults.retransmissions;
         total_packets += net->stats().packetsEjected;
         total_cycles += net->now();
+        const Histogram &lat = net->stats().latencyHist;
         std::cout << "phase " << phase << ": rate="
                   << static_cast<int>(rate * 1000) << "m flits<="
                   << max_flits << " cycles=" << net->now()
                   << " packets=" << net->stats().packetsEjected
+                  << " lat p50/p95/p99=" << lat.percentile(50) << "/"
+                  << lat.percentile(95) << "/" << lat.percentile(99)
                   << " ok\n";
     }
 

@@ -25,6 +25,7 @@
 #include "common/config.hpp"
 #include "common/table.hpp"
 #include "core/sim_runner.hpp"
+#include "obs/obs_params.hpp"
 
 namespace {
 
@@ -55,6 +56,7 @@ runSyntheticMode(const Config &config)
     c.schedulingMode = parseSchedulingMode(
         config.getString("scheduling", "alwaystick").c_str());
     c.faults = faultParamsFromConfig(config);
+    c.obs = obsParamsFromConfig(config);
 
     const std::string arb = config.getString("arbiter", "roundrobin");
     if (arb == "fixed")
@@ -74,8 +76,13 @@ runSyntheticMode(const Config &config)
     t.addRow({"accepted_mbps", Table::num(r.acceptedMBps, 1)});
     t.addRow({"latency_cycles", Table::num(r.avgLatencyCycles, 3)});
     t.addRow({"latency_ns", Table::num(r.avgLatencyNs, 3)});
+    t.addRow({"p50_latency_ns", Table::num(r.p50LatencyNs, 3)});
     t.addRow({"p95_latency_ns", Table::num(r.p95LatencyNs, 3)});
     t.addRow({"p99_latency_ns", Table::num(r.p99LatencyNs, 3)});
+    t.addRow({"latency_hist_overflow",
+              std::to_string(r.latencyHistOverflow)});
+    t.addRow({"latency_hist_widenings",
+              std::to_string(r.latencyHistWidenings)});
     t.addRow({"packets", std::to_string(r.packetsMeasured)});
     t.addRow({"saturated", r.saturated ? "1" : "0"});
     t.addRow({"power_w", Table::num(r.powerW, 4)});
@@ -106,6 +113,11 @@ runSyntheticMode(const Config &config)
         t.printCsv(out);
     }
     t.print(std::cout);
+    if (!r.metricsHeatmap.empty()) {
+        std::cout << "\nmean link utilization (flits/cycle per "
+                     "router, mesh outputs)\n"
+                  << r.metricsHeatmap;
+    }
     return r.drained ? 0 : 1;
 }
 
