@@ -1,7 +1,11 @@
 #include "noc/fault_injector.hpp"
 
+#include <algorithm>
+
 #include "common/config.hpp"
+#include "common/log.hpp"
 #include "common/rng.hpp"
+#include "noc/topology.hpp"
 
 namespace nox {
 
@@ -15,6 +19,10 @@ faultKindName(FaultKind kind)
         return "drop";
     case FaultKind::CreditLoss:
         return "creditloss";
+    case FaultKind::LinkDead:
+        return "linkdead";
+    case FaultKind::RouterDead:
+        return "routerdead";
     }
     return "?";
 }
@@ -32,8 +40,16 @@ faultParamsFromConfig(const Config &config)
     p.retryTimeout = config.getUint("fault_retry_timeout", p.retryTimeout);
     p.watchdogPeriod =
         config.getUint("fault_watchdog_period", p.watchdogPeriod);
-    p.enabled = p.anyRate() || config.has("fault_seed") ||
-                config.has("fault_recovery");
+    p.hardLinkFaults = static_cast<int>(
+        config.getUint("hard_link_faults", 0));
+    p.hardRouterFaults = static_cast<int>(
+        config.getUint("hard_router_faults", 0));
+    p.hardFaultCycle = config.getUint("hard_fault_cycle", 0);
+    p.packetAgeLimit = config.getUint("fault_age_limit", 0);
+    p.enabled = p.anyRate() || p.anyHard() ||
+                config.has("fault_seed") ||
+                config.has("fault_recovery") ||
+                config.has("fault_age_limit");
     return p;
 }
 
@@ -47,7 +63,90 @@ FaultInjector::scheduleOneShot(FaultKind kind, Cycle cycle,
                                NodeId router, int port,
                                std::uint64_t flip_mask)
 {
+    if (kind == FaultKind::LinkDead || kind == FaultKind::RouterDead) {
+        hardFaults_.push_back({kind, cycle, router,
+                               kind == FaultKind::LinkDead ? port : -1});
+        return;
+    }
     oneShots_.push_back({kind, cycle, router, port, flip_mask, false});
+}
+
+void
+FaultInjector::planHardFaults(const Mesh &mesh)
+{
+    const int nr = mesh.numRouters();
+    std::vector<std::uint8_t> dead(static_cast<std::size_t>(nr), 0);
+
+    // Routers first: the link pool below excludes their stubs.
+    NOX_ASSERT(params_.hardRouterFaults < nr,
+               "hard_router_faults must leave at least one router");
+    for (int i = 0; i < params_.hardRouterFaults; ++i) {
+        std::uint64_t attempt = 0;
+        for (;;) {
+            const auto r = static_cast<NodeId>(
+                mix64(seedMix_ ^
+                      mix64(0xD0A1ULL ^
+                            (static_cast<std::uint64_t>(i) << 32) ^
+                            attempt)) %
+                static_cast<std::uint64_t>(nr));
+            ++attempt;
+            if (dead[r])
+                continue;
+            dead[r] = 1;
+            hardFaults_.push_back({FaultKind::RouterDead,
+                                   params_.hardFaultCycle, r, -1});
+            break;
+        }
+    }
+
+    // Canonical internal links (East/South from each router) whose
+    // endpoints both survive the router kills above.
+    std::vector<std::pair<NodeId, int>> pool;
+    for (NodeId r = 0; r < static_cast<NodeId>(nr); ++r) {
+        if (dead[r])
+            continue;
+        for (int port : {static_cast<int>(kPortEast),
+                         static_cast<int>(kPortSouth)}) {
+            const NodeId n = mesh.neighbor(r, port);
+            if (n != kInvalidNode && !dead[n])
+                pool.emplace_back(r, port);
+        }
+    }
+    NOX_ASSERT(params_.hardLinkFaults <=
+                   static_cast<int>(pool.size()),
+               "hard_link_faults exceeds the surviving internal links");
+    for (int i = 0; i < params_.hardLinkFaults; ++i) {
+        const auto idx = static_cast<std::size_t>(
+            mix64(seedMix_ ^
+                  mix64(0x11F0ULL ^
+                        (static_cast<std::uint64_t>(i) << 32))) %
+            pool.size());
+        const auto [r, port] = pool[idx];
+        pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(idx));
+        hardFaults_.push_back({FaultKind::LinkDead,
+                               params_.hardFaultCycle, r, port});
+    }
+}
+
+std::vector<FaultInjector::HardFault>
+FaultInjector::takeDueHardFaults(Cycle now)
+{
+    std::vector<HardFault> due;
+    for (const HardFault &h : hardFaults_) {
+        if (h.cycle <= now)
+            due.push_back(h);
+    }
+    if (due.empty())
+        return due;
+    hardFaults_.erase(
+        std::remove_if(hardFaults_.begin(), hardFaults_.end(),
+                       [now](const HardFault &h) {
+                           return h.cycle <= now;
+                       }),
+        hardFaults_.end());
+    for (const HardFault &h : due)
+        record(h.kind, h.router, h.port, 0);
+    return due;
 }
 
 std::size_t
@@ -98,6 +197,7 @@ FaultInjector::record(FaultKind kind, NodeId router, int port,
                       std::uint64_t flip_mask)
 {
     stats_->faultsInjected += 1;
+    bool hard = false;
     switch (kind) {
     case FaultKind::BitFlip:
         stats_->bitflipsInjected += 1;
@@ -108,12 +208,21 @@ FaultInjector::record(FaultKind kind, NodeId router, int port,
     case FaultKind::CreditLoss:
         stats_->creditsLostInjected += 1;
         break;
+    case FaultKind::LinkDead:
+        stats_->hardLinkFaults += 1;
+        hard = true;
+        break;
+    case FaultKind::RouterDead:
+        stats_->hardRouterFaults += 1;
+        hard = true;
+        break;
     }
     if (log_.size() < kLogCap)
         log_.push_back({now_, kind, router, port, flip_mask});
     if (tracer_) {
-        tracer_->record(TraceEventKind::FaultInject, router, port,
-                        flip_mask,
+        tracer_->record(hard ? TraceEventKind::HardFault
+                             : TraceEventKind::FaultInject,
+                        router, port, flip_mask,
                         static_cast<std::uint32_t>(kind));
     }
 }

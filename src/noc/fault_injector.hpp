@@ -31,15 +31,18 @@
 namespace nox {
 
 class Config;
+class Mesh;
 
-/** The three fault classes injected at link boundaries. */
+/** The fault classes: transient link upsets plus fail-stop kills. */
 enum class FaultKind : std::uint8_t {
     BitFlip = 0,    ///< one payload bit inverted in flight
     Drop = 1,       ///< the whole wire value vanishes
     CreditLoss = 2, ///< a returning credit vanishes
+    LinkDead = 3,   ///< a bidirectional mesh link fails permanently
+    RouterDead = 4, ///< a whole router (and its links) fails
 };
 
-/** Display name ("bitflip", "drop", "creditloss"). */
+/** Display name ("bitflip", ..., "linkdead", "routerdead"). */
 const char *faultKindName(FaultKind kind);
 
 /** Fault-injection configuration (all rates are per link event). */
@@ -76,11 +79,34 @@ struct FaultParams
     /** Period of the credit watchdog's divergence audit. */
     Cycle watchdogPeriod = 64;
 
+    /** Hard (fail-stop) faults planned at construction: this many
+     *  distinct internal mesh links / routers are killed, drawn
+     *  deterministically from the fault seed. */
+    int hardLinkFaults = 0;
+    int hardRouterFaults = 0;
+
+    /** Cycle the planned hard faults fire at. 0 (default) kills at
+     *  construction, before any traffic; a later cycle exercises the
+     *  mid-run graceful-degradation path (in-flight flits on dying
+     *  links are lost and counted). */
+    Cycle hardFaultCycle = 0;
+
+    /** Per-packet age watchdog: a packet in flight longer than this
+     *  many cycles latches the flight recorder once (livelock alarm).
+     *  0 disables the watchdog. */
+    Cycle packetAgeLimit = 0;
+
     bool
     anyRate() const
     {
         return bitflipRate > 0.0 || dropRate > 0.0 ||
                creditLossRate > 0.0;
+    }
+
+    bool
+    anyHard() const
+    {
+        return hardLinkFaults > 0 || hardRouterFaults > 0;
     }
 };
 
@@ -88,9 +114,11 @@ struct FaultParams
  * Read `fault_*` keys from @p config:
  *   fault_bitflip_rate=, fault_drop_rate=, fault_credit_loss_rate=,
  *   fault_seed=, fault_recovery= (default true),
- *   fault_retry_timeout=, fault_watchdog_period=.
- * `enabled` is set when any rate is positive or fault_seed/
- * fault_recovery is given explicitly.
+ *   fault_retry_timeout=, fault_watchdog_period=,
+ *   hard_link_faults=, hard_router_faults=, hard_fault_cycle=,
+ *   fault_age_limit=.
+ * `enabled` is set when any rate or hard-fault count is positive or
+ * fault_seed/fault_recovery is given explicitly.
  */
 FaultParams faultParamsFromConfig(const Config &config);
 
@@ -144,12 +172,44 @@ class FaultInjector
      * link event at/after @p cycle on (receiving router, port) —
      * irrespective of the configured rates. @p flip_mask selects the
      * payload bits to invert for BitFlip (0 picks bit 0).
+     *
+     * Hard kinds (LinkDead, RouterDead) are routed to the hard-fault
+     * queue instead: they fire via takeDueHardFaults() at @p cycle
+     * (@p router is the dying router; @p port is the output port of
+     * the dying link for LinkDead, ignored for RouterDead).
      */
     void scheduleOneShot(FaultKind kind, Cycle cycle, NodeId router,
                          int port, std::uint64_t flip_mask = 0);
 
     /** Pending (not yet fired) one-shot faults. */
     std::size_t pendingOneShots() const;
+
+    // -- hard (fail-stop) faults --
+
+    /** One planned or scheduled fail-stop fault. */
+    struct HardFault
+    {
+        FaultKind kind = FaultKind::LinkDead;
+        Cycle cycle = 0;
+        NodeId router = kInvalidNode; ///< dying router / link endpoint
+        int port = -1; ///< output port of the dying link (LinkDead)
+    };
+
+    /**
+     * Draw the configured hardLinkFaults/hardRouterFaults from the
+     * fault seed: distinct routers first, then distinct canonical
+     * internal links (East/South, both endpoints still live). Pure
+     * function of the seed and @p mesh — every scheduling kernel sees
+     * the identical schedule. Call once at network construction.
+     */
+    void planHardFaults(const Mesh &mesh);
+
+    /** Remove and return every hard fault due at/before @p now
+     *  (recording each in the stats, log and trace). */
+    std::vector<HardFault> takeDueHardFaults(Cycle now);
+
+    /** True while any hard fault is still queued. */
+    bool hardFaultsPending() const { return !hardFaults_.empty(); }
 
     // -- draws, called by the link layer at event boundaries --
 
@@ -230,6 +290,7 @@ class FaultInjector
         bool fired = false;
     };
     std::vector<OneShot> oneShots_;
+    std::vector<HardFault> hardFaults_; ///< queued fail-stop faults
 
     FaultStats ownStats_; ///< used until bindStats() rebinds
     FaultStats *stats_ = &ownStats_;

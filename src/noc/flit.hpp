@@ -42,6 +42,9 @@ struct FlitDesc
                                  ///< queue into the router
     TrafficClass cls = TrafficClass::Synthetic;
     std::uint8_t vc = 0;         ///< virtual channel (VC routers only)
+    std::uint32_t flowSeq = 0;   ///< per-(src,dest) flow sequence
+                                 ///< number (end-to-end ordering
+                                 ///< check under fault injection)
 
     bool isHead() const { return seq == 0; }
     bool isTail() const { return seq + 1 == packetSize; }

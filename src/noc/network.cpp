@@ -17,7 +17,12 @@ DrainReport::summary() const
         return os.str();
     }
     os << "drain timed out at cycle " << stoppedAt << " with "
-       << packetsInFlight << " packet(s) in flight; ";
+       << stalledPackets << " stalled packet(s)";
+    if (undeliverablePackets > 0) {
+        os << " (plus " << undeliverablePackets
+           << " written off as undeliverable after hard faults)";
+    }
+    os << "; ";
     os << busyRouters.size() << " busy router(s)";
     if (!busyRouters.empty()) {
         os << " [";
@@ -71,7 +76,8 @@ parseSchedulingMode(const char *name)
 
 Network::Network(const NetworkParams &params, RouterFactory factory)
     : params_(params),
-      mesh_(params.width, params.height, params.concentration)
+      mesh_(params.width, params.height, params.concentration),
+      table_(mesh_, params.routing), faultMap_(mesh_)
 {
     NOX_ASSERT(factory, "router factory required");
 
@@ -86,7 +92,7 @@ Network::Network(const NetworkParams &params, RouterFactory factory)
     nics_.reserve(static_cast<std::size_t>(nn));
 
     for (NodeId r = 0; r < nr; ++r)
-        routers_.push_back(factory(r, mesh_, params.route, rp));
+        routers_.push_back(factory(r, mesh_, table_, rp));
     // Sinks hold one buffer's worth per VC (per-VC output credits
     // must all be backed by real sink capacity).
     const int sink_depth = params.sinkBufferDepth * rp.vcCount;
@@ -133,6 +139,11 @@ Network::Network(const NetworkParams &params, RouterFactory factory)
             r->attachFaults(faults_.get());
         for (auto &nic : nics_)
             nic->attachFaults(faults_.get());
+        faults_->planHardFaults(mesh_);
+        // Config-time (cycle-0) kills apply before any traffic
+        // exists: clean topology surgery, no losses, no degradation.
+        if (faults_->hardFaultsPending())
+            applyDueHardFaults(/*at_construction=*/true);
     }
 
     // Active-set bookkeeping: everything starts armed (the first
@@ -170,6 +181,161 @@ Network::Network(const NetworkParams &params, RouterFactory factory)
 }
 
 void
+Network::killLink(NodeId router, int port, std::vector<FlitDesc> &lost)
+{
+    if (!faultMap_.killLink(router, port))
+        return; // no live link there (edge, or already dead)
+    const NodeId nb = mesh_.neighbor(router, port);
+    const int back = Mesh::oppositePort(port);
+    // Both directions die at once: the forward flit wire and the
+    // turnaround credit wire share the failed physical channel.
+    routers_[router]->killOutput(port, lost);
+    routers_[nb]->killInput(back, lost);
+    routers_[nb]->killOutput(back, lost);
+    routers_[router]->killInput(port, lost);
+}
+
+void
+Network::killRouter(NodeId router, std::vector<FlitDesc> &lost)
+{
+    if (!faultMap_.killRouter(router))
+        return; // already dead
+    for (int port = kPortNorth; port <= kPortWest; ++port) {
+        const NodeId nb = mesh_.neighbor(router, port);
+        if (nb == kInvalidNode)
+            continue;
+        routers_[router]->killOutput(port, lost);
+        routers_[router]->killInput(port, lost);
+        const int back = Mesh::oppositePort(port);
+        routers_[nb]->killOutput(back, lost);
+        routers_[nb]->killInput(back, lost);
+    }
+    // Terminal connections and their NICs die with the router.
+    for (int t = 0; t < mesh_.concentration(); ++t) {
+        const int lp = kPortLocal + t;
+        routers_[router]->killOutput(lp, lost);
+        routers_[router]->killInput(lp, lost);
+        nics_[mesh_.terminalAt(router, lp)]->killAttached(lost);
+    }
+}
+
+void
+Network::applyDueHardFaults(bool at_construction)
+{
+    std::vector<FaultInjector::HardFault> due =
+        faults_->takeDueHardFaults(now_);
+    if (due.empty())
+        return;
+
+    std::vector<FlitDesc> lost;
+    for (const auto &h : due) {
+        if (h.kind == FaultKind::RouterDead)
+            killRouter(h.router, lost);
+        else
+            killLink(h.router, h.port, lost);
+    }
+
+    table_.rebuild(faultMap_);
+    stats_.faults.tableRebuilds += 1;
+    if (tracer_) {
+        tracer_->record(TraceEventKind::TableRebuild, kInvalidNode, -1,
+                        table_.rebuilds(),
+                        static_cast<std::uint32_t>(due.size()));
+    }
+    if (at_construction)
+        return; // nothing in flight; routers stay pristine
+
+    // Mid-run: every router drops wormhole/reservation state that the
+    // new topology may have invalidated, and enters degraded mode.
+    for (auto &r : routers_)
+        r->onTableRebuild();
+
+    // Purge fixpoint: a packet is condemned once any of its flits is
+    // lost or its destination became unreachable from wherever the
+    // flit currently sits; removing flits can condemn further packets
+    // (NoX full-port drops take clean bystanders with them), so sweep
+    // until no new casualties appear. Losses are deduplicated by flit
+    // uid — the same flit can surface twice (e.g. once inside a
+    // downstream decode chain and once in an upstream buffer copy).
+    std::unordered_set<std::uint64_t> lostUids;
+    std::unordered_map<PacketId, NodeId> lostPackets; // id -> dest
+    // The first sweep must run even when the dying components held no
+    // flits: live routers elsewhere can still hold traffic for
+    // destinations the fault just disconnected.
+    std::vector<FlitDesc> pending = std::move(lost);
+    do {
+        for (const FlitDesc &d : pending) {
+            if (lostUids.insert(d.uid).second)
+                lostPackets.emplace(d.packet, d.dest);
+        }
+        pending.clear();
+
+        std::vector<FlitDesc> removed;
+        auto condemned = [&](NodeId at, int in_port,
+                             const FlitDesc &d) {
+            if (lostPackets.count(d.packet) != 0)
+                return true;
+            const int out = table_.lookup(at, d.dest);
+            if (out < 0)
+                return true; // destination now unreachable from here
+            // Stale-epoch guard: a flit already past this input when
+            // the table changed may sit on a channel the new table
+            // never routes through. If its next hop would be the
+            // down-then-up turn up-down routing forbids, its wait
+            // edge is outside the verified CDG and can deadlock the
+            // mesh — write it off. Every surviving flit's future
+            // waits are table edges, covered by the acyclicity check.
+            if (in_port >= kPortNorth && in_port <= kPortWest &&
+                out >= kPortNorth && out <= kPortWest) {
+                const NodeId from = mesh_.neighbor(at, in_port);
+                const NodeId to = mesh_.neighbor(at, out);
+                if (from != kInvalidNode && to != kInvalidNode &&
+                    table_.forbiddenTurn(from, at, to))
+                    return true;
+            }
+            return false;
+        };
+        for (NodeId r = 0; r < numRouters(); ++r)
+            routers_[r]->purgeFlits(condemned, removed);
+        for (NodeId n = 0; n < numNodes(); ++n)
+            nics_[n]->purgeCondemned(condemned, removed);
+        for (const FlitDesc &d : removed) {
+            if (!lostUids.count(d.uid))
+                pending.push_back(d);
+        }
+    } while (!pending.empty());
+
+    stats_.faults.flitsLostHard += lostUids.size();
+    stats_.faults.packetsLostHard += lostPackets.size();
+    for (const auto &[packet, dest] : lostPackets) {
+        nics_[dest]->forgetArrived(packet);
+        ageInFlight_.erase(packet);
+    }
+}
+
+void
+Network::checkPacketAges()
+{
+    const Cycle limit = faults_->params().packetAgeLimit;
+    while (!ageQueue_.empty()) {
+        const auto &[packet, created] = ageQueue_.front();
+        if (!ageInFlight_.count(packet)) {
+            ageQueue_.pop_front(); // delivered or written off
+            continue;
+        }
+        if (now_ - created <= limit)
+            break; // everyone behind is younger still
+        stats_.faults.ageAlarms += 1;
+        if (tracer_ && !ageDumpLatched_) {
+            // Livelock alarm: latch the flight recorder exactly once.
+            ageDumpLatched_ = true;
+            tracer_->triggerFlightDump("age-limit", {});
+        }
+        ageQueue_.pop_front(); // alarm once per packet
+    }
+}
+
+void
 Network::addSource(std::unique_ptr<TrafficSource> source)
 {
     NOX_ASSERT(source, "null traffic source");
@@ -197,8 +363,13 @@ void
 Network::stepAlwaysTick()
 {
     // 0. Fault-injection clock: draws during this cycle key off now_.
-    if (faults_)
+    if (faults_) {
         faults_->beginCycle(now_);
+        if (faults_->hardFaultsPending())
+            applyDueHardFaults(/*at_construction=*/false);
+        if (faults_->params().packetAgeLimit > 0)
+            checkPacketAges();
+    }
     if (tracer_)
         tracer_->beginCycle(now_);
 
@@ -264,9 +435,16 @@ Network::stepScheduled(bool check)
         }
     }
 
-    // 0. Fault-injection clock (see stepAlwaysTick).
-    if (faults_)
+    // 0. Fault-injection clock (see stepAlwaysTick). Hard faults and
+    // the age sweep run identically under every kernel — they read
+    // and mutate committed state only, before any evaluation.
+    if (faults_) {
         faults_->beginCycle(now_);
+        if (faults_->hardFaultsPending())
+            applyDueHardFaults(/*at_construction=*/false);
+        if (faults_->params().packetAgeLimit > 0)
+            checkPacketAges();
+    }
     if (tracer_) {
         tracer_->beginCycle(now_);
         traceWakes();
@@ -454,6 +632,8 @@ Network::drain(Cycle limit)
     drainReport_.drained = packetsInFlight() == 0;
     drainReport_.stoppedAt = now_;
     drainReport_.packetsInFlight = packetsInFlight();
+    drainReport_.stalledPackets = packetsInFlight();
+    drainReport_.undeliverablePackets = stats_.faults.packetsLostHard;
     if (!drainReport_.drained) {
         for (NodeId r = 0; r < numRouters(); ++r) {
             if (!routers_[r]->quiescent())
@@ -489,7 +669,10 @@ Network::setMeasurementWindow(Cycle start, Cycle end)
 std::uint64_t
 Network::packetsInFlight() const
 {
-    return stats_.packetsInjected - stats_.packetsEjected;
+    // Hard-fault casualties are accounted losses, not in-flight
+    // packets: conservation is ejected + lost == injected.
+    return stats_.packetsInjected - stats_.packetsEjected -
+           stats_.faults.packetsLostHard;
 }
 
 EnergyEvents
@@ -512,7 +695,29 @@ Network::injectPacket(NodeId src, NodeId dst, int num_flits, Cycle now,
     NOX_ASSERT(src != dst, "self-addressed packet");
     NOX_ASSERT(num_flits >= 1, "packet needs at least one flit");
 
+    // Unreachable-destination detection at the injection boundary:
+    // the packet is refused and counted, never silently stranded.
+    if (!table_.reachable(src, dst)) {
+        stats_.faults.unreachableRejected += 1;
+        if (tracer_) {
+            tracer_->record(TraceEventKind::UnreachableReject, src, -1,
+                            static_cast<std::uint64_t>(dst), 0, true);
+        }
+        return kInvalidPacket;
+    }
+
     const PacketId id = nextPacket_++;
+    std::uint32_t flow_seq = 0;
+    if (faults_) {
+        const std::uint64_t flow =
+            (static_cast<std::uint64_t>(src) << 32) |
+            static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst));
+        flow_seq = flowNextSeq_[flow]++;
+        if (faults_->params().packetAgeLimit > 0) {
+            ageQueue_.emplace_back(id, now);
+            ageInFlight_.insert(id);
+        }
+    }
     std::vector<FlitDesc> flits;
     flits.reserve(static_cast<std::size_t>(num_flits));
     for (int s = 0; s < num_flits; ++s) {
@@ -526,6 +731,7 @@ Network::injectPacket(NodeId src, NodeId dst, int num_flits, Cycle now,
         d.payload = expectedPayload(id, static_cast<std::uint32_t>(s));
         d.createCycle = now;
         d.cls = cls;
+        d.flowSeq = flow_seq;
         // Static VC assignment by class (request/reply isolation).
         if (params_.router.vcCount > 1 && cls == TrafficClass::Reply)
             d.vc = 1;
@@ -581,6 +787,23 @@ Network::onPacketCompleted(NodeId node, const FlitDesc &last_flit,
             true);
     }
     stats_.packetsEjected += 1;
+    if (faults_) {
+        // Per-flow sequence check: adaptive rerouting after a mid-run
+        // kill can legitimately reorder a flow; make it visible.
+        const std::uint64_t flow =
+            (static_cast<std::uint64_t>(last_flit.src) << 32) |
+            static_cast<std::uint64_t>(
+                static_cast<std::uint32_t>(last_flit.dest));
+        auto [it, fresh] = flowMaxDone_.emplace(flow,
+                                                last_flit.flowSeq);
+        if (!fresh) {
+            if (last_flit.flowSeq < it->second)
+                stats_.faults.flowReorders += 1;
+            else
+                it->second = last_flit.flowSeq;
+        }
+        ageInFlight_.erase(last_flit.packet);
+    }
     const Cycle created = last_flit.createCycle;
     if (created >= stats_.measureStart && created < stats_.measureEnd) {
         const double lat = static_cast<double>(now - created) + 1.0;

@@ -12,9 +12,12 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -23,6 +26,7 @@
 #include "noc/network_stats.hpp"
 #include "noc/nic.hpp"
 #include "noc/router.hpp"
+#include "noc/routing_table.hpp"
 #include "noc/traffic_source.hpp"
 #include "obs/obs_params.hpp"
 
@@ -30,7 +34,7 @@ namespace nox {
 
 /** Builds one router for a node. */
 using RouterFactory = std::function<std::unique_ptr<Router>(
-    NodeId, const Mesh &, RoutingFunction, const RouterParams &)>;
+    NodeId, const Mesh &, const RoutingTable &, const RouterParams &)>;
 
 /**
  * How Network::step() schedules component evaluation.
@@ -65,7 +69,7 @@ struct NetworkParams
     int concentration = 1; ///< terminals per router (>1 = CMesh, §8)
     RouterParams router;   ///< numPorts is derived from concentration
     int sinkBufferDepth = 4;
-    RoutingFunction route = dorRoute;
+    RoutingAlgo routing = RoutingAlgo::DorXY;
     SchedulingMode schedulingMode = SchedulingMode::AlwaysTick;
     FaultParams faults; ///< link-fault injection (disabled by default)
     ObsParams obs;      ///< tracing + metrics (disabled by default)
@@ -83,6 +87,16 @@ struct DrainReport
     bool drained = true;
     Cycle stoppedAt = 0;
     std::uint64_t packetsInFlight = 0;
+
+    /** Packets deliberately written off by the hard-fault machinery
+     *  (in flight on a dying link or stranded unreachable; cumulative
+     *  over the run). These are accounted losses, not stalls: they do
+     *  not block drained. */
+    std::uint64_t undeliverablePackets = 0;
+
+    /** Packets still genuinely in flight at stop — the count that
+     *  decides drained (0 = success). */
+    std::uint64_t stalledPackets = 0;
 
     std::vector<NodeId> busyRouters; ///< non-quiescent routers
     std::vector<NodeId> busyNics;    ///< non-quiescent NICs
@@ -153,6 +167,12 @@ class Network : public PacketInjector, public SinkListener
     const Mesh &mesh() const { return mesh_; }
     int numNodes() const { return mesh_.numNodes(); }
     int numRouters() const { return mesh_.numRouters(); }
+
+    /** The shared routing table (tests inspect rebuilds/reachability). */
+    const RoutingTable &routingTable() const { return table_; }
+
+    /** The applied hard-fault map. */
+    const FaultMap &faultMap() const { return faultMap_; }
     Router &router(NodeId r) { return *routers_[r]; }
     const Router &router(NodeId r) const { return *routers_[r]; }
     Nic &nic(NodeId n) { return *nics_[n]; }
@@ -210,6 +230,27 @@ class Network : public PacketInjector, public SinkListener
     /** Close the metrics window ending at the current cycle. */
     void sampleMetricsWindow();
 
+    /**
+     * Apply every hard fault due at the current cycle: kill the
+     * targeted links/routers (in-flight flits on them are lost),
+     * rebuild the routing table, and — mid-run only — notify the
+     * routers and purge every flit that the new topology can no
+     * longer deliver. @p at_construction skips the notification and
+     * purge: nothing is in flight yet, and the routers must not enter
+     * degraded mode for faults that predate all traffic.
+     */
+    void applyDueHardFaults(bool at_construction);
+
+    /** Sever the link out of @p router via @p port (both directions),
+     *  collecting in-flight casualties. */
+    void killLink(NodeId router, int port, std::vector<FlitDesc> &lost);
+
+    /** Kill @p router, all its mesh links and its terminal NICs. */
+    void killRouter(NodeId router, std::vector<FlitDesc> &lost);
+
+    /** Age-watchdog sweep (packetAgeLimit > 0 only). */
+    void checkPacketAges();
+
     /** Track the peak source-queue occupancy of NIC @p node. */
     void sampleSourceQueue(NodeId node)
     {
@@ -221,6 +262,8 @@ class Network : public PacketInjector, public SinkListener
 
     NetworkParams params_;
     Mesh mesh_;
+    RoutingTable table_;  ///< shared by all routers (built first)
+    FaultMap faultMap_;   ///< accumulated hard faults
     std::vector<std::unique_ptr<Router>> routers_;
     std::vector<std::unique_ptr<Nic>> nics_;
     std::vector<std::unique_ptr<TrafficSource>> sources_;
@@ -250,6 +293,16 @@ class Network : public PacketInjector, public SinkListener
     Cycle now_ = 0;
     PacketId nextPacket_ = 1;
     bool sourcesEnabled_ = true;
+
+    /** Per-flow (src, dest) end-to-end sequence numbers, stamped at
+     *  injection and checked at completion (faults enabled only). */
+    std::unordered_map<std::uint64_t, std::uint32_t> flowNextSeq_;
+    std::unordered_map<std::uint64_t, std::uint32_t> flowMaxDone_;
+
+    /** Age-watchdog state (packetAgeLimit > 0 only). */
+    std::deque<std::pair<PacketId, Cycle>> ageQueue_;
+    std::unordered_set<PacketId> ageInFlight_;
+    bool ageDumpLatched_ = false;
 };
 
 } // namespace nox

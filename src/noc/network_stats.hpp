@@ -54,6 +54,37 @@ struct FaultStats
      *  a free corruption detector. Also counted in faultsDetected. */
     std::uint64_t decodeMismatches = 0;
 
+    // -- hard (fail-stop) faults and their fallout --
+
+    /** Fail-stop kills applied (links / whole routers). */
+    std::uint64_t hardLinkFaults = 0;
+    std::uint64_t hardRouterFaults = 0;
+
+    /** Routing-table rebuilds (1 for the initial build; +1 per batch
+     *  of hard faults applied). */
+    std::uint64_t tableRebuilds = 0;
+
+    /** Flits / packets lost to hard faults (in flight on a dying
+     *  link, buffered at a dying router, or stranded when their
+     *  destination became unreachable). Deliberate, counted losses:
+     *  conservation becomes ejected + packetsLostHard == injected. */
+    std::uint64_t flitsLostHard = 0;
+    std::uint64_t packetsLostHard = 0;
+
+    /** Injection attempts rejected because the destination is
+     *  unreachable in the current topology (never injected, never
+     *  counted in packetsInjected). */
+    std::uint64_t unreachableRejected = 0;
+
+    /** Per-flow sequence inversions observed at delivery (adaptive
+     *  rerouting after a mid-run kill can reorder flows; the NICs
+     *  track per-(src,dst) sequence numbers to make this visible). */
+    std::uint64_t flowReorders = 0;
+
+    /** Packet-age watchdog alarms (packets older than the configured
+     *  age limit; each also latches the flight recorder once). */
+    std::uint64_t ageAlarms = 0;
+
     bool
     identicalTo(const FaultStats &o) const
     {
@@ -65,7 +96,15 @@ struct FaultStats
                retransmissions == o.retransmissions &&
                creditResyncs == o.creditResyncs &&
                corruptedEscapes == o.corruptedEscapes &&
-               decodeMismatches == o.decodeMismatches;
+               decodeMismatches == o.decodeMismatches &&
+               hardLinkFaults == o.hardLinkFaults &&
+               hardRouterFaults == o.hardRouterFaults &&
+               tableRebuilds == o.tableRebuilds &&
+               flitsLostHard == o.flitsLostHard &&
+               packetsLostHard == o.packetsLostHard &&
+               unreachableRejected == o.unreachableRejected &&
+               flowReorders == o.flowReorders &&
+               ageAlarms == o.ageAlarms;
     }
 };
 

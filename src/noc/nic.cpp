@@ -44,6 +44,8 @@ Nic::connectRouter(Router *router, int local_port)
 void
 Nic::evaluateInject(Cycle now)
 {
+    if (dead_)
+        return;
     // One flit per cycle into the router's local port; round-robin
     // across the per-VC source queues with available credits.
     const int vcs = static_cast<int>(injectQueue_.size());
@@ -68,6 +70,8 @@ Nic::evaluateInject(Cycle now)
 void
 Nic::evaluateSink(Cycle now)
 {
+    if (dead_)
+        return;
     const DecodeView v = decoder_.view(sinkFifo_, faults_ != nullptr);
     if (v.latchBubble) {
         const int vc = sinkFifo_.front().vc;
@@ -182,6 +186,129 @@ Nic::stageInjectCredit(int count, int vc)
                "credit VC out of range");
     stagedInjectCredits_[static_cast<std::size_t>(vc)] += count;
     wake();
+}
+
+void
+Nic::killAttached(std::vector<FlitDesc> &lost)
+{
+    if (dead_)
+        return;
+    dead_ = true;
+    NOX_ASSERT(!stagedSinkFlit_, "hard fault applied mid-cycle");
+    for (auto &q : injectQueue_) {
+        for (const FlitDesc &d : q)
+            lost.push_back(d);
+        q.clear();
+    }
+    while (!sinkFifo_.empty()) {
+        const WireFlit w = sinkFifo_.pop();
+        for (const FlitDesc &d : w.parts)
+            lost.push_back(d);
+    }
+    if (decoder_.registerValid()) {
+        for (const FlitDesc &d : decoder_.registerValue().parts)
+            lost.push_back(d);
+        decoder_.reset();
+    }
+    std::fill(injectCredits_.begin(), injectCredits_.end(), 0);
+    std::fill(stagedInjectCredits_.begin(),
+              stagedInjectCredits_.end(), 0);
+    arrived_.clear();
+}
+
+void
+Nic::purgeCondemned(const Router::FlitCondemned &condemned,
+                    std::vector<FlitDesc> &removed)
+{
+    if (dead_)
+        return;
+    NOX_ASSERT(!stagedSinkFlit_, "hard-fault purge ran mid-cycle");
+
+    // Source queues: drop condemned flits in place (they never left
+    // the NIC, so no credits are involved).
+    for (auto &q : injectQueue_) {
+        std::deque<FlitDesc> keep;
+        for (const FlitDesc &d : q) {
+            if (condemned(router_->id(), localPort_, d))
+                removed.push_back(d);
+            else
+                keep.push_back(d);
+        }
+        q.swap(keep);
+    }
+
+    // Ejection side: like a NoX input port, the FIFO holds wire
+    // values. A chain still open here will never be continued after
+    // the rebuild reset the upstream output masks — drop the
+    // undecodable open suffix (register and/or trailing encoded
+    // values) exactly as a NoX input port does.
+    {
+        const std::size_t n = sinkFifo_.size();
+        std::vector<WireFlit> entries;
+        entries.reserve(n);
+        for (std::size_t i = 0; i < n; ++i)
+            entries.push_back(sinkFifo_.pop());
+        bool open = decoder_.registerValid();
+        std::ptrdiff_t start = open ? -1 : 0; // -1 = the register
+        for (std::size_t i = 0; i < n; ++i) {
+            if (open) {
+                if (!entries[i].encoded)
+                    open = false;
+            } else if (entries[i].encoded) {
+                open = true;
+                start = static_cast<std::ptrdiff_t>(i);
+            }
+        }
+        if (open) {
+            if (start < 0) {
+                for (const FlitDesc &d :
+                     decoder_.registerValue().parts)
+                    removed.push_back(d);
+                decoder_.reset();
+                start = 0;
+            }
+            for (std::size_t i = static_cast<std::size_t>(start);
+                 i < n; ++i) {
+                for (const FlitDesc &d : entries[i].parts)
+                    removed.push_back(d);
+                router_->stageCreditVc(localPort_, entries[i].vc);
+            }
+            entries.resize(static_cast<std::size_t>(start));
+        }
+        for (WireFlit &w : entries)
+            sinkFifo_.push(std::move(w));
+    }
+
+    // The remaining chains are complete, but any condemned
+    // constituent still poisons every value it appears in —
+    // contamination drops the whole sink contents.
+    bool contaminated = false;
+    if (decoder_.registerValid()) {
+        for (const FlitDesc &d : decoder_.registerValue().parts)
+            contaminated = contaminated || condemned(router_->id(), localPort_, d);
+    }
+    const std::size_t n = sinkFifo_.size();
+    for (std::size_t i = 0; i < n && !contaminated; ++i) {
+        WireFlit w = sinkFifo_.pop();
+        for (const FlitDesc &d : w.parts)
+            contaminated = contaminated || condemned(router_->id(), localPort_, d);
+        sinkFifo_.push(std::move(w));
+    }
+    if (!contaminated)
+        return;
+    if (decoder_.registerValid()) {
+        for (const FlitDesc &d : decoder_.registerValue().parts)
+            removed.push_back(d);
+        decoder_.reset();
+    }
+    while (!sinkFifo_.empty()) {
+        const WireFlit w = sinkFifo_.pop();
+        for (const FlitDesc &d : w.parts)
+            removed.push_back(d);
+        // The slot frees up: its credit goes back to the (live)
+        // router exactly as if the value had been accepted.
+        router_->stageCreditVc(localPort_, w.vc);
+    }
 }
 
 std::vector<std::pair<PacketId, std::uint32_t>>

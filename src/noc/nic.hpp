@@ -107,6 +107,29 @@ class Nic
     void stageSinkFlit(WireFlit flit);
     void stageInjectCredit(int count = 1, int vc = 0);
 
+    // -- hard (fail-stop) fault handling --
+
+    /**
+     * The attached router died: every queued source flit and every
+     * sink-side value (FIFO, decode register) is lost, credits are
+     * zeroed, and the NIC goes permanently inert (inject/sink
+     * evaluation become no-ops; it reports quiescent).
+     */
+    void killAttached(std::vector<FlitDesc> &lost);
+
+    /** Remove condemned flits from the source queues and — since sink
+     *  values are XOR chains like a NoX port — drop the whole sink
+     *  contents when any constituent is condemned (credits for
+     *  dropped sink values return to the live router). */
+    void purgeCondemned(const Router::FlitCondemned &condemned,
+                        std::vector<FlitDesc> &removed);
+
+    /** Forget the partial-arrival record of a lost packet (its
+     *  remaining flits were purged; it will never complete). */
+    void forgetArrived(PacketId packet) { arrived_.erase(packet); }
+
+    bool dead() const { return dead_; }
+
     NodeId node() const { return node_; }
     const EnergyEvents &energy() const { return energy_; }
 
@@ -141,6 +164,7 @@ class Nic
 
     std::uint8_t *activityFlag_ = nullptr;
     NodeId node_;
+    bool dead_ = false; ///< attached router was hard-killed
     Router *router_ = nullptr;
     int localPort_ = kPortLocal;
     SinkListener *listener_ = nullptr;

@@ -6,9 +6,9 @@
 
 namespace nox {
 
-Router::Router(NodeId id, const Mesh &mesh, RoutingFunction route,
+Router::Router(NodeId id, const Mesh &mesh, const RoutingTable &table,
                const RouterParams &params)
-    : id_(id), mesh_(mesh), route_(route), params_(params)
+    : id_(id), mesh_(mesh), table_(&table), params_(params)
 {
     NOX_ASSERT(params.bufferDepth > 0, "buffer depth must be positive");
     NOX_ASSERT(params.numPorts >= 2 && params.numPorts <= kMaxMaskBits,
@@ -284,7 +284,118 @@ Router::returnCredit(int in_port)
 int
 Router::routeOf(const FlitDesc &flit) const
 {
-    return route_(mesh_, id_, flit.dest);
+    const int port = table_->lookup(id_, flit.dest);
+    NOX_ASSERT(port >= 0, "flit for unreachable destination ",
+               flit.dest, " buffered at router ", id_,
+               " (hard-fault purge missed it) packet=", flit.packet,
+               " seq=", flit.seq, " src=", flit.src, " uid=",
+               flit.uid);
+    return port;
+}
+
+void
+Router::killOutput(int out_port, std::vector<FlitDesc> &lost)
+{
+    if (!outTarget_[out_port].connected())
+        return;
+    if (faults_) {
+        // A pending retry entry was never acknowledged: the receiver
+        // rejected or never saw it, so its flits die with the wire.
+        if (retry_[out_port]) {
+            for (const FlitDesc &d : retry_[out_port]->flit.parts)
+                lost.push_back(d);
+            retry_[out_port].reset();
+        }
+        lastLinkSend_[out_port] = ~Cycle{0};
+        creditsLost_[out_port] = 0;
+    }
+    credits_[out_port] = 0;
+    stagedCredits_[out_port] = 0;
+    outTarget_[out_port] = FlitTarget{};
+}
+
+void
+Router::killInput(int in_port, std::vector<FlitDesc> &lost)
+{
+    if (stagedIn_[in_port]) {
+        for (const FlitDesc &d : stagedIn_[in_port]->parts)
+            lost.push_back(d);
+        stagedIn_[in_port].reset();
+    }
+    creditTarget_[in_port] = CreditTarget{};
+}
+
+void
+Router::purgeInputsPlain(const FlitCondemned &condemned,
+                         std::vector<FlitDesc> &removed)
+{
+    for (int p = 0; p < params_.numPorts; ++p) {
+        FlitFifo &fifo = in_[p];
+        const std::size_t n = fifo.size();
+        for (std::size_t i = 0; i < n; ++i) {
+            WireFlit w = fifo.pop();
+            bool bad = false;
+            for (const FlitDesc &d : w.parts)
+                bad = bad || condemned(id_, p, d);
+            if (!bad) {
+                fifo.push(std::move(w));
+                continue;
+            }
+            for (const FlitDesc &d : w.parts)
+                removed.push_back(d);
+            returnCredit(p); // no-op if the upstream link died too
+        }
+    }
+}
+
+void
+Router::purgeLinkState(const FlitCondemned &condemned,
+                       std::vector<FlitDesc> &removed)
+{
+    for (int p = 0; p < params_.numPorts; ++p) {
+        NOX_ASSERT(!stagedIn_[p],
+                   "hard-fault purge ran mid-cycle (router ", id_,
+                   ")");
+        if (!faults_ || !retry_[p])
+            continue;
+        // The retry copy's original is (or will be, on resend) in the
+        // downstream neighbour's buffer: judge it at that position.
+        // (Retry entries exist only on router-to-router mesh links.)
+        const NodeId nb = p >= kPortNorth && p <= kPortWest
+                              ? mesh_.neighbor(id_, p)
+                              : kInvalidNode;
+        const NodeId at = nb == kInvalidNode ? id_ : nb;
+        const int in_port =
+            nb == kInvalidNode ? p : Mesh::oppositePort(p);
+        bool bad = false;
+        for (const FlitDesc &d : retry_[p]->flit.parts)
+            bad = bad || condemned(at, in_port, d);
+        if (!bad)
+            continue;
+        const WireFlit flushed = retry_[p]->flit;
+        retry_[p].reset();
+        for (const FlitDesc &d : flushed.parts)
+            removed.push_back(d);
+        // The original send consumed a downstream credit that will
+        // never be returned (the receiver nacked / never buffered the
+        // value); refund it so flow control stays exact.
+        if (outTarget_[p].connected())
+            refundRetryCredit(p, flushed);
+    }
+}
+
+void
+Router::purgeFlits(const FlitCondemned &condemned,
+                   std::vector<FlitDesc> &removed)
+{
+    purgeInputsPlain(condemned, removed);
+    purgeLinkState(condemned, removed);
+}
+
+void
+Router::onTableRebuild()
+{
+    degraded_ = true;
 }
 
 std::optional<FlitDesc>

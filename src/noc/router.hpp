@@ -18,6 +18,7 @@
 #define NOX_NOC_ROUTER_HPP
 
 #include <array>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -26,7 +27,7 @@
 #include "noc/energy_events.hpp"
 #include "noc/fifo.hpp"
 #include "noc/flit.hpp"
-#include "noc/routing.hpp"
+#include "noc/routing_table.hpp"
 #include "noc/topology.hpp"
 #include "noc/types.hpp"
 #include "obs/trace_recorder.hpp"
@@ -77,7 +78,17 @@ class Router
         bool connected() const { return router || nic; }
     };
 
-    Router(NodeId id, const Mesh &mesh, RoutingFunction route,
+    /** Predicate naming the flits a hard-fault purge must remove.
+     *  Called with the router the flit is buffered at, the input
+     *  port it arrived through (a local port for NIC-side storage),
+     *  and the flit itself: position matters, because a mid-run
+     *  table rebuild condemns stale flits whose *next* hop would be
+     *  a turn the new up-down table forbids (see
+     *  RoutingTable::forbiddenTurn). */
+    using FlitCondemned =
+        std::function<bool(NodeId at, int in_port, const FlitDesc &)>;
+
+    Router(NodeId id, const Mesh &mesh, const RoutingTable &table,
            const RouterParams &params);
     virtual ~Router() = default;
 
@@ -161,6 +172,43 @@ class Router
         (void)vc;
         stageCredit(out_port);
     }
+
+    // -- hard (fail-stop) faults, driven by the Network --
+
+    /**
+     * Sever output @p out_port: the wire is gone. An unacknowledged
+     * retry-buffer entry is appended to @p lost (its flits were never
+     * buffered downstream), link-retry state is flushed and the port
+     * unwired, so the existing outputConnected() checks in every
+     * architecture's allocation double as the dead-port mask.
+     */
+    virtual void killOutput(int out_port, std::vector<FlitDesc> &lost);
+
+    /** Sever input @p in_port (the matching credit wire is gone).
+     *  Flits already buffered in the input FIFO arrived intact and
+     *  are rerouted or purged by condemnation, not dropped here. */
+    virtual void killInput(int in_port, std::vector<FlitDesc> &lost);
+
+    /**
+     * Remove every buffered flit matched by @p condemned (sibling
+     * lost, or destination unreachable after a hard fault), appending
+     * the removed descriptors to @p removed and returning the freed
+     * buffer slots upstream. NoX overrides this to drop whole XOR
+     * decode chains when any constituent is condemned.
+     */
+    virtual void purgeFlits(const FlitCondemned &condemned,
+                            std::vector<FlitDesc> &removed);
+
+    /**
+     * The network rebuilt the routing tables after a mid-run hard
+     * fault. Flits of one packet may now reach a router through a
+     * different input than their head did, so every architecture
+     * drops its wormhole locks / switch automata here and re-forms
+     * them from the traffic; the base permanently enters degraded
+     * mode, in which lock-consistency violations downgrade from
+     * asserts to graceful re-arbitration.
+     */
+    virtual void onTableRebuild();
 
     // -- introspection (tests, stats) --
     NodeId id() const { return id_; }
@@ -252,8 +300,29 @@ class Router
     /** Return a freed input-buffer slot to the upstream sender. */
     void returnCredit(int in_port);
 
-    /** Output port for a flit at this router (lookahead DOR). */
+    /** Output port for a flit at this router (lookahead table read;
+     *  DOR-identical while the mesh is fault-free). */
     int routeOf(const FlitDesc &flit) const;
+
+    /** Shared purge pass over uncoded input FIFOs: drops condemned
+     *  entries and returns their buffer slots upstream. */
+    void purgeInputsPlain(const FlitCondemned &condemned,
+                          std::vector<FlitDesc> &removed);
+
+    /** Shared purge pass over link-retry state. A flushed entry on a
+     *  live link refunds the downstream credit its original send
+     *  consumed (the receiver nacked or never saw it). */
+    void purgeLinkState(const FlitCondemned &condemned,
+                        std::vector<FlitDesc> &removed);
+
+    /** Refund one downstream credit for a flushed retry entry; the
+     *  VC router books it against the entry's virtual channel. */
+    virtual void
+    refundRetryCredit(int out_port, const WireFlit &flit)
+    {
+        (void)flit;
+        credits_[out_port] += 1;
+    }
 
     /**
      * Head flit of input @p port, asserting it is uncoded — valid in
@@ -283,8 +352,14 @@ class Router
 
     NodeId id_;
     const Mesh &mesh_;
-    RoutingFunction route_;
+    const RoutingTable *table_;
     RouterParams params_;
+
+    /** Set once a mid-run table rebuild happened: in-flight wormholes
+     *  may be inconsistent with the new tables, so lock bookkeeping
+     *  tolerates foreign flits instead of asserting. Never set on a
+     *  fault-free (or statically faulted) mesh. */
+    bool degraded_ = false;
 
     std::vector<FlitFifo> in_;
     std::vector<std::optional<WireFlit>> stagedIn_;

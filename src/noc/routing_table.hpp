@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Table-based fault-tolerant routing.
+ *
+ * The paper evaluates every router on a pristine mesh with
+ * dimension-ordered routing; this layer generalises route lookup to a
+ * precomputed per-router table so the network can keep serving
+ * traffic around *permanent* (fail-stop) link and router faults:
+ *
+ *  - On a fault-free mesh the table is filled directly from
+ *    dorRoute()/dorRouteYX(), so lookup() is bit-identical to the
+ *    paper's DOR baseline (verified pairwise by tests).
+ *  - As soon as any hard fault exists, the affected topology is
+ *    re-routed with up-down routing [Schroeder et al., Autonet]:
+ *    a BFS spanning tree per connected component orients every live
+ *    channel "up" (toward the root) or "down"; a legal path uses
+ *    zero or more up channels followed by zero or more down channels.
+ *    Forbidding the down->up turn makes the channel-dependency graph
+ *    acyclic (every up channel strictly decreases the (level, id)
+ *    key, every down channel strictly increases it), hence the
+ *    routing is deadlock-free; rebuild() re-verifies this with an
+ *    explicit cycle check on the CDG.
+ *  - Reachability is exact: lookup() returns -1 for (and only for)
+ *    pairs that BFS over live links cannot connect.
+ */
+
+#ifndef NOX_NOC_ROUTING_TABLE_HPP
+#define NOX_NOC_ROUTING_TABLE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "noc/routing.hpp"
+#include "noc/topology.hpp"
+#include "noc/types.hpp"
+
+namespace nox {
+
+/** Baseline routing algorithm used while the mesh is fault-free. */
+enum class RoutingAlgo : std::uint8_t {
+    DorXY = 0, ///< X-then-Y dimension order (the paper's baseline)
+    DorYX = 1, ///< Y-then-X variant
+};
+
+/**
+ * The set of permanent (fail-stop) faults applied to a mesh. Links
+ * die symmetrically (both directions at once — a fail-stop link
+ * takes its turnaround credit wire down with it); killing a router
+ * kills the router and all four of its mesh links.
+ */
+class FaultMap
+{
+  public:
+    FaultMap() = default;
+    explicit FaultMap(const Mesh &mesh);
+
+    /**
+     * Kill the mesh link leaving @p router through @p port (and its
+     * reverse direction). Returns false if there is no live link
+     * there (edge of the mesh, already dead, or dead endpoint).
+     */
+    bool killLink(NodeId router, int port);
+
+    /** Kill @p router and all of its mesh links. Returns false if it
+     *  is already dead. */
+    bool killRouter(NodeId router);
+
+    bool routerDead(NodeId router) const;
+    /** True when the link out of @p router through mesh direction
+     *  @p port is dead (always true out of a dead router). */
+    bool linkDead(NodeId router, int port) const;
+
+    /** Any hard fault applied at all? While false, routing stays on
+     *  the bit-identical DOR fast path. */
+    bool anyFault() const { return faults_ > 0; }
+
+  private:
+    const Mesh *mesh_ = nullptr;
+    std::vector<std::uint8_t> routerDead_;
+    std::vector<std::uint8_t> linkDead_; ///< [router * 4 + port]
+    int faults_ = 0;
+};
+
+/**
+ * Per-router routing table: output port for every (current router,
+ * destination router) pair, precomputed from a FaultMap.
+ *
+ * One instance is shared by every router of a Network; a router's
+ * "private" table is its row. Lookup is a flat array read — cheaper
+ * than the coordinate arithmetic it replaces.
+ */
+class RoutingTable
+{
+  public:
+    RoutingTable(const Mesh &mesh, RoutingAlgo algo);
+
+    /**
+     * Recompute every entry for the given fault map. Fault-free maps
+     * reproduce dorRoute()/dorRouteYX() exactly; any hard fault
+     * switches the affected topology to up-down routing. Asserts
+     * the resulting channel-dependency graph is acyclic.
+     */
+    void rebuild(const FaultMap &map);
+
+    /**
+     * Output port at @p router for a flit addressed to terminal
+     * @p dest_node: a mesh direction, the destination's local port
+     * when it lives on @p router, or -1 when @p dest_node is
+     * unreachable from @p router.
+     */
+    int
+    lookup(NodeId router, NodeId dest_node) const
+    {
+        const NodeId dr = mesh_.routerOf(dest_node);
+        if (dr == router) {
+            return routerDead_[static_cast<std::size_t>(router)]
+                       ? -1
+                       : mesh_.localPortOf(dest_node);
+        }
+        return table_[static_cast<std::size_t>(router) *
+                          static_cast<std::size_t>(numRouters_) +
+                      static_cast<std::size_t>(dr)];
+    }
+
+    /** Can traffic injected at @p src_node reach @p dest_node? */
+    bool
+    reachable(NodeId src_node, NodeId dest_node) const
+    {
+        const NodeId sr = mesh_.routerOf(src_node);
+        if (routerDead_[static_cast<std::size_t>(sr)])
+            return false;
+        return lookup(sr, dest_node) >= 0;
+    }
+
+    bool
+    routerDead(NodeId router) const
+    {
+        return routerDead_[static_cast<std::size_t>(router)] != 0;
+    }
+
+    /** Number of rebuild() calls so far (the fault-free build in the
+     *  constructor counts as the first). */
+    std::uint64_t rebuilds() const { return rebuilds_; }
+
+    /**
+     * True when a flit that arrived over channel @p from -> @p at and
+     * would next traverse @p at -> @p to makes the down-then-up turn
+     * the current up-down table forbids. The table itself never
+     * routes such a turn; it can only appear on *stale* traffic that
+     * was already past @p from when a rebuild changed the table, so a
+     * mid-run rebuild purges exactly these flits — every later wait
+     * they could cause is then a table edge, covered by the CDG
+     * acyclicity argument. Always false for a fault-free (DOR) table
+     * and for channels touching dead routers.
+     */
+    bool
+    forbiddenTurn(NodeId from, NodeId at, NodeId to) const
+    {
+        if (!upDown_)
+            return false;
+        if (routerDead_[static_cast<std::size_t>(from)] ||
+            routerDead_[static_cast<std::size_t>(at)] ||
+            routerDead_[static_cast<std::size_t>(to)])
+            return false;
+        return chanKey(at) > chanKey(from) && // arrived going down
+               chanKey(to) < chanKey(at);     // would next go up
+    }
+
+    /**
+     * Explicitly verify the current table's channel-dependency graph
+     * is acyclic (a channel is a live directed mesh link; channel A
+     * depends on channel B when some destination routes a flit from
+     * A directly into B). rebuild() asserts this; the fuzz tests
+     * call it directly.
+     */
+    bool dependencyGraphAcyclic() const;
+
+  private:
+    void buildFaultFree();
+    void buildUpDown(const FaultMap &map);
+
+    /** Up-down ordering key: (BFS level, id) lexicographic. An
+     *  u -> v channel is "up" iff chanKey(v) < chanKey(u). */
+    std::uint64_t
+    chanKey(NodeId u) const
+    {
+        return (static_cast<std::uint64_t>(
+                    level_[static_cast<std::size_t>(u)])
+                << 32) |
+               static_cast<std::uint32_t>(u);
+    }
+
+    const Mesh &mesh_;
+    RoutingAlgo algo_;
+    int numRouters_;
+    /** Output port per (router, destRouter); -1 = unreachable. */
+    std::vector<std::int8_t> table_;
+    std::vector<std::uint8_t> routerDead_;
+    std::vector<std::uint8_t> linkDead_;
+    std::vector<int> level_;   ///< BFS levels of the up-down forest
+    bool upDown_ = false;      ///< last build used up-down routing
+    std::uint64_t rebuilds_ = 0;
+};
+
+} // namespace nox
+
+#endif // NOX_NOC_ROUTING_TABLE_HPP

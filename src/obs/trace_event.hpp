@@ -41,6 +41,10 @@ enum class TraceEventKind : std::uint8_t {
     CreditResync,  ///< watchdog restored lost credits
     DecodeFault,   ///< XOR decode integrity violation observed
     CorruptEscape, ///< corrupted payload delivered at a sink
+    // -- hard (fail-stop) faults --
+    HardFault,         ///< a link or router was killed permanently
+    TableRebuild,      ///< the routing table was rebuilt on a fault map
+    UnreachableReject, ///< injection refused: destination unreachable
     // -- scheduling kernel --
     SchedWake,   ///< component joined the active set
     SchedRetire, ///< quiescent component left the active set

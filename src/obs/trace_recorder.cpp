@@ -42,6 +42,12 @@ traceEventKindName(TraceEventKind kind)
         return "decode_fault";
       case TraceEventKind::CorruptEscape:
         return "corrupt_escape";
+      case TraceEventKind::HardFault:
+        return "hard_fault";
+      case TraceEventKind::TableRebuild:
+        return "table_rebuild";
+      case TraceEventKind::UnreachableReject:
+        return "unreachable_reject";
       case TraceEventKind::SchedWake:
         return "sched_wake";
       case TraceEventKind::SchedRetire:

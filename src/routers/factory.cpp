@@ -10,7 +10,7 @@ namespace nox {
 
 std::unique_ptr<Router>
 makeRouter(RouterArch arch, NodeId id, const Mesh &mesh,
-           RoutingFunction route, const RouterParams &params)
+           const RoutingTable &table, const RouterParams &params)
 {
     if (params.vcCount > 1) {
         // §2.8: virtual channels are only explored on the
@@ -18,20 +18,20 @@ makeRouter(RouterArch arch, NodeId id, const Mesh &mesh,
         // repo's) future work.
         NOX_ASSERT(arch == RouterArch::NonSpeculative,
                    "vcCount > 1 requires the non-speculative router");
-        return std::make_unique<VcRouter>(id, mesh, route, params,
+        return std::make_unique<VcRouter>(id, mesh, table, params,
                                           params.vcCount);
     }
     switch (arch) {
       case RouterArch::NonSpeculative:
-        return std::make_unique<NonSpecRouter>(id, mesh, route, params);
+        return std::make_unique<NonSpecRouter>(id, mesh, table, params);
       case RouterArch::SpecFast:
-        return std::make_unique<SpecRouter>(id, mesh, route, params,
+        return std::make_unique<SpecRouter>(id, mesh, table, params,
                                             SpecRouter::Variant::Fast);
       case RouterArch::SpecAccurate:
         return std::make_unique<SpecRouter>(
-            id, mesh, route, params, SpecRouter::Variant::Accurate);
+            id, mesh, table, params, SpecRouter::Variant::Accurate);
       case RouterArch::Nox:
-        return std::make_unique<NoxRouter>(id, mesh, route, params);
+        return std::make_unique<NoxRouter>(id, mesh, table, params);
     }
     panic("unknown router architecture");
 }
@@ -39,9 +39,9 @@ makeRouter(RouterArch arch, NodeId id, const Mesh &mesh,
 RouterFactory
 routerFactoryFor(RouterArch arch)
 {
-    return [arch](NodeId id, const Mesh &mesh, RoutingFunction route,
+    return [arch](NodeId id, const Mesh &mesh, const RoutingTable &table,
                   const RouterParams &params) {
-        return makeRouter(arch, id, mesh, route, params);
+        return makeRouter(arch, id, mesh, table, params);
     };
 }
 

@@ -17,7 +17,7 @@ namespace nox {
 /** Build one router of the given architecture. */
 std::unique_ptr<Router> makeRouter(RouterArch arch, NodeId id,
                                    const Mesh &mesh,
-                                   RoutingFunction route,
+                                   const RoutingTable &table,
                                    const RouterParams &params);
 
 /** A RouterFactory (for Network) that builds @p arch routers. */

@@ -1,13 +1,15 @@
 #include "routers/nonspec_router.hpp"
 
+#include <algorithm>
+
 #include "common/log.hpp"
 
 namespace nox {
 
 NonSpecRouter::NonSpecRouter(NodeId id, const Mesh &mesh,
-                             RoutingFunction route,
+                             const RoutingTable &table,
                              const RouterParams &params)
-    : Router(id, mesh, route, params)
+    : Router(id, mesh, table, params)
 {
     const auto ports = static_cast<std::size_t>(params.numPorts);
     arb_.resize(ports);
@@ -43,6 +45,20 @@ NonSpecRouter::evaluate(Cycle now)
             // Wormhole: output reserved for an in-flight packet; body
             // flits pass without re-arbitration.
             const int p = lockOwner_[o];
+            if (degraded_ &&
+                !(head[p] && out_of[p] == o &&
+                  head[p]->packet == lockPacket_[o])) {
+                // After a mid-run table rebuild the locked packet may
+                // have been purged, rerouted to a different input, or
+                // had foreign flits interleaved into its stream.
+                // Whenever the owner cannot supply the locked packet
+                // this cycle, abandon the lock: the remaining flits
+                // flow flit-wise (delivery is count-based, so intact
+                // packets still complete).
+                lockOwner_[o] = -1;
+                lockPacket_[o] = kInvalidPacket;
+                continue;
+            }
             if (head[p] && out_of[p] == o) {
                 NOX_ASSERT(head[p]->packet == lockPacket_[o],
                            "foreign flit inside locked wormhole");
@@ -93,12 +109,24 @@ NonSpecRouter::traverse(int in_port, int out_port)
     if (d.isHead() && !d.isTail()) {
         lockOwner_[out_port] = in_port;
         lockPacket_[out_port] = d.packet;
-    } else if (d.isTail()) {
+    } else if (d.isTail() &&
+               (lockOwner_[out_port] < 0 ||
+                lockPacket_[out_port] == d.packet)) {
+        // The packet-match guard only matters in degraded mode, where
+        // a lock-free tail must not clear another packet's lock.
         lockOwner_[out_port] = -1;
         lockPacket_[out_port] = kInvalidPacket;
     }
 
     sendFlit(out_port, std::move(w));
+}
+
+void
+NonSpecRouter::onTableRebuild()
+{
+    Router::onTableRebuild();
+    std::fill(lockOwner_.begin(), lockOwner_.end(), -1);
+    std::fill(lockPacket_.begin(), lockPacket_.end(), kInvalidPacket);
 }
 
 } // namespace nox

@@ -23,7 +23,8 @@ namespace nox {
 class NonSpecRouter : public Router
 {
   public:
-    NonSpecRouter(NodeId id, const Mesh &mesh, RoutingFunction route,
+    NonSpecRouter(NodeId id, const Mesh &mesh,
+                  const RoutingTable &table,
                   const RouterParams &params);
 
     RouterArch arch() const override
@@ -35,6 +36,10 @@ class NonSpecRouter : public Router
 
     /** Quiescent iff base state is idle and no wormhole is open. */
     bool quiescent() const override;
+
+    /** Drop all wormhole locks: rerouted flits may reach this router
+     *  through different inputs than their heads did. */
+    void onTableRebuild() override;
 
     /** Input currently owning output @p port mid-packet (-1 = none). */
     int lockOwner(int port) const { return lockOwner_[port]; }

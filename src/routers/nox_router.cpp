@@ -7,9 +7,28 @@
 
 namespace nox {
 
-NoxRouter::NoxRouter(NodeId id, const Mesh &mesh, RoutingFunction route,
+namespace {
+
+/** Append @p w 's constituent flits to @p out, skipping uids already
+ *  collected (successive chain values are nested subsets). */
+void
+collectUnique(const WireFlit &w, std::vector<FlitDesc> &out)
+{
+    for (const FlitDesc &d : w.parts) {
+        bool seen = false;
+        for (const FlitDesc &e : out)
+            seen = seen || e.uid == d.uid;
+        if (!seen)
+            out.push_back(d);
+    }
+}
+
+} // namespace
+
+NoxRouter::NoxRouter(NodeId id, const Mesh &mesh,
+                     const RoutingTable &table,
                      const RouterParams &params)
-    : Router(id, mesh, route, params)
+    : Router(id, mesh, table, params)
 {
     decoders_.resize(static_cast<std::size_t>(params.numPorts));
     out_.resize(static_cast<std::size_t>(params.numPorts));
@@ -85,6 +104,16 @@ NoxRouter::evaluate(Cycle now)
             // NoX perform like a perfectly speculating router when
             // requests can be non-speculatively pre-scheduled.
             const int p = st.lockOwner;
+            if (degraded_ &&
+                !((requests & maskBit(p)) &&
+                  views[p].presented->packet == st.lockPacket)) {
+                // After a mid-run table rebuild the locked packet may
+                // have been purged, rerouted, or interleaved with
+                // foreign flits; abandon the lock and let the
+                // remaining flits re-arbitrate flit-wise.
+                unlockOutput(st);
+                continue;
+            }
             if (requests & maskBit(p)) {
                 const FlitDesc d = *views[p].presented;
                 NOX_ASSERT(d.packet == st.lockPacket,
@@ -310,6 +339,128 @@ NoxRouter::unlockOutput(OutState &st)
     st.switchMask = allPortsMask();
     st.arbMask = allPortsMask();
     energy_.maskUpdates += 1;
+}
+
+void
+NoxRouter::killInput(int in_port, std::vector<FlitDesc> &lost)
+{
+    Router::killInput(in_port, lost);
+    dropOpenChain(in_port, lost);
+}
+
+void
+NoxRouter::dropOpenChain(int in_port, std::vector<FlitDesc> &lost)
+{
+    // Scan the port for a decode chain left open forever — either
+    // its link died, or a mid-run table rebuild reset the upstream
+    // output masks so the subset chain will never be continued.
+    // Simulate future decode progress: a chain closes on its final
+    // (plain) wire value; trailing encoded values with no closure
+    // can never be recovered.
+    XorDecoder &dec = decoders_[in_port];
+    FlitFifo &fifo = in_[in_port];
+    const std::size_t n = fifo.size();
+    std::vector<WireFlit> entries;
+    entries.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        entries.push_back(fifo.pop());
+
+    bool open = dec.registerValid();
+    std::ptrdiff_t start = open ? -1 : 0; // -1 = the register itself
+    for (std::size_t i = 0; i < n; ++i) {
+        if (open) {
+            if (!entries[i].encoded)
+                open = false;
+        } else if (entries[i].encoded) {
+            open = true;
+            start = static_cast<std::ptrdiff_t>(i);
+        }
+    }
+    if (open) {
+        std::vector<FlitDesc> dropped;
+        if (start < 0) {
+            collectUnique(dec.registerValue(), dropped);
+            dec.reset();
+            start = 0; // every buffered value continued that chain
+        }
+        for (std::size_t i = static_cast<std::size_t>(start); i < n;
+             ++i) {
+            collectUnique(entries[i], dropped);
+            // Freed buffer slot: credit the (live) upstream router —
+            // a no-op when this port's link died with its sender.
+            returnCredit(in_port);
+        }
+        entries.resize(static_cast<std::size_t>(start));
+        lost.insert(lost.end(), dropped.begin(), dropped.end());
+    }
+    for (WireFlit &w : entries)
+        fifo.push(std::move(w));
+}
+
+void
+NoxRouter::purgeFlits(const FlitCondemned &condemned,
+                      std::vector<FlitDesc> &removed)
+{
+    const int ports = numPorts();
+    // A mid-run rebuild resets every output's subset-chain masks, so
+    // chains still open at our inputs will never be continued by the
+    // upstream output: break them now (idempotent — once dropped, the
+    // port's trailing chain is closed) before judging survivors.
+    for (int p = 0; p < ports; ++p)
+        dropOpenChain(p, removed);
+    for (int p = 0; p < ports; ++p) {
+        FlitFifo &fifo = in_[p];
+        const std::size_t n = fifo.size();
+        std::vector<WireFlit> entries;
+        entries.reserve(n);
+        for (std::size_t i = 0; i < n; ++i)
+            entries.push_back(fifo.pop());
+
+        bool contaminated = false;
+        if (decoders_[p].registerValid()) {
+            for (const FlitDesc &d :
+                 decoders_[p].registerValue().parts)
+                contaminated = contaminated || condemned(id_, p, d);
+        }
+        for (const WireFlit &w : entries) {
+            for (const FlitDesc &d : w.parts)
+                contaminated = contaminated || condemned(id_, p, d);
+        }
+        if (!contaminated) {
+            for (WireFlit &w : entries)
+                fifo.push(std::move(w));
+            continue;
+        }
+
+        // Wire values are XOR combinations: one condemned constituent
+        // poisons every chain value it appears in, so the whole port
+        // content is dropped. Clean flits lost alongside are reported
+        // in @p removed and cascade through the network's fixpoint.
+        std::vector<FlitDesc> dropped;
+        if (decoders_[p].registerValid()) {
+            collectUnique(decoders_[p].registerValue(), dropped);
+            decoders_[p].reset();
+        }
+        for (const WireFlit &w : entries) {
+            collectUnique(w, dropped);
+            returnCredit(p); // one buffer slot per dropped wire value
+        }
+        removed.insert(removed.end(), dropped.begin(), dropped.end());
+    }
+    purgeLinkState(condemned, removed);
+}
+
+void
+NoxRouter::onTableRebuild()
+{
+    Router::onTableRebuild();
+    for (OutState &st : out_) {
+        st.mode = Mode::Recovery;
+        st.lockOwner = -1;
+        st.lockPacket = kInvalidPacket;
+        st.switchMask = allPortsMask();
+        st.arbMask = allPortsMask();
+    }
 }
 
 } // namespace nox

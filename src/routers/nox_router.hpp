@@ -76,12 +76,34 @@ class NoxRouter : public Router
     /** Output arbitration/masking mode (§2.6). */
     enum class Mode { Recovery, Scheduled };
 
-    NoxRouter(NodeId id, const Mesh &mesh, RoutingFunction route,
+    NoxRouter(NodeId id, const Mesh &mesh, const RoutingTable &table,
               const RouterParams &params);
 
     RouterArch arch() const override { return RouterArch::Nox; }
 
     void evaluate(Cycle now) override;
+
+    /**
+     * A severed input link can leave an XOR decode chain open forever
+     * (its remaining values will never arrive): drop the undecodable
+     * open suffix — register and/or trailing encoded values — and
+     * count its unrecovered constituents as lost.
+     */
+    void killInput(int in_port, std::vector<FlitDesc> &lost) override;
+
+    /**
+     * NoX ports buffer *wire values*, not flits: when any constituent
+     * of a port's decode chain is condemned the whole port content is
+     * dropped (the chain is undecodable without every value); clean
+     * ports are untouched. Collateral flits are reported in
+     * @p removed so the network can cascade the loss.
+     */
+    void purgeFlits(const FlitCondemned &condemned,
+                    std::vector<FlitDesc> &removed) override;
+
+    /** Reset every output's mask automaton and lock after a mid-run
+     *  routing-table rebuild. */
+    void onTableRebuild() override;
 
     /**
      * Quiescent iff base state is idle, every input decode register
@@ -122,6 +144,11 @@ class NoxRouter : public Router
     /** Accept input @p port's presented flit (decoder advance, SRAM
      *  read accounting, upstream credit). */
     void acceptPresented(int port, const DecodeView &view);
+
+    /** Drop the undecodable open chain suffix at @p in_port (see
+     *  killInput / purgeFlits), crediting live upstream senders for
+     *  the freed buffer slots. */
+    void dropOpenChain(int in_port, std::vector<FlitDesc> &lost);
 
     /** Uncontended (or Scheduled) single-input traversal. */
     void traverseSingle(int in_port, int out_port,

@@ -1,14 +1,16 @@
 #include "routers/spec_router.hpp"
 
+#include <algorithm>
 #include <bit>
 
 #include "common/log.hpp"
 
 namespace nox {
 
-SpecRouter::SpecRouter(NodeId id, const Mesh &mesh, RoutingFunction route,
+SpecRouter::SpecRouter(NodeId id, const Mesh &mesh,
+                       const RoutingTable &table,
                        const RouterParams &params, Variant variant)
-    : Router(id, mesh, route, params), variant_(variant)
+    : Router(id, mesh, table, params), variant_(variant)
 {
     const auto ports = static_cast<std::size_t>(params.numPorts);
     arb_.resize(ports);
@@ -75,6 +77,20 @@ SpecRouter::evaluate(Cycle now)
             // exist to protect.
             reserved_[o] = -1;
             continue;
+        }
+
+        if (degraded_ && lockOwner_[o] >= 0) {
+            // After a mid-run table rebuild the locked packet may have
+            // been purged, rerouted, or interleaved with foreign
+            // flits. If the owner cannot supply the locked packet this
+            // cycle, abandon the lock and let the remaining flits flow
+            // flit-wise (delivery is count-based).
+            const int p = lockOwner_[o];
+            if (!(head[p] && out_of[p] == o &&
+                  head[p]->packet == lockPacket_[o])) {
+                lockOwner_[o] = -1;
+                lockPacket_[o] = kInvalidPacket;
+            }
         }
 
         // Switch-Fast mask for this cycle: a wormhole lock pins the
@@ -179,12 +195,25 @@ SpecRouter::traverse(int in_port, int out_port)
     if (d.isHead() && !d.isTail()) {
         lockOwner_[out_port] = in_port;
         lockPacket_[out_port] = d.packet;
-    } else if (d.isTail()) {
+    } else if (d.isTail() &&
+               (lockOwner_[out_port] < 0 ||
+                lockPacket_[out_port] == d.packet)) {
+        // The packet-match guard only matters in degraded mode, where
+        // a lock-free tail must not clear another packet's lock.
         lockOwner_[out_port] = -1;
         lockPacket_[out_port] = kInvalidPacket;
     }
 
     sendFlit(out_port, std::move(w));
+}
+
+void
+SpecRouter::onTableRebuild()
+{
+    Router::onTableRebuild();
+    std::fill(lockOwner_.begin(), lockOwner_.end(), -1);
+    std::fill(lockPacket_.begin(), lockPacket_.end(), kInvalidPacket);
+    std::fill(reserved_.begin(), reserved_.end(), -1);
 }
 
 } // namespace nox

@@ -37,7 +37,7 @@ class SpecRouter : public Router
   public:
     enum class Variant { Fast, Accurate };
 
-    SpecRouter(NodeId id, const Mesh &mesh, RoutingFunction route,
+    SpecRouter(NodeId id, const Mesh &mesh, const RoutingTable &table,
                const RouterParams &params, Variant variant);
 
     RouterArch arch() const override
@@ -56,6 +56,10 @@ class SpecRouter : public Router
      * future head's first request — one idle tick clears them).
      */
     bool quiescent() const override;
+
+    /** Drop wormhole locks and pending reservations after a mid-run
+     *  routing-table rebuild. */
+    void onTableRebuild() override;
 
     Variant variant() const { return variant_; }
 

@@ -1,5 +1,6 @@
 #include "routers/vc_router.hpp"
 
+#include <algorithm>
 #include <bit>
 
 #include "common/log.hpp"
@@ -8,9 +9,9 @@
 
 namespace nox {
 
-VcRouter::VcRouter(NodeId id, const Mesh &mesh, RoutingFunction route,
+VcRouter::VcRouter(NodeId id, const Mesh &mesh, const RoutingTable &table,
                    const RouterParams &params, int vc_count)
-    : Router(id, mesh, route, params), vcs_(vc_count)
+    : Router(id, mesh, table, params), vcs_(vc_count)
 {
     NOX_ASSERT(vc_count >= 1 && vc_count <= 8, "bad VC count");
     const std::size_t slots =
@@ -124,6 +125,62 @@ VcRouter::quiescent() const
 }
 
 void
+VcRouter::killOutput(int out_port, std::vector<FlitDesc> &lost)
+{
+    const bool was_connected = outTarget_[out_port].connected();
+    Router::killOutput(out_port, lost);
+    if (!was_connected)
+        return;
+    for (int v = 0; v < vcs_; ++v) {
+        const std::size_t lane = index(out_port, v);
+        vcCredits_[lane] = 0;
+        stagedVcCredits_[lane] = 0;
+        vcCreditsLost_[lane] = 0;
+        lockOwner_[lane] = -1;
+        lockPacket_[lane] = kInvalidPacket;
+    }
+}
+
+void
+VcRouter::purgeFlits(const FlitCondemned &condemned,
+                     std::vector<FlitDesc> &removed)
+{
+    const int ports = numPorts();
+    for (int p = 0; p < ports; ++p) {
+        for (int v = 0; v < vcs_; ++v) {
+            FlitFifo &fifo = vcIn_[index(p, v)];
+            const std::size_t n = fifo.size();
+            for (std::size_t i = 0; i < n; ++i) {
+                WireFlit w = fifo.pop();
+                bool drop = false;
+                for (const FlitDesc &d : w.parts) {
+                    if (condemned(id_, p, d)) {
+                        drop = true;
+                        break;
+                    }
+                }
+                if (drop) {
+                    for (const FlitDesc &d : w.parts)
+                        removed.push_back(d);
+                    returnVcCredit(p, v);
+                } else {
+                    fifo.push(std::move(w));
+                }
+            }
+        }
+    }
+    purgeLinkState(condemned, removed);
+}
+
+void
+VcRouter::onTableRebuild()
+{
+    Router::onTableRebuild();
+    std::fill(lockOwner_.begin(), lockOwner_.end(), -1);
+    std::fill(lockPacket_.begin(), lockPacket_.end(), kInvalidPacket);
+}
+
+void
 VcRouter::returnVcCredit(int in_port, int vc)
 {
     const CreditTarget &t = creditTarget_[in_port];
@@ -139,6 +196,33 @@ void
 VcRouter::evaluate(Cycle now)
 {
     const int ports = numPorts();
+
+    if (degraded_) {
+        // After a mid-run table rebuild a locked lane's packet may
+        // have been purged, rerouted to another input, or had foreign
+        // flits interleaved ahead of it. Whenever the owner cannot
+        // supply the locked packet this cycle, abandon the lock and
+        // let the remaining flits flow flit-wise (delivery is
+        // count-based, so intact packets still complete).
+        for (int o = 0; o < ports; ++o) {
+            for (int v = 0; v < vcs_; ++v) {
+                const std::size_t lane = index(o, v);
+                const int p = lockOwner_[lane];
+                if (p < 0)
+                    continue;
+                const FlitFifo &fifo = vcIn_[index(p, v)];
+                const bool supplied =
+                    !fifo.empty() &&
+                    fifo.front().parts.front().packet ==
+                        lockPacket_[lane] &&
+                    routeOf(fifo.front().parts.front()) == o;
+                if (!supplied) {
+                    lockOwner_[lane] = -1;
+                    lockPacket_[lane] = kInvalidPacket;
+                }
+            }
+        }
+    }
 
     // Stage 1 (VC allocation): each input port selects one eligible
     // (head present, downstream per-VC credit available) VC.
@@ -160,7 +244,7 @@ VcRouter::evaluate(Cycle now)
             const int owner = lockOwner_[index(o, v)];
             if (owner >= 0 && owner != p)
                 continue;
-            if (owner < 0 && !d.isHead())
+            if (owner < 0 && !d.isHead() && !degraded_)
                 continue; // body flit of a packet we do not own here
             if (vcCredits_[index(o, v)] <= 0 || linkBusy(o, now))
                 continue;
@@ -212,12 +296,14 @@ VcRouter::traverse(int in_port, int vc, int out_port)
         lockOwner_[lane] = in_port;
         lockPacket_[lane] = d.packet;
     } else if (d.isTail()) {
-        NOX_ASSERT(lockOwner_[lane] < 0 || lockPacket_[lane] == d.packet,
-                   "foreign tail inside VC wormhole");
-        lockOwner_[lane] = -1;
-        lockPacket_[lane] = kInvalidPacket;
+        // The packet-match guard only matters in degraded mode, where
+        // a lock-free tail must not clear another packet's lock.
+        if (lockOwner_[lane] < 0 || lockPacket_[lane] == d.packet) {
+            lockOwner_[lane] = -1;
+            lockPacket_[lane] = kInvalidPacket;
+        }
     } else {
-        NOX_ASSERT(lockPacket_[lane] == d.packet,
+        NOX_ASSERT(degraded_ || lockPacket_[lane] == d.packet,
                    "foreign body inside VC wormhole");
     }
 

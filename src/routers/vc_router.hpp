@@ -41,7 +41,7 @@ namespace nox {
 class VcRouter : public Router
 {
   public:
-    VcRouter(NodeId id, const Mesh &mesh, RoutingFunction route,
+    VcRouter(NodeId id, const Mesh &mesh, const RoutingTable &table,
              const RouterParams &params, int vc_count);
 
     RouterArch arch() const override
@@ -62,6 +62,20 @@ class VcRouter : public Router
      *  staged credit and wormhole lane is empty/closed. */
     bool quiescent() const override;
 
+    /** Base teardown plus zeroing the dead output's per-VC credit
+     *  books and clearing its wormhole lanes (a stale lock on a dead
+     *  link would block quiescence forever). */
+    void killOutput(int out_port, std::vector<FlitDesc> &lost) override;
+
+    /** Per-lane purge: condemned flits are removed from every VC
+     *  buffer (with per-lane upstream credit return), then the base
+     *  link-retry state is scrubbed. */
+    void purgeFlits(const FlitCondemned &condemned,
+                    std::vector<FlitDesc> &removed) override;
+
+    /** Clear every wormhole lane after a mid-run table rebuild. */
+    void onTableRebuild() override;
+
     // Introspection (tests).
     const FlitFifo &vcFifo(int port, int vc) const
     {
@@ -74,6 +88,13 @@ class VcRouter : public Router
     int lockOwner(int out_port, int vc) const
     {
         return lockOwner_[index(out_port, vc)];
+    }
+
+  protected:
+    /** A flushed retry entry refunds the credit of its own VC lane. */
+    void refundRetryCredit(int out_port, const WireFlit &flit) override
+    {
+        vcCredits_[index(out_port, flit.vc)] += 1;
     }
 
   private:

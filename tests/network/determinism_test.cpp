@@ -217,6 +217,58 @@ TEST_P(FaultDeterminism, SameFaultSeedBitIdenticalAcrossKernels)
         << ": fault schedule diverged under equivalence checking";
 }
 
+NetworkStats
+runOnceHardFaulty(RouterArch arch, SchedulingMode mode)
+{
+    FaultParams faults;
+    faults.enabled = true;
+    faults.hardLinkFaults = 3;
+    faults.hardRouterFaults = 1;
+    faults.hardFaultCycle = kWarmup + kMeasure / 2;
+    faults.seed = 0xD15EA5E;
+    auto net = buildNetwork(arch, PatternKind::UniformRandom, mode,
+                            0.05, 3, faults);
+    net->run(kWarmup + kMeasure);
+    EXPECT_TRUE(net->drain(kDrainLimit))
+        << net->lastDrainReport().summary();
+    return net->stats();
+}
+
+TEST_P(FaultDeterminism, HardFaultScheduleBitIdenticalAcrossKernels)
+{
+    // Fail-stop kills are planned from the fault seed and applied at
+    // a fixed cycle, so a mid-run degradation — dead router, dead
+    // links, write-offs, table rebuild, purge — must replay bit-
+    // identically under every scheduling kernel, and the equivalence
+    // kernel's quiescence asserts must stay clean throughout.
+    const RouterArch arch = GetParam();
+    const NetworkStats always =
+        runOnceHardFaulty(arch, SchedulingMode::AlwaysTick);
+    const NetworkStats repeat =
+        runOnceHardFaulty(arch, SchedulingMode::AlwaysTick);
+    const NetworkStats activity =
+        runOnceHardFaulty(arch, SchedulingMode::ActivityDriven);
+    const NetworkStats checked =
+        runOnceHardFaulty(arch, SchedulingMode::EquivalenceCheck);
+
+    EXPECT_EQ(always.faults.hardLinkFaults, 3u);
+    EXPECT_EQ(always.faults.hardRouterFaults, 1u);
+    EXPECT_GE(always.faults.tableRebuilds, 1u);
+    EXPECT_EQ(always.packetsEjected + always.faults.packetsLostHard,
+              always.packetsInjected);
+    EXPECT_TRUE(identicalStats(always, repeat))
+        << archName(arch)
+        << ": hard-fault runs diverged across repeats";
+    EXPECT_TRUE(identicalStats(always, activity))
+        << archName(arch)
+        << ": hard-fault degradation diverged under activity "
+           "scheduling";
+    EXPECT_TRUE(identicalStats(always, checked))
+        << archName(arch)
+        << ": hard-fault degradation diverged under equivalence "
+           "checking";
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Arches, FaultDeterminism,
     ::testing::Values(RouterArch::NonSpeculative, RouterArch::SpecFast,

@@ -47,12 +47,14 @@ fullObservability()
 }
 
 std::unique_ptr<Network>
-buildNetwork(RouterArch arch, SchedulingMode mode, bool observed)
+buildNetwork(RouterArch arch, SchedulingMode mode, bool observed,
+             const FaultParams &faults = {})
 {
     NetworkParams params;
     params.width = 8;
     params.height = 8;
     params.schedulingMode = mode;
+    params.faults = faults;
     if (observed)
         params.obs = fullObservability();
     auto net = makeNetwork(params, arch);
@@ -134,6 +136,39 @@ INSTANTIATE_TEST_SUITE_P(
         });
         return name;
     });
+
+TEST_P(ObserverEffect, HardFaultDegradationUnobservedByTracing)
+{
+    // A mid-run fail-stop kill — write-offs, purge, table rebuild —
+    // is heavily instrumented (fault trace events, flight-recorder
+    // hooks). None of it may feed back into the simulation: stats
+    // with the full observability stack on must stay bit-identical.
+    const auto [arch, mode] = GetParam();
+    FaultParams faults;
+    faults.enabled = true;
+    faults.hardLinkFaults = 2;
+    faults.hardRouterFaults = 1;
+    faults.hardFaultCycle = kWarmup + kMeasure / 2;
+    faults.seed = 0xC0FFEE;
+
+    auto plain = buildNetwork(arch, mode, false, faults);
+    plain->run(kWarmup + kMeasure);
+    ASSERT_TRUE(plain->drain(kDrainLimit))
+        << plain->lastDrainReport().summary();
+
+    auto observed = buildNetwork(arch, mode, true, faults);
+    observed->run(kWarmup + kMeasure);
+    ASSERT_TRUE(observed->drain(kDrainLimit))
+        << observed->lastDrainReport().summary();
+    observed->finishObservability();
+
+    EXPECT_GE(plain->stats().faults.tableRebuilds, 1u);
+    EXPECT_TRUE(identicalStats(plain->stats(), observed->stats()))
+        << archName(arch) << "/" << schedulingModeName(mode)
+        << ": observability perturbed the hard-fault degradation";
+    EXPECT_EQ(plain->now(), observed->now());
+    EXPECT_GT(observed->tracer()->totalRecorded(), 0u);
+}
 
 TEST(ObserverEffect, SchedulerEventsOnlyUnderActivityKernel)
 {

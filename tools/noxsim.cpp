@@ -104,6 +104,22 @@ runSyntheticMode(const Config &config)
                   std::to_string(r.faults.corruptedEscapes)});
         t.addRow({"decode_mismatches",
                   std::to_string(r.faults.decodeMismatches)});
+        t.addRow({"hard_link_faults",
+                  std::to_string(r.faults.hardLinkFaults)});
+        t.addRow({"hard_router_faults",
+                  std::to_string(r.faults.hardRouterFaults)});
+        t.addRow({"table_rebuilds",
+                  std::to_string(r.faults.tableRebuilds)});
+        t.addRow({"packets_lost_hard",
+                  std::to_string(r.faults.packetsLostHard)});
+        t.addRow({"flits_lost_hard",
+                  std::to_string(r.faults.flitsLostHard)});
+        t.addRow({"unreachable_rejected",
+                  std::to_string(r.faults.unreachableRejected)});
+        t.addRow({"flow_reorders",
+                  std::to_string(r.faults.flowReorders)});
+        t.addRow({"age_alarms",
+                  std::to_string(r.faults.ageAlarms)});
     }
     t.addRow({"drained", r.drained ? "1" : "0"});
     if (!r.drained)
