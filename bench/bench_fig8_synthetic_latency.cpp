@@ -12,6 +12,8 @@
  *
  * Usage: bench_fig8_synthetic_latency [key=value...]
  *   patterns=uniform,transpose,...  quick=true  rates=...  seed=N
+ *   breakdown=true   (adds per-(rate, arch) latency-attribution
+ *                     tables from the provenance observer)
  */
 
 #include <iostream>
@@ -44,6 +46,17 @@ runPattern(PatternKind pattern, bool self_similar,
         headers.push_back(archName(a));
     Table table(headers);
 
+    // breakdown=true: run with latency provenance and append a
+    // per-(rate, arch) attribution table (mean cycles per packet per
+    // component — columns sum to the mean latency in cycles).
+    const bool breakdown = config.getBool("breakdown", false);
+    std::vector<std::string> bheaders{"MB/s/node", "arch"};
+    for (std::size_t i = 0; i < kNumLatencyComponents; ++i)
+        bheaders.push_back(
+            latencyComponentName(static_cast<LatencyComponent>(i)));
+    bheaders.push_back("total");
+    Table btable(bheaders);
+
     PatternSummary summary;
     std::map<RouterArch, RunResult> last_ok;
 
@@ -56,7 +69,27 @@ runPattern(PatternKind pattern, bool self_similar,
             c.selfSimilar = self_similar;
             c.injectionMBps = rate;
             bench::applyCommon(config, &c);
+            c.obs.prov.enabled = breakdown;
             const RunResult r = runSynthetic(c);
+            if (breakdown && !r.saturated &&
+                r.breakdown.packets > 0) {
+                const auto pkts =
+                    static_cast<double>(r.breakdown.packets);
+                std::vector<std::string> brow{Table::num(rate, 0),
+                                              archName(arch)};
+                for (std::size_t i = 0; i < kNumLatencyComponents;
+                     ++i) {
+                    brow.push_back(Table::num(
+                        static_cast<double>(r.breakdown.comp[i]) /
+                            pkts,
+                        2));
+                }
+                brow.push_back(Table::num(
+                    static_cast<double>(r.breakdown.totalCycles) /
+                        pkts,
+                    2));
+                btable.addRow(std::move(brow));
+            }
             perf->push_back(
                 {std::string(self_similar ? "selfsimilar"
                                           : patternName(pattern)) +
@@ -79,6 +112,17 @@ runPattern(PatternKind pattern, bool self_similar,
                                 (self_similar ? "selfsimilar"
                                               : patternName(pattern)),
                     table);
+    if (breakdown) {
+        std::cout << "\nlatency attribution [mean cycles/packet] "
+                     "(components sum to the mean latency):\n";
+        btable.print(std::cout);
+        bench::writeCsv(config,
+                        std::string("fig8_") +
+                            (self_similar ? "selfsimilar"
+                                          : patternName(pattern)) +
+                            "_breakdown",
+                        btable);
+    }
 
     std::cout << "saturation throughput [MB/s/node]: ";
     for (RouterArch a : archs) {

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Observability-overhead microbenchmark.
+ *
+ * The PR 3 contract is that observers are *free when off* (a null
+ * pointer behind an `if`) and cheap when on. This bench quantifies
+ * both halves: it runs the same synthetic point with every
+ * observability subsystem off, then with tracing, metrics sampling,
+ * and latency provenance individually and all together, and reports
+ * wall-clock seconds, simulated cycles/second, and the relative
+ * slowdown versus the baseline. No export files are written during
+ * the timed region (exports happen in finishObservability, outside
+ * the runner's wall-clock window), so the numbers isolate the hot-path
+ * recording cost.
+ *
+ * Usage: bench_obs_overhead [key=value...]
+ *   arch=nox rate_mbps=1200 warmup=N measure=N seed=N repeats=3
+ *   perf_json=<path>   (PerfRecord JSON; the checked-in baseline is
+ *                       bench/baselines/BENCH_obs_overhead.json)
+ */
+
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+
+namespace nox {
+namespace {
+
+struct Variant
+{
+    const char *name;
+    bool trace = false;
+    bool metrics = false;
+    bool provenance = false;
+};
+
+} // namespace
+} // namespace nox
+
+int
+main(int argc, char **argv)
+{
+    using namespace nox;
+
+    Config config;
+    config.parseArgs(argc, argv);
+    bench::printHeader(
+        "Observability overhead: tracing / metrics / provenance "
+        "on-vs-off",
+        config);
+
+    const RouterArch arch =
+        parseArch(config.getString("arch", "nox").c_str());
+    const double rate = config.getDouble("rate_mbps", 1200.0);
+    const int repeats =
+        static_cast<int>(config.getInt("repeats", 3));
+
+    const Variant variants[] = {
+        {"off", false, false, false},
+        {"trace", true, false, false},
+        {"metrics", false, true, false},
+        {"provenance", false, false, true},
+        {"all", true, true, true},
+    };
+
+    Table t({"observers", "wall_s", "cycles/s", "slowdown"});
+    std::vector<bench::PerfRecord> perf;
+    double baseline_cps = 0.0;
+    for (const Variant &v : variants) {
+        // Best-of-N wall clock: the minimum is the least-noisy
+        // estimator of the true cost on a shared machine.
+        double best_wall = 0.0;
+        std::uint64_t cycles = 0;
+        for (int i = 0; i < repeats; ++i) {
+            SyntheticConfig c;
+            c.arch = arch;
+            c.pattern = PatternKind::UniformRandom;
+            c.injectionMBps = rate;
+            bench::applyCommon(config, &c);
+            c.obs.trace.enabled = v.trace;
+            c.obs.metrics.enabled = v.metrics;
+            c.obs.prov.enabled = v.provenance;
+            const RunResult r = runSynthetic(c);
+            if (i == 0 || r.wallSeconds < best_wall)
+                best_wall = r.wallSeconds;
+            cycles = r.cyclesSimulated;
+        }
+        const double cps =
+            best_wall > 0.0 ? static_cast<double>(cycles) / best_wall
+                            : 0.0;
+        if (baseline_cps == 0.0)
+            baseline_cps = cps;
+        t.addRow({v.name, Table::num(best_wall, 4),
+                  Table::num(cps, 0),
+                  Table::num(baseline_cps > 0.0 && cps > 0.0
+                                 ? baseline_cps / cps
+                                 : 0.0,
+                             3)});
+        perf.push_back({std::string(archName(arch)) + "/" + v.name,
+                        best_wall, cycles});
+    }
+    t.print(std::cout);
+    bench::writeCsv(config, "obs_overhead", t);
+    bench::writePerfJson(config, "obs_overhead", perf);
+    bench::warnUnused(config);
+    return 0;
+}

@@ -111,6 +111,15 @@ runSynthetic(const SyntheticConfig &config)
     // JSONL + Chrome trace exports. Outside the wall-clock window so
     // export I/O never pollutes the kernel-speed comparison.
     net->finishObservability();
+    if (const LatencyProvenance *prov = net->provenance()) {
+        res.provenance = true;
+        res.breakdown = prov->total();
+        for (int cls = 0; cls < 3; ++cls) {
+            res.breakdownByClass[static_cast<std::size_t>(cls)] =
+                prov->byClass(static_cast<TrafficClass>(cls));
+        }
+        res.provenanceViolations = prov->conservationViolations();
+    }
     if (net->metrics() && net->metrics()->params().heatmap) {
         std::ostringstream os;
         net->metrics()

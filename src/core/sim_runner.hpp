@@ -16,9 +16,11 @@
 #ifndef NOX_CORE_SIM_RUNNER_HPP
 #define NOX_CORE_SIM_RUNNER_HPP
 
+#include <array>
 #include <cstdint>
 
 #include "noc/network.hpp"
+#include "obs/provenance.hpp"
 #include "noc/router.hpp"
 #include "noc/types.hpp"
 #include "power/energy_model.hpp"
@@ -81,6 +83,15 @@ struct RunResult
 
     /** Rendered link-utilization heatmap ("" when metrics are off). */
     std::string metricsHeatmap;
+
+    /** Latency-provenance attribution over the measured packets
+     *  (provenance= runs only; see obs/provenance.hpp). */
+    bool provenance = false;
+    LatencyBreakdown breakdown;
+    std::array<LatencyBreakdown, 3> breakdownByClass;
+    /** Packets whose components failed to sum to their latency
+     *  (must be 0 — a nonzero count is a simulator bug). */
+    std::uint64_t provenanceViolations = 0;
 
     bool saturated = false;
     bool drained = true;

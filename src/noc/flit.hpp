@@ -106,6 +106,20 @@ std::uint64_t expectedPayload(PacketId packet, std::uint32_t seq);
 /** Deterministic uid for (packet, seq). */
 std::uint64_t flitUid(PacketId packet, std::uint32_t seq);
 
+/** Inverse of flitUid: the owning packet id. */
+inline PacketId
+flitPacket(std::uint64_t uid)
+{
+    return uid >> 8;
+}
+
+/** Inverse of flitUid: the flit's sequence number in its packet. */
+inline std::uint32_t
+flitSeq(std::uint64_t uid)
+{
+    return static_cast<std::uint32_t>(uid & 0xffu);
+}
+
 /**
  * A value travelling on a link or stored in an input FIFO: one flit,
  * or the XOR superposition of several (NoX encoded form).

@@ -178,6 +178,13 @@ Network::Network(const NetworkParams &params, RouterFactory factory)
         lastLinkFlits_.assign(static_cast<std::size_t>(nr), 0);
         lastCollisions_.assign(static_cast<std::size_t>(nr), 0);
     }
+    if (params.obs.prov.enabled) {
+        prov_ = std::make_unique<LatencyProvenance>(params.obs.prov);
+        for (auto &r : routers_)
+            r->attachProvenance(prov_.get());
+        for (auto &nic : nics_)
+            nic->attachProvenance(prov_.get());
+    }
 }
 
 void
@@ -307,6 +314,13 @@ Network::applyDueHardFaults(bool at_construction)
 
     stats_.faults.flitsLostHard += lostUids.size();
     stats_.faults.packetsLostHard += lostPackets.size();
+    if (prov_) {
+        // Written-off flits will never be delivered: their open spans
+        // are abandoned (they were never measured anyway).
+        std::vector<std::uint64_t> uids(lostUids.begin(),
+                                        lostUids.end());
+        prov_->forgetFlits(uids);
+    }
     for (const auto &[packet, dest] : lostPackets) {
         nics_[dest]->forgetArrived(packet);
         ageInFlight_.erase(packet);
@@ -588,6 +602,14 @@ Network::finishObservability()
                                   params_.width,
                                   params_.concentration);
     }
+    // End-of-run flight dump: a deterministic input for offline
+    // timeline reconstruction (trace_tool analyze) even when no
+    // failure trigger fired during the run.
+    if (tracer_ && tracer_->params().flightOnExit &&
+        !tracer_->flightDumped())
+        tracer_->triggerFlightDump("end-of-run", {});
+    if (prov_ && !prov_->params().jsonlPath.empty())
+        prov_->writeJsonl(prov_->params().jsonlPath);
 }
 
 int
@@ -664,6 +686,8 @@ Network::setMeasurementWindow(Cycle start, Cycle end)
     NOX_ASSERT(start < end, "empty measurement window");
     stats_.measureStart = start;
     stats_.measureEnd = end;
+    if (prov_)
+        prov_->setMeasurementWindow(start, end);
 }
 
 std::uint64_t
@@ -737,6 +761,8 @@ Network::injectPacket(NodeId src, NodeId dst, int num_flits, Cycle now,
             d.vc = 1;
         flits.push_back(d);
     }
+    if (prov_)
+        prov_->onPacketCreate(flits, now);
     nics_[src]->enqueuePacket(std::move(flits));
 
     if (tracer_) {

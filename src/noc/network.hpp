@@ -191,6 +191,10 @@ class Network : public PacketInjector, public SinkListener
     MetricsSampler *metrics() { return metrics_.get(); }
     const MetricsSampler *metrics() const { return metrics_.get(); }
 
+    /** The latency-provenance observer, or nullptr when disabled. */
+    LatencyProvenance *provenance() { return prov_.get(); }
+    const LatencyProvenance *provenance() const { return prov_.get(); }
+
     /**
      * End-of-run observability flush: closes the final partial
      * metrics window and writes the configured exports (metrics
@@ -270,6 +274,7 @@ class Network : public PacketInjector, public SinkListener
     std::unique_ptr<FaultInjector> faults_;
     std::unique_ptr<TraceRecorder> tracer_;
     std::unique_ptr<MetricsSampler> metrics_;
+    std::unique_ptr<LatencyProvenance> prov_;
     DrainReport drainReport_;
 
     /** Per-router counter values at the last closed metrics window

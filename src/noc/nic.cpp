@@ -60,6 +60,8 @@ Nic::evaluateInject(Cycle now)
         d.injectCycle = now;
         trace(TraceEventKind::FlitInject, d.uid,
               static_cast<std::uint32_t>(d.seq));
+        if (prov_)
+            prov_->onInject(d.uid, router_->id(), now);
         router_->stageFlit(localPort_, WireFlit::fromDesc(d));
         energy_.localLinkFlits += 1;
         injectRr_ = (static_cast<int>(vc) + 1) % vcs;
@@ -74,6 +76,14 @@ Nic::evaluateSink(Cycle now)
         return;
     const DecodeView v = decoder_.view(sinkFifo_, faults_ != nullptr);
     if (v.latchBubble) {
+        if (prov_) {
+            // The cycle is consumed latching an encoded head: bill the
+            // chain constituent already accepted toward this sink (the
+            // location guard skips constituents still upstream).
+            for (const FlitDesc &d : sinkFifo_.front().parts)
+                prov_->onStall(d.uid, LatencyComponent::XorRecovery,
+                               node_, true, now);
+        }
         const int vc = sinkFifo_.front().vc;
         decoder_.latch(sinkFifo_);
         energy_.bufferReads += 1;
@@ -81,8 +91,17 @@ Nic::evaluateSink(Cycle now)
         router_->stageCreditVc(localPort_, vc);
         return;
     }
-    if (!v.presented)
+    if (!v.presented) {
+        if (prov_ && decoder_.registerValid()) {
+            // Decode register loaded but the chain's next wire value
+            // has not arrived: the flit it will recover waits on XOR
+            // machinery, not on the link.
+            for (const FlitDesc &d : decoder_.registerValue().parts)
+                prov_->onStall(d.uid, LatencyComponent::XorRecovery,
+                               node_, true, now);
+        }
         return;
+    }
     if (v.decodedByXor) {
         energy_.decodeOps += 1;
         trace(TraceEventKind::XorDecode, v.presented->uid);
@@ -135,6 +154,8 @@ Nic::deliver(const FlitDesc &flit, Cycle now)
     a.count += 1;
     NOX_ASSERT(a.count <= flit.packetSize, "packet ", flit.packet,
                " delivered more flits than its size");
+    if (prov_)
+        prov_->onDelivered(flit, now, a.count == flit.packetSize);
     if (a.count == flit.packetSize) {
         const Cycle head_inject = a.headInject;
         arrived_.erase(flit.packet);

@@ -70,6 +70,10 @@ class Nic
     /** Attach the network's trace recorder (nullptr = tracing off). */
     void attachTracer(TraceRecorder *tracer) { tracer_ = tracer; }
 
+    /** Attach the network's latency-provenance observer (nullptr =
+     *  off). */
+    void attachProvenance(LatencyProvenance *prov) { prov_ = prov; }
+
     // -- per-cycle evaluation (two-phase, like Router) --
     void evaluateInject(Cycle now);
     void evaluateSink(Cycle now);
@@ -170,6 +174,7 @@ class Nic
     SinkListener *listener_ = nullptr;
     FaultInjector *faults_ = nullptr;
     TraceRecorder *tracer_ = nullptr;
+    LatencyProvenance *prov_ = nullptr;
 
     // Injection side (per VC; one entry for the paper's VC-free
     // routers). Per-VC source queues avoid head-of-line blocking

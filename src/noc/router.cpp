@@ -92,6 +92,24 @@ Router::evaluateLink(Cycle now)
 {
     if (!faults_)
         return;
+    if (prov_) {
+        // Every cycle a retry entry is outstanding, its wire value is
+        // somewhere between acceptance and a successful restage: bill
+        // the wait to the link-protection machinery. The charge is
+        // located at the *downstream* receiver — where onHopSend
+        // placed the accepted flit — so encoded-chain constituents
+        // that lost arbitration here (NoX) are filtered out by the
+        // provenance location guard and keep accruing their own
+        // XorRecovery/arbitration charges instead.
+        for (int o = 0; o < params_.numPorts; ++o) {
+            if (!retry_[o] || !outTarget_[o].router)
+                continue;
+            const NodeId down = outTarget_[o].router->id();
+            for (const FlitDesc &d : retry_[o]->flit.parts)
+                prov_->onStall(d.uid, LatencyComponent::Retransmit,
+                               down, false, now);
+        }
+    }
     for (int o = 0; o < params_.numPorts; ++o) {
         if (!retry_[o] || retry_[o]->due > now)
             continue;
@@ -257,6 +275,18 @@ Router::dispatchFlit(int out_port, WireFlit flit)
     } else {
         t.nic->stageSinkFlit(std::move(flit));
     }
+}
+
+void
+Router::provSend(const FlitDesc &d, int out_port, Cycle now)
+{
+    if (!prov_)
+        return;
+    const FlitTarget &t = outTarget_[out_port];
+    if (t.router)
+        prov_->onHopSend(d.uid, now, t.router->id(), false);
+    else if (t.nic)
+        prov_->onHopSend(d.uid, now, d.dest, true);
 }
 
 void

@@ -30,6 +30,7 @@
 #include "noc/routing_table.hpp"
 #include "noc/topology.hpp"
 #include "noc/types.hpp"
+#include "obs/provenance.hpp"
 #include "obs/trace_recorder.hpp"
 
 namespace nox {
@@ -150,6 +151,11 @@ class Router
      *  every emission site is guarded by this pointer, so disabled
      *  tracing costs one predictable branch). */
     void attachTracer(TraceRecorder *tracer) { tracer_ = tracer; }
+
+    /** Attach the network's latency-provenance observer (nullptr =
+     *  off; every charge site is guarded by this pointer just like
+     *  the tracer's emission sites). */
+    void attachProvenance(LatencyProvenance *prov) { prov_ = prov; }
 
     // -- interface used by upstream neighbours / NICs --
     void stageFlit(int in_port, WireFlit flit);
@@ -350,6 +356,22 @@ class Router
             tracer_->record(kind, id_, port, id, arg);
     }
 
+    /** Charge one explicit stall cycle to a flit presented at this
+     *  router that cannot move this cycle (no-op when provenance is
+     *  disabled or the flit is not actually located here). */
+    void
+    provStall(const FlitDesc &d, LatencyComponent c, Cycle now)
+    {
+        if (prov_)
+            prov_->onStall(d.uid, c, id_, false, now);
+    }
+
+    /** Close a flit's hop span: its wire value was *accepted* onto
+     *  output @p out_port this cycle (retransmissions of an already
+     *  accepted value are not hop sends). Defined in router.cpp — it
+     *  needs the downstream NIC's node id. */
+    void provSend(const FlitDesc &d, int out_port, Cycle now);
+
     NodeId id_;
     const Mesh &mesh_;
     const RoutingTable *table_;
@@ -380,6 +402,7 @@ class Router
 
     FaultInjector *faults_ = nullptr; ///< nullptr = fault-free build
     TraceRecorder *tracer_ = nullptr; ///< nullptr = tracing disabled
+    LatencyProvenance *prov_ = nullptr; ///< nullptr = provenance off
     std::vector<std::optional<RetryEntry>> retry_;
     std::vector<Cycle> lastLinkSend_; ///< cycle the retry buffer last
                                       ///< drove each output wire

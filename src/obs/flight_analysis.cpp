@@ -1,0 +1,277 @@
+#include "obs/flight_analysis.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/log.hpp"
+#include "noc/flit.hpp"
+
+namespace nox {
+
+namespace {
+
+/** Find `"key":<integer>` in a single-line JSON object. */
+bool
+findInt(const std::string &line, const char *key, long long &out)
+{
+    const std::string pat = std::string("\"") + key + "\":";
+    const std::size_t pos = line.find(pat);
+    if (pos == std::string::npos)
+        return false;
+    const char *start = line.c_str() + pos + pat.size();
+    char *end = nullptr;
+    out = std::strtoll(start, &end, 10);
+    return end != start;
+}
+
+/** Find `"key":"<string>"` in a single-line JSON object. */
+bool
+findString(const std::string &line, const char *key, std::string &out)
+{
+    const std::string pat = std::string("\"") + key + "\":\"";
+    const std::size_t pos = line.find(pat);
+    if (pos == std::string::npos)
+        return false;
+    const std::size_t start = pos + pat.size();
+    const std::size_t close = line.find('"', start);
+    if (close == std::string::npos)
+        return false;
+    out = line.substr(start, close - start);
+    return true;
+}
+
+} // namespace
+
+bool
+loadFlightDump(const std::string &path, FlightDump &out,
+               std::string &error)
+{
+    std::ifstream in(path);
+    if (!in) {
+        error = "cannot open " + path;
+        return false;
+    }
+
+    std::string line;
+    if (!std::getline(in, line) ||
+        !findString(line, "flight_recorder", out.reason)) {
+        error = path + ": missing flight_recorder header";
+        return false;
+    }
+    long long v = 0;
+    if (findInt(line, "cycle", v))
+        out.dumpCycle = static_cast<Cycle>(v);
+    if (findInt(line, "first_cycle", v))
+        out.firstCycle = static_cast<Cycle>(v);
+    if (findInt(line, "last_cycle", v))
+        out.lastCycle = static_cast<Cycle>(v);
+    const std::size_t imp = line.find("\"implicated\":[");
+    if (imp != std::string::npos) {
+        const char *p = line.c_str() + imp + 14;
+        while (*p != ']' && *p != '\0') {
+            char *end = nullptr;
+            const long long node = std::strtoll(p, &end, 10);
+            if (end == p)
+                break;
+            out.implicated.push_back(static_cast<NodeId>(node));
+            p = (*end == ',') ? end + 1 : end;
+        }
+    }
+
+    std::size_t lineno = 1;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.empty())
+            continue;
+        FlightEvent e;
+        std::string kind;
+        long long c = 0, n = 0, nic = 0, p = 0, id = 0, a = 0;
+        if (!findInt(line, "c", c) || !findString(line, "k", kind) ||
+            !findInt(line, "n", n) || !findInt(line, "nic", nic) ||
+            !findInt(line, "p", p) || !findInt(line, "id", id) ||
+            !findInt(line, "a", a)) {
+            std::ostringstream os;
+            os << path << ":" << lineno << ": malformed event line";
+            error = os.str();
+            return false;
+        }
+        if (!parseTraceEventKind(kind.c_str(), e.kind))
+            continue; // unknown kind: skip, don't fail
+        e.cycle = static_cast<Cycle>(c);
+        e.node = static_cast<NodeId>(n);
+        e.nic = nic != 0;
+        e.port = static_cast<int>(p);
+        e.id = static_cast<std::uint64_t>(id);
+        e.arg = static_cast<std::uint32_t>(a);
+        out.events.push_back(e);
+    }
+    return true;
+}
+
+std::vector<PacketTimeline>
+buildTimelines(const FlightDump &dump)
+{
+    // std::map: timelines come out sorted by packet id.
+    std::map<PacketId, PacketTimeline> by_packet;
+    auto timeline = [&](PacketId packet) -> PacketTimeline & {
+        PacketTimeline &t = by_packet[packet];
+        t.packet = packet;
+        return t;
+    };
+
+    for (const FlightEvent &e : dump.events) {
+        switch (e.kind) {
+          case TraceEventKind::PacketCreate: {
+            PacketTimeline &t = timeline(e.id);
+            t.haveCreate = true;
+            t.createCycle = e.cycle;
+            t.src = e.node;
+            t.dest = static_cast<NodeId>(e.arg >> 16);
+            t.numFlits = e.arg & 0xffffu;
+            break;
+          }
+          case TraceEventKind::PacketDone: {
+            PacketTimeline &t = timeline(e.id);
+            t.haveDone = true;
+            t.doneCycle = e.cycle;
+            t.reportedLatency =
+                static_cast<std::uint64_t>(e.arg) + 1;
+            break;
+          }
+          case TraceEventKind::FlitInject:
+          case TraceEventKind::FlitSend:
+          case TraceEventKind::XorDecode:
+          case TraceEventKind::FlitEject: {
+            // An encoded link value belongs to no single packet; the
+            // recorder writes id 0 for those (real packet ids start
+            // at 1). Track head flits only: the +1 latency convention
+            // keys off the head's journey and tail flits ride the
+            // same wormhole path.
+            if (e.id == 0 || flitSeq(e.id) != 0)
+                break;
+            PacketTimeline &t = timeline(flitPacket(e.id));
+            t.hops.push_back(
+                {e.cycle, e.kind, e.node, e.nic, e.port});
+            break;
+          }
+          default:
+            break;
+        }
+    }
+
+    std::vector<PacketTimeline> out;
+    out.reserve(by_packet.size());
+    for (auto &[packet, t] : by_packet) {
+        std::stable_sort(t.hops.begin(), t.hops.end(),
+                         [](const TimelineHop &a, const TimelineHop &b) {
+                             return a.cycle < b.cycle;
+                         });
+        out.push_back(std::move(t));
+    }
+    return out;
+}
+
+std::vector<SlowPacket>
+slowestPackets(const FlightDump &dump,
+               const std::vector<PacketTimeline> &timelines,
+               std::size_t k)
+{
+    std::vector<const PacketTimeline *> complete;
+    for (const PacketTimeline &t : timelines) {
+        if (t.haveCreate && t.haveDone)
+            complete.push_back(&t);
+    }
+    std::sort(complete.begin(), complete.end(),
+              [](const PacketTimeline *a, const PacketTimeline *b) {
+                  if (a->latency() != b->latency())
+                      return a->latency() > b->latency();
+                  return a->packet < b->packet;
+              });
+    if (complete.size() > k)
+        complete.resize(k);
+
+    std::vector<SlowPacket> out;
+    out.reserve(complete.size());
+    for (const PacketTimeline *t : complete) {
+        SlowPacket s;
+        s.packet = t->packet;
+        s.latency = t->latency();
+        s.src = t->src;
+        s.dest = t->dest;
+
+        // Critical hop: the longest gap between consecutive observed
+        // points of the head flit's journey, charged to the component
+        // the flit was waiting at (the gap's starting point).
+        std::vector<TimelineHop> points;
+        points.push_back({t->createCycle, TraceEventKind::PacketCreate,
+                          t->src, true, -1});
+        points.insert(points.end(), t->hops.begin(), t->hops.end());
+        points.push_back({t->doneCycle, TraceEventKind::PacketDone,
+                          t->dest, true, -1});
+        std::size_t worst = 0;
+        Cycle worst_gap = 0;
+        for (std::size_t i = 0; i + 1 < points.size(); ++i) {
+            const Cycle gap =
+                points[i + 1].cycle - points[i].cycle;
+            if (gap > worst_gap) {
+                worst_gap = gap;
+                worst = i;
+            }
+        }
+        s.stallStart = points[worst].cycle;
+        s.stallEnd = points[worst + 1].cycle;
+        s.stallNode = points[worst].node;
+        s.stallNic = points[worst].nic;
+
+        // Dominant cause: protection/recovery events co-located with
+        // the stall window outvote each other; a stall that starts
+        // before the head ever injected is source queueing; anything
+        // unexplained is ordinary arbitration/credit back-pressure.
+        if (points[worst].kind == TraceEventKind::PacketCreate) {
+            s.cause = "source_queueing";
+        } else {
+            std::uint64_t retrans = 0, xor_rec = 0, reroute = 0;
+            for (const FlightEvent &e : dump.events) {
+                if (e.cycle < s.stallStart || e.cycle > s.stallEnd)
+                    continue;
+                switch (e.kind) {
+                  case TraceEventKind::CrcReject:
+                  case TraceEventKind::LinkNack:
+                  case TraceEventKind::Retransmit:
+                  case TraceEventKind::FaultInject:
+                    if (e.node == s.stallNode)
+                        ++retrans;
+                    break;
+                  case TraceEventKind::XorEncode:
+                  case TraceEventKind::NoxAbort:
+                  case TraceEventKind::DecodeFault:
+                    if (e.node == s.stallNode)
+                        ++xor_rec;
+                    break;
+                  case TraceEventKind::HardFault:
+                  case TraceEventKind::TableRebuild:
+                    ++reroute; // global: rebuilds stall everyone
+                    break;
+                  default:
+                    break;
+                }
+            }
+            if (reroute > 0 && reroute >= retrans &&
+                reroute >= xor_rec)
+                s.cause = "reroute";
+            else if (retrans > 0 && retrans >= xor_rec)
+                s.cause = "retransmission";
+            else if (xor_rec > 0)
+                s.cause = "xor_recovery";
+            else
+                s.cause = "arbitration_or_credit";
+        }
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+} // namespace nox

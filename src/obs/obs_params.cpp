@@ -16,6 +16,10 @@ obsParamsFromConfig(const Config &config)
     obs.trace.chromePath = config.getString("trace_file", "");
     obs.trace.flightPath =
         config.getString("trace_flight_file", obs.trace.flightPath);
+    obs.trace.flightOnExit =
+        config.getBool("trace_flight_on_exit", false);
+    if (obs.trace.flightOnExit)
+        obs.trace.enabled = true;
 
     obs.metrics.enabled =
         config.getBool("metrics", false) || config.has("metrics_file");
@@ -25,6 +29,10 @@ obsParamsFromConfig(const Config &config)
         config.getString("metrics_file", "nox-metrics.jsonl");
     obs.metrics.heatmap =
         config.getBool("metrics_heatmap", obs.metrics.heatmap);
+
+    obs.prov.enabled = config.getBool("provenance", false) ||
+                       config.has("provenance_file");
+    obs.prov.jsonlPath = config.getString("provenance_file", "");
 
     return obs;
 }

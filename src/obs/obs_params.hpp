@@ -9,6 +9,7 @@
 #define NOX_OBS_OBS_PARAMS_HPP
 
 #include "obs/metrics.hpp"
+#include "obs/provenance.hpp"
 #include "obs/trace_recorder.hpp"
 
 namespace nox {
@@ -20,11 +21,12 @@ struct ObsParams
 {
     TraceParams trace;
     MetricsParams metrics;
+    ProvenanceParams prov;
 
     bool
     any() const
     {
-        return trace.enabled || metrics.enabled;
+        return trace.enabled || metrics.enabled || prov.enabled;
     }
 };
 
@@ -36,12 +38,20 @@ struct ObsParams
  *                     implies trace=true (default: no export)
  *   trace_flight_file= flight-recorder dump path (default
  *                     nox-flight.jsonl; "" disables the file write)
+ *   trace_flight_on_exit= also dump the ring at end of run without a
+ *                     failure trigger (for offline `trace_tool
+ *                     analyze`); implies trace=true (default false)
  *   metrics=          master switch for time-series sampling
  *   metrics_interval= cycles per sampling window (default 256)
  *   metrics_file=     JSONL export path; setting it implies
  *                     metrics=true (default nox-metrics.jsonl)
  *   metrics_heatmap=  print the link-utilization heatmap (default
  *                     true when metrics are enabled)
+ *   provenance=       master switch for per-packet latency
+ *                     provenance (default false)
+ *   provenance_file=  JSONL export path for the aggregated latency
+ *                     breakdowns; setting it implies provenance=true
+ *                     (default: no export)
  */
 ObsParams obsParamsFromConfig(const Config &config);
 

@@ -54,6 +54,13 @@ enum class TraceEventKind : std::uint8_t {
 const char *traceEventKindName(TraceEventKind kind);
 
 /**
+ * Inverse of traceEventKindName: parse a display name back into the
+ * enum (used by the offline flight-dump analyzer). Returns false when
+ * @p name is not a known kind.
+ */
+bool parseTraceEventKind(const char *name, TraceEventKind &out);
+
+/**
  * One recorded event. `node` is the emitting component (router id, or
  * NIC node id for NIC-side events — the chrome exporter separates the
  * two into distinct tracks); `port` is the relevant port or -1;

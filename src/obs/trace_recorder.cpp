@@ -1,6 +1,7 @@
 #include "obs/trace_recorder.hpp"
 
 #include <fstream>
+#include <string_view>
 
 #include "common/log.hpp"
 
@@ -54,6 +55,21 @@ traceEventKindName(TraceEventKind kind)
         return "sched_retire";
     }
     panic("unknown trace event kind");
+}
+
+bool
+parseTraceEventKind(const char *name, TraceEventKind &out)
+{
+    constexpr auto kLast =
+        static_cast<int>(TraceEventKind::SchedRetire);
+    for (int k = 0; k <= kLast; ++k) {
+        const auto kind = static_cast<TraceEventKind>(k);
+        if (std::string_view(traceEventKindName(kind)) == name) {
+            out = kind;
+            return true;
+        }
+    }
+    return false;
 }
 
 TraceRecorder::TraceRecorder(const TraceParams &params)

@@ -42,6 +42,10 @@ struct TraceParams
     /** Flight-recorder dump path ("" = triggers are still latched,
      *  for tests, but no file is written). */
     std::string flightPath = "nox-flight.jsonl";
+
+    /** Dump the ring at end of run even without a failure trigger
+     *  (deterministic input for offline `trace_tool analyze`). */
+    bool flightOnExit = false;
 };
 
 /** Ring-buffer event recorder shared by one Network's components. */

@@ -38,8 +38,23 @@ NonSpecRouter::evaluate(Cycle now)
     }
 
     for (int o = 0; o < ports; ++o) {
-        if (!outputConnected(o) || !haveCredit(o) || linkBusy(o, now))
+        if (!outputConnected(o))
             continue;
+        if (!haveCredit(o) || linkBusy(o, now)) {
+            if (prov_) {
+                // Everyone presenting for this output waits on the
+                // downstream buffer (or on the link-retry protocol
+                // holding the wire).
+                const LatencyComponent c =
+                    linkBusy(o, now) ? LatencyComponent::Retransmit
+                                     : LatencyComponent::CreditStall;
+                for (int p = 0; p < ports; ++p) {
+                    if (out_of[p] == o)
+                        provStall(*head[p], c, now);
+                }
+            }
+            continue;
+        }
 
         if (lockOwner_[o] >= 0) {
             // Wormhole: output reserved for an in-flight packet; body
@@ -57,12 +72,27 @@ NonSpecRouter::evaluate(Cycle now)
                 // packets still complete).
                 lockOwner_[o] = -1;
                 lockPacket_[o] = kInvalidPacket;
+                if (prov_) {
+                    for (int q = 0; q < ports; ++q) {
+                        if (out_of[q] == o)
+                            provStall(*head[q],
+                                      LatencyComponent::Reroute, now);
+                    }
+                }
                 continue;
+            }
+            if (prov_) {
+                for (int q = 0; q < ports; ++q) {
+                    if (q != p && out_of[q] == o)
+                        provStall(*head[q],
+                                  LatencyComponent::ArbLoss, now);
+                }
             }
             if (head[p] && out_of[p] == o) {
                 NOX_ASSERT(head[p]->packet == lockPacket_[o],
                            "foreign flit inside locked wormhole");
                 traverse(p, o);
+                provSend(*head[p], o, now);
             }
             continue;
         }
@@ -81,7 +111,15 @@ NonSpecRouter::evaluate(Cycle now)
         trace(TraceEventKind::Arbitrate, o,
               static_cast<std::uint64_t>(winner),
               static_cast<std::uint32_t>(requests));
+        if (prov_) {
+            for (int p = 0; p < ports; ++p) {
+                if (p != winner && (requests & maskBit(p)))
+                    provStall(*head[p], LatencyComponent::ArbLoss,
+                              now);
+            }
+        }
         traverse(winner, o);
+        provSend(*head[winner], o, now);
     }
 }
 

@@ -58,14 +58,31 @@ NoxRouter::evaluate(Cycle now)
         views[p] = decoders_[p].view(in_[p], faults_ != nullptr);
         out_of[p] = -1;
         if (views[p].latchBubble) {
+            if (prov_) {
+                // The cycle is consumed latching an encoded head:
+                // bill the chain constituent already accepted to this
+                // router (the location guard skips constituents still
+                // buffered upstream — they accrue their own charges
+                // there).
+                for (const FlitDesc &d : in_[p].front().parts)
+                    provStall(d, LatencyComponent::XorRecovery, now);
+            }
             decoders_[p].latch(in_[p]);
             energy_.bufferReads += 1;
             energy_.decodeLatches += 1;
             returnCredit(p);
             continue;
         }
-        if (views[p].presented)
+        if (views[p].presented) {
             out_of[p] = routeOf(*views[p].presented);
+        } else if (prov_ && decoders_[p].registerValid()) {
+            // Decode register loaded but the chain's next wire value
+            // has not arrived yet: the flit it will recover is stuck
+            // in XOR recovery, not on a link.
+            for (const FlitDesc &d :
+                 decoders_[p].registerValue().parts)
+                provStall(d, LatencyComponent::XorRecovery, now);
+        }
     }
 
     for (int o = 0; o < ports; ++o) {
@@ -83,8 +100,18 @@ NoxRouter::evaluate(Cycle now)
         // link-level retry protocol (which owns the wire until its
         // pending flit is acknowledged); when the output is back-
         // pressured everything (including the masks) simply holds.
-        if (!haveCredit(o) || linkBusy(o, now))
+        if (!haveCredit(o) || linkBusy(o, now)) {
+            if (prov_) {
+                const LatencyComponent c =
+                    linkBusy(o, now) ? LatencyComponent::Retransmit
+                                     : LatencyComponent::CreditStall;
+                for (int p = 0; p < ports; ++p) {
+                    if (out_of[p] == o)
+                        provStall(*views[p].presented, c, now);
+                }
+            }
             continue;
+        }
 
         // Mode-residency accounting (only for outputs with activity
         // potential: connected and credit-eligible this cycle).
@@ -112,13 +139,27 @@ NoxRouter::evaluate(Cycle now)
                 // foreign flits; abandon the lock and let the
                 // remaining flits re-arbitrate flit-wise.
                 unlockOutput(st);
+                if (prov_) {
+                    for (int q = 0; q < ports; ++q) {
+                        if (out_of[q] == o)
+                            provStall(*views[q].presented,
+                                      LatencyComponent::Reroute, now);
+                    }
+                }
                 continue;
+            }
+            if (prov_) {
+                for (int q = 0; q < ports; ++q) {
+                    if (q != p && out_of[q] == o)
+                        provStall(*views[q].presented,
+                                  LatencyComponent::ArbLoss, now);
+                }
             }
             if (requests & maskBit(p)) {
                 const FlitDesc d = *views[p].presented;
                 NOX_ASSERT(d.packet == st.lockPacket,
                            "foreign flit inside locked NoX output");
-                traverseSingle(p, o, views[p]);
+                traverseSingle(p, o, views[p], now);
                 if (d.isTail()) {
                     unlockOutput(st);
                     const RequestMask others =
@@ -143,6 +184,15 @@ NoxRouter::evaluate(Cycle now)
             // Recovery: switch mask == arb mask; collisions resolve
             // through successive masking of past winners.
             const RequestMask part = requests & st.switchMask;
+            if (prov_) {
+                // Requesters masked out by the collision-recovery
+                // automaton wait for past winners' chains to clear.
+                for (int p = 0; p < ports; ++p) {
+                    if (out_of[p] == o && !(part & maskBit(p)))
+                        provStall(*views[p].presented,
+                                  LatencyComponent::XorRecovery, now);
+                }
+            }
             if (!part)
                 continue;
             const int fanin = std::popcount(part);
@@ -155,7 +205,7 @@ NoxRouter::evaluate(Cycle now)
                 st.arb->grant(part);
                 energy_.arbDecisions += 1;
                 noxStats_.cleanTraversals += 1;
-                traverseSingle(p, o, views[p]);
+                traverseSingle(p, o, views[p], now);
                 if (d.isMultiFlit() && d.isHead() && !d.isTail()) {
                     lockOutput(st, p, d.packet);
                 } else {
@@ -192,6 +242,16 @@ NoxRouter::evaluate(Cycle now)
                 trace(TraceEventKind::NoxAbort, o,
                       views[g].presented->uid,
                       static_cast<std::uint32_t>(fanin));
+                if (prov_) {
+                    // Abort wastes the cycle for every collider,
+                    // including the grant winner.
+                    for (int p = 0; p < ports; ++p) {
+                        if (part & maskBit(p))
+                            provStall(*views[p].presented,
+                                      LatencyComponent::XorRecovery,
+                                      now);
+                    }
+                }
                 lockOutput(st, g, views[g].presented->packet);
                 continue;
             }
@@ -216,6 +276,17 @@ NoxRouter::evaluate(Cycle now)
             trace(TraceEventKind::XorEncode, o,
                   views[g].presented->uid,
                   static_cast<std::uint32_t>(fanin));
+            if (prov_) {
+                // Only the arbitration winner is freed by an encoded
+                // transfer; the other colliders begin (or continue)
+                // their XOR-recovery wait.
+                for (int p = 0; p < ports; ++p) {
+                    if ((part & maskBit(p)) && p != g)
+                        provStall(*views[p].presented,
+                                  LatencyComponent::XorRecovery, now);
+                }
+                provSend(*views[g].presented, o, now);
+            }
             acceptPresented(g, views[g]);
             sendFlit(o, WireFlit::combine(colliding));
 
@@ -238,11 +309,20 @@ NoxRouter::evaluate(Cycle now)
         const RequestMask sw = requests & st.switchMask;
         NOX_ASSERT(std::popcount(sw) <= 1,
                    "multiple switch-enabled inputs in Scheduled mode");
+        if (prov_) {
+            // Requesters not pre-scheduled for the switch this cycle
+            // wait out (at least) one arbitration round.
+            for (int p = 0; p < ports; ++p) {
+                if (out_of[p] == o && !(sw & maskBit(p)))
+                    provStall(*views[p].presented,
+                              LatencyComponent::ArbLoss, now);
+            }
+        }
         if (sw) {
             const int p = std::countr_zero(sw);
             const FlitDesc d = *views[p].presented;
             noxStats_.prescheduled += 1;
-            traverseSingle(p, o, views[p]);
+            traverseSingle(p, o, views[p], now);
             if (d.isMultiFlit() && d.isHead() && !d.isTail()) {
                 lockOutput(st, p, d.packet);
                 continue;
@@ -311,9 +391,10 @@ NoxRouter::acceptPresented(int port, const DecodeView &view)
 
 void
 NoxRouter::traverseSingle(int in_port, int out_port,
-                          const DecodeView &view)
+                          const DecodeView &view, Cycle now)
 {
     const FlitDesc d = *view.presented;
+    provSend(d, out_port, now);
     energy_.xbarInputDrives += 1;
     acceptPresented(in_port, view);
     sendFlit(out_port, WireFlit::fromDesc(d));

@@ -152,7 +152,7 @@ class NoxRouter : public Router
 
     /** Uncontended (or Scheduled) single-input traversal. */
     void traverseSingle(int in_port, int out_port,
-                        const DecodeView &view);
+                        const DecodeView &view, Cycle now);
 
     void lockOutput(OutState &st, int in_port, PacketId packet);
     void unlockOutput(OutState &st);

@@ -50,8 +50,12 @@ SpecRouter::evaluate(Cycle now)
             const bool newly_exposed =
                 prevHeadPacket_[p] != kInvalidPacket &&
                 prevHeadPacket_[p] != head[p]->packet;
-            if (newly_exposed)
+            if (newly_exposed) {
                 out_of[p] = -1;
+                // Fairness-rule blanking costs the new head one
+                // arbitration cycle.
+                provStall(*head[p], LatencyComponent::ArbLoss, now);
+            }
         }
     }
 
@@ -75,6 +79,15 @@ SpecRouter::evaluate(Cycle now)
             // capture the output indefinitely under stop-and-go
             // credit flow — defeating the fairness the §3.1.2 rules
             // exist to protect.
+            if (prov_) {
+                const LatencyComponent c =
+                    linkBusy(o, now) ? LatencyComponent::Retransmit
+                                     : LatencyComponent::CreditStall;
+                for (int p = 0; p < ports; ++p) {
+                    if (out_of[p] == o)
+                        provStall(*head[p], c, now);
+                }
+            }
             reserved_[o] = -1;
             continue;
         }
@@ -107,6 +120,20 @@ SpecRouter::evaluate(Cycle now)
         const RequestMask drivers = requests & fast_mask;
         const int fanin = std::popcount(drivers);
 
+        if (prov_) {
+            // Requests outside the Switch-Fast mask lost to the lock
+            // or reservation holder; on misspeculation every driver
+            // loses the cycle too.
+            for (int p = 0; p < ports; ++p) {
+                const RequestMask bit = maskBit(p);
+                if ((requests & bit) &&
+                    (!(fast_mask & bit) ||
+                     (fanin > 1 && (drivers & bit))))
+                    provStall(*head[p], LatencyComponent::ArbLoss,
+                              now);
+            }
+        }
+
         int success = -1;
         if (fanin == 1) {
             success = std::countr_zero(drivers);
@@ -115,6 +142,7 @@ SpecRouter::evaluate(Cycle now)
                            "foreign flit inside locked wormhole");
             }
             traverse(success, o);
+            provSend(*head[success], o, now);
         } else if (fanin > 1) {
             // Misspeculation: the switch drives the XOR^W an
             // indeterminate value; the cycle and link energy are lost.

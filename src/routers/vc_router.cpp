@@ -242,18 +242,37 @@ VcRouter::evaluate(Cycle now)
             // Wormhole: mid-packet, only the owner input may use the
             // (o, v) lane; heads must find it unlocked.
             const int owner = lockOwner_[index(o, v)];
-            if (owner >= 0 && owner != p)
+            if (owner >= 0 && owner != p) {
+                provStall(d, LatencyComponent::ArbLoss, now);
                 continue;
-            if (owner < 0 && !d.isHead() && !degraded_)
-                continue; // body flit of a packet we do not own here
-            if (vcCredits_[index(o, v)] <= 0 || linkBusy(o, now))
+            }
+            if (owner < 0 && !d.isHead() && !degraded_) {
+                // body flit of a packet we do not own here
+                provStall(d, LatencyComponent::ArbLoss, now);
                 continue;
+            }
+            if (vcCredits_[index(o, v)] <= 0 || linkBusy(o, now)) {
+                provStall(d,
+                          linkBusy(o, now)
+                              ? LatencyComponent::Retransmit
+                              : LatencyComponent::CreditStall,
+                          now);
+                continue;
+            }
             eligible |= maskBit(v);
             out_of[static_cast<std::size_t>(v)] = o;
         }
         if (eligible) {
             const int v =
                 vcArb_[static_cast<std::size_t>(p)]->grant(eligible);
+            if (prov_) {
+                for (int u = 0; u < vcs_; ++u) {
+                    if (u != v && (eligible & maskBit(u)))
+                        provStall(
+                            vcIn_[index(p, u)].front().parts.front(),
+                            LatencyComponent::ArbLoss, now);
+                }
+            }
             chosen[static_cast<std::size_t>(p)] = {
                 v, out_of[static_cast<std::size_t>(v)]};
         }
@@ -276,17 +295,28 @@ VcRouter::evaluate(Cycle now)
         trace(TraceEventKind::Arbitrate, o,
               static_cast<std::uint64_t>(winner),
               static_cast<std::uint32_t>(requests));
+        if (prov_) {
+            for (int p = 0; p < ports; ++p) {
+                if (p == winner || !(requests & maskBit(p)))
+                    continue;
+                const int v =
+                    chosen[static_cast<std::size_t>(p)].vc;
+                provStall(vcIn_[index(p, v)].front().parts.front(),
+                          LatencyComponent::ArbLoss, now);
+            }
+        }
         traverse(winner, chosen[static_cast<std::size_t>(winner)].vc,
-                 o);
+                 o, now);
     }
 }
 
 void
-VcRouter::traverse(int in_port, int vc, int out_port)
+VcRouter::traverse(int in_port, int vc, int out_port, Cycle now)
 {
     FlitFifo &fifo = vcIn_[index(in_port, vc)];
     WireFlit w = fifo.pop();
     const FlitDesc &d = w.parts.front();
+    provSend(d, out_port, now);
     energy_.bufferReads += 1;
     energy_.xbarInputDrives += 1;
     returnVcCredit(in_port, vc);

@@ -106,7 +106,7 @@ class VcRouter : public Router
                static_cast<std::size_t>(vc);
     }
 
-    void traverse(int in_port, int vc, int out_port);
+    void traverse(int in_port, int vc, int out_port, Cycle now);
 
     /** Send a VC-tagged credit for (in_port, vc) upstream. */
     void returnVcCredit(int in_port, int vc);

@@ -189,6 +189,75 @@ TEST(Histogram, PercentileMatchesQuantile)
     EXPECT_DOUBLE_EQ(h.percentile(99), h.quantile(0.99));
 }
 
+TEST(Histogram, QuantileOfEmptyIsZero)
+{
+    Histogram h(1.0, 8);
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(99), 0.0);
+}
+
+TEST(Histogram, QuantileClampsOutOfRangeP)
+{
+    Histogram h(1.0, 4);
+    h.add(0.5);
+    h.add(2.5);
+    EXPECT_DOUBLE_EQ(h.quantile(-0.5), h.quantile(0.0));
+    EXPECT_DOUBLE_EQ(h.quantile(2.0), h.quantile(1.0));
+}
+
+TEST(Histogram, SingleBucketQuantilesStayInRange)
+{
+    Histogram h(4.0, 1); // one bucket [0,4) plus overflow
+    for (int i = 0; i < 10; ++i)
+        h.add(1.0);
+    EXPECT_EQ(h.overflowCount(), 0u);
+    for (double p : {0.1, 0.5, 0.9}) {
+        const double q = h.quantile(p);
+        EXPECT_GE(q, 0.0);
+        EXPECT_LE(q, 4.0);
+    }
+    // p=1 interpolates to the bucket's upper edge.
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 4.0);
+    // A quantile landing in the overflow bucket reports the histogram
+    // upper bound — never a value the histogram cannot resolve.
+    h.add(100.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 4.0);
+}
+
+TEST(Histogram, QuantileMonotoneInP)
+{
+    Histogram h(1.0, 16);
+    for (int i = 0; i < 200; ++i)
+        h.add(static_cast<double>((i * 7) % 16));
+    double prev = -1.0;
+    for (int pct = 0; pct <= 100; pct += 5) {
+        const double q = h.percentile(pct);
+        EXPECT_GE(q, prev) << "pct " << pct;
+        prev = q;
+    }
+}
+
+TEST(Histogram, QuantileStableAcrossAutoWiden)
+{
+    // Widening coarsens resolution but must not move an existing
+    // quantile by more than one post-widen bucket width, and must
+    // never spill samples into the overflow bucket.
+    Histogram h(1.0, 8, true);
+    for (int i = 0; i < 64; ++i)
+        h.add(static_cast<double>(i % 8));
+    const double before50 = h.quantile(0.5);
+    const double before90 = h.quantile(0.9);
+    h.add(100.0); // forces several widenings
+    EXPECT_GT(h.widenings(), 0u);
+    EXPECT_EQ(h.count(), 65u);
+    EXPECT_EQ(h.overflowCount(), 0u);
+    const double w = h.bucketWidth();
+    EXPECT_NEAR(h.quantile(0.5), before50, w);
+    EXPECT_NEAR(h.quantile(0.9), before90, w);
+}
+
 TEST(Counter, IncrementAndReset)
 {
     Counter c("flits");

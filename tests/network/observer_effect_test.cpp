@@ -1,12 +1,12 @@
 /**
  * @file
  * Observer-effect determinism: enabling the full observability stack
- * (flight-recorder tracing + periodic metrics sampling) must not
- * perturb simulation results. For every router architecture and both
- * scheduling kernels, a seeded run with observability on produces
- * bit-identical NetworkStats to the same run with it off — the
- * recorder and sampler read simulator state but never touch it, its
- * RNGs, or its statistics.
+ * (flight-recorder tracing + periodic metrics sampling + latency
+ * provenance) must not perturb simulation results. For every router
+ * architecture and both scheduling kernels, a seeded run with
+ * observability on produces bit-identical NetworkStats to the same
+ * run with it off — the recorder, sampler, and span builder read
+ * simulator state but never touch it, its RNGs, or its statistics.
  */
 
 #include <gtest/gtest.h>
@@ -43,6 +43,8 @@ fullObservability()
     obs.metrics.interval = 128;
     obs.metrics.jsonlPath = "";
     obs.metrics.heatmap = false;
+    obs.prov.enabled = true;
+    obs.prov.jsonlPath = "";
     return obs;
 }
 
@@ -109,8 +111,14 @@ TEST_P(ObserverEffect, TracingAndMetricsDoNotPerturbStats)
     EXPECT_GT(observed->metrics()->numWindows(), 0u);
     EXPECT_EQ(observed->metrics()->totalEjected(),
               observed->stats().flitsEjected);
+    ASSERT_NE(observed->provenance(), nullptr);
+    EXPECT_EQ(observed->provenance()->conservationViolations(), 0u);
+    EXPECT_EQ(observed->provenance()->openSpans(), 0u);
+    EXPECT_EQ(observed->provenance()->total().packets,
+              observed->stats().packetsMeasuredDone);
     EXPECT_EQ(plain->tracer(), nullptr);
     EXPECT_EQ(plain->metrics(), nullptr);
+    EXPECT_EQ(plain->provenance(), nullptr);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -168,6 +176,11 @@ TEST_P(ObserverEffect, HardFaultDegradationUnobservedByTracing)
         << ": observability perturbed the hard-fault degradation";
     EXPECT_EQ(plain->now(), observed->now());
     EXPECT_GT(observed->tracer()->totalRecorded(), 0u);
+    // Even with mid-run write-offs and reroutes, every delivered
+    // packet's latency still decomposes exactly and no span leaks.
+    ASSERT_NE(observed->provenance(), nullptr);
+    EXPECT_EQ(observed->provenance()->conservationViolations(), 0u);
+    EXPECT_EQ(observed->provenance()->openSpans(), 0u);
 }
 
 TEST(ObserverEffect, SchedulerEventsOnlyUnderActivityKernel)

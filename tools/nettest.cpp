@@ -117,6 +117,7 @@ main(int argc, char **argv)
     std::uint64_t total_lost_hard = 0;
     std::uint64_t total_rejected = 0;
     std::uint64_t total_rebuilds = 0;
+    LatencyBreakdown totalBreakdown; // provenance=true runs only
     int phase = 0;
 
     const auto deadline =
@@ -194,6 +195,33 @@ main(int argc, char **argv)
                   " corrupted payload(s) delivered despite recovery");
         }
         net->finishObservability();
+        // Latency-provenance invariants (provenance=true runs): every
+        // delivered packet's components summed exactly to its latency,
+        // no span leaked past a full drain, and the aggregate still
+        // conserves.
+        if (const LatencyProvenance *prov = net->provenance()) {
+            if (prov->conservationViolations() != 0) {
+                fatal("PROVENANCE CONSERVATION FAILURE in phase ",
+                      phase, ": ", prov->conservationViolations(),
+                      " packet(s) whose latency components do not sum "
+                      "to their measured latency");
+            }
+            if (prov->openSpans() != 0) {
+                fatal("PROVENANCE LEAK in phase ", phase, ": ",
+                      prov->openSpans(),
+                      " span(s) still open after a full drain");
+            }
+            const LatencyBreakdown &b = prov->total();
+            if (b.componentsSum() != b.totalCycles) {
+                fatal("PROVENANCE AGGREGATE MISMATCH in phase ", phase,
+                      ": components sum to ", b.componentsSum(),
+                      " but measured latency totals ", b.totalCycles);
+            }
+            totalBreakdown.packets += b.packets;
+            totalBreakdown.totalCycles += b.totalCycles;
+            for (std::size_t i = 0; i < kNumLatencyComponents; ++i)
+                totalBreakdown.comp[i] += b.comp[i];
+        }
         total_faults += net->stats().faults.faultsInjected;
         total_retransmissions +=
             net->stats().faults.retransmissions;
@@ -202,14 +230,29 @@ main(int argc, char **argv)
         total_rebuilds += net->stats().faults.tableRebuilds;
         total_packets += net->stats().packetsEjected;
         total_cycles += net->now();
+        // Percentile sanity: the histogram must cover exactly the
+        // measured packets and its quantiles must be monotone — the
+        // conservation-style contract for the percentile columns.
         const Histogram &lat = net->stats().latencyHist;
+        if (lat.count() != net->stats().latency.count()) {
+            fatal("HISTOGRAM COUNT MISMATCH in phase ", phase, ": ",
+                  lat.count(), " histogram samples != ",
+                  net->stats().latency.count(), " measured packets");
+        }
+        const double p50 = lat.percentile(50);
+        const double p95 = lat.percentile(95);
+        const double p99 = lat.percentile(99);
+        if (!(p50 <= p95 && p95 <= p99)) {
+            fatal("PERCENTILE ORDER VIOLATION in phase ", phase,
+                  ": p50=", p50, " p95=", p95, " p99=", p99);
+        }
         std::cout << "phase " << phase << ": rate="
                   << static_cast<int>(rate * 1000) << "m flits<="
                   << max_flits << " cycles=" << net->now()
                   << " packets=" << net->stats().packetsEjected
-                  << " lat p50/p95/p99=" << lat.percentile(50) << "/"
-                  << lat.percentile(95) << "/" << lat.percentile(99)
-                  << " ok\n";
+                  << " lat p50/p95/p99=" << p50 << "/" << p95 << "/"
+                  << p99 << " widen=" << lat.widenings()
+                  << " ovf=" << lat.overflowCount() << " ok\n";
     }
 
     std::cout << "SOAK PASSED: " << archName(arch) << ", " << phase
@@ -226,5 +269,15 @@ main(int argc, char **argv)
         }
     }
     std::cout << "\n";
+    if (totalBreakdown.packets > 0) {
+        std::cout << "latency attribution over "
+                  << totalBreakdown.packets << " measured packets ("
+                  << totalBreakdown.totalCycles << " cycles):\n";
+        for (std::size_t i = 0; i < kNumLatencyComponents; ++i) {
+            const auto c = static_cast<LatencyComponent>(i);
+            std::cout << "  " << latencyComponentName(c) << ": "
+                      << totalBreakdown.comp[i] << "\n";
+        }
+    }
     return 0;
 }

@@ -18,6 +18,7 @@
  *          [trace=path.trace]   (trace= replays a saved trace file)
  */
 
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 
@@ -120,6 +121,23 @@ runSyntheticMode(const Config &config)
                   std::to_string(r.faults.flowReorders)});
         t.addRow({"age_alarms",
                   std::to_string(r.faults.ageAlarms)});
+    }
+    if (r.provenance) {
+        // Latency attribution: where the mean packet's cycles went.
+        // Components conserve (they sum to total latency cycles);
+        // nonzero violations indicate a simulator bug.
+        const double pkts = std::max<double>(
+            1.0, static_cast<double>(r.breakdown.packets));
+        for (std::size_t i = 0; i < kNumLatencyComponents; ++i) {
+            const auto c = static_cast<LatencyComponent>(i);
+            t.addRow({std::string("lat_") + latencyComponentName(c) +
+                          "_cycles",
+                      Table::num(static_cast<double>(r.breakdown[c]) /
+                                     pkts,
+                                 3)});
+        }
+        t.addRow({"provenance_violations",
+                  std::to_string(r.provenanceViolations)});
     }
     t.addRow({"drained", r.drained ? "1" : "0"});
     if (!r.drained)

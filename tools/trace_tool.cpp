@@ -1,12 +1,21 @@
 /**
  * @file
- * trace_tool — inspect, generate, filter and summarize packet traces.
+ * trace_tool — inspect, generate, filter and summarize packet traces,
+ * and analyze flight-recorder dumps.
  *
  *   trace_tool gen workload=barnes out=barnes.trace [horizon_ns=N]
  *   trace_tool info in=barnes.trace
  *   trace_tool filter in=a.trace out=b.trace [network=0] [src=N]
  *                     [dst=N] [from_ns=X] [to_ns=Y]
  *   trace_tool histogram in=a.trace [bins=20]
+ *   trace_tool analyze in=flight.jsonl [topk=10]
+ *
+ * `analyze` reads a flight-recorder JSONL dump (produced on a drain
+ * timeout, an age-limit alarm, or `trace_flight_on_exit=true`),
+ * reconstructs per-packet timelines offline, cross-checks each
+ * reconstructed latency against the latency the simulator reported
+ * online (exits nonzero on any mismatch), and prints the top-K
+ * slowest packets with their critical hop and dominant stall cause.
  */
 
 #include <algorithm>
@@ -18,6 +27,7 @@
 #include "common/log.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "obs/flight_analysis.hpp"
 #include "traffic/trace.hpp"
 
 namespace {
@@ -138,6 +148,64 @@ cmdHistogram(const Config &config)
     return 0;
 }
 
+int
+cmdAnalyze(const Config &config)
+{
+    FlightDump dump;
+    std::string error;
+    if (!loadFlightDump(config.getString("in"), dump, error))
+        fatal("analyze: ", error);
+
+    const std::vector<PacketTimeline> timelines = buildTimelines(dump);
+    std::uint64_t complete = 0, partial = 0, mismatches = 0;
+    for (const PacketTimeline &t : timelines) {
+        if (t.haveCreate && t.haveDone)
+            ++complete;
+        else
+            ++partial;
+        if (!t.consistent()) {
+            ++mismatches;
+            warn("packet ", t.packet, ": reconstructed latency ",
+                 t.latency(), " != online-reported ",
+                 t.reportedLatency);
+        }
+    }
+
+    Table t({"metric", "value"});
+    t.addRow({"dump reason", dump.reason});
+    t.addRow({"dump cycle", std::to_string(dump.dumpCycle)});
+    t.addRow({"events", std::to_string(dump.events.size())});
+    t.addRow({"cycles covered",
+              std::to_string(dump.firstCycle) + ".." +
+                  std::to_string(dump.lastCycle)});
+    t.addRow({"packets seen", std::to_string(timelines.size())});
+    t.addRow({"complete timelines", std::to_string(complete)});
+    t.addRow({"partial timelines", std::to_string(partial)});
+    t.addRow({"latency mismatches", std::to_string(mismatches)});
+    t.print(std::cout);
+
+    const auto k =
+        static_cast<std::size_t>(config.getUint("topk", 10));
+    const std::vector<SlowPacket> slow =
+        slowestPackets(dump, timelines, k);
+    if (!slow.empty()) {
+        std::cout << "\nslowest packets (complete timelines only):\n";
+        Table s({"packet", "src", "dst", "latency", "stall cycles",
+                 "stall at", "dominant cause"});
+        for (const SlowPacket &p : slow) {
+            s.addRow({std::to_string(p.packet),
+                      std::to_string(p.src), std::to_string(p.dest),
+                      std::to_string(p.latency),
+                      std::to_string(p.stallEnd - p.stallStart),
+                      std::string(p.stallNic ? "nic " : "router ") +
+                          std::to_string(p.stallNode),
+                      p.cause});
+        }
+        s.print(std::cout);
+    }
+    return mismatches == 0 ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -146,8 +214,15 @@ main(int argc, char **argv)
     Config config;
     const auto positional = config.parseArgs(argc, argv);
     if (positional.empty()) {
-        std::cerr << "usage: trace_tool <gen|info|filter|histogram> "
-                     "key=value...\n";
+        std::cerr
+            << "usage: trace_tool <command> key=value...\n"
+               "  gen       workload=<name> out=<path> [horizon_ns=N]\n"
+               "  info      in=<trace>\n"
+               "  filter    in=<trace> out=<trace> [network=0|1] "
+               "[src=N] [dst=N] [from_ns=X] [to_ns=Y]\n"
+               "  histogram in=<trace> [bins=20]\n"
+               "  analyze   in=<flight.jsonl> [topk=10]   "
+               "(flight-recorder dump forensics)\n";
         return 2;
     }
     const std::string &cmd = positional.front();
@@ -159,5 +234,7 @@ main(int argc, char **argv)
         return cmdFilter(config);
     if (cmd == "histogram")
         return cmdHistogram(config);
+    if (cmd == "analyze")
+        return cmdAnalyze(config);
     nox::fatal("unknown command '", cmd, "'");
 }
