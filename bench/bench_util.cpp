@@ -1,5 +1,7 @@
 #include "bench_util.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <iostream>
 
@@ -117,6 +119,32 @@ writeCsv(const Config &config, const std::string &name,
 }
 
 void
+finishRecordStats(PerfRecord *record,
+                  const std::vector<double> &wallSamples)
+{
+    if (wallSamples.empty())
+        return;
+    double best = wallSamples.front();
+    double sum = 0.0;
+    for (double w : wallSamples) {
+        best = std::min(best, w);
+        sum += w;
+    }
+    const double n = static_cast<double>(wallSamples.size());
+    const double mean = sum / n;
+    double var = 0.0;
+    for (double w : wallSamples)
+        var += (w - mean) * (w - mean);
+    // Sample stddev (n-1); zero for a single rep.
+    const double stddev =
+        wallSamples.size() > 1 ? std::sqrt(var / (n - 1.0)) : 0.0;
+    record->wallSeconds = best;
+    record->reps = static_cast<int>(wallSamples.size());
+    record->meanWallSeconds = mean;
+    record->stddevWallSeconds = stddev;
+}
+
+void
 writePerfJson(const Config &config, const std::string &bench,
               const std::vector<PerfRecord> &records)
 {
@@ -138,8 +166,21 @@ writePerfJson(const Config &config, const std::string &bench,
                 : 0.0;
         out << "    {\"label\": \"" << r.label << "\", \"wall_s\": "
             << r.wallSeconds << ", \"cycles\": " << r.cycles
-            << ", \"cycles_per_s\": " << cps << "}"
-            << (i + 1 < records.size() ? "," : "") << '\n';
+            << ", \"cycles_per_s\": " << cps;
+        if (r.flitHops > 0) {
+            const double hps =
+                r.wallSeconds > 0.0
+                    ? static_cast<double>(r.flitHops) / r.wallSeconds
+                    : 0.0;
+            out << ", \"flit_hops\": " << r.flitHops
+                << ", \"flit_hops_per_s\": " << hps;
+        }
+        if (r.reps > 0) {
+            out << ", \"reps\": " << r.reps
+                << ", \"mean_wall_s\": " << r.meanWallSeconds
+                << ", \"stddev_wall_s\": " << r.stddevWallSeconds;
+        }
+        out << "}" << (i + 1 < records.size() ? "," : "") << '\n';
     }
     out << "  ]\n}\n";
     std::cout << "[perf] " << path << '\n';

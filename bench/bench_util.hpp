@@ -38,9 +38,19 @@ void applyCommon(const Config &config, SyntheticConfig *synth);
 struct PerfRecord
 {
     std::string label;      ///< e.g. "NoX/uniform/activity"
-    double wallSeconds = 0.0;
+    double wallSeconds = 0.0; ///< best (minimum) timed rep
     std::uint64_t cycles = 0;
+    std::uint64_t flitHops = 0; ///< measurement-window flit-hops
+    // Multi-rep statistics (reps == 0 means single-shot: only the
+    // fields above are meaningful and the JSON omits the rest).
+    int reps = 0;               ///< timed reps behind the statistics
+    double meanWallSeconds = 0.0;
+    double stddevWallSeconds = 0.0;
 };
+
+/** Accumulate best/mean/stddev over timed reps into @p record. */
+void finishRecordStats(PerfRecord *record,
+                       const std::vector<double> &wallSamples);
 
 /**
  * If `perf_json=<path>` is configured, write the simulator

@@ -114,7 +114,7 @@ decodeWalkthrough(const std::vector<WireFlit> &received)
     std::size_t next = 0;
     for (Cycle t = 0; t < 10; ++t) {
         if (next < received.size())
-            fifo.push(received[next++]);
+            fifo.push(WireFlit(received[next++]));
         const DecodeView v = decoder.view(fifo);
         std::cout << "  cycle " << t << ": ";
         if (v.latchBubble) {

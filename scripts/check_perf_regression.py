@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Compare a bench perf_json run against a committed baseline.
+
+Fails (exit 1) when any record's cycles_per_s regressed by more than
+the tolerance versus the matching baseline label, or when a baseline
+label is missing from the current run. Speedups and new labels are
+reported but never fail the gate.
+
+Usage:
+  scripts/check_perf_regression.py \
+      --baseline bench/baselines/BENCH_throughput.json \
+      --current bench-out/throughput.json [--tolerance 0.10]
+
+The committed baseline is seeded on one reference machine; across
+machines of different speed, either regenerate the baseline or loosen
+--tolerance. CI runs the gate with the default 10%.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_records(path):
+    with open(path) as f:
+        doc = json.load(f)
+    records = {}
+    for rec in doc.get("records", []):
+        records[rec["label"]] = rec
+    if not records:
+        sys.exit(f"error: no records in {path}")
+    return doc.get("bench", "?"), records
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--current", required=True)
+    ap.add_argument("--tolerance", type=float, default=0.10,
+                    help="max allowed fractional slowdown (default 0.10)")
+    args = ap.parse_args()
+
+    base_name, base = load_records(args.baseline)
+    cur_name, cur = load_records(args.current)
+    if base_name != cur_name:
+        sys.exit(f"error: bench mismatch: baseline is '{base_name}', "
+                 f"current is '{cur_name}'")
+
+    failures = []
+    print(f"{'label':<28} {'baseline':>12} {'current':>12} {'ratio':>8}")
+    for label, brec in sorted(base.items()):
+        crec = cur.get(label)
+        if crec is None:
+            failures.append(f"{label}: missing from current run")
+            continue
+        bcps = brec.get("cycles_per_s", 0.0)
+        ccps = crec.get("cycles_per_s", 0.0)
+        if bcps <= 0.0 or ccps <= 0.0:
+            failures.append(f"{label}: non-positive cycles_per_s")
+            continue
+        ratio = ccps / bcps
+        flag = ""
+        if ratio < 1.0 - args.tolerance:
+            failures.append(
+                f"{label}: {ccps:.0f} cycles/s is "
+                f"{(1.0 - ratio) * 100.0:.1f}% below baseline "
+                f"{bcps:.0f} (tolerance {args.tolerance * 100.0:.0f}%)")
+            flag = "  <-- REGRESSION"
+        print(f"{label:<28} {bcps:>12.0f} {ccps:>12.0f} "
+              f"{ratio:>8.3f}{flag}")
+    for label in sorted(set(cur) - set(base)):
+        print(f"{label:<28} {'(new)':>12} "
+              f"{cur[label].get('cycles_per_s', 0.0):>12.0f}")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} perf regression(s):",
+              file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"\nOK: all {len(base)} labels within "
+          f"{args.tolerance * 100.0:.0f}% of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

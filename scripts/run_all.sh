@@ -16,6 +16,11 @@ if [ "${QUICK:-0}" = "1" ]; then
     SWEEP=(warmup=6000 measure=16000 drain_limit=70000)
 fi
 
+# Host-performance benches: machine-readable PerfRecord JSON lands in
+# perf/ for comparison against bench/baselines/ with
+# scripts/check_perf_regression.py.
+mkdir -p perf
+
 {
     for spec in \
         "bench_table2_clock_periods" \
@@ -29,7 +34,10 @@ fi
         "bench_ablation" \
         "bench_cmesh_radix" \
         "bench_vc_vs_physical" \
-        "bench_micro_components"; do
+        "bench_micro_components" \
+        "bench_sched_speedup perf_json=perf/sched_speedup.json" \
+        "bench_obs_overhead perf_json=perf/obs_overhead.json" \
+        "bench_throughput perf_json=perf/throughput.json"; do
         echo "===================================================="
         echo "== build/bench/$spec"
         echo "===================================================="

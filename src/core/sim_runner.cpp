@@ -168,6 +168,7 @@ runSynthetic(const SyntheticConfig &config)
     const EnergyEvents window = diff(after, before);
     res.abortCycles = window.abortCycles;
     res.misspecCycles = window.misspecCycles;
+    res.flitHops = window.linkFlits + window.localLinkFlits;
     res.wastedLinkCycles =
         window.linkWastedCycles + window.localLinkWasted;
     res.energy = energy.energyOf(window);

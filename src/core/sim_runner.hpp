@@ -106,6 +106,10 @@ struct RunResult
     // activity-driven kernel is evaluated on cyclesPerSecond().
     double wallSeconds = 0.0;
     std::uint64_t cyclesSimulated = 0;
+    /** Flit-hops (mesh-link + NIC-link flit traversals) over the
+     *  measurement window — the work-done numerator for the
+     *  throughput bench's flit-hops/s figure. */
+    std::uint64_t flitHops = 0;
     double
     cyclesPerSecond() const
     {

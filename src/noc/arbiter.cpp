@@ -1,5 +1,7 @@
 #include "noc/arbiter.hpp"
 
+#include <bit>
+
 #include "common/log.hpp"
 
 namespace nox {
@@ -16,14 +18,14 @@ RoundRobinArbiter::grant(RequestMask requests)
 {
     if (requests == 0)
         return -1;
-    for (int i = 0; i < numInputs_; ++i) {
-        const int idx = (pointer_ + i) % numInputs_;
-        if (requests & maskBit(idx)) {
-            pointer_ = (idx + 1) % numInputs_;
-            return idx;
-        }
-    }
-    return -1;
+    // First set bit at or above the pointer, wrapping to the lowest
+    // set bit — exactly the rotating search, without the modulo loop.
+    const RequestMask above = requests >> pointer_;
+    const int idx = above != 0
+                        ? pointer_ + std::countr_zero(above)
+                        : std::countr_zero(requests);
+    pointer_ = idx + 1 == numInputs_ ? 0 : idx + 1;
+    return idx;
 }
 
 void

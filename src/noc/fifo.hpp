@@ -7,7 +7,8 @@
 #define NOX_NOC_FIFO_HPP
 
 #include <cstddef>
-#include <deque>
+#include <memory>
+#include <utility>
 
 #include "common/log.hpp"
 #include "noc/flit.hpp"
@@ -18,46 +19,66 @@ namespace nox {
  * Bounded FIFO of WireFlits. Capacity is enforced with assertions:
  * credit-based flow control must make overflow impossible, so an
  * overflow here is a simulator bug, not a recoverable condition.
+ *
+ * Storage is a flat ring buffer sized once at construction — like the
+ * SRAM it models — so push/pop on the per-cycle hot path are a slot
+ * move plus an increment-wrap, with no allocator traffic.
  */
 class FlitFifo
 {
   public:
-    explicit FlitFifo(std::size_t capacity) : capacity_(capacity)
+    explicit FlitFifo(std::size_t capacity)
+        : capacity_(capacity),
+          slots_(std::make_unique<WireFlit[]>(capacity))
     {
         NOX_ASSERT(capacity > 0, "FIFO capacity must be positive");
     }
 
-    bool empty() const { return q_.empty(); }
-    bool full() const { return q_.size() >= capacity_; }
-    std::size_t size() const { return q_.size(); }
+    FlitFifo(FlitFifo &&) noexcept = default;
+    FlitFifo &operator=(FlitFifo &&) noexcept = default;
+
+    bool empty() const { return size_ == 0; }
+    bool full() const { return size_ >= capacity_; }
+    std::size_t size() const { return size_; }
     std::size_t capacity() const { return capacity_; }
 
     void
-    push(WireFlit f)
+    push(WireFlit &&f)
     {
         NOX_ASSERT(!full(), "input FIFO overflow (credit protocol bug)");
-        q_.push_back(std::move(f));
+        slots_[tail_] = std::move(f);
+        tail_ = next(tail_);
+        size_ += 1;
     }
 
     const WireFlit &
     front() const
     {
         NOX_ASSERT(!empty(), "front() on empty FIFO");
-        return q_.front();
+        return slots_[head_];
     }
 
     WireFlit
     pop()
     {
         NOX_ASSERT(!empty(), "pop() on empty FIFO");
-        WireFlit f = std::move(q_.front());
-        q_.pop_front();
+        WireFlit f = std::move(slots_[head_]);
+        head_ = next(head_);
+        size_ -= 1;
         return f;
     }
 
   private:
+    std::size_t next(std::size_t i) const
+    {
+        return i + 1 == capacity_ ? 0 : i + 1;
+    }
+
     std::size_t capacity_;
-    std::deque<WireFlit> q_;
+    std::unique_ptr<WireFlit[]> slots_;
+    std::size_t head_ = 0;
+    std::size_t tail_ = 0;
+    std::size_t size_ = 0;
 };
 
 } // namespace nox

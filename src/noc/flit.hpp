@@ -21,8 +21,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <utility>
 #include <vector>
 
+#include "noc/flit_arena.hpp"
 #include "noc/types.hpp"
 
 namespace nox {
@@ -56,12 +58,65 @@ struct FlitDesc
  * copied on every hop (FIFO staging, decode registers), and almost
  * all of them are uncoded singles; keeping up to kInlineParts
  * in-place makes those copies allocation-free. Longer encoded chains
- * (NoX collisions) spill to the heap transparently.
+ * (NoX collisions) spill to an arena-recycled block (FlitArena), so
+ * steady-state collision traffic performs no heap allocation either.
  */
 class PartsVec
 {
   public:
     static constexpr std::size_t kInlineParts = 1;
+
+    PartsVec() = default;
+
+    PartsVec(const PartsVec &other)
+        : inline_(other.inline_), size_(other.size_)
+    {
+        if (other.onHeap()) {
+            heap_ = FlitArena::acquire();
+            heap_.assign(other.heap_.begin(), other.heap_.end());
+        }
+    }
+
+    PartsVec(PartsVec &&other) noexcept
+        : inline_(other.inline_), size_(other.size_),
+          heap_(std::move(other.heap_))
+    {
+        other.heap_.clear();
+        other.size_ = 0;
+    }
+
+    PartsVec &
+    operator=(const PartsVec &other)
+    {
+        if (this == &other)
+            return *this;
+        inline_ = other.inline_;
+        size_ = other.size_;
+        if (other.onHeap()) {
+            if (heap_.capacity() == 0)
+                heap_ = FlitArena::acquire();
+            heap_.assign(other.heap_.begin(), other.heap_.end());
+        } else {
+            heap_.clear(); // keep any block for a future spill
+        }
+        return *this;
+    }
+
+    PartsVec &
+    operator=(PartsVec &&other) noexcept
+    {
+        if (this == &other)
+            return *this;
+        releaseHeap();
+        inline_ = other.inline_;
+        size_ = other.size_;
+        heap_ = std::move(other.heap_);
+        other.heap_.clear();
+        other.size_ = 0;
+        return *this;
+    }
+
+    ~PartsVec() { releaseHeap(); }
 
     void
     push_back(const FlitDesc &d)
@@ -72,6 +127,8 @@ class PartsVec
                 return;
             }
             // Spill: from here on heap_ is the single source of truth.
+            if (heap_.capacity() == 0)
+                heap_ = FlitArena::acquire();
             heap_.reserve(size_ + 1);
             heap_.assign(inline_.begin(), inline_.end());
         }
@@ -94,6 +151,14 @@ class PartsVec
 
   private:
     bool onHeap() const { return !heap_.empty(); }
+
+    /** Hand the spill block (if any) back to the arena. */
+    void
+    releaseHeap()
+    {
+        if (heap_.capacity() != 0)
+            FlitArena::release(std::move(heap_));
+    }
 
     std::array<FlitDesc, kInlineParts> inline_{};
     std::size_t size_ = 0;

@@ -1,0 +1,133 @@
+#include "noc/flit_arena.hpp"
+
+#include "noc/flit.hpp"
+
+#if defined(__SANITIZE_ADDRESS__)
+#define NOX_ARENA_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define NOX_ARENA_ASAN 1
+#endif
+#endif
+
+#ifdef NOX_ARENA_ASAN
+#include <sanitizer/asan_interface.h>
+#endif
+
+namespace nox {
+
+namespace {
+
+/**
+ * Thread-local lifetime phase of the arena singleton. Static-duration
+ * objects holding WireFlits may be destroyed *after* the arena's own
+ * thread_local destructor runs; their releases must degrade to plain
+ * deallocation instead of touching a dead freelist.
+ */
+enum : int { kUnborn = 0, kAlive = 1, kDead = 2 };
+thread_local int g_arenaPhase = kUnborn;
+
+void
+poisonStorage(FlitArena::Block &block)
+{
+#ifdef NOX_ARENA_ASAN
+    if (block.capacity() != 0)
+        __asan_poison_memory_region(
+            block.data(), block.capacity() * sizeof(FlitDesc));
+#else
+    (void)block;
+#endif
+}
+
+void
+unpoisonStorage(FlitArena::Block &block)
+{
+#ifdef NOX_ARENA_ASAN
+    if (block.capacity() != 0)
+        __asan_unpoison_memory_region(
+            block.data(), block.capacity() * sizeof(FlitDesc));
+#else
+    (void)block;
+#endif
+}
+
+} // namespace
+
+FlitArena::FlitArena() { g_arenaPhase = kAlive; }
+
+FlitArena::~FlitArena()
+{
+    drain();
+    g_arenaPhase = kDead;
+}
+
+FlitArena &
+FlitArena::instance()
+{
+    static thread_local FlitArena arena;
+    return arena;
+}
+
+FlitArena::Block
+FlitArena::acquire()
+{
+    if (g_arenaPhase == kDead)
+        return Block{};
+    return instance().acquireImpl();
+}
+
+void
+FlitArena::release(Block &&block)
+{
+    if (g_arenaPhase == kDead) {
+        Block{}.swap(block);
+        return;
+    }
+    instance().releaseImpl(std::move(block));
+}
+
+FlitArena::Block
+FlitArena::acquireImpl()
+{
+    stats_.acquires += 1;
+    if (!free_.empty()) {
+        stats_.reuses += 1;
+        Block block = std::move(free_.back());
+        free_.pop_back();
+        unpoisonStorage(block);
+        return block;
+    }
+    stats_.growths += 1;
+    return Block{};
+}
+
+void
+FlitArena::releaseImpl(Block &&block)
+{
+    stats_.releases += 1;
+    if (block.capacity() == 0)
+        return; // nothing worth parking
+    // Scribble over the contents so any stale reference reads an
+    // unmistakable pattern even without a sanitizer...
+    for (FlitDesc &d : block) {
+        d.uid = kPoisonUid;
+        d.payload = kPoisonUid;
+        d.packet = kInvalidPacket;
+    }
+    block.clear();
+    // ...and under ASan make any touch of the parked storage abort.
+    poisonStorage(block);
+    free_.push_back(std::move(block));
+}
+
+void
+FlitArena::drain()
+{
+    for (Block &block : free_)
+        unpoisonStorage(block); // freeing poisoned memory is an
+                                // ASan error in its own right
+    free_.clear();
+    free_.shrink_to_fit();
+}
+
+} // namespace nox

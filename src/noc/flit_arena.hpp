@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Freelist arena for flit-part blocks.
+ *
+ * WireFlits travel by value, but an *encoded* WireFlit's PartsVec
+ * spills its constituent list to the heap. On the steady-state hot
+ * path (NoX collision chains under load) that used to mean one heap
+ * allocation per spill and one free per retirement — per-flit churn
+ * the paper's nearly-free common case should not pay. The arena keeps
+ * retired part blocks on a freelist and hands their capacity back to
+ * the next spill, so a warmed-up simulation performs zero heap
+ * allocation for flit plumbing.
+ *
+ * Ownership rules:
+ *   - A PartsVec that spills acquire()s a block and owns it until the
+ *     PartsVec is destroyed, overwritten, or shrunk back — each of
+ *     which release()s the block to the freelist.
+ *   - Hard-fault write-offs destroy WireFlits through exactly these
+ *     paths, so purged traffic returns its blocks to the arena (see
+ *     the lifecycle tests and ARCHITECTURE.md).
+ *
+ * Released blocks are poisoned: contents are overwritten with
+ * kPoisonUid descriptors, and under AddressSanitizer the block's
+ * storage is additionally hardware-poisoned so any stale reference
+ * into a released block aborts the run.
+ *
+ * The arena is thread-local (the simulator core is single-threaded;
+ * a future sharded core gets one arena per worker for free) and is
+ * drained at thread exit, so leak checkers see nothing outstanding.
+ */
+
+#ifndef NOX_NOC_FLIT_ARENA_HPP
+#define NOX_NOC_FLIT_ARENA_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace nox {
+
+struct FlitDesc;
+
+/** Allocation counters for the flit-part arena (test introspection
+ *  and the memory section of the bench reports). */
+struct FlitArenaStats
+{
+    std::uint64_t acquires = 0; ///< blocks handed out
+    std::uint64_t releases = 0; ///< blocks returned
+    std::uint64_t reuses = 0;   ///< acquires served from the freelist
+    std::uint64_t growths = 0;  ///< acquires that had to allocate
+                                ///< (freelist was exhausted)
+
+    /** Blocks currently owned by live PartsVecs. */
+    std::uint64_t live() const { return acquires - releases; }
+};
+
+/** Thread-local freelist of flit-part blocks. */
+class FlitArena
+{
+  public:
+    using Block = std::vector<FlitDesc>;
+
+    /** uid written into every descriptor of a released block. */
+    static constexpr std::uint64_t kPoisonUid = 0xDEADF11DDEADF11Dull;
+
+    /** The calling thread's arena (constructed on first use). */
+    static FlitArena &instance();
+
+    /**
+     * Take a block from the freelist (empty, capacity recycled) or
+     * allocate a fresh one when the freelist is exhausted. Safe to
+     * call at any point in the thread's lifetime; after the arena is
+     * torn down it degrades to plain allocation.
+     */
+    static Block acquire();
+
+    /**
+     * Return @p block to the freelist: poison its contents, clear it,
+     * and keep its capacity for the next acquire(). After arena
+     * teardown the block is simply freed.
+     */
+    static void release(Block &&block);
+
+    const FlitArenaStats &stats() const { return stats_; }
+    void resetStats() { stats_ = FlitArenaStats{}; }
+
+    /** Blocks currently parked on the freelist. */
+    std::size_t freeBlocks() const { return free_.size(); }
+
+    /** Free every parked block (tests; also runs at thread exit). */
+    void drain();
+
+    FlitArena(const FlitArena &) = delete;
+    FlitArena &operator=(const FlitArena &) = delete;
+
+  private:
+    FlitArena();
+    ~FlitArena();
+
+    Block acquireImpl();
+    void releaseImpl(Block &&block);
+
+    std::vector<Block> free_;
+    FlitArenaStats stats_;
+};
+
+} // namespace nox
+
+#endif // NOX_NOC_FLIT_ARENA_HPP

@@ -742,7 +742,11 @@ Network::injectPacket(NodeId src, NodeId dst, int num_flits, Cycle now,
             ageInFlight_.insert(id);
         }
     }
-    std::vector<FlitDesc> flits;
+    // Member scratch: one packet's flits are built here every
+    // injection, and the NIC copies them into its source queue — no
+    // per-packet vector allocation on the steady-state path.
+    std::vector<FlitDesc> &flits = scratchInjectFlits_;
+    flits.clear();
     flits.reserve(static_cast<std::size_t>(num_flits));
     for (int s = 0; s < num_flits; ++s) {
         FlitDesc d;
@@ -763,7 +767,7 @@ Network::injectPacket(NodeId src, NodeId dst, int num_flits, Cycle now,
     }
     if (prov_)
         prov_->onPacketCreate(flits, now);
-    nics_[src]->enqueuePacket(std::move(flits));
+    nics_[src]->enqueuePacket(flits);
 
     if (tracer_) {
         tracer_->record(TraceEventKind::PacketCreate, src, -1, id,

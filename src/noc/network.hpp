@@ -255,7 +255,9 @@ class Network : public PacketInjector, public SinkListener
     /** Age-watchdog sweep (packetAgeLimit > 0 only). */
     void checkPacketAges();
 
-    /** Track the peak source-queue occupancy of NIC @p node. */
+    /** Track the peak source-queue occupancy of NIC @p node. Runs in
+     *  the cycle loop: direct Nic::enqueuePacket() calls bypass
+     *  injectPacket()'s sampling and only this sweep can see them. */
     void sampleSourceQueue(NodeId node)
     {
         stats_.maxSourceQueueFlits =
@@ -293,6 +295,7 @@ class Network : public PacketInjector, public SinkListener
     std::vector<std::uint8_t> routerActive_;
     std::vector<std::uint8_t> nicActive_;
     std::vector<NodeId> scratchRouters_; ///< per-cycle snapshot
+    std::vector<FlitDesc> scratchInjectFlits_; ///< injectPacket() reuse
 
     NetworkStats stats_;
     Cycle now_ = 0;

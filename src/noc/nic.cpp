@@ -50,8 +50,12 @@ Nic::evaluateInject(Cycle now)
     // across the per-VC source queues with available credits.
     const int vcs = static_cast<int>(injectQueue_.size());
     for (int i = 0; i < vcs; ++i) {
-        const auto vc =
-            static_cast<std::size_t>((injectRr_ + i) % vcs);
+        // Wrap without the modulo: a runtime integer division per NIC
+        // per cycle is measurable in the always-tick kernel.
+        int lane = injectRr_ + i;
+        if (lane >= vcs)
+            lane -= vcs;
+        const auto vc = static_cast<std::size_t>(lane);
         if (injectQueue_[vc].empty() || injectCredits_[vc] <= 0)
             continue;
         FlitDesc d = injectQueue_[vc].front();
@@ -64,7 +68,7 @@ Nic::evaluateInject(Cycle now)
             prov_->onInject(d.uid, router_->id(), now);
         router_->stageFlit(localPort_, WireFlit::fromDesc(d));
         energy_.localLinkFlits += 1;
-        injectRr_ = (static_cast<int>(vc) + 1) % vcs;
+        injectRr_ = lane + 1 == vcs ? 0 : lane + 1;
         return;
     }
 }
@@ -73,6 +77,11 @@ void
 Nic::evaluateSink(Cycle now)
 {
     if (dead_)
+        return;
+    // Idle sink (no buffered wire values, no open decode chain): skip
+    // even the decode-view construction — on quiet nodes this is the
+    // whole per-cycle cost of the ejection side.
+    if (sinkFifo_.empty() && !decoder_.registerValid())
         return;
     const DecodeView v = decoder_.view(sinkFifo_, faults_ != nullptr);
     if (v.latchBubble) {
@@ -114,13 +123,16 @@ Nic::evaluateSink(Cycle now)
         if (tracer_)
             tracer_->triggerFlightDump("decode-fault", {node_});
     }
+    // Copy before accept(): the view points into the FIFO head /
+    // decoder scratch, both invalidated by the pop.
+    const FlitDesc d = *v.presented;
     const int vc = sinkFifo_.empty() ? 0 : sinkFifo_.front().vc;
     const bool popped = decoder_.accept(sinkFifo_);
     if (popped) {
         energy_.bufferReads += 1;
         router_->stageCreditVc(localPort_, vc);
     }
-    deliver(*v.presented, now);
+    deliver(d, now);
 }
 
 void
@@ -147,6 +159,18 @@ Nic::deliver(const FlitDesc &flit, Cycle now)
           static_cast<std::uint32_t>(flit.seq));
     if (listener_)
         listener_->onFlitDelivered(node_, flit, now);
+
+    // Single-flit packets complete on arrival: no partial-arrival
+    // record to create and immediately erase. Same observable event
+    // order as the general path below.
+    if (flit.packetSize == 1) {
+        if (prov_)
+            prov_->onDelivered(flit, now, true);
+        if (listener_)
+            listener_->onPacketCompleted(node_, flit, flit.injectCycle,
+                                         now);
+        return;
+    }
 
     Arrival &a = arrived_[flit.packet];
     if (a.count == 0 || flit.injectCycle < a.headInject)
@@ -180,18 +204,18 @@ Nic::commit()
 }
 
 void
-Nic::enqueuePacket(std::vector<FlitDesc> flits)
+Nic::enqueuePacket(const std::vector<FlitDesc> &flits)
 {
     NOX_ASSERT(!flits.empty(), "empty packet");
     auto vc = static_cast<std::size_t>(flits.front().vc);
     NOX_ASSERT(vc < injectQueue_.size(), "packet VC out of range");
-    for (auto &f : flits)
+    for (const auto &f : flits)
         injectQueue_[vc].push_back(f);
     wake();
 }
 
 void
-Nic::stageSinkFlit(WireFlit flit)
+Nic::stageSinkFlit(WireFlit &&flit)
 {
     NOX_ASSERT(!stagedSinkFlit_,
                "two flits staged at one sink in one cycle");

@@ -94,8 +94,10 @@ class Nic
     void bindActivity(std::uint8_t *flag) { activityFlag_ = flag; }
 
     // -- traffic-generator side --
-    /** Queue all flits of a packet for injection (FIFO order). */
-    void enqueuePacket(std::vector<FlitDesc> flits);
+    /** Queue all flits of a packet for injection (FIFO order). The
+     *  caller keeps ownership — Network reuses one scratch vector for
+     *  every packet it builds. */
+    void enqueuePacket(const std::vector<FlitDesc> &flits);
 
     /** Flits waiting in the source queues (saturation metric). */
     std::size_t
@@ -108,7 +110,7 @@ class Nic
     }
 
     // -- router side (staged until commit) --
-    void stageSinkFlit(WireFlit flit);
+    void stageSinkFlit(WireFlit &&flit);
     void stageInjectCredit(int count = 1, int vc = 0);
 
     // -- hard (fail-stop) fault handling --

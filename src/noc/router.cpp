@@ -1,5 +1,7 @@
 #include "noc/router.hpp"
 
+#include <bit>
+
 #include "common/log.hpp"
 #include "noc/fault_injector.hpp"
 #include "noc/nic.hpp"
@@ -26,12 +28,19 @@ Router::Router(NodeId id, const Mesh &mesh, const RoutingTable &table,
 void
 Router::commit()
 {
-    for (int p = 0; p < params_.numPorts; ++p) {
-        if (stagedIn_[p]) {
-            energy_.bufferWrites += 1;
-            in_[p].push(std::move(*stagedIn_[p]));
-            stagedIn_[p].reset();
-        }
+    RequestMask staged = stagedInMask_;
+    stagedInMask_ = 0;
+    while (staged) {
+        const int p = std::countr_zero(staged);
+        staged &= staged - 1;
+        energy_.bufferWrites += 1;
+        in_[p].push(std::move(stagedIn_[p]));
+    }
+    RequestMask credited = stagedCreditMask_;
+    stagedCreditMask_ = 0;
+    while (credited) {
+        const int p = std::countr_zero(credited);
+        credited &= credited - 1;
         credits_[p] += stagedCredits_[p];
         stagedCredits_[p] = 0;
     }
@@ -40,8 +49,10 @@ Router::commit()
 bool
 Router::quiescent() const
 {
+    if (stagedInMask_ != 0)
+        return false;
     for (int p = 0; p < params_.numPorts; ++p) {
-        if (!in_[p].empty() || stagedIn_[p] || stagedCredits_[p] != 0)
+        if (!in_[p].empty() || stagedCredits_[p] != 0)
             return false;
     }
     // Link-layer state keeps a router live: a pending retry entry
@@ -158,6 +169,8 @@ Router::connectOutput(int out_port, FlitTarget target, int credits)
     NOX_ASSERT(!outTarget_[out_port].connected(),
                "output port wired twice");
     outTarget_[out_port] = target;
+    if (target.connected())
+        connectedOutMask_ |= maskBit(out_port);
     credits_[out_port] = credits;
 }
 
@@ -172,7 +185,7 @@ Router::connectInputCredit(int in_port, CreditTarget target)
 }
 
 void
-Router::stageFlit(int in_port, WireFlit flit)
+Router::stageFlit(int in_port, WireFlit &&flit)
 {
     NOX_ASSERT(in_port >= 0 && in_port < params_.numPorts,
                "bad port");
@@ -199,10 +212,11 @@ Router::stageFlit(int in_port, WireFlit flit)
             up->linkAck(up_port);
         }
     }
-    NOX_ASSERT(!stagedIn_[in_port],
+    NOX_ASSERT(!stagedAt(in_port),
                "two flits staged at one input in one cycle (router ",
                id_, " port ", portName(in_port), ")");
     stagedIn_[in_port] = std::move(flit);
+    stagedInMask_ |= maskBit(in_port);
     wake();
 }
 
@@ -228,11 +242,12 @@ Router::stageCredit(int out_port, int count)
         count = survived;
     }
     stagedCredits_[out_port] += count;
+    stagedCreditMask_ |= maskBit(out_port);
     wake();
 }
 
 void
-Router::sendFlit(int out_port, WireFlit flit)
+Router::sendFlit(int out_port, WireFlit &&flit)
 {
     NOX_ASSERT(credits_[out_port] > 0,
                "send without downstream credit on ", portName(out_port));
@@ -241,7 +256,7 @@ Router::sendFlit(int out_port, WireFlit flit)
 }
 
 void
-Router::dispatchFlit(int out_port, WireFlit flit)
+Router::dispatchFlit(int out_port, WireFlit &&flit)
 {
     NOX_ASSERT(outTarget_[out_port].connected(),
                "send on unconnected output ", portName(out_port));
@@ -342,15 +357,17 @@ Router::killOutput(int out_port, std::vector<FlitDesc> &lost)
     credits_[out_port] = 0;
     stagedCredits_[out_port] = 0;
     outTarget_[out_port] = FlitTarget{};
+    connectedOutMask_ &= ~maskBit(out_port);
 }
 
 void
 Router::killInput(int in_port, std::vector<FlitDesc> &lost)
 {
-    if (stagedIn_[in_port]) {
-        for (const FlitDesc &d : stagedIn_[in_port]->parts)
+    if (stagedAt(in_port)) {
+        for (const FlitDesc &d : stagedIn_[in_port].parts)
             lost.push_back(d);
-        stagedIn_[in_port].reset();
+        stagedIn_[in_port] = WireFlit{}; // returns any spill block
+        stagedInMask_ &= ~maskBit(in_port);
     }
     creditTarget_[in_port] = CreditTarget{};
 }
@@ -382,10 +399,9 @@ void
 Router::purgeLinkState(const FlitCondemned &condemned,
                        std::vector<FlitDesc> &removed)
 {
+    NOX_ASSERT(stagedInMask_ == 0,
+               "hard-fault purge ran mid-cycle (router ", id_, ")");
     for (int p = 0; p < params_.numPorts; ++p) {
-        NOX_ASSERT(!stagedIn_[p],
-                   "hard-fault purge ran mid-cycle (router ", id_,
-                   ")");
         if (!faults_ || !retry_[p])
             continue;
         // The retry copy's original is (or will be, on resend) in the

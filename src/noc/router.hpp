@@ -158,7 +158,7 @@ class Router
     void attachProvenance(LatencyProvenance *prov) { prov_ = prov; }
 
     // -- interface used by upstream neighbours / NICs --
-    void stageFlit(int in_port, WireFlit flit);
+    void stageFlit(int in_port, WireFlit &&flit);
     void stageCredit(int out_port, int count = 1);
 
     /**
@@ -235,6 +235,10 @@ class Router
     {
         return outTarget_[port].connected();
     }
+
+    /** Bitmask of wired output ports (kept in sync by connectOutput
+     *  and killOutput; the allocation loops iterate its set bits). */
+    RequestMask connectedOutputs() const { return connectedOutMask_; }
     const EnergyEvents &energy() const { return energy_; }
     EnergyEvents &energy() { return energy_; }
 
@@ -288,13 +292,13 @@ class Router
      * Transfer a flit across the output link: consumes one downstream
      * credit, stages the flit at the receiver and counts link energy.
      */
-    void sendFlit(int out_port, WireFlit flit);
+    void sendFlit(int out_port, WireFlit &&flit);
 
     /**
      * Dispatch + energy accounting without the base per-port credit
      * bookkeeping (used by routers that manage per-VC credits).
      */
-    void dispatchFlit(int out_port, WireFlit flit);
+    void dispatchFlit(int out_port, WireFlit &&flit);
 
     /**
      * Drive an invalid value on the output link (misspeculation or
@@ -384,9 +388,31 @@ class Router
     bool degraded_ = false;
 
     std::vector<FlitFifo> in_;
-    std::vector<std::optional<WireFlit>> stagedIn_;
+
+    /**
+     * Staged (next-cycle) arrivals, struct-of-arrays style: the flit
+     * payloads live in a dense vector and occupancy lives in one
+     * port-indexed bitmask, so commit() walks set bits instead of
+     * probing an optional per port and quiescent() is a single
+     * compare. stagedIn_[p] is meaningful only while bit p of
+     * stagedInMask_ is set.
+     */
+    std::vector<WireFlit> stagedIn_;
+    RequestMask stagedInMask_ = 0;
+
+    /** True iff a flit is staged at input @p port this cycle. */
+    bool stagedAt(int port) const
+    {
+        return (stagedInMask_ & maskBit(port)) != 0;
+    }
+
+    /** stagedCredits_[p] is nonzero only while bit p of
+     *  stagedCreditMask_ is set — commit() walks set bits, so idle
+     *  ports cost nothing there. */
     std::vector<int> stagedCredits_;
+    RequestMask stagedCreditMask_ = 0;
     std::vector<int> credits_;
+    RequestMask connectedOutMask_ = 0; ///< see connectedOutputs()
     std::vector<FlitTarget> outTarget_;
     std::vector<CreditTarget> creditTarget_;
 

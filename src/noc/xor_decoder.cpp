@@ -17,10 +17,11 @@ XorDecoder::view(const FlitFifo &fifo, bool lenient) const
             v.fault = r.fault;
             if (r.fault == DecodeFault::Structural)
                 return v; // unrecoverable: nothing to present
-            v.presented = r.flit;
+            scratch_ = *r.flit;
         } else {
-            v.presented = decodeDiff(*reg_, head);
+            scratch_ = decodeDiff(*reg_, head);
         }
+        v.presented = &scratch_;
         v.decodedByXor = true;
         // Popping only happens when the chain continues (head encoded);
         // an uncoded head is kept and presented as itself next.
@@ -35,13 +36,15 @@ XorDecoder::view(const FlitFifo &fifo, bool lenient) const
         return v;
     }
     NOX_ASSERT(head.fanin() == 1, "uncoded flit with multiple parts");
-    v.presented = head.parts.front();
+    v.presented = &head.parts.front();
     if (lenient && head.payload != v.presented->payload) {
         // The wire bits are what the hardware actually has; the parts
         // bookkeeping records what was sent. A divergence means the
         // flit was corrupted in flight — present the corrupted bits
         // and flag it, exactly like a decode mismatch.
-        v.presented->payload = head.payload;
+        scratch_ = head.parts.front();
+        scratch_.payload = head.payload;
+        v.presented = &scratch_;
         v.fault = DecodeFault::PayloadMismatch;
     }
     v.acceptPops = true;

@@ -30,8 +30,16 @@ namespace nox {
 /** Outcome of one decoder evaluation for the current cycle. */
 struct DecodeView
 {
-    /** Flit presentable to the switch / sink this cycle, if any. */
-    std::optional<FlitDesc> presented;
+    /**
+     * Flit presentable to the switch / sink this cycle, if any
+     * (nullptr when nothing can be presented). Points into the
+     * port's FIFO head or the decoder's scratch slot — NOT owned by
+     * the view. Valid until the decoder or its FIFO next mutates
+     * (accept/latch/pop/push); copy the FlitDesc before committing
+     * anything. A FlitDesc copy per port per cycle is measurable in
+     * the always-tick kernel, which is why this is not a value.
+     */
+    const FlitDesc *presented = nullptr;
 
     /** True when the cycle is consumed latching an encoded head. */
     bool latchBubble = false;
@@ -86,6 +94,11 @@ class XorDecoder
 
   private:
     std::optional<WireFlit> reg_;
+    /** Backing store for DecodeView::presented when the presented
+     *  flit is computed (XOR decode, lenient payload correction)
+     *  rather than sitting verbatim in the FIFO head. Mutable: view()
+     *  is logically const. */
+    mutable FlitDesc scratch_;
 };
 
 } // namespace nox

@@ -37,6 +37,8 @@ NoxRouter::NoxRouter(NodeId id, const Mesh &mesh,
         o.arbMask = allPortsMask();
         o.arb = makeArbiter();
     }
+    scratchViews_.resize(static_cast<std::size_t>(params.numPorts));
+    scratchRequests_.resize(static_cast<std::size_t>(params.numPorts));
 }
 
 void
@@ -47,18 +49,29 @@ NoxRouter::evaluate(Cycle now)
     // latching into the decode register.
     const int ports = numPorts();
     const RequestMask all = allPortsMask();
+    const bool lenient = faults_ != nullptr;
+    // Hoisted observer gate: with provenance off the per-flit charge
+    // loops below vanish behind this one predictable branch.
+    LatencyProvenance *const prov = prov_;
     // Member scratch — per-call allocation would dominate evaluate().
     auto &views = scratchViews_;
-    auto &out_of = scratchOut_;
-    views.assign(static_cast<std::size_t>(ports), DecodeView{});
-    out_of.assign(static_cast<std::size_t>(ports), -1);
+    auto &requests_for = scratchRequests_;
+    // Hand-rolled zeroing: assign() lowers to a libc memset call,
+    // measurable at one call per router per cycle.
+    for (int o = 0; o < ports; ++o)
+        requests_for[static_cast<std::size_t>(o)] = 0;
     for (int p = 0; p < ports; ++p) {
+        // Idle port (no buffered wire values, no open decode chain):
+        // nothing to present, nothing to bill. views[p] keeps last
+        // cycle's contents, unreachable while no request mask names p.
+        if (in_[p].empty() && !decoders_[p].registerValid())
+            continue;
         // Lenient decode under fault injection: integrity violations
         // surface in DecodeView::fault instead of killing the run.
-        views[p] = decoders_[p].view(in_[p], faults_ != nullptr);
-        out_of[p] = -1;
-        if (views[p].latchBubble) {
-            if (prov_) {
+        DecodeView &v = views[p];
+        v = decoders_[p].view(in_[p], lenient);
+        if (v.latchBubble) {
+            if (prov) {
                 // The cycle is consumed latching an encoded head:
                 // bill the chain constituent already accepted to this
                 // router (the location guard skips constituents still
@@ -73,9 +86,9 @@ NoxRouter::evaluate(Cycle now)
             returnCredit(p);
             continue;
         }
-        if (views[p].presented) {
-            out_of[p] = routeOf(*views[p].presented);
-        } else if (prov_ && decoders_[p].registerValid()) {
+        if (v.presented) {
+            requests_for[routeOf(*v.presented)] |= maskBit(p);
+        } else if (prov && decoders_[p].registerValid()) {
             // Decode register loaded but the chain's next wire value
             // has not arrived yet: the flit it will recover is stuck
             // in XOR recovery, not on a link.
@@ -85,30 +98,24 @@ NoxRouter::evaluate(Cycle now)
         }
     }
 
-    for (int o = 0; o < ports; ++o) {
-        if (!outputConnected(o))
-            continue;
+    for (RequestMask cm = connectedOutputs(); cm; cm &= cm - 1) {
+        const int o = std::countr_zero(cm);
         OutState &st = out_[o];
 
-        RequestMask requests = 0;
-        for (int p = 0; p < ports; ++p) {
-            if (out_of[p] == o)
-                requests |= maskBit(p);
-        }
+        const RequestMask requests = requests_for[o];
 
         // Switch requests are gated by downstream credits and by the
         // link-level retry protocol (which owns the wire until its
         // pending flit is acknowledged); when the output is back-
         // pressured everything (including the masks) simply holds.
         if (!haveCredit(o) || linkBusy(o, now)) {
-            if (prov_) {
+            if (prov) {
                 const LatencyComponent c =
                     linkBusy(o, now) ? LatencyComponent::Retransmit
                                      : LatencyComponent::CreditStall;
-                for (int p = 0; p < ports; ++p) {
-                    if (out_of[p] == o)
-                        provStall(*views[p].presented, c, now);
-                }
+                for (RequestMask m = requests; m; m &= m - 1)
+                    provStall(*views[std::countr_zero(m)].presented, c,
+                              now);
             }
             continue;
         }
@@ -139,21 +146,18 @@ NoxRouter::evaluate(Cycle now)
                 // foreign flits; abandon the lock and let the
                 // remaining flits re-arbitrate flit-wise.
                 unlockOutput(st);
-                if (prov_) {
-                    for (int q = 0; q < ports; ++q) {
-                        if (out_of[q] == o)
-                            provStall(*views[q].presented,
-                                      LatencyComponent::Reroute, now);
-                    }
+                if (prov) {
+                    for (RequestMask m = requests; m; m &= m - 1)
+                        provStall(*views[std::countr_zero(m)].presented,
+                                  LatencyComponent::Reroute, now);
                 }
                 continue;
             }
-            if (prov_) {
-                for (int q = 0; q < ports; ++q) {
-                    if (q != p && out_of[q] == o)
-                        provStall(*views[q].presented,
-                                  LatencyComponent::ArbLoss, now);
-                }
+            if (prov) {
+                for (RequestMask m = requests & ~maskBit(p); m;
+                     m &= m - 1)
+                    provStall(*views[std::countr_zero(m)].presented,
+                              LatencyComponent::ArbLoss, now);
             }
             if (requests & maskBit(p)) {
                 const FlitDesc d = *views[p].presented;
@@ -184,14 +188,12 @@ NoxRouter::evaluate(Cycle now)
             // Recovery: switch mask == arb mask; collisions resolve
             // through successive masking of past winners.
             const RequestMask part = requests & st.switchMask;
-            if (prov_) {
+            if (prov) {
                 // Requesters masked out by the collision-recovery
                 // automaton wait for past winners' chains to clear.
-                for (int p = 0; p < ports; ++p) {
-                    if (out_of[p] == o && !(part & maskBit(p)))
-                        provStall(*views[p].presented,
-                                  LatencyComponent::XorRecovery, now);
-                }
+                for (RequestMask m = requests & ~part; m; m &= m - 1)
+                    provStall(*views[std::countr_zero(m)].presented,
+                              LatencyComponent::XorRecovery, now);
             }
             if (!part)
                 continue;
@@ -220,9 +222,8 @@ NoxRouter::evaluate(Cycle now)
 
             // Collision. Multi-flit involvement forces an abort.
             bool multi_flit = false;
-            for (int p = 0; p < ports; ++p) {
-                if ((part & maskBit(p)) &&
-                    views[p].presented->isMultiFlit())
+            for (RequestMask m = part; m; m &= m - 1) {
+                if (views[std::countr_zero(m)].presented->isMultiFlit())
                     multi_flit = true;
             }
 
@@ -242,15 +243,12 @@ NoxRouter::evaluate(Cycle now)
                 trace(TraceEventKind::NoxAbort, o,
                       views[g].presented->uid,
                       static_cast<std::uint32_t>(fanin));
-                if (prov_) {
+                if (prov) {
                     // Abort wastes the cycle for every collider,
                     // including the grant winner.
-                    for (int p = 0; p < ports; ++p) {
-                        if (part & maskBit(p))
-                            provStall(*views[p].presented,
-                                      LatencyComponent::XorRecovery,
-                                      now);
-                    }
+                    for (RequestMask m = part; m; m &= m - 1)
+                        provStall(*views[std::countr_zero(m)].presented,
+                                  LatencyComponent::XorRecovery, now);
                 }
                 lockOutput(st, g, views[g].presented->packet);
                 continue;
@@ -258,13 +256,14 @@ NoxRouter::evaluate(Cycle now)
 
             // Productive XOR-coded transfer (§2.2): the output is the
             // XOR of all colliding single-flit packets; the arbiter's
-            // winner is freed immediately.
-            std::vector<FlitDesc> colliding;
-            for (int p = 0; p < ports; ++p) {
-                if (part & maskBit(p)) {
-                    colliding.push_back(*views[p].presented);
-                    energy_.xbarInputDrives += 1;
-                }
+            // winner is freed immediately. Member scratch again: the
+            // collision list is rebuilt every encoded transfer.
+            auto &colliding = scratchColliding_;
+            colliding.clear();
+            for (RequestMask m = part; m; m &= m - 1) {
+                colliding.push_back(
+                    *views[std::countr_zero(m)].presented);
+                energy_.xbarInputDrives += 1;
             }
             const int g = st.arb->grant(part);
             energy_.arbDecisions += 1;
@@ -276,15 +275,13 @@ NoxRouter::evaluate(Cycle now)
             trace(TraceEventKind::XorEncode, o,
                   views[g].presented->uid,
                   static_cast<std::uint32_t>(fanin));
-            if (prov_) {
+            if (prov) {
                 // Only the arbitration winner is freed by an encoded
                 // transfer; the other colliders begin (or continue)
                 // their XOR-recovery wait.
-                for (int p = 0; p < ports; ++p) {
-                    if ((part & maskBit(p)) && p != g)
-                        provStall(*views[p].presented,
-                                  LatencyComponent::XorRecovery, now);
-                }
+                for (RequestMask m = part & ~maskBit(g); m; m &= m - 1)
+                    provStall(*views[std::countr_zero(m)].presented,
+                              LatencyComponent::XorRecovery, now);
                 provSend(*views[g].presented, o, now);
             }
             acceptPresented(g, views[g]);
@@ -309,14 +306,12 @@ NoxRouter::evaluate(Cycle now)
         const RequestMask sw = requests & st.switchMask;
         NOX_ASSERT(std::popcount(sw) <= 1,
                    "multiple switch-enabled inputs in Scheduled mode");
-        if (prov_) {
+        if (prov) {
             // Requesters not pre-scheduled for the switch this cycle
             // wait out (at least) one arbitration round.
-            for (int p = 0; p < ports; ++p) {
-                if (out_of[p] == o && !(sw & maskBit(p)))
-                    provStall(*views[p].presented,
-                              LatencyComponent::ArbLoss, now);
-            }
+            for (RequestMask m = requests & ~sw; m; m &= m - 1)
+                provStall(*views[std::countr_zero(m)].presented,
+                          LatencyComponent::ArbLoss, now);
         }
         if (sw) {
             const int p = std::countr_zero(sw);
@@ -393,11 +388,11 @@ void
 NoxRouter::traverseSingle(int in_port, int out_port,
                           const DecodeView &view, Cycle now)
 {
-    const FlitDesc d = *view.presented;
-    provSend(d, out_port, now);
+    WireFlit w = WireFlit::fromDesc(*view.presented);
+    provSend(w.parts.front(), out_port, now);
     energy_.xbarInputDrives += 1;
-    acceptPresented(in_port, view);
-    sendFlit(out_port, WireFlit::fromDesc(d));
+    acceptPresented(in_port, view); // invalidates view.presented
+    sendFlit(out_port, std::move(w));
 }
 
 void

@@ -162,8 +162,14 @@ class NoxRouter : public Router
     NoxStats noxStats_;
 
     // Per-evaluate scratch (reused across cycles, see evaluate()).
+    // scratchViews_ is sized once and *not* cleared between cycles:
+    // entries are only read for ports named by this cycle's request
+    // masks, so stale views of idle ports are unreachable — which is
+    // what lets evaluate() skip both the per-cycle fill and the
+    // decoder query for idle ports.
     std::vector<DecodeView> scratchViews_;
-    std::vector<int> scratchOut_;
+    std::vector<RequestMask> scratchRequests_; ///< per-output requests
+    std::vector<FlitDesc> scratchColliding_;   ///< XOR-combine inputs
 };
 
 } // namespace nox

@@ -42,15 +42,19 @@ void
 VcRouter::commit()
 {
     const int ports = numPorts();
+    RequestMask staged = stagedInMask_;
+    stagedInMask_ = 0;
+    while (staged) {
+        const int p = std::countr_zero(staged);
+        staged &= staged - 1;
+        energy_.bufferWrites += 1;
+        WireFlit f = std::move(stagedIn_[p]);
+        NOX_ASSERT(f.vc < vcs_, "flit VC ", int(f.vc),
+                   " out of range");
+        vcIn_[index(p, f.vc)].push(std::move(f));
+    }
+    stagedCreditMask_ = 0;
     for (int p = 0; p < ports; ++p) {
-        if (stagedIn_[p]) {
-            energy_.bufferWrites += 1;
-            WireFlit f = std::move(*stagedIn_[p]);
-            stagedIn_[p].reset();
-            NOX_ASSERT(f.vc < vcs_, "flit VC ", int(f.vc),
-                       " out of range");
-            vcIn_[index(p, f.vc)].push(std::move(f));
-        }
         // Plain per-port credits are unused by this router, but the
         // base bookkeeping still runs for wiring assertions.
         credits_[p] += stagedCredits_[p];

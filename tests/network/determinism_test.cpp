@@ -17,6 +17,7 @@
 #include <string>
 
 #include "common/rng.hpp"
+#include "noc/flit_arena.hpp"
 #include "noc/network.hpp"
 #include "routers/factory.hpp"
 #include "traffic/bernoulli_source.hpp"
@@ -280,6 +281,33 @@ INSTANTIATE_TEST_SUITE_P(
         });
         return n;
     });
+
+TEST(ArenaGrowthPath, CollisionSpillBitIdenticalAcrossKernels)
+{
+    // High single-flit NoX load drives collision chains past the
+    // PartsVec inline capacity, so WireFlits spill to arena blocks
+    // and the freelist grows mid-run. The recycled-allocation path
+    // must be invisible to simulation results: stats stay
+    // bit-identical across kernels, and nothing leaks.
+    FlitArena &arena = FlitArena::instance();
+    const FlitArenaStats before = arena.stats();
+
+    const NetworkStats always =
+        runOnce(RouterArch::Nox, PatternKind::UniformRandom,
+                SchedulingMode::AlwaysTick, 0.30, 1);
+    const FlitArenaStats after = arena.stats();
+    EXPECT_GT(after.growths + after.reuses,
+              before.growths + before.reuses)
+        << "workload never spilled a PartsVec: not an arena test";
+    EXPECT_EQ(after.live(), before.live())
+        << "drained network left arena blocks live";
+
+    const NetworkStats activity =
+        runOnce(RouterArch::Nox, PatternKind::UniformRandom,
+                SchedulingMode::ActivityDriven, 0.30, 1);
+    EXPECT_TRUE(identicalStats(always, activity))
+        << "kernels diverged on the arena-growth path";
+}
 
 TEST(ActivityKernel, IdleNetworkRetiresEverything)
 {

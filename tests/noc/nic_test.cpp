@@ -166,9 +166,9 @@ TEST(NicDeathTest, DoubleStagedSinkFlitAborts)
 {
     TwoNodeFixture f;
     Nic &nic = f.net->nic(1);
-    WireFlit w = WireFlit::fromDesc(FlitDesc{});
-    nic.stageSinkFlit(w);
-    EXPECT_DEATH(nic.stageSinkFlit(w), "two flits staged");
+    nic.stageSinkFlit(WireFlit::fromDesc(FlitDesc{}));
+    EXPECT_DEATH(nic.stageSinkFlit(WireFlit::fromDesc(FlitDesc{})),
+                 "two flits staged");
 }
 
 } // namespace

@@ -22,7 +22,7 @@ TEST(XorDecoder, EmptyFifoPresentsNothing)
     FlitFifo fifo(4);
     XorDecoder dec;
     const DecodeView v = dec.view(fifo);
-    EXPECT_FALSE(v.presented.has_value());
+    EXPECT_FALSE(v.presented != nullptr);
     EXPECT_FALSE(v.latchBubble);
 }
 
@@ -32,7 +32,7 @@ TEST(XorDecoder, UncodedPassesThrough)
     fifo.push(WireFlit::fromDesc(makeFlit(1)));
     XorDecoder dec;
     const DecodeView v = dec.view(fifo);
-    ASSERT_TRUE(v.presented.has_value());
+    ASSERT_TRUE(v.presented != nullptr);
     EXPECT_EQ(v.presented->packet, 1u);
     EXPECT_FALSE(v.decodedByXor);
     EXPECT_TRUE(v.acceptPops);
@@ -46,7 +46,7 @@ TEST(XorDecoder, EncodedHeadRequiresLatchBubble)
     fifo.push(WireFlit::combine({makeFlit(1), makeFlit(2)}));
     XorDecoder dec;
     const DecodeView v = dec.view(fifo);
-    EXPECT_FALSE(v.presented.has_value());
+    EXPECT_FALSE(v.presented != nullptr);
     EXPECT_TRUE(v.latchBubble);
     EXPECT_TRUE(dec.latch(fifo));
     EXPECT_TRUE(fifo.empty());
@@ -139,7 +139,7 @@ TEST(XorDecoder, RegisterValidWithEmptyFifoStalls)
     XorDecoder dec;
     dec.latch(fifo);
     const DecodeView v = dec.view(fifo);
-    EXPECT_FALSE(v.presented.has_value());
+    EXPECT_FALSE(v.presented != nullptr);
     EXPECT_FALSE(v.latchBubble);
 }
 
@@ -250,10 +250,10 @@ TEST(XorDecoder, LenientViewFlagsCorruptUncodedHead)
     w.payload ^= 1ULL << 3;
 
     FlitFifo fifo(4);
-    fifo.push(w);
+    fifo.push(std::move(w));
     XorDecoder dec;
     const DecodeView v = dec.view(fifo, /*lenient=*/true);
-    ASSERT_TRUE(v.presented.has_value());
+    ASSERT_TRUE(v.presented != nullptr);
     EXPECT_EQ(v.fault, DecodeFault::PayloadMismatch);
     EXPECT_EQ(v.presented->payload, a.payload ^ (1ULL << 3));
 }
@@ -269,7 +269,7 @@ TEST(XorDecoder, LenientViewDecodeMismatchFlaggedOnce)
     coded.payload ^= 1ULL << 40;
 
     FlitFifo fifo(4);
-    fifo.push(coded);
+    fifo.push(std::move(coded));
     XorDecoder dec;
     DecodeView v = dec.view(fifo, true);
     EXPECT_TRUE(v.latchBubble);
@@ -303,7 +303,7 @@ TEST(XorDecoder, LenientViewStructuralPresentsNothing)
     // The chain's closing flit was lost; an unrelated one arrives.
     fifo.push(WireFlit::fromDesc(c));
     const DecodeView v = dec.view(fifo, true);
-    EXPECT_FALSE(v.presented.has_value());
+    EXPECT_FALSE(v.presented != nullptr);
     EXPECT_EQ(v.fault, DecodeFault::Structural);
 }
 

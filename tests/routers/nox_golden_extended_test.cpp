@@ -42,7 +42,7 @@ TEST(NoxGoldenExtended, FourWayCollisionDrainsInArbitrationOrder)
     // Decode the chain: win order must be N, S, W, L = 1,2,3,4.
     FlitFifo fifo(8);
     for (const auto &e : h.events())
-        fifo.push(e.flit);
+        fifo.push(WireFlit(e.flit));
     XorDecoder dec;
     std::vector<PacketId> order;
     for (int i = 0; i < 10 && order.size() < 4; ++i) {

@@ -82,7 +82,7 @@ TEST_P(NoxRandomArrivals, AllPacketsDecodeDownstream)
             dec.latch(fifo);
             continue;
         }
-        ASSERT_TRUE(v.presented.has_value());
+        ASSERT_TRUE(v.presented != nullptr);
         delivered.push_back(*v.presented);
         dec.accept(fifo);
     }

@@ -63,7 +63,7 @@ TEST(NoxRouter, ChainDecodesDownstreamInWinOrder)
     for (int t = 0; t < 3; ++t) {
         auto f = h.step();
         ASSERT_TRUE(f);
-        downstream.push(*f);
+        downstream.push(WireFlit(*f));
     }
 
     XorDecoder dec;
