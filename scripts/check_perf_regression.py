@@ -2,9 +2,11 @@
 """Compare a bench perf_json run against a committed baseline.
 
 Fails (exit 1) when any record's cycles_per_s regressed by more than
-the tolerance versus the matching baseline label, or when a baseline
-label is missing from the current run. Speedups and new labels are
-reported but never fail the gate.
+the tolerance versus the matching baseline label, when a baseline
+label is missing from the current run, or when the current run has
+labels the baseline has never seen (a stale baseline silently
+exempts new rows from the gate — regenerate it instead). Speedups
+are reported but never fail the gate.
 
 Usage:
   scripts/check_perf_regression.py \
@@ -26,6 +28,8 @@ def load_records(path):
         doc = json.load(f)
     records = {}
     for rec in doc.get("records", []):
+        if "label" not in rec:
+            sys.exit(f"error: record without a label in {path}")
         records[rec["label"]] = rec
     if not records:
         sys.exit(f"error: no records in {path}")
@@ -68,15 +72,27 @@ def main():
             flag = "  <-- REGRESSION"
         print(f"{label:<28} {bcps:>12.0f} {ccps:>12.0f} "
               f"{ratio:>8.3f}{flag}")
-    for label in sorted(set(cur) - set(base)):
-        print(f"{label:<28} {'(new)':>12} "
+    # A row the baseline has never seen cannot be gated at all, so a
+    # stale baseline would let regressions in new benches through
+    # silently. That is a hard failure with a fix-it, not a footnote.
+    unbaselined = sorted(set(cur) - set(base))
+    for label in unbaselined:
+        print(f"{label:<28} {'(no baseline)':>12} "
               f"{cur[label].get('cycles_per_s', 0.0):>12.0f}")
+        failures.append(f"{label}: present in the current run but "
+                        f"missing from the baseline")
 
     if failures:
-        print(f"\nFAIL: {len(failures)} perf regression(s):",
+        print(f"\nFAIL: {len(failures)} perf gate failure(s):",
               file=sys.stderr)
         for f in failures:
             print(f"  {f}", file=sys.stderr)
+        if unbaselined:
+            print(f"\n{len(unbaselined)} label(s) have no baseline "
+                  f"entry. Regenerate the committed baseline on the "
+                  f"reference machine and commit it, e.g.:\n"
+                  f"  <bench> perf_json={args.baseline}",
+                  file=sys.stderr)
         return 1
     print(f"\nOK: all {len(base)} labels within "
           f"{args.tolerance * 100.0:.0f}% of baseline")

@@ -37,6 +37,15 @@ Config::parseArgs(int argc, const char *const *argv)
             loadFile(argv[++i]);
             continue;
         }
+        if (arg == "--resume") {
+            if (i + 1 >= argc)
+                fatal("--resume requires a snapshot path argument");
+            // std::string() forces the string overload: a bare
+            // const char* would pick set(key, bool) via the standard
+            // pointer-to-bool conversion.
+            set("resume", std::string(argv[++i]));
+            continue;
+        }
         const auto eq = arg.find('=');
         if (eq == std::string::npos) {
             positional.push_back(arg);
@@ -101,7 +110,12 @@ Config::set(const std::string &key, bool value)
 bool
 Config::has(const std::string &key) const
 {
-    return values_.count(key) > 0;
+    // A presence check counts as a read for the unused-key audit: the
+    // caller demonstrably knows about the key.
+    if (values_.count(key) == 0)
+        return false;
+    touched_.insert(key);
+    return true;
 }
 
 const std::string *
@@ -218,6 +232,19 @@ Config::unusedKeys() const
             out.push_back(k);
     }
     return out;
+}
+
+void
+Config::requireAllUsed(const std::string &context) const
+{
+    const std::vector<std::string> unused = unusedKeys();
+    if (unused.empty())
+        return;
+    std::ostringstream oss;
+    for (const auto &k : unused)
+        oss << "\n  " << k << " = " << values_.at(k);
+    fatal(context, ": unknown config key(s) — misspelled or not "
+          "supported by this tool:", oss.str());
 }
 
 std::vector<std::pair<std::string, std::string>>

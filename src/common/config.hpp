@@ -62,6 +62,14 @@ class Config
     /** Keys that were set but never read (likely typos). */
     std::vector<std::string> unusedKeys() const;
 
+    /**
+     * Fatal error if any key was set but never read. Call after all
+     * getters have run so a typo (`fault_sede=...`) or an unknown key
+     * aborts the run with the full offender list instead of silently
+     * no-opping a fault campaign or checkpoint config.
+     */
+    void requireAllUsed(const std::string &context) const;
+
     /** All key=value pairs, sorted by key (for reproducibility logs). */
     std::vector<std::pair<std::string, std::string>> items() const;
 

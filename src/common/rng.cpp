@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/log.hpp"
+#include "snapshot/io.hpp"
 
 namespace nox {
 
@@ -139,6 +140,20 @@ Rng
 Rng::split(std::uint64_t salt)
 {
     return Rng(mix64(next() ^ mix64(salt)));
+}
+
+void
+Rng::serialize(snap::Writer &w) const
+{
+    for (std::uint64_t word : s_)
+        w.u64(word);
+}
+
+void
+Rng::restore(snap::Reader &r)
+{
+    for (std::uint64_t &word : s_)
+        word = r.u64();
 }
 
 } // namespace nox

@@ -16,6 +16,11 @@
 
 namespace nox {
 
+namespace snap {
+class Writer;
+class Reader;
+} // namespace snap
+
 /**
  * xoshiro256** PRNG (Blackman & Vigna). Fast, 256-bit state, and good
  * statistical quality for simulation purposes (not cryptographic).
@@ -64,6 +69,10 @@ class Rng
      * output with @p salt so per-node generators do not correlate.
      */
     Rng split(std::uint64_t salt);
+
+    /** Capture / restore the full 256-bit state (checkpointing). */
+    void serialize(snap::Writer &w) const;
+    void restore(snap::Reader &r);
 
   private:
     std::uint64_t s_[4];

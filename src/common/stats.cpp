@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/log.hpp"
+#include "snapshot/io.hpp"
 
 namespace nox {
 
@@ -125,6 +126,52 @@ Histogram::quantile(double p) const
         cum = next;
     }
     return width_ * static_cast<double>(counts_.size());
+}
+
+void
+SampleStats::serialize(snap::Writer &w) const
+{
+    w.u64(n_);
+    w.f64(mean_);
+    w.f64(m2_);
+    w.f64(min_);
+    w.f64(max_);
+}
+
+void
+SampleStats::restore(snap::Reader &r)
+{
+    n_ = r.u64();
+    mean_ = r.f64();
+    m2_ = r.f64();
+    min_ = r.f64();
+    max_ = r.f64();
+}
+
+void
+Histogram::serialize(snap::Writer &w) const
+{
+    w.f64(width_);
+    w.u32(widenings_);
+    w.u64(counts_.size());
+    for (std::uint64_t c : counts_)
+        w.u64(c);
+    w.u64(overflow_);
+    w.u64(total_);
+}
+
+void
+Histogram::restore(snap::Reader &r)
+{
+    width_ = r.f64();
+    widenings_ = r.u32();
+    const std::uint64_t n = r.u64();
+    if (n != counts_.size())
+        r.fail("histogram bucket-count mismatch (wrong geometry)");
+    for (std::uint64_t &c : counts_)
+        c = r.u64();
+    overflow_ = r.u64();
+    total_ = r.u64();
 }
 
 void

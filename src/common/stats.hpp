@@ -17,6 +17,11 @@
 
 namespace nox {
 
+namespace snap {
+class Writer;
+class Reader;
+} // namespace snap
+
 /** Streaming sample statistics (Welford's online algorithm). */
 class SampleStats
 {
@@ -44,6 +49,10 @@ class SampleStats
                m2_ == other.m2_ && min_ == other.min_ &&
                max_ == other.max_;
     }
+
+    /** Bit-exact accumulator capture / restore (checkpointing). */
+    void serialize(snap::Writer &w) const;
+    void restore(snap::Reader &r);
 
   private:
     std::uint64_t n_ = 0;
@@ -98,6 +107,12 @@ class Histogram
         return width_ == other.width_ && counts_ == other.counts_ &&
                overflow_ == other.overflow_ && total_ == other.total_;
     }
+
+    /** Capture / restore counts and widening state (checkpointing).
+     *  Bucket count and auto-widen flag are construction geometry and
+     *  must already match; restore() checks and throws otherwise. */
+    void serialize(snap::Writer &w) const;
+    void restore(snap::Reader &r);
 
   private:
     /** Merge adjacent bucket pairs: same bucket count, double width. */

@@ -9,7 +9,9 @@
 #include "common/log.hpp"
 #include "common/rng.hpp"
 #include "noc/network.hpp"
+#include "noc/snapshot_codec.hpp"
 #include "routers/factory.hpp"
+#include "snapshot/snapshot.hpp"
 #include "traffic/bernoulli_source.hpp"
 #include "traffic/pareto_source.hpp"
 #include "traffic/replay_source.hpp"
@@ -88,17 +90,105 @@ runSynthetic(const SyntheticConfig &config)
     const Cycle m1 = config.warmupCycles + config.measureCycles;
     net->setMeasurementWindow(m0, m1);
 
+    // Runner-phase state that outlives a checkpoint: the energy
+    // snapshots bracketing the measurement window. Captured-flags
+    // handle checkpoints that fire before the respective boundary.
+    EnergyEvents before, after;
+    bool beforeCaptured = false, afterCaptured = false;
+
+    // The Network fingerprint covers construction parameters only;
+    // runner-level knobs (traffic pattern, offered load, window
+    // boundaries, seed) live here so a resume under a different
+    // experiment is rejected instead of silently continuing wrong.
+    std::ostringstream rfp;
+    rfp.precision(17);
+    rfp << "pattern="
+        << (config.selfSimilar ? "selfsimilar"
+                               : patternName(config.pattern))
+        << " rate_mbps=" << config.injectionMBps
+        << " flits=" << config.packetFlits
+        << " hotspot=" << config.hotspotFraction
+        << " warmup=" << config.warmupCycles
+        << " measure=" << config.measureCycles
+        << " drain_limit=" << config.drainLimitCycles
+        << " seed=" << config.seed;
+    const std::string runnerFp = rfp.str();
+
+    if (!config.resumePath.empty()) {
+        try {
+            const snap::SnapshotFile file =
+                snap::loadSnapshotFile(config.resumePath);
+            snap::restoreNetwork(*net, file);
+            const snap::Section &rsec =
+                file.require(snap::kSectionRunner);
+            snap::Reader rr(rsec.payload.data(),
+                            rsec.payload.size());
+            snap::checkTag(rr, snap::fourcc("RUNR"));
+            const std::string savedFp = rr.str();
+            if (savedFp != runnerFp) {
+                throw snap::SnapshotError(
+                    "snapshot was taken from a different "
+                    "experiment:\n  snapshot: " +
+                    savedFp + "\n  this run: " + runnerFp);
+            }
+            beforeCaptured = rr.boolean();
+            if (beforeCaptured)
+                before = snap::readEnergyEvents(rr);
+            afterCaptured = rr.boolean();
+            if (afterCaptured)
+                after = snap::readEnergyEvents(rr);
+            rr.expectEnd();
+        } catch (const snap::SnapshotError &e) {
+            fatal("cannot resume from '", config.resumePath,
+                  "': ", e.what());
+        }
+    }
+
+    if (config.checkpointInterval > 0) {
+        net->installCheckpoint(
+            config.checkpointInterval, [&](Network &n) {
+                snap::SnapshotFile image =
+                    snap::captureNetwork(n, "noxsim");
+                snap::Writer rw;
+                snap::tag(rw, snap::fourcc("RUNR"));
+                rw.str(runnerFp);
+                rw.boolean(beforeCaptured);
+                if (beforeCaptured)
+                    snap::writeEnergyEvents(rw, before);
+                rw.boolean(afterCaptured);
+                if (afterCaptured)
+                    snap::writeEnergyEvents(rw, after);
+                image.sections.push_back(
+                    {snap::kSectionRunner, rw.take()});
+                snap::writeSnapshotFileAtomic(
+                    config.checkpointFile,
+                    snap::encodeSnapshotFile(image),
+                    config.checkpointKeep);
+            });
+    }
+
     // Wall-clock the whole simulation (warmup + measure + drain) —
     // this is the quantity the scheduling kernels are compared on.
     const auto wall0 = std::chrono::steady_clock::now();
 
-    net->run(config.warmupCycles);
-    const EnergyEvents before = net->totalEnergyEvents();
-    net->run(config.measureCycles);
-    const EnergyEvents after = net->totalEnergyEvents();
+    // Phase boundaries are absolute cycles, so a resumed run simply
+    // finishes whatever remains of each phase (possibly nothing).
+    const Cycle start = net->now();
+    net->run(start < m0 ? m0 - start : 0);
+    if (!beforeCaptured) {
+        before = net->totalEnergyEvents();
+        beforeCaptured = true;
+    }
+    net->run(net->now() < m1 ? m1 - net->now() : 0);
+    if (!afterCaptured) {
+        after = net->totalEnergyEvents();
+        afterCaptured = true;
+    }
 
     net->setSourcesEnabled(false);
-    res.drained = net->drain(config.drainLimitCycles);
+    const Cycle deadline = m1 + config.drainLimitCycles;
+    res.drained =
+        net->drain(net->now() < deadline ? deadline - net->now() : 0);
     if (!res.drained)
         res.drainDiagnosis = net->lastDrainReport().summary();
 

@@ -55,6 +55,18 @@ struct SyntheticConfig
     ObsParams obs;      ///< tracing + metrics (disabled by default)
     Technology tech = Technology::tsmc65();
     PhysicalParams phys;
+
+    /** Periodic checkpointing: every this many cycles a crash-safe
+     *  snapshot is written to checkpointFile (0 = off). */
+    Cycle checkpointInterval = 0;
+    std::string checkpointFile = "nox-checkpoint.snap";
+    /** Snapshots retained (live file + rotated predecessors). */
+    int checkpointKeep = 2;
+    /** Resume from this snapshot instead of starting at cycle 0. The
+     *  run's configuration must match the snapshot's (fingerprint
+     *  checked); the resumed run completes with NetworkStats and
+     *  provenance bit-identical to the uninterrupted run. */
+    std::string resumePath;
 };
 
 /** Result of one measurement point. */

@@ -3,8 +3,19 @@
 #include <bit>
 
 #include "common/log.hpp"
+#include "snapshot/io.hpp"
 
 namespace nox {
+
+void
+Arbiter::serialize(snap::Writer &) const
+{
+}
+
+void
+Arbiter::restore(snap::Reader &)
+{
+}
 
 RoundRobinArbiter::RoundRobinArbiter(int num_inputs)
     : Arbiter(num_inputs), pointer_(0)
@@ -32,6 +43,20 @@ void
 RoundRobinArbiter::reset()
 {
     pointer_ = 0;
+}
+
+void
+RoundRobinArbiter::serialize(snap::Writer &w) const
+{
+    w.i32(pointer_);
+}
+
+void
+RoundRobinArbiter::restore(snap::Reader &r)
+{
+    pointer_ = r.i32();
+    if (pointer_ < 0 || pointer_ >= numInputs_)
+        r.fail("round-robin pointer out of range");
 }
 
 int
@@ -98,6 +123,22 @@ MatrixArbiter::reset()
         for (int j = i + 1; j < numInputs_; ++j)
             prio_[i][j] = true; // initial total order by index
     }
+}
+
+void
+MatrixArbiter::serialize(snap::Writer &w) const
+{
+    for (const auto &row : prio_)
+        for (bool b : row)
+            w.boolean(b);
+}
+
+void
+MatrixArbiter::restore(snap::Reader &r)
+{
+    for (auto &row : prio_)
+        for (std::size_t j = 0; j < row.size(); ++j)
+            row[j] = r.boolean();
 }
 
 } // namespace nox

@@ -16,6 +16,11 @@
 
 namespace nox {
 
+namespace snap {
+class Writer;
+class Reader;
+} // namespace snap
+
 /**
  * Request bit-vector; bit i set means input i requests the output.
  * 64 bits wide so high-radix concentrated-mesh routers (radix
@@ -57,6 +62,11 @@ class Arbiter
     /** Reset priority state to the post-construction value. */
     virtual void reset() = 0;
 
+    /** Capture / restore priority state (checkpointing). Stateless
+     *  arbiters write nothing. */
+    virtual void serialize(snap::Writer &w) const;
+    virtual void restore(snap::Reader &r);
+
     int numInputs() const { return numInputs_; }
 
   protected:
@@ -71,6 +81,8 @@ class RoundRobinArbiter : public Arbiter
 
     int grant(RequestMask requests) override;
     void reset() override;
+    void serialize(snap::Writer &w) const override;
+    void restore(snap::Reader &r) override;
 
     /** Input that currently has highest priority (for tests). */
     int pointer() const { return pointer_; }
@@ -100,6 +112,8 @@ class MatrixArbiter : public Arbiter
 
     int grant(RequestMask requests) override;
     void reset() override;
+    void serialize(snap::Writer &w) const override;
+    void restore(snap::Reader &r) override;
 
   private:
     /** prio_[i][j] true when input i beats input j. */

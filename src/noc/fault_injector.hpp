@@ -262,6 +262,13 @@ class FaultInjector
      *  stay exact past the cap). */
     const std::vector<FaultEvent> &log() const { return log_; }
 
+    /** Capture / restore dynamic state (checkpointing): clock, the
+     *  one-shot and hard-fault queues and the log. Draws are pure
+     *  functions of (seed, event identity), so no RNG cursor exists —
+     *  params come from the construction config (fingerprinted). */
+    void serialize(snap::Writer &w) const;
+    void restore(snap::Reader &r);
+
   private:
     /** Uniform double in [0, 1) keyed by the event identity. */
     double eventUniform(FaultKind kind, NodeId router, int port,

@@ -58,6 +58,18 @@ class FlitFifo
         return slots_[head_];
     }
 
+    /** i-th held flit from the head (0 == front()); for inspection
+     *  and checkpoint serialization, not the hot path. */
+    const WireFlit &
+    at(std::size_t i) const
+    {
+        NOX_ASSERT(i < size_, "at() index out of range");
+        std::size_t idx = head_ + i;
+        if (idx >= capacity_)
+            idx -= capacity_;
+        return slots_[idx];
+    }
+
     WireFlit
     pop()
     {

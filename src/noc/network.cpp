@@ -1,10 +1,12 @@
 #include "noc/network.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <sstream>
 #include <string_view>
 
 #include "common/log.hpp"
+#include "noc/snapshot_codec.hpp"
 
 namespace nox {
 
@@ -426,6 +428,9 @@ Network::stepAlwaysTick()
     ++now_;
     if (metrics_ && metrics_->windowEnds(now_))
         sampleMetricsWindow();
+    if (checkpointInterval_ != 0 && now_ % checkpointInterval_ == 0 &&
+        checkpointHook_)
+        checkpointHook_(*this);
 }
 
 void
@@ -542,6 +547,9 @@ Network::stepScheduled(bool check)
     ++now_;
     if (metrics_ && metrics_->windowEnds(now_))
         sampleMetricsWindow();
+    if (checkpointInterval_ != 0 && now_ % checkpointInterval_ == 0 &&
+        checkpointHook_)
+        checkpointHook_(*this);
 }
 
 void
@@ -792,6 +800,282 @@ std::size_t
 Network::sourceQueueFlits(NodeId node) const
 {
     return nics_[node]->sourceQueueFlits();
+}
+
+void
+Network::installCheckpoint(Cycle interval,
+                           std::function<void(Network &)> hook)
+{
+    NOX_ASSERT(interval > 0, "checkpoint interval must be positive");
+    checkpointInterval_ = interval;
+    checkpointHook_ = std::move(hook);
+}
+
+std::string
+Network::fingerprint() const
+{
+    // Doubles are rendered as exact bit patterns: two fingerprints
+    // must compare equal iff the constructions are identical, not
+    // merely close.
+    const auto bits = [](double v) {
+        std::uint64_t b;
+        std::memcpy(&b, &v, sizeof b);
+        return b;
+    };
+    std::ostringstream os;
+    os << "arch=" << archName(routers_[0]->arch()) << " mesh="
+       << params_.width << "x" << params_.height << "x"
+       << params_.concentration
+       << " buf=" << params_.router.bufferDepth
+       << " vcs=" << params_.router.vcCount
+       << " sink=" << params_.sinkBufferDepth
+       << " arb=" << static_cast<int>(params_.router.arbiterKind)
+       << " routing=" << static_cast<int>(params_.routing)
+       << " sched=" << schedulingModeName(params_.schedulingMode);
+    const FaultParams &f = params_.faults;
+    os << " faults=" << (f.enabled ? 1 : 0);
+    if (f.enabled) {
+        os << std::hex << " rates=" << bits(f.bitflipRate) << ","
+           << bits(f.dropRate) << "," << bits(f.creditLossRate)
+           << std::dec << " seed=" << f.seed
+           << " protect=" << (f.protect ? 1 : 0)
+           << " retry=" << f.retryTimeout << "," << f.nackDelay
+           << " watchdog=" << f.watchdogPeriod
+           << " hard=" << f.hardLinkFaults << ","
+           << f.hardRouterFaults << "@" << f.hardFaultCycle
+           << " age=" << f.packetAgeLimit;
+    }
+    os << " trace=" << (params_.obs.trace.enabled ? 1 : 0);
+    if (params_.obs.trace.enabled)
+        os << "/" << params_.obs.trace.capacity;
+    os << " metrics=" << (params_.obs.metrics.enabled ? 1 : 0);
+    if (params_.obs.metrics.enabled)
+        os << "/" << params_.obs.metrics.interval;
+    os << " prov=" << (params_.obs.prov.enabled ? 1 : 0);
+    return os.str();
+}
+
+void
+Network::serialize(snap::Writer &w) const
+{
+    snap::tag(w, snap::fourcc("NETW"));
+    w.u64(now_);
+    w.u64(nextPacket_);
+    w.boolean(sourcesEnabled_);
+    snap::writeNetworkStats(w, stats_);
+
+    // The hard-fault topology, as replayable kill lists: dead
+    // routers, then dead canonical internal links (East/South) whose
+    // endpoints survive (a dead router already implies its links).
+    std::vector<NodeId> deadRouters;
+    for (NodeId r = 0; r < numRouters(); ++r) {
+        if (faultMap_.routerDead(r))
+            deadRouters.push_back(r);
+    }
+    w.u64(deadRouters.size());
+    for (NodeId r : deadRouters)
+        w.i32(r);
+    std::vector<std::pair<NodeId, int>> deadLinks;
+    for (NodeId r = 0; r < numRouters(); ++r) {
+        if (faultMap_.routerDead(r))
+            continue;
+        for (int port : {static_cast<int>(kPortEast),
+                         static_cast<int>(kPortSouth)}) {
+            const NodeId nb = mesh_.neighbor(r, port);
+            if (nb == kInvalidNode || faultMap_.routerDead(nb))
+                continue;
+            if (faultMap_.linkDead(r, port))
+                deadLinks.emplace_back(r, port);
+        }
+    }
+    w.u64(deadLinks.size());
+    for (const auto &[r, port] : deadLinks) {
+        w.i32(r);
+        w.i32(port);
+    }
+    w.u64(table_.rebuilds());
+
+    const auto writeFlowMap =
+        [&w](const std::unordered_map<std::uint64_t, std::uint32_t>
+                 &m) {
+            std::vector<std::uint64_t> keys;
+            keys.reserve(m.size());
+            for (const auto &[k, v] : m)
+                keys.push_back(k);
+            std::sort(keys.begin(), keys.end());
+            w.u64(keys.size());
+            for (std::uint64_t k : keys) {
+                w.u64(k);
+                w.u32(m.at(k));
+            }
+        };
+    writeFlowMap(flowNextSeq_);
+    writeFlowMap(flowMaxDone_);
+
+    w.u64(ageQueue_.size());
+    for (const auto &[packet, created] : ageQueue_) {
+        w.u64(packet);
+        w.u64(created);
+    }
+    std::vector<PacketId> aged(ageInFlight_.begin(),
+                               ageInFlight_.end());
+    std::sort(aged.begin(), aged.end());
+    w.u64(aged.size());
+    for (PacketId p : aged)
+        w.u64(p);
+    w.boolean(ageDumpLatched_);
+
+    for (std::uint8_t f : routerActive_)
+        w.boolean(f != 0);
+    for (std::uint8_t f : nicActive_)
+        w.boolean(f != 0);
+    w.boolean(!prevRouterActive_.empty());
+    for (std::uint8_t f : prevRouterActive_)
+        w.boolean(f != 0);
+    for (std::uint8_t f : prevNicActive_)
+        w.boolean(f != 0);
+    w.boolean(!lastLinkFlits_.empty());
+    for (std::uint64_t v : lastLinkFlits_)
+        w.u64(v);
+    for (std::uint64_t v : lastCollisions_)
+        w.u64(v);
+
+    for (const auto &r : routers_)
+        r->serialize(w);
+    for (const auto &nic : nics_)
+        nic->serialize(w);
+    w.u64(sources_.size());
+    for (const auto &src : sources_)
+        src->serialize(w);
+    w.boolean(faults_ != nullptr);
+    if (faults_)
+        faults_->serialize(w);
+    w.boolean(tracer_ != nullptr);
+    if (tracer_)
+        tracer_->serialize(w);
+    w.boolean(metrics_ != nullptr);
+    if (metrics_)
+        metrics_->serialize(w);
+    w.boolean(prov_ != nullptr);
+    if (prov_)
+        prov_->serialize(w);
+}
+
+void
+Network::restore(snap::Reader &r)
+{
+    snap::checkTag(r, snap::fourcc("NETW"));
+    now_ = r.u64();
+    nextPacket_ = r.u64();
+    sourcesEnabled_ = r.boolean();
+    snap::readNetworkStats(r, stats_);
+
+    // Replay the snapshot's hard-fault topology onto this (freshly
+    // built) network before touching any component: Router::restore
+    // cross-checks output wiring, and the routing table must describe
+    // the faulted mesh when traffic resumes. Construction-time
+    // (cycle-0) kills already applied — the snapshot's lists are a
+    // superset, so only the difference is replayed.
+    bool replayed = false;
+    std::vector<FlitDesc> discard; // freshly built: nothing in flight
+    const std::uint64_t ndr = r.u64();
+    for (std::uint64_t i = 0; i < ndr; ++i) {
+        const NodeId router = r.i32();
+        if (router < 0 || router >= numRouters())
+            r.fail("dead-router id out of range");
+        if (!faultMap_.routerDead(router)) {
+            killRouter(router, discard);
+            replayed = true;
+        }
+    }
+    const std::uint64_t ndl = r.u64();
+    for (std::uint64_t i = 0; i < ndl; ++i) {
+        const NodeId router = r.i32();
+        const int port = r.i32();
+        if (router < 0 || router >= numRouters() ||
+            port < kPortNorth || port > kPortWest)
+            r.fail("dead-link endpoint out of range");
+        if (!faultMap_.linkDead(router, port)) {
+            killLink(router, port, discard);
+            replayed = true;
+        }
+    }
+    NOX_ASSERT(discard.empty(),
+               "fault replay on a restore target with traffic");
+    if (replayed)
+        table_.rebuild(faultMap_);
+    table_.setRebuildCount(r.u64());
+
+    const auto readFlowMap =
+        [&r](std::unordered_map<std::uint64_t, std::uint32_t> &m) {
+            m.clear();
+            const std::uint64_t n = r.u64();
+            m.reserve(static_cast<std::size_t>(n));
+            for (std::uint64_t i = 0; i < n; ++i) {
+                const std::uint64_t k = r.u64();
+                m[k] = r.u32();
+            }
+        };
+    readFlowMap(flowNextSeq_);
+    readFlowMap(flowMaxDone_);
+
+    ageQueue_.clear();
+    const std::uint64_t nage = r.u64();
+    for (std::uint64_t i = 0; i < nage; ++i) {
+        const PacketId packet = r.u64();
+        const Cycle created = r.u64();
+        ageQueue_.emplace_back(packet, created);
+    }
+    ageInFlight_.clear();
+    const std::uint64_t nin = r.u64();
+    ageInFlight_.reserve(static_cast<std::size_t>(nin));
+    for (std::uint64_t i = 0; i < nin; ++i)
+        ageInFlight_.insert(r.u64());
+    ageDumpLatched_ = r.boolean();
+
+    for (std::uint8_t &f : routerActive_)
+        f = r.boolean() ? 1 : 0;
+    for (std::uint8_t &f : nicActive_)
+        f = r.boolean() ? 1 : 0;
+    if (r.boolean() != !prevRouterActive_.empty())
+        r.fail("trace-activity state presence mismatch (wrong "
+               "config)");
+    for (std::uint8_t &f : prevRouterActive_)
+        f = r.boolean() ? 1 : 0;
+    for (std::uint8_t &f : prevNicActive_)
+        f = r.boolean() ? 1 : 0;
+    if (r.boolean() != !lastLinkFlits_.empty())
+        r.fail("metrics window-counter presence mismatch (wrong "
+               "config)");
+    for (std::uint64_t &v : lastLinkFlits_)
+        v = r.u64();
+    for (std::uint64_t &v : lastCollisions_)
+        v = r.u64();
+
+    for (auto &rt : routers_)
+        rt->restore(r);
+    for (auto &nic : nics_)
+        nic->restore(r);
+    if (r.u64() != sources_.size())
+        r.fail("traffic source count mismatch (wrong config)");
+    for (auto &src : sources_)
+        src->restore(r);
+    if (r.boolean() != (faults_ != nullptr))
+        r.fail("fault-injection presence mismatch (wrong config)");
+    if (faults_)
+        faults_->restore(r);
+    if (r.boolean() != (tracer_ != nullptr))
+        r.fail("trace recorder presence mismatch (wrong config)");
+    if (tracer_)
+        tracer_->restore(r);
+    if (r.boolean() != (metrics_ != nullptr))
+        r.fail("metrics sampler presence mismatch (wrong config)");
+    if (metrics_)
+        metrics_->restore(r);
+    if (r.boolean() != (prov_ != nullptr))
+        r.fail("provenance presence mismatch (wrong config)");
+    if (prov_)
+        prov_->restore(r);
 }
 
 void

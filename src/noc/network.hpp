@@ -208,6 +208,38 @@ class Network : public PacketInjector, public SinkListener
     /** Sum of all router + NIC energy-event counters. */
     EnergyEvents totalEnergyEvents() const;
 
+    // -- checkpointing --
+
+    /**
+     * Arm periodic checkpointing: after every step() whose ending
+     * cycle is a multiple of @p interval, @p hook is invoked with
+     * this network. The hook's owner (runner or tool) decides what
+     * to serialize around the network section and where to write it —
+     * the Network itself never touches the filesystem.
+     */
+    void installCheckpoint(Cycle interval,
+                           std::function<void(Network &)> hook);
+
+    /**
+     * Construction-parameter fingerprint embedded in snapshots and
+     * cross-checked at restore: two Networks with equal fingerprints
+     * are structurally identical (same topology, microarchitecture,
+     * fault plan and observability geometry), so restoring one's
+     * dynamic state into the other is well-defined.
+     */
+    std::string fingerprint() const;
+
+    /**
+     * Capture / restore the complete dynamic state. Must be called
+     * between steps (no staged effects in flight). restore() expects
+     * a freshly constructed Network with the same construction
+     * parameters (enforced upstream via fingerprint()); it replays
+     * the snapshot's hard-fault topology onto this network before
+     * overwriting any component state.
+     */
+    void serialize(snap::Writer &w) const;
+    void restore(snap::Reader &r);
+
     // -- PacketInjector --
     PacketId injectPacket(NodeId src, NodeId dst, int num_flits,
                           Cycle now, TrafficClass cls) override;
@@ -301,6 +333,10 @@ class Network : public PacketInjector, public SinkListener
     Cycle now_ = 0;
     PacketId nextPacket_ = 1;
     bool sourcesEnabled_ = true;
+
+    /** Periodic checkpoint trigger (0 = disabled). */
+    Cycle checkpointInterval_ = 0;
+    std::function<void(Network &)> checkpointHook_;
 
     /** Per-flow (src, dest) end-to-end sequence numbers, stamped at
      *  injection and checked at completion (faults enabled only). */

@@ -151,6 +151,11 @@ class Nic
         return injectCredits_[static_cast<std::size_t>(vc)];
     }
 
+    /** Capture / restore dynamic state (checkpointing); taken between
+     *  steps, when nothing is staged (asserted). */
+    void serialize(snap::Writer &w) const;
+    void restore(snap::Reader &r);
+
   private:
     void deliver(const FlitDesc &flit, Cycle now);
 

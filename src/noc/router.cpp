@@ -5,6 +5,7 @@
 #include "common/log.hpp"
 #include "noc/fault_injector.hpp"
 #include "noc/nic.hpp"
+#include "noc/snapshot_codec.hpp"
 
 namespace nox {
 
@@ -468,6 +469,76 @@ Router::makeArbiter() const
         return std::make_unique<MatrixArbiter>(params_.numPorts);
     }
     panic("unknown arbiter kind");
+}
+
+void
+Router::serialize(snap::Writer &w) const
+{
+    // Snapshots are taken between steps: commit() has latched every
+    // staged arrival, so staged state is structurally empty.
+    NOX_ASSERT(stagedInMask_ == 0 && stagedCreditMask_ == 0,
+               "serialize with staged arrivals (mid-step snapshot)");
+    snap::tag(w, snap::fourcc("ROUT"));
+    w.i32(id_);
+    w.u64(connectedOutMask_); // structural cross-check on restore
+    w.boolean(degraded_);
+    for (const FlitFifo &f : in_)
+        snap::writeFlitFifo(w, f);
+    for (int c : credits_)
+        w.i32(c);
+    w.boolean(faults_ != nullptr);
+    if (faults_) {
+        for (int p = 0; p < params_.numPorts; ++p) {
+            const auto &entry = retry_[static_cast<std::size_t>(p)];
+            w.boolean(entry.has_value());
+            if (entry.has_value()) {
+                snap::writeWireFlit(w, entry->flit);
+                w.u64(entry->due);
+                w.boolean(entry->nacked);
+            }
+            w.u64(lastLinkSend_[static_cast<std::size_t>(p)]);
+            w.i32(creditsLost_[static_cast<std::size_t>(p)]);
+        }
+    }
+    snap::writeEnergyEvents(w, energy_);
+}
+
+void
+Router::restore(snap::Reader &r)
+{
+    NOX_ASSERT(stagedInMask_ == 0 && stagedCreditMask_ == 0,
+               "restore with staged arrivals (mid-step restore)");
+    snap::checkTag(r, snap::fourcc("ROUT"));
+    if (r.i32() != id_)
+        r.fail("router id mismatch (stream desync)");
+    if (r.u64() != connectedOutMask_) {
+        r.fail("router output wiring mismatch: the snapshot's fault "
+               "map was not replayed onto this network");
+    }
+    degraded_ = r.boolean();
+    for (FlitFifo &f : in_)
+        snap::readFlitFifo(r, f);
+    for (int &c : credits_)
+        c = r.i32();
+    if (r.boolean() != (faults_ != nullptr))
+        r.fail("fault-injection presence mismatch (wrong config)");
+    if (faults_) {
+        for (int p = 0; p < params_.numPorts; ++p) {
+            auto &entry = retry_[static_cast<std::size_t>(p)];
+            if (r.boolean()) {
+                RetryEntry e;
+                e.flit = snap::readWireFlit(r);
+                e.due = r.u64();
+                e.nacked = r.boolean();
+                entry = std::move(e);
+            } else {
+                entry.reset();
+            }
+            lastLinkSend_[static_cast<std::size_t>(p)] = r.u64();
+            creditsLost_[static_cast<std::size_t>(p)] = r.i32();
+        }
+    }
+    energy_ = snap::readEnergyEvents(r);
 }
 
 } // namespace nox

@@ -270,6 +270,16 @@ class Router
      *  every other architecture reports 0). */
     virtual std::uint64_t xorCollisions() const { return 0; }
 
+    /**
+     * Capture / restore dynamic state (checkpointing). Called between
+     * steps, when no arrivals are staged (commit() latched everything
+     * — asserted); wiring, parameters and route tables are rebuilt by
+     * construction and are not captured. Subclasses override both,
+     * call the base method first, then handle their own state.
+     */
+    virtual void serialize(snap::Writer &w) const;
+    virtual void restore(snap::Reader &r);
+
   protected:
     /** True when the downstream buffer of @p out_port has a slot. */
     bool haveCredit(int out_port) const { return credits_[out_port] > 0; }

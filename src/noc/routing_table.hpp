@@ -142,6 +142,11 @@ class RoutingTable
      *  constructor counts as the first). */
     std::uint64_t rebuilds() const { return rebuilds_; }
 
+    /** Overwrite the rebuild counter (checkpoint restore only: the
+     *  restore path replays fault-map kills with one rebuild, then
+     *  reinstates the original run's count). */
+    void setRebuildCount(std::uint64_t n) { rebuilds_ = n; }
+
     /**
      * True when a flit that arrived over channel @p from -> @p at and
      * would next traverse @p at -> @p to makes the down-then-up turn

@@ -1,0 +1,224 @@
+#include "noc/snapshot_codec.hpp"
+
+namespace nox::snap {
+
+void
+writeFlitDesc(Writer &w, const FlitDesc &d)
+{
+    w.u64(d.uid);
+    w.u64(d.packet);
+    w.u32(d.seq);
+    w.u32(d.packetSize);
+    w.i32(d.src);
+    w.i32(d.dest);
+    w.u64(d.payload);
+    w.u64(d.createCycle);
+    w.u64(d.injectCycle);
+    w.u8(static_cast<std::uint8_t>(d.cls));
+    w.u8(d.vc);
+    w.u32(d.flowSeq);
+}
+
+FlitDesc
+readFlitDesc(Reader &r)
+{
+    FlitDesc d;
+    d.uid = r.u64();
+    d.packet = r.u64();
+    d.seq = r.u32();
+    d.packetSize = r.u32();
+    d.src = r.i32();
+    d.dest = r.i32();
+    d.payload = r.u64();
+    d.createCycle = r.u64();
+    d.injectCycle = r.u64();
+    d.cls = static_cast<TrafficClass>(r.u8());
+    d.vc = r.u8();
+    d.flowSeq = r.u32();
+    return d;
+}
+
+void
+writeWireFlit(Writer &w, const WireFlit &f)
+{
+    w.u64(f.payload);
+    w.boolean(f.encoded);
+    w.u8(f.vc);
+    w.u32(f.crc);
+    w.u64(f.parts.size());
+    for (const FlitDesc &d : f.parts)
+        writeFlitDesc(w, d);
+}
+
+WireFlit
+readWireFlit(Reader &r)
+{
+    WireFlit f;
+    f.payload = r.u64();
+    f.encoded = r.boolean();
+    f.vc = r.u8();
+    f.crc = r.u32();
+    const std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i)
+        f.parts.push_back(readFlitDesc(r));
+    return f;
+}
+
+void
+writeFlitFifo(Writer &w, const FlitFifo &f)
+{
+    w.u64(f.capacity());
+    w.u64(f.size());
+    for (std::size_t i = 0; i < f.size(); ++i)
+        writeWireFlit(w, f.at(i));
+}
+
+void
+readFlitFifo(Reader &r, FlitFifo &f)
+{
+    if (r.u64() != f.capacity())
+        r.fail("FIFO capacity mismatch (wrong geometry)");
+    while (!f.empty())
+        f.pop();
+    const std::uint64_t n = r.u64();
+    if (n > f.capacity())
+        r.fail("FIFO occupancy exceeds capacity");
+    for (std::uint64_t i = 0; i < n; ++i)
+        f.push(readWireFlit(r));
+}
+
+void
+writeEnergyEvents(Writer &w, const EnergyEvents &e)
+{
+    w.u64(e.bufferWrites);
+    w.u64(e.bufferReads);
+    w.u64(e.xbarInputDrives);
+    w.u64(e.xbarOutputCycles);
+    w.u64(e.linkFlits);
+    w.u64(e.linkWastedCycles);
+    w.u64(e.localLinkFlits);
+    w.u64(e.localLinkWasted);
+    w.u64(e.arbDecisions);
+    w.u64(e.allocEvals);
+    w.u64(e.decodeOps);
+    w.u64(e.decodeLatches);
+    w.u64(e.maskUpdates);
+    w.u64(e.abortCycles);
+    w.u64(e.misspecCycles);
+    w.u64(e.cycles);
+}
+
+EnergyEvents
+readEnergyEvents(Reader &r)
+{
+    EnergyEvents e;
+    e.bufferWrites = r.u64();
+    e.bufferReads = r.u64();
+    e.xbarInputDrives = r.u64();
+    e.xbarOutputCycles = r.u64();
+    e.linkFlits = r.u64();
+    e.linkWastedCycles = r.u64();
+    e.localLinkFlits = r.u64();
+    e.localLinkWasted = r.u64();
+    e.arbDecisions = r.u64();
+    e.allocEvals = r.u64();
+    e.decodeOps = r.u64();
+    e.decodeLatches = r.u64();
+    e.maskUpdates = r.u64();
+    e.abortCycles = r.u64();
+    e.misspecCycles = r.u64();
+    e.cycles = r.u64();
+    return e;
+}
+
+void
+writeFaultStats(Writer &w, const FaultStats &s)
+{
+    w.u64(s.faultsInjected);
+    w.u64(s.bitflipsInjected);
+    w.u64(s.dropsInjected);
+    w.u64(s.creditsLostInjected);
+    w.u64(s.faultsDetected);
+    w.u64(s.retransmissions);
+    w.u64(s.creditResyncs);
+    w.u64(s.corruptedEscapes);
+    w.u64(s.decodeMismatches);
+    w.u64(s.hardLinkFaults);
+    w.u64(s.hardRouterFaults);
+    w.u64(s.tableRebuilds);
+    w.u64(s.flitsLostHard);
+    w.u64(s.packetsLostHard);
+    w.u64(s.unreachableRejected);
+    w.u64(s.flowReorders);
+    w.u64(s.ageAlarms);
+}
+
+void
+readFaultStats(Reader &r, FaultStats &s)
+{
+    s.faultsInjected = r.u64();
+    s.bitflipsInjected = r.u64();
+    s.dropsInjected = r.u64();
+    s.creditsLostInjected = r.u64();
+    s.faultsDetected = r.u64();
+    s.retransmissions = r.u64();
+    s.creditResyncs = r.u64();
+    s.corruptedEscapes = r.u64();
+    s.decodeMismatches = r.u64();
+    s.hardLinkFaults = r.u64();
+    s.hardRouterFaults = r.u64();
+    s.tableRebuilds = r.u64();
+    s.flitsLostHard = r.u64();
+    s.packetsLostHard = r.u64();
+    s.unreachableRejected = r.u64();
+    s.flowReorders = r.u64();
+    s.ageAlarms = r.u64();
+}
+
+void
+writeNetworkStats(Writer &w, const NetworkStats &s)
+{
+    tag(w, fourcc("STAT"));
+    w.u64(s.packetsInjected);
+    w.u64(s.flitsInjected);
+    w.u64(s.packetsEjected);
+    w.u64(s.flitsEjected);
+    w.u64(s.measureStart);
+    w.u64(s.measureEnd);
+    s.latency.serialize(w);
+    s.netLatency.serialize(w);
+    s.latencyHist.serialize(w);
+    for (const SampleStats &c : s.latencyByClass)
+        c.serialize(w);
+    w.u64(s.packetsMeasured);
+    w.u64(s.packetsMeasuredDone);
+    w.u64(s.flitsEjectedInWindow);
+    w.u64(s.flitsCreatedInWindow);
+    w.u64(s.maxSourceQueueFlits);
+    writeFaultStats(w, s.faults);
+}
+
+void
+readNetworkStats(Reader &r, NetworkStats &s)
+{
+    checkTag(r, fourcc("STAT"));
+    s.packetsInjected = r.u64();
+    s.flitsInjected = r.u64();
+    s.packetsEjected = r.u64();
+    s.flitsEjected = r.u64();
+    s.measureStart = r.u64();
+    s.measureEnd = r.u64();
+    s.latency.restore(r);
+    s.netLatency.restore(r);
+    s.latencyHist.restore(r);
+    for (SampleStats &c : s.latencyByClass)
+        c.restore(r);
+    s.packetsMeasured = r.u64();
+    s.packetsMeasuredDone = r.u64();
+    s.flitsEjectedInWindow = r.u64();
+    s.flitsCreatedInWindow = r.u64();
+    s.maxSourceQueueFlits = static_cast<std::size_t>(r.u64());
+    readFaultStats(r, s.faults);
+}
+
+} // namespace nox::snap

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Snapshot codecs for the small value types shared across the NoC
+ * layer: flits, FIFOs, energy counters and the aggregate statistics
+ * blocks. Components compose these from their own serialize()/
+ * restore() methods so every field is written exactly once, in one
+ * place, in a fixed order.
+ */
+
+#ifndef NOX_NOC_SNAPSHOT_CODEC_HPP
+#define NOX_NOC_SNAPSHOT_CODEC_HPP
+
+#include "noc/energy_events.hpp"
+#include "noc/fifo.hpp"
+#include "noc/flit.hpp"
+#include "noc/network_stats.hpp"
+#include "snapshot/io.hpp"
+
+namespace nox::snap {
+
+void writeFlitDesc(Writer &w, const FlitDesc &d);
+FlitDesc readFlitDesc(Reader &r);
+
+void writeWireFlit(Writer &w, const WireFlit &f);
+WireFlit readWireFlit(Reader &r);
+
+/** Capacity is construction geometry; read checks it and throws on
+ *  mismatch. The restored FIFO holds the same flits in the same
+ *  order (physical head position is irrelevant to behaviour). */
+void writeFlitFifo(Writer &w, const FlitFifo &f);
+void readFlitFifo(Reader &r, FlitFifo &f);
+
+void writeEnergyEvents(Writer &w, const EnergyEvents &e);
+EnergyEvents readEnergyEvents(Reader &r);
+
+void writeFaultStats(Writer &w, const FaultStats &s);
+void readFaultStats(Reader &r, FaultStats &s);
+
+void writeNetworkStats(Writer &w, const NetworkStats &s);
+void readNetworkStats(Reader &r, NetworkStats &s);
+
+} // namespace nox::snap
+
+#endif // NOX_NOC_SNAPSHOT_CODEC_HPP

@@ -12,6 +12,11 @@
 
 namespace nox {
 
+namespace snap {
+class Writer;
+class Reader;
+} // namespace snap
+
 /** Sink through which traffic sources create packets. */
 class PacketInjector
 {
@@ -40,6 +45,12 @@ class TrafficSource
     virtual ~TrafficSource() = default;
 
     virtual void tick(Cycle now, PacketInjector &inj) = 0;
+
+    /** Capture / restore generator state — RNG cursors, burst phase,
+     *  replay position (checkpointing). Stateless sources keep the
+     *  empty defaults. */
+    virtual void serialize(snap::Writer &w) const { (void)w; }
+    virtual void restore(snap::Reader &r) { (void)r; }
 };
 
 } // namespace nox

@@ -1,6 +1,7 @@
 #include "noc/xor_decoder.hpp"
 
 #include "common/log.hpp"
+#include "noc/snapshot_codec.hpp"
 
 namespace nox {
 
@@ -78,6 +79,23 @@ XorDecoder::accept(FlitFifo &fifo)
                "accept on invalid decoder state");
     fifo.pop();
     return true;
+}
+
+void
+XorDecoder::serialize(snap::Writer &w) const
+{
+    w.boolean(reg_.has_value());
+    if (reg_.has_value())
+        snap::writeWireFlit(w, *reg_);
+}
+
+void
+XorDecoder::restore(snap::Reader &r)
+{
+    if (r.boolean())
+        reg_ = snap::readWireFlit(r);
+    else
+        reg_.reset();
 }
 
 } // namespace nox

@@ -27,6 +27,11 @@
 
 namespace nox {
 
+namespace snap {
+class Writer;
+class Reader;
+} // namespace snap
+
 /** Outcome of one decoder evaluation for the current cycle. */
 struct DecodeView
 {
@@ -91,6 +96,11 @@ class XorDecoder
     bool registerValid() const { return reg_.has_value(); }
     const WireFlit &registerValue() const { return *reg_; }
     void reset() { reg_.reset(); }
+
+    /** Capture / restore the decode register (checkpointing). The
+     *  scratch slot is per-view derived state and is not captured. */
+    void serialize(snap::Writer &w) const;
+    void restore(snap::Reader &r);
 
   private:
     std::optional<WireFlit> reg_;

@@ -28,6 +28,11 @@
 
 namespace nox {
 
+namespace snap {
+class Writer;
+class Reader;
+} // namespace snap
+
 /** Metrics configuration (see obsParamsFromConfig for the keys). */
 struct MetricsParams
 {
@@ -119,6 +124,11 @@ class MetricsSampler
     /** width x height grid of meanLinkUtilization (router r sits at
      *  column r % width, row r / width). */
     Table heatmapTable(int width, int height) const;
+
+    /** Capture / restore closed windows and the open-window
+     *  accumulators (checkpointing). */
+    void serialize(snap::Writer &w) const;
+    void restore(snap::Reader &r);
 
   private:
     MetricsParams params_;

@@ -56,6 +56,11 @@
 
 namespace nox {
 
+namespace snap {
+class Writer;
+class Reader;
+} // namespace snap
+
 /**
  * Where a cycle of latency went. Every cycle of every delivered
  * packet's latency is attributed to exactly one of these.
@@ -249,6 +254,10 @@ class LatencyProvenance
      * the file could not be written.
      */
     bool writeJsonl(const std::string &path) const;
+
+    /** Capture / restore open spans and aggregates (checkpointing). */
+    void serialize(snap::Writer &w) const;
+    void restore(snap::Reader &r);
 
   private:
     /** Open span state for one in-flight flit. */

@@ -28,6 +28,11 @@
 
 namespace nox {
 
+namespace snap {
+class Writer;
+class Reader;
+} // namespace snap
+
 /** Tracing configuration (see obsParamsFromConfig for the keys). */
 struct TraceParams
 {
@@ -111,6 +116,11 @@ class TraceRecorder
     /** Write the ring as Chrome trace_event JSON (see chrome_trace). */
     bool writeChromeTrace(const std::string &path, int mesh_width,
                           int concentration) const;
+
+    /** Capture / restore ring contents and dump latch (checkpointing).
+     *  Ring capacity is construction geometry; restore() checks it. */
+    void serialize(snap::Writer &w) const;
+    void restore(snap::Reader &r);
 
   private:
     TraceParams params_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hpp"
+#include "snapshot/io.hpp"
 
 namespace nox {
 
@@ -165,6 +166,33 @@ NonSpecRouter::onTableRebuild()
     Router::onTableRebuild();
     std::fill(lockOwner_.begin(), lockOwner_.end(), -1);
     std::fill(lockPacket_.begin(), lockPacket_.end(), kInvalidPacket);
+}
+
+void
+NonSpecRouter::serialize(snap::Writer &w) const
+{
+    Router::serialize(w);
+    for (const auto &a : arb_)
+        a->serialize(w);
+    for (int o : lockOwner_)
+        w.i32(o);
+    for (PacketId p : lockPacket_)
+        w.u64(p);
+}
+
+void
+NonSpecRouter::restore(snap::Reader &r)
+{
+    Router::restore(r);
+    for (auto &a : arb_)
+        a->restore(r);
+    for (int &o : lockOwner_) {
+        o = r.i32();
+        if (o < -1 || o >= numPorts())
+            r.fail("wormhole lock owner out of range");
+    }
+    for (PacketId &p : lockPacket_)
+        p = r.u64();
 }
 
 } // namespace nox

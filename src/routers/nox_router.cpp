@@ -4,6 +4,7 @@
 
 #include "common/log.hpp"
 #include "noc/fault_injector.hpp"
+#include "snapshot/io.hpp"
 
 namespace nox {
 
@@ -537,6 +538,59 @@ NoxRouter::onTableRebuild()
         st.switchMask = allPortsMask();
         st.arbMask = allPortsMask();
     }
+}
+
+void
+NoxRouter::serialize(snap::Writer &w) const
+{
+    Router::serialize(w);
+    for (const XorDecoder &d : decoders_)
+        d.serialize(w);
+    for (const OutState &st : out_) {
+        w.u8(static_cast<std::uint8_t>(st.mode));
+        w.u64(st.switchMask);
+        w.u64(st.arbMask);
+        w.i32(st.lockOwner);
+        w.u64(st.lockPacket);
+        st.arb->serialize(w);
+    }
+    for (std::uint64_t c : noxStats_.collisionsBySize)
+        w.u64(c);
+    w.u64(noxStats_.recoveryCycles);
+    w.u64(noxStats_.scheduledCycles);
+    w.u64(noxStats_.lockedCycles);
+    w.u64(noxStats_.cleanTraversals);
+    w.u64(noxStats_.prescheduled);
+    w.u64(noxStats_.aborts);
+}
+
+void
+NoxRouter::restore(snap::Reader &r)
+{
+    Router::restore(r);
+    for (XorDecoder &d : decoders_)
+        d.restore(r);
+    for (OutState &st : out_) {
+        const std::uint8_t m = r.u8();
+        if (m > static_cast<std::uint8_t>(Mode::Scheduled))
+            r.fail("NoX output mode out of range");
+        st.mode = static_cast<Mode>(m);
+        st.switchMask = r.u64();
+        st.arbMask = r.u64();
+        st.lockOwner = r.i32();
+        if (st.lockOwner < -1 || st.lockOwner >= numPorts())
+            r.fail("NoX lock owner out of range");
+        st.lockPacket = r.u64();
+        st.arb->restore(r);
+    }
+    for (std::uint64_t &c : noxStats_.collisionsBySize)
+        c = r.u64();
+    noxStats_.recoveryCycles = r.u64();
+    noxStats_.scheduledCycles = r.u64();
+    noxStats_.lockedCycles = r.u64();
+    noxStats_.cleanTraversals = r.u64();
+    noxStats_.prescheduled = r.u64();
+    noxStats_.aborts = r.u64();
 }
 
 } // namespace nox

@@ -130,6 +130,9 @@ class NoxRouter : public Router
         return noxStats_.totalCollisions();
     }
 
+    void serialize(snap::Writer &w) const override;
+    void restore(snap::Reader &r) override;
+
   private:
     struct OutState
     {

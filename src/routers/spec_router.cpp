@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "common/log.hpp"
+#include "snapshot/io.hpp"
 
 namespace nox {
 
@@ -242,6 +243,44 @@ SpecRouter::onTableRebuild()
     std::fill(lockOwner_.begin(), lockOwner_.end(), -1);
     std::fill(lockPacket_.begin(), lockPacket_.end(), kInvalidPacket);
     std::fill(reserved_.begin(), reserved_.end(), -1);
+}
+
+void
+SpecRouter::serialize(snap::Writer &w) const
+{
+    Router::serialize(w);
+    for (const auto &a : arb_)
+        a->serialize(w);
+    for (int v : reserved_)
+        w.i32(v);
+    for (int o : lockOwner_)
+        w.i32(o);
+    for (PacketId p : lockPacket_)
+        w.u64(p);
+    for (PacketId p : prevHeadPacket_)
+        w.u64(p);
+}
+
+void
+SpecRouter::restore(snap::Reader &r)
+{
+    Router::restore(r);
+    for (auto &a : arb_)
+        a->restore(r);
+    for (int &v : reserved_) {
+        v = r.i32();
+        if (v < -1 || v >= numPorts())
+            r.fail("switch reservation out of range");
+    }
+    for (int &o : lockOwner_) {
+        o = r.i32();
+        if (o < -1 || o >= numPorts())
+            r.fail("wormhole lock owner out of range");
+    }
+    for (PacketId &p : lockPacket_)
+        p = r.u64();
+    for (PacketId &p : prevHeadPacket_)
+        p = r.u64();
 }
 
 } // namespace nox

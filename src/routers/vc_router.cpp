@@ -6,6 +6,7 @@
 #include "common/log.hpp"
 #include "noc/fault_injector.hpp"
 #include "noc/nic.hpp"
+#include "noc/snapshot_codec.hpp"
 
 namespace nox {
 
@@ -344,6 +345,54 @@ VcRouter::traverse(int in_port, int vc, int out_port, Cycle now)
     NOX_ASSERT(vcCredits_[lane] > 0, "VC credit underflow");
     --vcCredits_[lane];
     dispatchFlit(out_port, std::move(w));
+}
+
+void
+VcRouter::serialize(snap::Writer &w) const
+{
+    for (int c : stagedVcCredits_)
+        NOX_ASSERT(c == 0, "snapshot with staged VC credits");
+    Router::serialize(w);
+    w.u8(static_cast<std::uint8_t>(vcs_));
+    for (const FlitFifo &f : vcIn_)
+        snap::writeFlitFifo(w, f);
+    for (int c : vcCredits_)
+        w.i32(c);
+    for (int c : vcCreditsLost_)
+        w.i32(c);
+    for (int o : lockOwner_)
+        w.i32(o);
+    for (PacketId p : lockPacket_)
+        w.u64(p);
+    for (const auto &a : outArb_)
+        a->serialize(w);
+    for (const auto &a : vcArb_)
+        a->serialize(w);
+}
+
+void
+VcRouter::restore(snap::Reader &r)
+{
+    Router::restore(r);
+    if (static_cast<int>(r.u8()) != vcs_)
+        r.fail("VC count mismatch (wrong geometry)");
+    for (FlitFifo &f : vcIn_)
+        snap::readFlitFifo(r, f);
+    for (int &c : vcCredits_)
+        c = r.i32();
+    for (int &c : vcCreditsLost_)
+        c = r.i32();
+    for (int &o : lockOwner_) {
+        o = r.i32();
+        if (o < -1 || o >= numPorts())
+            r.fail("wormhole lock owner out of range");
+    }
+    for (PacketId &p : lockPacket_)
+        p = r.u64();
+    for (auto &a : outArb_)
+        a->restore(r);
+    for (auto &a : vcArb_)
+        a->restore(r);
 }
 
 } // namespace nox

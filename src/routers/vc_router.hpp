@@ -90,6 +90,9 @@ class VcRouter : public Router
         return lockOwner_[index(out_port, vc)];
     }
 
+    void serialize(snap::Writer &w) const override;
+    void restore(snap::Reader &r) override;
+
   protected:
     /** A flushed retry entry refunds the credit of its own VC lane. */
     void refundRetryCredit(int out_port, const WireFlit &flit) override

@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Byte-stream primitives for deterministic snapshots.
+ *
+ * A snapshot is a flat little-endian byte stream: every stateful
+ * component appends its fields to a Writer in a fixed order and reads
+ * them back from a Reader in the same order. There is no in-stream
+ * schema — the component code *is* the schema — so the format is
+ * guarded three ways: a CRC-32C per section (see file.hpp), fourcc
+ * sanity tags at component boundaries (checkTag), and strict bounds /
+ * value checks in the Reader (truncation, oversized strings and
+ * non-0/1 booleans all throw instead of yielding garbage).
+ *
+ * All failures throw SnapshotError; callers at the load boundary
+ * translate that into a structured error message. Writers never fail.
+ */
+
+#ifndef NOX_SNAPSHOT_IO_HPP
+#define NOX_SNAPSHOT_IO_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace nox::snap {
+
+/** Any malformed-snapshot condition: truncation, bad tag, bad value. */
+class SnapshotError : public std::runtime_error
+{
+  public:
+    explicit SnapshotError(const std::string &what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+/**
+ * CRC-32C (Castagnoli) over an arbitrary buffer — the same polynomial
+ * and bit order as the link-level wireChecksum() in noc/flit.cpp, so
+ * the snapshot integrity check reuses hardware-verified math.
+ */
+std::uint32_t crc32c(const std::uint8_t *data, std::size_t len);
+
+/** Little-endian append-only byte sink. */
+class Writer
+{
+  public:
+    void u8(std::uint8_t v) { buf_.push_back(v); }
+
+    void
+    u16(std::uint16_t v)
+    {
+        le(static_cast<std::uint64_t>(v), 2);
+    }
+
+    void
+    u32(std::uint32_t v)
+    {
+        le(static_cast<std::uint64_t>(v), 4);
+    }
+
+    void u64(std::uint64_t v) { le(v, 8); }
+
+    void
+    i32(std::int32_t v)
+    {
+        u32(static_cast<std::uint32_t>(v));
+    }
+
+    void
+    i64(std::int64_t v)
+    {
+        u64(static_cast<std::uint64_t>(v));
+    }
+
+    /** Bit-exact double round-trip (NaN/±inf safe). */
+    void
+    f64(double v)
+    {
+        std::uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(v));
+        std::memcpy(&bits, &v, sizeof(bits));
+        u64(bits);
+    }
+
+    void boolean(bool v) { u8(v ? 1 : 0); }
+
+    void
+    str(const std::string &s)
+    {
+        u64(s.size());
+        buf_.insert(buf_.end(), s.begin(), s.end());
+    }
+
+    void
+    bytes(const std::uint8_t *data, std::size_t len)
+    {
+        buf_.insert(buf_.end(), data, data + len);
+    }
+
+    const std::vector<std::uint8_t> &data() const { return buf_; }
+    std::vector<std::uint8_t> take() { return std::move(buf_); }
+    std::size_t size() const { return buf_.size(); }
+
+  private:
+    void
+    le(std::uint64_t v, int nbytes)
+    {
+        for (int i = 0; i < nbytes; ++i)
+            buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    std::vector<std::uint8_t> buf_;
+};
+
+/** Bounds-checked little-endian byte source over a borrowed buffer. */
+class Reader
+{
+  public:
+    Reader(const std::uint8_t *data, std::size_t size)
+        : data_(data), size_(size)
+    {
+    }
+
+    std::uint8_t
+    u8()
+    {
+        need(1);
+        return data_[pos_++];
+    }
+
+    std::uint16_t
+    u16()
+    {
+        return static_cast<std::uint16_t>(le(2));
+    }
+
+    std::uint32_t
+    u32()
+    {
+        return static_cast<std::uint32_t>(le(4));
+    }
+
+    std::uint64_t u64() { return le(8); }
+
+    std::int32_t
+    i32()
+    {
+        return static_cast<std::int32_t>(u32());
+    }
+
+    std::int64_t
+    i64()
+    {
+        return static_cast<std::int64_t>(u64());
+    }
+
+    double
+    f64()
+    {
+        const std::uint64_t bits = u64();
+        double v;
+        std::memcpy(&v, &bits, sizeof(v));
+        return v;
+    }
+
+    /** Strict: any byte other than 0/1 means the stream desynced. */
+    bool
+    boolean()
+    {
+        const std::uint8_t v = u8();
+        if (v > 1)
+            fail("boolean byte out of range (stream desync)");
+        return v != 0;
+    }
+
+    std::string
+    str()
+    {
+        const std::uint64_t len = u64();
+        if (len > remaining())
+            fail("string length exceeds remaining bytes");
+        std::string s(reinterpret_cast<const char *>(data_ + pos_),
+                      static_cast<std::size_t>(len));
+        pos_ += static_cast<std::size_t>(len);
+        return s;
+    }
+
+    void
+    bytes(std::uint8_t *out, std::size_t len)
+    {
+        need(len);
+        std::memcpy(out, data_ + pos_, len);
+        pos_ += len;
+    }
+
+    std::size_t remaining() const { return size_ - pos_; }
+    std::size_t offset() const { return pos_; }
+
+    /** Call once a section is fully consumed: trailing bytes are
+     *  just as much a desync as missing ones. */
+    void
+    expectEnd() const
+    {
+        if (pos_ != size_) {
+            throw SnapshotError(
+                "section has " + std::to_string(size_ - pos_) +
+                " unconsumed trailing byte(s) (stream desync)");
+        }
+    }
+
+    [[noreturn]] void
+    fail(const std::string &why) const
+    {
+        throw SnapshotError(why + " at offset " +
+                            std::to_string(pos_) + " of " +
+                            std::to_string(size_));
+    }
+
+  private:
+    void
+    need(std::size_t n) const
+    {
+        if (n > remaining())
+            fail("truncated stream (need " + std::to_string(n) +
+                 " byte(s))");
+    }
+
+    std::uint64_t
+    le(int nbytes)
+    {
+        need(static_cast<std::size_t>(nbytes));
+        std::uint64_t v = 0;
+        for (int i = 0; i < nbytes; ++i)
+            v |= static_cast<std::uint64_t>(data_[pos_ + i])
+                 << (8 * i);
+        pos_ += static_cast<std::size_t>(nbytes);
+        return v;
+    }
+
+    const std::uint8_t *data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+};
+
+/** Pack a 4-character tag ("NETW") into its little-endian u32. */
+constexpr std::uint32_t
+fourcc(const char (&s)[5])
+{
+    return static_cast<std::uint32_t>(
+        static_cast<std::uint8_t>(s[0]) |
+        (static_cast<std::uint32_t>(
+             static_cast<std::uint8_t>(s[1]))
+         << 8) |
+        (static_cast<std::uint32_t>(
+             static_cast<std::uint8_t>(s[2]))
+         << 16) |
+        (static_cast<std::uint32_t>(
+             static_cast<std::uint8_t>(s[3]))
+         << 24));
+}
+
+/** Render a fourcc back to text for error messages. */
+std::string fourccName(std::uint32_t tag);
+
+/** Write a component-boundary sanity tag. */
+inline void
+tag(Writer &w, std::uint32_t t)
+{
+    w.u32(t);
+}
+
+/** Check a component-boundary sanity tag; throws on mismatch. */
+void checkTag(Reader &r, std::uint32_t expect);
+
+} // namespace nox::snap
+
+#endif // NOX_SNAPSHOT_IO_HPP

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Network-level snapshot assembly: glue between the Network's
+ * serialize()/restore() and the on-disk container (file.hpp).
+ *
+ * Tools use three verbs:
+ *   - captureNetwork() builds a SnapshotFile with META + NETW
+ *     sections; the caller may append tool-specific sections (the
+ *     runner's RUNR) before writing it out;
+ *   - loadSnapshotFile() reads + frame-validates a snapshot path;
+ *   - restoreNetwork() cross-checks the construction fingerprint and
+ *     overwrites a freshly built Network's dynamic state.
+ *
+ * Every failure mode — I/O, corruption, truncation, version or
+ * configuration mismatch — surfaces as a SnapshotError with a
+ * human-readable reason; a bad snapshot can never silently resume.
+ */
+
+#ifndef NOX_SNAPSHOT_SNAPSHOT_HPP
+#define NOX_SNAPSHOT_SNAPSHOT_HPP
+
+#include <string>
+
+#include "noc/network.hpp"
+#include "snapshot/file.hpp"
+
+namespace nox::snap {
+
+/** Assemble a snapshot image of @p net: META (producing @p tool,
+ *  cycle, construction fingerprint) followed by the complete NETW
+ *  dynamic state. Call between steps only. */
+SnapshotFile captureNetwork(const Network &net,
+                            const std::string &tool);
+
+/** Read and frame-validate the snapshot at @p path. Throws
+ *  SnapshotError on I/O failure, corruption, truncation or an
+ *  unsupported version. */
+SnapshotFile loadSnapshotFile(const std::string &path);
+
+/**
+ * Restore @p net — freshly constructed with the same configuration —
+ * from @p file. The META fingerprint must match net.fingerprint();
+ * on success the network is bit-identical to the captured one and
+ * the META record is returned (the caller resumes at meta.cycle).
+ */
+SnapshotMeta restoreNetwork(Network &net, const SnapshotFile &file);
+
+} // namespace nox::snap
+
+#endif // NOX_SNAPSHOT_SNAPSHOT_HPP

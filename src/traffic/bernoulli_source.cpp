@@ -1,6 +1,7 @@
 #include "traffic/bernoulli_source.hpp"
 
 #include "common/log.hpp"
+#include "snapshot/io.hpp"
 
 namespace nox {
 
@@ -28,6 +29,19 @@ BernoulliSource::tick(Cycle now, PacketInjector &inj)
         return; // source silent under this deterministic pattern
     inj.injectPacket(self_, dst, packetFlits_, now,
                      TrafficClass::Synthetic);
+}
+
+
+void
+BernoulliSource::serialize(snap::Writer &w) const
+{
+    rng_.serialize(w);
+}
+
+void
+BernoulliSource::restore(snap::Reader &r)
+{
+    rng_.restore(r);
 }
 
 } // namespace nox

@@ -34,6 +34,9 @@ class BernoulliSource : public TrafficSource
 
     void tick(Cycle now, PacketInjector &inj) override;
 
+    void serialize(snap::Writer &w) const override;
+    void restore(snap::Reader &r) override;
+
     double offeredLoad() const { return flitsPerCycle_; }
 
   private:

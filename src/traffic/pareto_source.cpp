@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/log.hpp"
+#include "snapshot/io.hpp"
 
 namespace nox {
 
@@ -76,6 +77,27 @@ ParetoSource::tick(Cycle now, PacketInjector &inj)
         inj.injectPacket(self_, burstDest_, packetFlits_, now,
                          TrafficClass::Synthetic);
     }
+}
+
+
+void
+ParetoSource::serialize(snap::Writer &w) const
+{
+    rng_.serialize(w);
+    w.boolean(on_);
+    w.u64(phaseEnd_);
+    w.i32(burstDest_);
+    w.boolean(primed_);
+}
+
+void
+ParetoSource::restore(snap::Reader &r)
+{
+    rng_.restore(r);
+    on_ = r.boolean();
+    phaseEnd_ = r.u64();
+    burstDest_ = r.i32();
+    primed_ = r.boolean();
 }
 
 } // namespace nox

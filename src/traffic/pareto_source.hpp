@@ -41,6 +41,9 @@ class ParetoSource : public TrafficSource
 
     void tick(Cycle now, PacketInjector &inj) override;
 
+    void serialize(snap::Writer &w) const override;
+    void restore(snap::Reader &r) override;
+
     /** Mean OFF-scale (T_off) solved for the target rate (test). */
     double offScale() const { return offScale_; }
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/log.hpp"
+#include "snapshot/io.hpp"
 
 namespace nox {
 
@@ -34,6 +35,21 @@ ReplaySource::tick(Cycle now, PacketInjector &inj)
         }
         ++next_;
     }
+}
+
+
+void
+ReplaySource::serialize(snap::Writer &w) const
+{
+    w.u64(next_);
+}
+
+void
+ReplaySource::restore(snap::Reader &r)
+{
+    next_ = static_cast<std::size_t>(r.u64());
+    if (next_ > records_.size())
+        r.fail("replay cursor past end of trace");
 }
 
 } // namespace nox

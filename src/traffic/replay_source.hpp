@@ -33,6 +33,9 @@ class ReplaySource : public TrafficSource
 
     void tick(Cycle now, PacketInjector &inj) override;
 
+    void serialize(snap::Writer &w) const override;
+    void restore(snap::Reader &r) override;
+
     /** All records consumed? */
     bool done() const { return next_ >= records_.size(); }
 

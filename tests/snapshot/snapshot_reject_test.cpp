@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Negative paths of the snapshot container: every way a snapshot can
+ * be wrong — flipped bytes, truncation, bad magic, unknown version,
+ * missing sections, or a configuration that doesn't match the run —
+ * must throw a SnapshotError instead of restoring garbage.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "noc/network.hpp"
+#include "routers/factory.hpp"
+#include "snapshot/snapshot.hpp"
+#include "traffic/bernoulli_source.hpp"
+#include "traffic/patterns.hpp"
+
+namespace nox {
+namespace {
+
+std::unique_ptr<Network>
+buildNetwork(int buffer_depth = 4, int num_sources = -1)
+{
+    NetworkParams params;
+    params.width = 4;
+    params.height = 4;
+    params.router.bufferDepth = buffer_depth;
+    params.sinkBufferDepth = buffer_depth;
+    auto net = makeNetwork(params, RouterArch::Nox);
+
+    static const Mesh mesh(4, 4);
+    static const DestinationPattern pattern(
+        PatternKind::UniformRandom, mesh, 0.2);
+    Rng seeder(0xBAD5EED);
+    const NodeId n_sources =
+        num_sources < 0 ? net->numNodes()
+                        : static_cast<NodeId>(num_sources);
+    for (NodeId n = 0; n < n_sources; ++n) {
+        net->addSource(std::make_unique<BernoulliSource>(
+            n, pattern, 0.05, 2, seeder.next()));
+    }
+    return net;
+}
+
+std::vector<std::uint8_t>
+captureBytes(Network &net)
+{
+    return snap::encodeSnapshotFile(
+        snap::captureNetwork(net, "test"));
+}
+
+/** Decode + restore into a fresh default network; used to prove a
+ *  tampered image fails somewhere on that path. */
+void
+restoreFromBytes(const std::vector<std::uint8_t> &bytes)
+{
+    const snap::SnapshotFile file =
+        snap::decodeSnapshotFile(bytes.data(), bytes.size());
+    auto net = buildNetwork();
+    snap::restoreNetwork(*net, file);
+}
+
+class SnapshotReject : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        auto net = buildNetwork();
+        net->run(200);
+        bytes_ = captureBytes(*net);
+        ASSERT_GT(bytes_.size(), 64u);
+    }
+
+    std::vector<std::uint8_t> bytes_;
+};
+
+TEST_F(SnapshotReject, IntactImageRestores)
+{
+    EXPECT_NO_THROW(restoreFromBytes(bytes_));
+}
+
+TEST_F(SnapshotReject, FlippedPayloadByteFailsCrc)
+{
+    // Flip one byte in the middle of the image (deep inside the NETW
+    // payload) — the section CRC must catch it.
+    std::vector<std::uint8_t> bad = bytes_;
+    bad[bad.size() / 2] ^= 0x40;
+    try {
+        restoreFromBytes(bad);
+        FAIL() << "corrupt image restored";
+    } catch (const snap::SnapshotError &e) {
+        EXPECT_NE(std::string(e.what()).find("CRC"),
+                  std::string::npos)
+            << "unexpected error: " << e.what();
+    }
+}
+
+TEST_F(SnapshotReject, EveryTruncationPointRejected)
+{
+    // Chopping the image anywhere — header, section frame, payload,
+    // trailing CRC — must throw, never crash or succeed.
+    for (std::size_t len : {std::size_t{0}, std::size_t{4},
+                            std::size_t{7}, std::size_t{12},
+                            bytes_.size() / 4, bytes_.size() / 2,
+                            bytes_.size() - 1}) {
+        std::vector<std::uint8_t> bad(bytes_.begin(),
+                                      bytes_.begin() +
+                                          static_cast<long>(len));
+        EXPECT_THROW(restoreFromBytes(bad), snap::SnapshotError)
+            << "truncation to " << len << " bytes was accepted";
+    }
+}
+
+TEST_F(SnapshotReject, BadMagicRejected)
+{
+    std::vector<std::uint8_t> bad = bytes_;
+    bad[0] = 'X';
+    EXPECT_THROW(restoreFromBytes(bad), snap::SnapshotError);
+}
+
+TEST_F(SnapshotReject, UnknownVersionRejected)
+{
+    // The version u32 sits right after the 8-byte magic.
+    std::vector<std::uint8_t> bad = bytes_;
+    bad[8] = 0xFF;
+    try {
+        restoreFromBytes(bad);
+        FAIL() << "future-version image restored";
+    } catch (const snap::SnapshotError &e) {
+        EXPECT_NE(std::string(e.what()).find("version"),
+                  std::string::npos)
+            << "unexpected error: " << e.what();
+    }
+}
+
+TEST_F(SnapshotReject, MissingSectionRejected)
+{
+    snap::SnapshotFile file = snap::decodeSnapshotFile(
+        bytes_.data(), bytes_.size());
+    file.sections.erase(file.sections.begin() + 1); // drop NETW
+    const std::vector<std::uint8_t> bad =
+        snap::encodeSnapshotFile(file);
+    EXPECT_THROW(restoreFromBytes(bad), snap::SnapshotError);
+}
+
+TEST_F(SnapshotReject, ConfigMismatchRejected)
+{
+    // Same snapshot, different buffer depth: the construction
+    // fingerprint must refuse the restore before any state moves.
+    const snap::SnapshotFile file = snap::decodeSnapshotFile(
+        bytes_.data(), bytes_.size());
+    auto net = buildNetwork(/*buffer_depth=*/8);
+    try {
+        snap::restoreNetwork(*net, file);
+        FAIL() << "mismatched configuration restored";
+    } catch (const snap::SnapshotError &e) {
+        EXPECT_NE(std::string(e.what()).find("configuration"),
+                  std::string::npos)
+            << "unexpected error: " << e.what();
+    }
+}
+
+TEST_F(SnapshotReject, SourceCountMismatchRejected)
+{
+    // The fingerprint covers construction params, not the attached
+    // sources; the NETW decoder still refuses a source-count drift.
+    const snap::SnapshotFile file = snap::decodeSnapshotFile(
+        bytes_.data(), bytes_.size());
+    auto net = buildNetwork(4, /*num_sources=*/3);
+    EXPECT_THROW(snap::restoreNetwork(*net, file),
+                 snap::SnapshotError);
+}
+
+TEST_F(SnapshotReject, FileIoErrorsAreStructured)
+{
+    EXPECT_THROW(snap::loadSnapshotFile(
+                     "/nonexistent-dir/nonexistent.snap"),
+                 snap::SnapshotError);
+    EXPECT_THROW(
+        snap::writeSnapshotFileAtomic(
+            "/nonexistent-dir/nonexistent.snap", bytes_, 2),
+        snap::SnapshotError);
+}
+
+} // namespace
+} // namespace nox

@@ -34,10 +34,63 @@
 #include "noc/network.hpp"
 #include "obs/obs_params.hpp"
 #include "routers/factory.hpp"
+#include "snapshot/snapshot.hpp"
 
 namespace {
 
 using namespace nox;
+
+/**
+ * Where inside one soak phase a checkpoint was taken. The phase's
+ * randomized parameters ride along so a resumed process re-enters the
+ * exact phase without re-drawing them.
+ */
+struct PhaseState
+{
+    int phase = 1;
+    double rate = 0.0;
+    double dataFrac = 0.0;
+    Cycle run = 0;
+    int maxFlits = 1;
+    Cycle t = 0;        ///< iteration being executed
+    std::uint8_t stage = 0; ///< 0=stepping 1=pausing 2=draining
+    Cycle pauseEnd = 0; ///< target cycle of the in-progress pause
+    Cycle drainEnd = 0; ///< drain deadline (stage 2)
+};
+
+void
+writePhaseState(snap::Writer &w, const PhaseState &st, const Rng &rng)
+{
+    snap::tag(w, snap::fourcc("RUNR"));
+    w.i32(st.phase);
+    w.f64(st.rate);
+    w.f64(st.dataFrac);
+    w.u64(st.run);
+    w.i32(st.maxFlits);
+    w.u64(st.t);
+    w.u8(st.stage);
+    w.u64(st.pauseEnd);
+    w.u64(st.drainEnd);
+    rng.serialize(w);
+}
+
+void
+readPhaseState(snap::Reader &r, PhaseState &st, Rng &rng)
+{
+    snap::checkTag(r, snap::fourcc("RUNR"));
+    st.phase = r.i32();
+    st.rate = r.f64();
+    st.dataFrac = r.f64();
+    st.run = r.u64();
+    st.maxFlits = r.i32();
+    st.t = r.u64();
+    st.stage = r.u8();
+    if (st.stage > 2)
+        r.fail("phase stage out of range");
+    st.pauseEnd = r.u64();
+    st.drainEnd = r.u64();
+    rng.restore(r);
+}
 
 class OrderChecker : public SinkListener
 {
@@ -85,6 +138,17 @@ main(int argc, char **argv)
         parseArch(config.getString("arch", "nox").c_str());
     const double seconds = config.getDouble("seconds", 5.0);
     const std::uint64_t seed = config.getUint("seed", 12345);
+    // phases=N runs exactly N phases instead of a wall-clock budget —
+    // the deterministic mode the checkpoint/resume CI check relies on.
+    const int maxPhases =
+        static_cast<int>(config.getInt("phases", 0));
+    const Cycle checkpointInterval =
+        config.getUint("checkpoint_interval", 0);
+    const std::string checkpointFile =
+        config.getString("checkpoint_file", "nox-checkpoint.snap");
+    const int checkpointKeep =
+        static_cast<int>(config.getInt("checkpoint_keep", 2));
+    const std::string resumePath = config.getString("resume");
 
     NetworkParams params;
     params.width = static_cast<int>(config.getInt("width", 8));
@@ -108,6 +172,7 @@ main(int argc, char **argv)
     // Per-phase networks overwrite the export files; the last phase's
     // exports survive.
     params.obs = obsParamsFromConfig(config);
+    config.requireAllUsed("nettest");
 
     Rng rng(seed);
     std::uint64_t total_packets = 0;
@@ -124,54 +189,99 @@ main(int argc, char **argv)
         std::chrono::steady_clock::now() +
         std::chrono::duration<double>(seconds);
 
-    while (std::chrono::steady_clock::now() < deadline) {
-        ++phase;
-        auto net = makeNetwork(params, arch);
-        OrderChecker checker(net.get());
+    // Execute (or, after --resume, finish) one soak phase on @p net.
+    const auto runOnePhase = [&](Network *net, PhaseState &st,
+                                 bool resumed) {
+        const int phase = st.phase;
+        OrderChecker checker(net);
         // Hard (fail-stop) faults legitimately break per-flow FIFO
         // order: a mid-run table rebuild moves a flow to a new path
         // while older packets finish on the old one. The network's
         // own flowReorders counter tracks those; the strict checker
-        // only applies to fault-free topologies.
+        // only applies to fault-free topologies. (A resumed phase
+        // re-attaches it cold: each flow's ordering is checked from
+        // its first post-resume delivery onward.)
         const bool hard = params.faults.anyHard();
         if (!hard) {
             for (NodeId n = 0; n < net->numNodes(); ++n)
                 net->nic(n).setListener(&checker);
         }
+        const double rate = st.rate;
+        const int max_flits = st.maxFlits;
 
-        // Randomized phase parameters.
-        const double rate = 0.01 + rng.nextDouble() * 0.22;
-        const double data_frac = rng.nextDouble() * 0.5;
-        const Cycle run = 500 + rng.nextBounded(3000);
-        const int max_flits =
-            2 + static_cast<int>(rng.nextBounded(10));
-
-        for (Cycle t = 0; t < run; ++t) {
-            for (NodeId s = 0; s < net->numNodes(); ++s) {
-                if (!rng.nextBernoulli(rate))
-                    continue;
-                NodeId d = s;
-                while (d == s) {
-                    d = static_cast<NodeId>(rng.nextBounded(
-                        static_cast<std::uint64_t>(
-                            net->numNodes())));
-                }
-                const int flits =
-                    rng.nextBernoulli(data_frac)
-                        ? 2 + static_cast<int>(rng.nextBounded(
-                              static_cast<std::uint64_t>(
-                                  max_flits - 1)))
-                        : 1;
-                net->injectPacket(s, d, flits, net->now(),
-                                  TrafficClass::Synthetic);
+        // Random pauses exercise drain/refill transients.
+        const auto maybePause = [&]() {
+            if (rng.nextBernoulli(0.001)) {
+                const Cycle pause = rng.nextBounded(200);
+                st.stage = 1;
+                st.pauseEnd = net->now() + pause;
+                net->run(pause);
             }
-            net->step();
-            // Random pauses exercise drain/refill transients.
-            if (rng.nextBernoulli(0.001))
-                net->run(rng.nextBounded(200));
+        };
+
+        if (checkpointInterval > 0) {
+            net->installCheckpoint(
+                checkpointInterval, [&](Network &n) {
+                    snap::SnapshotFile image =
+                        snap::captureNetwork(n, "nettest");
+                    snap::Writer rw;
+                    writePhaseState(rw, st, rng);
+                    image.sections.push_back(
+                        {snap::kSectionRunner, rw.take()});
+                    snap::writeSnapshotFileAtomic(
+                        checkpointFile,
+                        snap::encodeSnapshotFile(image),
+                        checkpointKeep);
+                });
         }
 
-        if (!net->drain(500000)) {
+        Cycle t0 = 0;
+        if (resumed && st.stage != 2) {
+            // Finish the interrupted iteration. Its injections are
+            // part of the restored network state; what remains is the
+            // post-step pause draw (stage 0) or the tail of an
+            // in-progress pause (stage 1).
+            if (st.stage == 1) {
+                if (net->now() < st.pauseEnd)
+                    net->run(st.pauseEnd - net->now());
+            } else {
+                maybePause();
+            }
+            t0 = st.t + 1;
+        }
+        if (!resumed || st.stage != 2) {
+            for (Cycle t = t0; t < st.run; ++t) {
+                st.t = t;
+                st.stage = 0;
+                for (NodeId s = 0; s < net->numNodes(); ++s) {
+                    if (!rng.nextBernoulli(rate))
+                        continue;
+                    NodeId d = s;
+                    while (d == s) {
+                        d = static_cast<NodeId>(rng.nextBounded(
+                            static_cast<std::uint64_t>(
+                                net->numNodes())));
+                    }
+                    const int flits =
+                        rng.nextBernoulli(st.dataFrac)
+                            ? 2 + static_cast<int>(rng.nextBounded(
+                                  static_cast<std::uint64_t>(
+                                      max_flits - 1)))
+                            : 1;
+                    net->injectPacket(s, d, flits, net->now(),
+                                      TrafficClass::Synthetic);
+                }
+                net->step();
+                maybePause();
+            }
+            st.stage = 2;
+            st.drainEnd = net->now() + 500000;
+        }
+
+        const Cycle budget = net->now() < st.drainEnd
+                                 ? st.drainEnd - net->now()
+                                 : 0;
+        if (!net->drain(budget)) {
             fatal("DRAIN FAILURE in phase ", phase, " (arch ",
                   archName(arch), ", rate ", rate, ", max_flits ",
                   max_flits, ", seed ", seed, "): ",
@@ -253,6 +363,47 @@ main(int argc, char **argv)
                   << " lat p50/p95/p99=" << p50 << "/" << p95 << "/"
                   << p99 << " widen=" << lat.widenings()
                   << " ovf=" << lat.overflowCount() << " ok\n";
+    };
+
+    if (!resumePath.empty()) {
+        // Finish the interrupted phase from the snapshot, then report.
+        // The RNG rides in the snapshot's RUNR section, so the resumed
+        // phase replays the exact traffic the uninterrupted run would
+        // have offered.
+        auto net = makeNetwork(params, arch);
+        PhaseState st;
+        try {
+            const snap::SnapshotFile file =
+                snap::loadSnapshotFile(resumePath);
+            snap::restoreNetwork(*net, file);
+            const snap::Section &sec =
+                file.require(snap::kSectionRunner);
+            snap::Reader r(sec.payload.data(), sec.payload.size());
+            readPhaseState(r, st, rng);
+            r.expectEnd();
+        } catch (const snap::SnapshotError &e) {
+            fatal("cannot resume from '", resumePath, "': ",
+                  e.what());
+        }
+        phase = st.phase;
+        runOnePhase(net.get(), st, true);
+    } else {
+        while (maxPhases > 0
+                   ? phase < maxPhases
+                   : std::chrono::steady_clock::now() < deadline) {
+            ++phase;
+            auto net = makeNetwork(params, arch);
+            // Randomized phase parameters, recorded in PhaseState so
+            // a checkpointed phase resumes without re-drawing them.
+            PhaseState st;
+            st.phase = phase;
+            st.rate = 0.01 + rng.nextDouble() * 0.22;
+            st.dataFrac = rng.nextDouble() * 0.5;
+            st.run = 500 + rng.nextBounded(3000);
+            st.maxFlits =
+                2 + static_cast<int>(rng.nextBounded(10));
+            runOnePhase(net.get(), st, false);
+        }
     }
 
     std::cout << "SOAK PASSED: " << archName(arch) << ", " << phase

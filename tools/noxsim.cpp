@@ -65,6 +65,18 @@ runSyntheticMode(const Config &config)
     else if (arb == "matrix")
         c.arbiterKind = ArbiterKind::Matrix;
 
+    c.checkpointInterval =
+        config.getUint("checkpoint_interval", c.checkpointInterval);
+    c.checkpointFile =
+        config.getString("checkpoint_file", c.checkpointFile);
+    c.checkpointKeep = static_cast<int>(
+        config.getInt("checkpoint_keep", c.checkpointKeep));
+    c.resumePath = config.getString("resume");
+
+    const std::string csvPath = config.getString("csv");
+    // Typos fail before the run burns cycles, not after.
+    config.requireAllUsed("noxsim");
+
     const RunResult r = runSynthetic(c);
 
     Table t({"key", "value"});
@@ -142,8 +154,8 @@ runSyntheticMode(const Config &config)
     t.addRow({"drained", r.drained ? "1" : "0"});
     if (!r.drained)
         nox::warn("synthetic run did not drain: ", r.drainDiagnosis);
-    if (config.has("csv")) {
-        std::ofstream out(config.getString("csv"));
+    if (!csvPath.empty()) {
+        std::ofstream out(csvPath);
         t.printCsv(out);
     }
     t.print(std::cout);
@@ -158,6 +170,10 @@ runSyntheticMode(const Config &config)
 int
 runAppMode(const Config &config)
 {
+    if (config.has("resume") || config.has("checkpoint_interval") ||
+        config.has("checkpoint_file") || config.has("checkpoint_keep"))
+        fatal("checkpoint/resume is not supported in app mode");
+
     AppConfig c;
     c.arch = parseArch(config.getString("arch", "nox").c_str());
 
@@ -174,6 +190,9 @@ runAppMode(const Config &config)
             config.getDouble("horizon_ns", 25000.0),
             config.getDouble("warmup_ns", 50000.0));
     }
+
+    const std::string csvPath = config.getString("csv");
+    config.requireAllUsed("noxsim");
 
     const AppResult r = runApplication(c, trace);
 
@@ -195,8 +214,8 @@ runAppMode(const Config &config)
               Table::num(r.energyPerPacketPj, 2)});
     t.addRow({"ed2_pj_ns2", Table::num(r.ed2, 1)});
     t.addRow({"drained", r.drained ? "1" : "0"});
-    if (config.has("csv")) {
-        std::ofstream out(config.getString("csv"));
+    if (!csvPath.empty()) {
+        std::ofstream out(csvPath);
         t.printCsv(out);
     }
     t.print(std::cout);
@@ -220,7 +239,5 @@ main(int argc, char **argv)
         nox::fatal("unknown mode '", mode,
                    "' (expected synthetic|app)");
     }
-    for (const auto &key : config.unusedKeys())
-        nox::warn("unused config key: ", key);
     return rc;
 }

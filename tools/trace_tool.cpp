@@ -9,6 +9,7 @@
  *                     [dst=N] [from_ns=X] [to_ns=Y]
  *   trace_tool histogram in=a.trace [bins=20]
  *   trace_tool analyze in=flight.jsonl [topk=10]
+ *   trace_tool snapshot-info in=checkpoint.snap
  *
  * `analyze` reads a flight-recorder JSONL dump (produced on a drain
  * timeout, an age-limit alarm, or `trace_flight_on_exit=true`),
@@ -16,11 +17,19 @@
  * reconstructed latency against the latency the simulator reported
  * online (exits nonzero on any mismatch), and prints the top-K
  * slowest packets with their critical hop and dominant stall cause.
+ *
+ * `snapshot-info` frame-validates a checkpoint written by
+ * noxsim/nettest (magic, version, per-section CRC-32C) and prints its
+ * identity card — producing tool, capture cycle, configuration
+ * fingerprint, section inventory — without constructing a simulator.
+ * Exits nonzero with a structured reason on any corruption.
  */
 
 #include <algorithm>
+#include <cstdint>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "coherence/trace_generator.hpp"
 #include "common/config.hpp"
@@ -28,6 +37,7 @@
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "obs/flight_analysis.hpp"
+#include "snapshot/file.hpp"
 #include "traffic/trace.hpp"
 
 namespace {
@@ -206,6 +216,49 @@ cmdAnalyze(const Config &config)
     return mismatches == 0 ? 0 : 1;
 }
 
+int
+cmdSnapshotInfo(const Config &config)
+{
+    const std::string path = config.getString("in");
+    if (path.empty())
+        fatal("snapshot-info requires in=<snapshot>");
+    try {
+        const std::vector<std::uint8_t> bytes =
+            snap::readFileBytes(path);
+        const snap::SnapshotFile file =
+            snap::decodeSnapshotFile(bytes.data(), bytes.size());
+
+        Table t({"field", "value"});
+        t.addRow({"file", path});
+        t.addRow({"bytes", std::to_string(bytes.size())});
+        t.addRow({"version", std::to_string(file.version)});
+        t.addRow({"sections",
+                  std::to_string(file.sections.size())});
+        if (const snap::Section *m =
+                file.find(snap::kSectionMeta)) {
+            snap::Reader r(m->payload.data(), m->payload.size());
+            const snap::SnapshotMeta meta = snap::decodeMeta(r);
+            r.expectEnd();
+            t.addRow({"tool", meta.tool});
+            t.addRow({"cycle", std::to_string(meta.cycle)});
+            t.addRow({"fingerprint", meta.fingerprint});
+        }
+        t.print(std::cout);
+
+        Table s({"section", "payload bytes"});
+        for (const snap::Section &sec : file.sections)
+            s.addRow({snap::fourccName(sec.tag),
+                      std::to_string(sec.payload.size())});
+        std::cout << '\n';
+        s.print(std::cout);
+        return 0;
+    } catch (const snap::SnapshotError &e) {
+        std::cerr << "snapshot-info: invalid snapshot '" << path
+                  << "': " << e.what() << '\n';
+        return 1;
+    }
+}
+
 } // namespace
 
 int
@@ -222,7 +275,9 @@ main(int argc, char **argv)
                "[src=N] [dst=N] [from_ns=X] [to_ns=Y]\n"
                "  histogram in=<trace> [bins=20]\n"
                "  analyze   in=<flight.jsonl> [topk=10]   "
-               "(flight-recorder dump forensics)\n";
+               "(flight-recorder dump forensics)\n"
+               "  snapshot-info in=<checkpoint.snap>      "
+               "(validate + describe a checkpoint)\n";
         return 2;
     }
     const std::string &cmd = positional.front();
@@ -236,5 +291,7 @@ main(int argc, char **argv)
         return cmdHistogram(config);
     if (cmd == "analyze")
         return cmdAnalyze(config);
+    if (cmd == "snapshot-info")
+        return cmdSnapshotInfo(config);
     nox::fatal("unknown command '", cmd, "'");
 }
