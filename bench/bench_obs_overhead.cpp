@@ -8,7 +8,10 @@
  * observability subsystem off, then with tracing, metrics sampling,
  * and latency provenance individually and all together, and reports
  * wall-clock seconds, simulated cycles/second, and the relative
- * slowdown versus the baseline. No export files are written during
+ * slowdown versus the baseline. The self-profiler (profile=) joins
+ * the matrix: its phase timers wrap the hot loop itself, so its
+ * overhead — two clock reads per phase scope — is exactly what this
+ * bench exists to bound. No export files are written during
  * the timed region (exports happen in finishObservability, outside
  * the runner's wall-clock window), so the numbers isolate the hot-path
  * recording cost.
@@ -59,6 +62,7 @@ struct Variant
     bool trace = false;
     bool metrics = false;
     bool provenance = false;
+    bool profile = false;
 };
 
 } // namespace
@@ -83,11 +87,12 @@ main(int argc, char **argv)
         static_cast<int>(config.getInt("repeats", 5));
 
     const Variant variants[] = {
-        {"off", false, false, false},
-        {"trace", true, false, false},
-        {"metrics", false, true, false},
-        {"provenance", false, false, true},
-        {"all", true, true, true},
+        {"off", false, false, false, false},
+        {"trace", true, false, false, false},
+        {"metrics", false, true, false, false},
+        {"provenance", false, false, true, false},
+        {"profile", false, false, false, true},
+        {"all", true, true, true, true},
     };
 
     constexpr std::size_t kVariants =
@@ -102,6 +107,7 @@ main(int argc, char **argv)
         c.obs.trace.enabled = v.trace;
         c.obs.metrics.enabled = v.metrics;
         c.obs.prov.enabled = v.provenance;
+        c.obs.profile.enabled = v.profile;
         configs.push_back(c);
     }
 

@@ -18,6 +18,8 @@
  * Usage: bench_throughput [key=value...]
  *   archs=nonspec,specfast,specaccurate,nox patterns=uniform,transpose
  *   rate_mbps=1200 warmup=N measure=N seed=N repeats=3
+ *   profile=true       (time with the self-profiler on and export the
+ *                       per-phase breakdown; not the baseline config)
  *   perf_json=<path>   (PerfRecord JSON; the checked-in baseline is
  *                       bench/baselines/BENCH_throughput.json)
  */
@@ -44,6 +46,10 @@ main(int argc, char **argv)
     const double rate = config.getDouble("rate_mbps", 1200.0);
     const int repeats =
         static_cast<int>(config.getInt("repeats", 3));
+    // profile=true times the run *with* the self-profiler enabled and
+    // exports the per-phase breakdown in the perf JSON. Off by
+    // default: the checked-in baseline is an observers-off number.
+    const bool profile = config.getBool("profile", false);
     const std::vector<RouterArch> archs = bench::archsFrom(config);
     // Default to a bounded pattern pair (the full eight make this a
     // multi-minute run); `patterns=` overrides.
@@ -68,6 +74,7 @@ main(int argc, char **argv)
             c.pattern = pattern;
             c.injectionMBps = rate;
             bench::applyCommon(config, &c);
+            c.obs.profile.enabled = profile;
             points.push_back({arch, pattern, c});
         }
     }
@@ -77,6 +84,7 @@ main(int argc, char **argv)
     std::vector<std::vector<double>> walls(points.size());
     std::vector<std::uint64_t> cycles(points.size(), 0);
     std::vector<std::uint64_t> hops(points.size(), 0);
+    std::vector<RunResult> results(points.size());
     for (int i = 0; i < repeats; ++i) {
         // Rotate the starting point each round so no configuration is
         // pinned to a fixed position relative to machine-speed phases
@@ -88,6 +96,7 @@ main(int argc, char **argv)
             walls[k].push_back(r.wallSeconds);
             cycles[k] = r.cyclesSimulated;
             hops[k] = r.flitHops;
+            results[k] = r;
         }
     }
 
@@ -102,6 +111,7 @@ main(int argc, char **argv)
         rec.cycles = cycles[k];
         rec.flitHops = hops[k];
         bench::finishRecordStats(&rec, walls[k]);
+        bench::recordProfile(&rec, results[k]);
 
         const double cps =
             rec.wallSeconds > 0.0

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <fstream>
 #include <iostream>
+#include <thread>
 
 #include "common/log.hpp"
 #include "common/table.hpp"
@@ -145,6 +146,77 @@ finishRecordStats(PerfRecord *record,
 }
 
 void
+recordProfile(PerfRecord *record, const RunResult &result)
+{
+    if (!result.profiled)
+        return;
+    record->profiled = true;
+    record->phaseSeconds = result.phaseSeconds;
+    record->profileCoverage = result.profileCoverage;
+}
+
+namespace {
+
+std::string
+readFirstLine(const char *path)
+{
+    std::ifstream in(path);
+    std::string line;
+    if (in && std::getline(in, line))
+        return line;
+    return "";
+}
+
+} // namespace
+
+const HostFingerprint &
+hostFingerprint()
+{
+    static const HostFingerprint fp = [] {
+        HostFingerprint h;
+        h.cores = static_cast<int>(
+            std::thread::hardware_concurrency());
+        std::ifstream cpuinfo("/proc/cpuinfo");
+        std::string line;
+        while (cpuinfo && std::getline(cpuinfo, line)) {
+            if (line.compare(0, 10, "model name") != 0)
+                continue;
+            const std::size_t colon = line.find(':');
+            if (colon != std::string::npos) {
+                std::size_t b = colon + 1;
+                while (b < line.size() && line[b] == ' ')
+                    ++b;
+                h.cpu = line.substr(b);
+            }
+            break;
+        }
+        const std::string gov = readFirstLine(
+            "/sys/devices/system/cpu/cpu0/cpufreq/scaling_governor");
+        if (!gov.empty())
+            h.governor = gov;
+        return h;
+    }();
+    return fp;
+}
+
+namespace {
+
+/** Minimal JSON string escape (quotes/backslashes in CPU names). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+} // namespace
+
+void
 writePerfJson(const Config &config, const std::string &bench,
               const std::vector<PerfRecord> &records)
 {
@@ -156,7 +228,11 @@ writePerfJson(const Config &config, const std::string &bench,
         warn("cannot write ", path);
         return;
     }
+    const HostFingerprint &host = hostFingerprint();
     out << "{\n  \"bench\": \"" << bench << "\",\n"
+        << "  \"host\": {\"cpu\": \"" << jsonEscape(host.cpu)
+        << "\", \"cores\": " << host.cores << ", \"governor\": \""
+        << jsonEscape(host.governor) << "\"},\n"
         << "  \"records\": [\n";
     for (std::size_t i = 0; i < records.size(); ++i) {
         const PerfRecord &r = records[i];
@@ -179,6 +255,16 @@ writePerfJson(const Config &config, const std::string &bench,
             out << ", \"reps\": " << r.reps
                 << ", \"mean_wall_s\": " << r.meanWallSeconds
                 << ", \"stddev_wall_s\": " << r.stddevWallSeconds;
+        }
+        if (r.profiled) {
+            out << ", \"profile_coverage\": " << r.profileCoverage
+                << ", \"phases\": {";
+            for (std::size_t p = 0; p < kNumSimPhases; ++p) {
+                out << (p ? ", " : "") << "\""
+                    << simPhaseName(static_cast<SimPhase>(p))
+                    << "\": " << r.phaseSeconds[p];
+            }
+            out << "}";
         }
         out << "}" << (i + 1 < records.size() ? "," : "") << '\n';
     }

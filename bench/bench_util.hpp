@@ -6,6 +6,7 @@
 #ifndef NOX_BENCH_BENCH_UTIL_HPP
 #define NOX_BENCH_BENCH_UTIL_HPP
 
+#include <array>
 #include <string>
 #include <vector>
 
@@ -46,11 +47,33 @@ struct PerfRecord
     int reps = 0;               ///< timed reps behind the statistics
     double meanWallSeconds = 0.0;
     double stddevWallSeconds = 0.0;
+    // Self-profiling phase breakdown (profile= runs only; the JSON
+    // gains a "phases" object when profiled is set).
+    bool profiled = false;
+    std::array<double, kNumSimPhases> phaseSeconds{};
+    double profileCoverage = 0.0;
 };
 
 /** Accumulate best/mean/stddev over timed reps into @p record. */
 void finishRecordStats(PerfRecord *record,
                        const std::vector<double> &wallSamples);
+
+/** Copy a profiled run's phase breakdown into @p record. */
+void recordProfile(PerfRecord *record, const RunResult &result);
+
+/** Host identity for perf-baseline comparability: CPU model, core
+ *  count, cpufreq governor ("unknown" where unreadable). The
+ *  regression gate warns when a baseline was recorded on a
+ *  different host. */
+struct HostFingerprint
+{
+    std::string cpu = "unknown";
+    int cores = 0;
+    std::string governor = "unknown";
+};
+
+/** Read this host's fingerprint (/proc + sysfs; cached). */
+const HostFingerprint &hostFingerprint();
 
 /**
  * If `perf_json=<path>` is configured, write the simulator

@@ -15,7 +15,11 @@ Usage:
 
 The committed baseline is seeded on one reference machine; across
 machines of different speed, either regenerate the baseline or loosen
---tolerance. CI runs the gate with the default 10%.
+--tolerance. CI runs the gate with the default 10%. Each perf JSON
+carries the producing host's fingerprint (CPU model, core count,
+cpufreq governor); the gate prints a loud warning when baseline and
+current fingerprints differ, since a "regression" on different iron
+is usually just the iron.
 """
 
 import argparse
@@ -33,7 +37,36 @@ def load_records(path):
         records[rec["label"]] = rec
     if not records:
         sys.exit(f"error: no records in {path}")
-    return doc.get("bench", "?"), records
+    return doc.get("bench", "?"), records, doc.get("host")
+
+
+def describe_host(host):
+    if not host:
+        return "(not recorded)"
+    return (f"{host.get('cpu', 'unknown')}, "
+            f"{host.get('cores', '?')} core(s), "
+            f"governor {host.get('governor', 'unknown')}")
+
+
+def check_host(base_host, cur_host):
+    """Warn loudly when baseline and current run disagree on the host.
+
+    Cross-host numbers are not comparable at a 10% tolerance, but a
+    different machine is a legitimate situation (regenerate or loosen
+    --tolerance per the module docstring), so this warns rather than
+    fails.
+    """
+    if base_host == cur_host:
+        return
+    print("=" * 64, file=sys.stderr)
+    print("WARNING: baseline and current run come from different "
+          "hosts:", file=sys.stderr)
+    print(f"  baseline: {describe_host(base_host)}", file=sys.stderr)
+    print(f"  current:  {describe_host(cur_host)}", file=sys.stderr)
+    print("  cycles/s is machine-dependent; a failure below may be "
+          "the host,\n  not a regression. Regenerate the baseline on "
+          "this machine or\n  loosen --tolerance.", file=sys.stderr)
+    print("=" * 64, file=sys.stderr)
 
 
 def main():
@@ -44,11 +77,12 @@ def main():
                     help="max allowed fractional slowdown (default 0.10)")
     args = ap.parse_args()
 
-    base_name, base = load_records(args.baseline)
-    cur_name, cur = load_records(args.current)
+    base_name, base, base_host = load_records(args.baseline)
+    cur_name, cur, cur_host = load_records(args.current)
     if base_name != cur_name:
         sys.exit(f"error: bench mismatch: baseline is '{base_name}', "
                  f"current is '{cur_name}'")
+    check_host(base_host, cur_host)
 
     failures = []
     print(f"{'label':<28} {'baseline':>12} {'current':>12} {'ratio':>8}")

@@ -45,4 +45,17 @@ mkdir -p perf
         ./build/bench/$spec
         echo
     done
+
+    # Telemetry/profiler smoke: a short instrumented run whose JSONL
+    # artifacts land in perf/ next to the perf records (live heartbeat
+    # plus the phase/router profile trace_tool profile consumes).
+    echo "===================================================="
+    echo "== build/tools/noxsim (telemetry + profile smoke)"
+    echo "===================================================="
+    ./build/tools/noxsim warmup=2000 measure=20000 \
+        telemetry_interval=5000 \
+        telemetry_file=perf/telemetry_smoke.json \
+        profile_file=perf/profile_smoke.json
+    ./build/tools/trace_tool profile in=perf/profile_smoke.json
+    echo
 } 2>&1 | tee bench_output.txt

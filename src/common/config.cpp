@@ -46,6 +46,10 @@ Config::parseArgs(int argc, const char *const *argv)
             set("resume", std::string(argv[++i]));
             continue;
         }
+        if (arg == "--progress") {
+            set("progress", true);
+            continue;
+        }
         const auto eq = arg.find('=');
         if (eq == std::string::npos) {
             positional.push_back(arg);

@@ -167,6 +167,11 @@ runSynthetic(const SyntheticConfig &config)
             });
     }
 
+    // The drain tail is open-ended, so the ETA targets the end of the
+    // measurement window — the last boundary known in advance.
+    if (net->telemetry())
+        net->telemetry()->setTargetCycles(m1);
+
     // Wall-clock the whole simulation (warmup + measure + drain) —
     // this is the quantity the scheduling kernels are compared on.
     const auto wall0 = std::chrono::steady_clock::now();
@@ -209,6 +214,32 @@ runSynthetic(const SyntheticConfig &config)
                 prov->byClass(static_cast<TrafficClass>(cls));
         }
         res.provenanceViolations = prov->conservationViolations();
+    }
+    if (const PhaseProfiler *prof = net->profiler()) {
+        res.profiled = true;
+        for (std::size_t p = 0; p < kNumSimPhases; ++p) {
+            const PhaseTotals &t =
+                prof->phase(static_cast<SimPhase>(p));
+            res.phaseSeconds[p] = static_cast<double>(t.ns) * 1e-9;
+            res.phaseEnters[p] = t.enters;
+        }
+        res.profiledTotalSeconds =
+            static_cast<double>(prof->totalNs()) * 1e-9;
+        res.profileCoverage = prof->coverage();
+        const int shards = std::min(4, config.height);
+        const std::vector<int> shardOf =
+            rowStripePartition(config.width, config.height, shards);
+        std::vector<std::uint64_t> evals, flits;
+        for (NodeId r = 0;
+             r < static_cast<NodeId>(prof->numRouters()); ++r) {
+            const RouterWork w = prof->routerWork(r);
+            evals.push_back(w.evaluations);
+            flits.push_back(w.flitsMoved);
+        }
+        if (shardOf.size() == evals.size()) {
+            res.imbalanceEvals = loadImbalance(evals, shardOf, shards);
+            res.imbalanceFlits = loadImbalance(flits, shardOf, shards);
+        }
     }
     if (net->metrics() && net->metrics()->params().heatmap) {
         std::ostringstream os;

@@ -20,6 +20,7 @@
 #include <cstdint>
 
 #include "noc/network.hpp"
+#include "obs/profiler.hpp"
 #include "obs/provenance.hpp"
 #include "noc/router.hpp"
 #include "noc/types.hpp"
@@ -129,6 +130,19 @@ struct RunResult
                    ? static_cast<double>(cyclesSimulated) / wallSeconds
                    : 0.0;
     }
+
+    /** Self-profiling phase breakdown (profile= runs only; see
+     *  obs/profiler.hpp). Seconds of host wall time per SimPhase,
+     *  total stepped time, and the scoped-coverage fraction. */
+    bool profiled = false;
+    std::array<double, kNumSimPhases> phaseSeconds{};
+    std::array<std::uint64_t, kNumSimPhases> phaseEnters{};
+    double profiledTotalSeconds = 0.0;
+    double profileCoverage = 0.0;
+    /** Load-imbalance index (max shard / mean shard) over row-stripe
+     *  partitions, by router evaluations and by flits moved. */
+    double imbalanceEvals = 0.0;
+    double imbalanceFlits = 0.0;
 
     EnergyBreakdown energy;      ///< over the measurement window
     double powerW = 0.0;         ///< mean power over the window

@@ -6,6 +6,7 @@
 #include <string_view>
 
 #include "common/log.hpp"
+#include "noc/flit_arena.hpp"
 #include "noc/snapshot_codec.hpp"
 
 namespace nox {
@@ -187,6 +188,15 @@ Network::Network(const NetworkParams &params, RouterFactory factory)
         for (auto &nic : nics_)
             nic->attachProvenance(prov_.get());
     }
+    // Simulator self-observation: the profiler reads only the host
+    // clock, the heartbeat reads committed counters — neither can
+    // perturb the run (observer-effect tested like the rest).
+    if (params.obs.profile.enabled) {
+        profiler_ =
+            std::make_unique<PhaseProfiler>(params.obs.profile, nr);
+    }
+    if (params.obs.telemetry.enabled)
+        telemetry_ = std::make_unique<RunTelemetry>(params.obs.telemetry);
 }
 
 void
@@ -361,36 +371,51 @@ Network::addSource(std::unique_ptr<TrafficSource> source)
 void
 Network::step()
 {
+    if (profiler_)
+        profiler_->beginStep();
     switch (params_.schedulingMode) {
       case SchedulingMode::AlwaysTick:
         stepAlwaysTick();
-        return;
+        break;
       case SchedulingMode::ActivityDriven:
         stepScheduled(false);
-        return;
+        break;
       case SchedulingMode::EquivalenceCheck:
         stepScheduled(true);
-        return;
+        break;
+      default:
+        panic("unknown scheduling mode");
     }
-    panic("unknown scheduling mode");
+    if (telemetry_ && telemetry_->due(now_)) {
+        ProfScope ps(profiler_.get(), SimPhase::ObsFlush);
+        emitTelemetry();
+    }
+    if (profiler_)
+        profiler_->endStep();
 }
 
 void
 Network::stepAlwaysTick()
 {
+    PhaseProfiler *const prof = profiler_.get();
+
     // 0. Fault-injection clock: draws during this cycle key off now_.
     if (faults_) {
+        ProfScope ps(prof, SimPhase::Scheduler);
         faults_->beginCycle(now_);
         if (faults_->hardFaultsPending())
             applyDueHardFaults(/*at_construction=*/false);
         if (faults_->params().packetAgeLimit > 0)
             checkPacketAges();
     }
-    if (tracer_)
+    if (tracer_) {
+        ProfScope ps(prof, SimPhase::ObsFlush);
         tracer_->beginCycle(now_);
+    }
 
     // 1. Traffic generation for this cycle.
     if (sourcesEnabled_) {
+        ProfScope ps(prof, SimPhase::TrafficInject);
         for (auto &src : sources_)
             src->tick(now_, *this);
     }
@@ -399,43 +424,64 @@ Network::stepAlwaysTick()
     // runs before any router reads its committed state, so a
     // retransmitted flit is staged exactly like a first transmission.
     if (faults_) {
+        ProfScope ps(prof, SimPhase::LinkRetry);
         for (auto &r : routers_)
             r->evaluateLink(now_);
     }
 
     // 2. NIC injection (stages flits into router local inputs).
-    for (auto &nic : nics_)
-        nic->evaluateInject(now_);
+    {
+        ProfScope ps(prof, SimPhase::TrafficInject);
+        for (auto &nic : nics_)
+            nic->evaluateInject(now_);
+    }
 
     // 3. Router evaluation (order-independent; staged effects only).
-    for (auto &r : routers_)
-        r->evaluate(now_);
+    {
+        ProfScope ps(prof, SimPhase::RouterEvaluate);
+        for (auto &r : routers_)
+            r->evaluate(now_);
+    }
+    if (prof)
+        prof->countEvalsAll();
 
     // 4. NIC sinks drain their committed FIFOs.
-    for (auto &nic : nics_)
-        nic->evaluateSink(now_);
+    {
+        ProfScope ps(prof, SimPhase::NicEject);
+        for (auto &nic : nics_)
+            nic->evaluateSink(now_);
+    }
 
     // 5. Commit staged arrivals and credits everywhere.
-    for (auto &r : routers_) {
-        r->energy().cycles += 1;
-        r->commit();
+    {
+        ProfScope ps(prof, SimPhase::Scheduler);
+        for (auto &r : routers_) {
+            r->energy().cycles += 1;
+            r->commit();
+        }
+        for (NodeId n = 0; n < numNodes(); ++n) {
+            nics_[n]->commit();
+            sampleSourceQueue(n);
+        }
+        ++now_;
     }
-    for (NodeId n = 0; n < numNodes(); ++n) {
-        nics_[n]->commit();
-        sampleSourceQueue(n);
-    }
-
-    ++now_;
-    if (metrics_ && metrics_->windowEnds(now_))
+    if (metrics_ && metrics_->windowEnds(now_)) {
+        ProfScope ps(prof, SimPhase::ObsFlush);
         sampleMetricsWindow();
+    }
     if (checkpointInterval_ != 0 && now_ % checkpointInterval_ == 0 &&
-        checkpointHook_)
+        checkpointHook_) {
+        ProfScope ps(prof, SimPhase::Checkpoint);
         checkpointHook_(*this);
+        if (telemetry_)
+            telemetry_->noteCheckpoint(now_);
+    }
 }
 
 void
 Network::stepScheduled(bool check)
 {
+    PhaseProfiler *const prof = profiler_.get();
     const int nr = numRouters();
     const int nn = numNodes();
 
@@ -444,6 +490,7 @@ Network::stepScheduled(bool check)
     // retired component's flag is only re-set by staging, this also
     // proves (inductively) that ticking it last cycle was a no-op.
     if (check) {
+        ProfScope ps(prof, SimPhase::Scheduler);
         for (NodeId r = 0; r < nr; ++r) {
             NOX_ASSERT(routerActive_[r] || routers_[r]->quiescent(),
                        "retired router ", r, " is not quiescent");
@@ -458,6 +505,7 @@ Network::stepScheduled(bool check)
     // the age sweep run identically under every kernel — they read
     // and mutate committed state only, before any evaluation.
     if (faults_) {
+        ProfScope ps(prof, SimPhase::Scheduler);
         faults_->beginCycle(now_);
         if (faults_->hardFaultsPending())
             applyDueHardFaults(/*at_construction=*/false);
@@ -465,6 +513,7 @@ Network::stepScheduled(bool check)
             checkPacketAges();
     }
     if (tracer_) {
+        ProfScope ps(prof, SimPhase::ObsFlush);
         tracer_->beginCycle(now_);
         traceWakes();
     }
@@ -473,6 +522,7 @@ Network::stepScheduled(bool check)
     // every cycle regardless of kernel, so both kernels see the same
     // injection sequence. injectPacket() re-arms the target NIC.
     if (sourcesEnabled_) {
+        ProfScope ps(prof, SimPhase::TrafficInject);
         for (auto &src : sources_)
             src->tick(now_, *this);
     }
@@ -481,6 +531,7 @@ Network::stepScheduled(bool check)
     // are guaranteed a no-op here (quiescent() covers retry entries
     // and owed watchdog credits), so skipping them is exact.
     if (faults_) {
+        ProfScope ps(prof, SimPhase::LinkRetry);
         for (NodeId r = 0; r < nr; ++r) {
             if (routerActive_[r] || check)
                 routers_[r]->evaluateLink(now_);
@@ -489,9 +540,12 @@ Network::stepScheduled(bool check)
 
     // 2. NIC injection for the active set (live flags: a NIC armed by
     // this cycle's traffic injects this cycle, as in always-tick).
-    for (NodeId n = 0; n < nn; ++n) {
-        if (nicActive_[n] || check)
-            nics_[n]->evaluateInject(now_);
+    {
+        ProfScope ps(prof, SimPhase::TrafficInject);
+        for (NodeId n = 0; n < nn; ++n) {
+            if (nicActive_[n] || check)
+                nics_[n]->evaluateInject(now_);
+        }
     }
 
     // 3. Router evaluation over a snapshot of the active set: a
@@ -499,57 +553,77 @@ Network::stepScheduled(bool check)
     // cycle — its staged arrival is latched by this cycle's commit,
     // exactly as under always-tick where evaluation reads committed
     // state only.
-    scratchRouters_.clear();
-    for (NodeId r = 0; r < nr; ++r) {
-        if (routerActive_[r] || check)
-            scratchRouters_.push_back(r);
+    {
+        ProfScope ps(prof, SimPhase::RouterEvaluate);
+        scratchRouters_.clear();
+        for (NodeId r = 0; r < nr; ++r) {
+            if (routerActive_[r] || check)
+                scratchRouters_.push_back(r);
+        }
+        for (NodeId r : scratchRouters_)
+            routers_[r]->evaluate(now_);
     }
-    for (NodeId r : scratchRouters_)
-        routers_[r]->evaluate(now_);
+    if (prof) {
+        for (NodeId r : scratchRouters_)
+            prof->countEval(r);
+    }
 
     // 4. NIC sinks (live flags; a sink woken this cycle has an empty
     // committed FIFO, so evaluating it is the same no-op as under
     // always-tick).
-    for (NodeId n = 0; n < nn; ++n) {
-        if (nicActive_[n] || check)
-            nics_[n]->evaluateSink(now_);
+    {
+        ProfScope ps(prof, SimPhase::NicEject);
+        for (NodeId n = 0; n < nn; ++n) {
+            if (nicActive_[n] || check)
+                nics_[n]->evaluateSink(now_);
+        }
     }
 
     // 5. Commit every component that is (or became) active this
     // cycle, then retire those that report quiescent. Clock energy is
     // only charged to committed routers — retired routers are clock
     // gated (equivalence mode charges everyone, like always-tick).
-    for (NodeId r = 0; r < nr; ++r) {
-        if (!(routerActive_[r] || check))
-            continue;
-        routers_[r]->energy().cycles += 1;
-        routers_[r]->commit();
-        if (routerActive_[r] && routers_[r]->quiescent()) {
-            routerActive_[r] = 0;
-            if (tracer_)
-                tracer_->record(TraceEventKind::SchedRetire, r, -1, 0);
-        }
-    }
-    for (NodeId n = 0; n < nn; ++n) {
-        if (!(nicActive_[n] || check))
-            continue;
-        nics_[n]->commit();
-        sampleSourceQueue(n);
-        if (nicActive_[n] && nics_[n]->quiescent()) {
-            nicActive_[n] = 0;
-            if (tracer_) {
-                tracer_->record(TraceEventKind::SchedRetire, n, -1, 0,
-                                0, true);
+    {
+        ProfScope ps(prof, SimPhase::Scheduler);
+        for (NodeId r = 0; r < nr; ++r) {
+            if (!(routerActive_[r] || check))
+                continue;
+            routers_[r]->energy().cycles += 1;
+            routers_[r]->commit();
+            if (routerActive_[r] && routers_[r]->quiescent()) {
+                routerActive_[r] = 0;
+                if (tracer_) {
+                    tracer_->record(TraceEventKind::SchedRetire, r,
+                                    -1, 0);
+                }
             }
         }
+        for (NodeId n = 0; n < nn; ++n) {
+            if (!(nicActive_[n] || check))
+                continue;
+            nics_[n]->commit();
+            sampleSourceQueue(n);
+            if (nicActive_[n] && nics_[n]->quiescent()) {
+                nicActive_[n] = 0;
+                if (tracer_) {
+                    tracer_->record(TraceEventKind::SchedRetire, n,
+                                    -1, 0, 0, true);
+                }
+            }
+        }
+        ++now_;
     }
-
-    ++now_;
-    if (metrics_ && metrics_->windowEnds(now_))
+    if (metrics_ && metrics_->windowEnds(now_)) {
+        ProfScope ps(prof, SimPhase::ObsFlush);
         sampleMetricsWindow();
+    }
     if (checkpointInterval_ != 0 && now_ % checkpointInterval_ == 0 &&
-        checkpointHook_)
+        checkpointHook_) {
+        ProfScope ps(prof, SimPhase::Checkpoint);
         checkpointHook_(*this);
+        if (telemetry_)
+            telemetry_->noteCheckpoint(now_);
+    }
 }
 
 void
@@ -618,6 +692,43 @@ Network::finishObservability()
         tracer_->triggerFlightDump("end-of-run", {});
     if (prov_ && !prov_->params().jsonlPath.empty())
         prov_->writeJsonl(prov_->params().jsonlPath);
+    if (profiler_) {
+        // Derived work counters come from the routers' monotonic
+        // energy-event counters — free on the hot path, exact here.
+        for (NodeId r = 0; r < numRouters(); ++r) {
+            const EnergyEvents &e = routers_[r]->energy();
+            profiler_->recordRouterWork(
+                r, e.linkFlits + e.localLinkFlits, e.arbDecisions);
+        }
+        if (!profiler_->params().jsonlPath.empty()) {
+            ProfileMeta meta;
+            meta.width = params_.width;
+            meta.height = params_.height;
+            meta.arch = archName(routers_[0]->arch());
+            meta.sched = schedulingModeName(params_.schedulingMode);
+            profiler_->writeJsonl(profiler_->params().jsonlPath,
+                                  meta);
+        }
+    }
+}
+
+void
+Network::emitTelemetry()
+{
+    TelemetrySample s;
+    s.cycle = now_;
+    s.activeRouters = activeRouters();
+    s.activeNics = activeNics();
+    s.packetsInFlight = packetsInFlight();
+    s.packetsInjected = stats_.packetsInjected;
+    s.packetsEjected = stats_.packetsEjected;
+    s.faultsInjected = stats_.faults.faultsInjected;
+    s.retransmissions = stats_.faults.retransmissions;
+    const FlitArenaStats &arena = FlitArena::instance().stats();
+    s.arenaLive = arena.live();
+    s.arenaGrowths = arena.growths;
+    s.checkpointAge = telemetry_->checkpointAge(now_);
+    telemetry_->beat(s);
 }
 
 int

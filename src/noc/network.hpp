@@ -195,6 +195,14 @@ class Network : public PacketInjector, public SinkListener
     LatencyProvenance *provenance() { return prov_.get(); }
     const LatencyProvenance *provenance() const { return prov_.get(); }
 
+    /** The simulator self-profiler, or nullptr when disabled. */
+    PhaseProfiler *profiler() { return profiler_.get(); }
+    const PhaseProfiler *profiler() const { return profiler_.get(); }
+
+    /** The run-telemetry heartbeat, or nullptr when disabled. */
+    RunTelemetry *telemetry() { return telemetry_.get(); }
+    const RunTelemetry *telemetry() const { return telemetry_.get(); }
+
     /**
      * End-of-run observability flush: closes the final partial
      * metrics window and writes the configured exports (metrics
@@ -266,6 +274,9 @@ class Network : public PacketInjector, public SinkListener
     /** Close the metrics window ending at the current cycle. */
     void sampleMetricsWindow();
 
+    /** Gather a telemetry sample and beat the heartbeat. */
+    void emitTelemetry();
+
     /**
      * Apply every hard fault due at the current cycle: kill the
      * targeted links/routers (in-flight flits on them are lost),
@@ -309,6 +320,11 @@ class Network : public PacketInjector, public SinkListener
     std::unique_ptr<TraceRecorder> tracer_;
     std::unique_ptr<MetricsSampler> metrics_;
     std::unique_ptr<LatencyProvenance> prov_;
+    /** Self-profiler and heartbeat: per-process wall-clock observers,
+     *  so deliberately neither serialized nor fingerprinted — a
+     *  resumed run may toggle them freely. */
+    std::unique_ptr<PhaseProfiler> profiler_;
+    std::unique_ptr<RunTelemetry> telemetry_;
     DrainReport drainReport_;
 
     /** Per-router counter values at the last closed metrics window

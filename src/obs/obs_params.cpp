@@ -34,6 +34,18 @@ obsParamsFromConfig(const Config &config)
                        config.has("provenance_file");
     obs.prov.jsonlPath = config.getString("provenance_file", "");
 
+    obs.profile.enabled = config.getBool("profile", false) ||
+                          config.has("profile_file");
+    obs.profile.jsonlPath = config.getString("profile_file", "");
+
+    obs.telemetry.progress = config.getBool("progress", false);
+    obs.telemetry.enabled = config.getBool("telemetry", false) ||
+                            config.has("telemetry_file") ||
+                            obs.telemetry.progress;
+    obs.telemetry.interval = config.getUint("telemetry_interval",
+                                            obs.telemetry.interval);
+    obs.telemetry.jsonlPath = config.getString("telemetry_file", "");
+
     return obs;
 }
 

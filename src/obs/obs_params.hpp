@@ -9,7 +9,9 @@
 #define NOX_OBS_OBS_PARAMS_HPP
 
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/provenance.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace_recorder.hpp"
 
 namespace nox {
@@ -22,11 +24,14 @@ struct ObsParams
     TraceParams trace;
     MetricsParams metrics;
     ProvenanceParams prov;
+    ProfilerParams profile;
+    TelemetryParams telemetry;
 
     bool
     any() const
     {
-        return trace.enabled || metrics.enabled || prov.enabled;
+        return trace.enabled || metrics.enabled || prov.enabled ||
+               profile.enabled || telemetry.enabled;
     }
 };
 
@@ -52,6 +57,17 @@ struct ObsParams
  *   provenance_file=  JSONL export path for the aggregated latency
  *                     breakdowns; setting it implies provenance=true
  *                     (default: no export)
+ *   profile=          master switch for the simulator self-profiler
+ *                     (phase timers + per-router work; default false)
+ *   profile_file=     profile JSONL export path; setting it implies
+ *                     profile=true (default: no export)
+ *   telemetry=        master switch for the run-telemetry heartbeat
+ *                     (default false)
+ *   telemetry_interval= cycles between heartbeats (default 50000)
+ *   telemetry_file=   heartbeat JSONL export path; setting it
+ *                     implies telemetry=true (default: no export)
+ *   progress=         mirror a one-line heartbeat to stderr; implies
+ *                     telemetry=true (tools also accept --progress)
  */
 ObsParams obsParamsFromConfig(const Config &config);
 

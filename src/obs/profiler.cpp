@@ -1,0 +1,168 @@
+#include "obs/profiler.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+namespace nox {
+
+const char *
+simPhaseName(SimPhase phase)
+{
+    switch (phase) {
+      case SimPhase::TrafficInject:
+        return "traffic_inject";
+      case SimPhase::LinkRetry:
+        return "link_retry";
+      case SimPhase::RouterEvaluate:
+        return "router_evaluate";
+      case SimPhase::NicEject:
+        return "nic_eject";
+      case SimPhase::Scheduler:
+        return "scheduler";
+      case SimPhase::ObsFlush:
+        return "obs_flush";
+      case SimPhase::Checkpoint:
+        return "checkpoint";
+    }
+    panic("unknown sim phase ", static_cast<int>(phase));
+}
+
+double
+loadImbalance(const std::vector<std::uint64_t> &work,
+              const std::vector<int> &shardOf, int numShards)
+{
+    NOX_ASSERT(numShards > 0, "partition needs at least one shard");
+    NOX_ASSERT(work.size() == shardOf.size(),
+               "work/partition size mismatch: ", work.size(), " vs ",
+               shardOf.size());
+    std::vector<std::uint64_t> shard(
+        static_cast<std::size_t>(numShards), 0);
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < work.size(); ++i) {
+        const int s = shardOf[i];
+        NOX_ASSERT(s >= 0 && s < numShards, "router ", i,
+                   " assigned to shard ", s, " of ", numShards);
+        shard[static_cast<std::size_t>(s)] += work[i];
+        total += work[i];
+    }
+    if (total == 0)
+        return 1.0; // no work is trivially balanced
+    const std::uint64_t worst =
+        *std::max_element(shard.begin(), shard.end());
+    const double mean =
+        static_cast<double>(total) / static_cast<double>(numShards);
+    return static_cast<double>(worst) / mean;
+}
+
+std::vector<int>
+rowStripePartition(int width, int height, int numShards)
+{
+    NOX_ASSERT(width > 0 && height > 0, "degenerate mesh");
+    NOX_ASSERT(numShards > 0, "partition needs at least one shard");
+    std::vector<int> shardOf(
+        static_cast<std::size_t>(width) *
+        static_cast<std::size_t>(height));
+    for (int r = 0; r < width * height; ++r) {
+        const int row = r / width;
+        shardOf[static_cast<std::size_t>(r)] =
+            static_cast<int>((static_cast<std::int64_t>(row) *
+                              numShards) /
+                             height);
+    }
+    return shardOf;
+}
+
+PhaseProfiler::PhaseProfiler(const ProfilerParams &params,
+                             int num_routers)
+    : params_(params)
+{
+    NOX_ASSERT(num_routers > 0, "profiler needs at least one router");
+    evals_.assign(static_cast<std::size_t>(num_routers), 0);
+    flitsMoved_.assign(static_cast<std::size_t>(num_routers), 0);
+    arbRounds_.assign(static_cast<std::size_t>(num_routers), 0);
+}
+
+std::uint64_t
+PhaseProfiler::phaseNsSum() const
+{
+    std::uint64_t sum = 0;
+    for (const PhaseTotals &t : phases_)
+        sum += t.ns;
+    return sum;
+}
+
+double
+PhaseProfiler::coverage() const
+{
+    if (totalNs_ == 0)
+        return 1.0;
+    return static_cast<double>(phaseNsSum()) /
+           static_cast<double>(totalNs_);
+}
+
+void
+PhaseProfiler::recordRouterWork(NodeId router,
+                                std::uint64_t flits_moved,
+                                std::uint64_t arb_rounds)
+{
+    flitsMoved_[static_cast<std::size_t>(router)] = flits_moved;
+    arbRounds_[static_cast<std::size_t>(router)] = arb_rounds;
+}
+
+RouterWork
+PhaseProfiler::routerWork(NodeId router) const
+{
+    const auto i = static_cast<std::size_t>(router);
+    return {evals_[i], flitsMoved_[i], arbRounds_[i]};
+}
+
+bool
+PhaseProfiler::writeJsonl(const std::string &path,
+                          const ProfileMeta &meta) const
+{
+    std::ofstream out(path);
+    if (!out) {
+        warn("cannot write profile JSONL: ", path);
+        return false;
+    }
+    out << "{\"type\": \"profile_header\", \"steps\": " << steps_
+        << ", \"total_ns\": " << totalNs_
+        << ", \"phase_ns_sum\": " << phaseNsSum()
+        << ", \"coverage\": " << coverage()
+        << ", \"width\": " << meta.width
+        << ", \"height\": " << meta.height << ", \"arch\": \""
+        << meta.arch << "\", \"sched\": \"" << meta.sched
+        << "\", \"routers\": " << evals_.size() << "}\n";
+    for (std::size_t i = 0; i < kNumSimPhases; ++i) {
+        const PhaseTotals &t = phases_[i];
+        out << "{\"type\": \"phase\", \"name\": \""
+            << simPhaseName(static_cast<SimPhase>(i))
+            << "\", \"ns\": " << t.ns << ", \"enters\": " << t.enters
+            << "}\n";
+    }
+    for (std::size_t r = 0; r < evals_.size(); ++r) {
+        out << "{\"type\": \"router\", \"id\": " << r
+            << ", \"evals\": " << evals_[r]
+            << ", \"flits\": " << flitsMoved_[r]
+            << ", \"arb\": " << arbRounds_[r] << "}\n";
+    }
+    // Precomputed imbalance for the default 4-way row-stripe
+    // partition (trace_tool profile recomputes for any shards=).
+    if (meta.width > 0 && meta.height > 0 &&
+        static_cast<std::size_t>(meta.width) *
+                static_cast<std::size_t>(meta.height) ==
+            evals_.size()) {
+        const int shards = std::min(4, meta.height);
+        const std::vector<int> part =
+            rowStripePartition(meta.width, meta.height, shards);
+        out << "{\"type\": \"imbalance\", \"by\": \"evals\", "
+            << "\"shards\": " << shards << ", \"index\": "
+            << loadImbalance(evals_, part, shards) << "}\n";
+        out << "{\"type\": \"imbalance\", \"by\": \"flits\", "
+            << "\"shards\": " << shards << ", \"index\": "
+            << loadImbalance(flitsMoved_, part, shards) << "}\n";
+    }
+    return out.good();
+}
+
+} // namespace nox

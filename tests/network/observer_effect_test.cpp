@@ -2,11 +2,13 @@
  * @file
  * Observer-effect determinism: enabling the full observability stack
  * (flight-recorder tracing + periodic metrics sampling + latency
- * provenance) must not perturb simulation results. For every router
- * architecture and both scheduling kernels, a seeded run with
- * observability on produces bit-identical NetworkStats to the same
- * run with it off — the recorder, sampler, and span builder read
- * simulator state but never touch it, its RNGs, or its statistics.
+ * provenance + the self-profiler + run telemetry) must not perturb
+ * simulation results. For every router architecture and both
+ * scheduling kernels — fault-free, under recoverable soft faults,
+ * and under fail-stop hard faults — a seeded run with observability
+ * on produces bit-identical NetworkStats to the same run with it
+ * off: every observer reads simulator state but never touches it,
+ * its RNGs, or its statistics.
  */
 
 #include <gtest/gtest.h>
@@ -45,6 +47,12 @@ fullObservability()
     obs.metrics.heatmap = false;
     obs.prov.enabled = true;
     obs.prov.jsonlPath = "";
+    obs.profile.enabled = true;
+    obs.profile.jsonlPath = "";
+    obs.telemetry.enabled = true;
+    obs.telemetry.interval = 128;
+    obs.telemetry.jsonlPath = "";
+    obs.telemetry.progress = false;
     return obs;
 }
 
@@ -116,9 +124,18 @@ TEST_P(ObserverEffect, TracingAndMetricsDoNotPerturbStats)
     EXPECT_EQ(observed->provenance()->openSpans(), 0u);
     EXPECT_EQ(observed->provenance()->total().packets,
               observed->stats().packetsMeasuredDone);
+    ASSERT_NE(observed->profiler(), nullptr);
+    EXPECT_EQ(observed->profiler()->steps(), observed->now());
+    EXPECT_GT(observed->profiler()->phaseNsSum(), 0u);
+    EXPECT_LE(observed->profiler()->phaseNsSum(),
+              observed->profiler()->totalNs());
+    ASSERT_NE(observed->telemetry(), nullptr);
+    EXPECT_GT(observed->telemetry()->beats(), 0u);
     EXPECT_EQ(plain->tracer(), nullptr);
     EXPECT_EQ(plain->metrics(), nullptr);
     EXPECT_EQ(plain->provenance(), nullptr);
+    EXPECT_EQ(plain->profiler(), nullptr);
+    EXPECT_EQ(plain->telemetry(), nullptr);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -181,6 +198,50 @@ TEST_P(ObserverEffect, HardFaultDegradationUnobservedByTracing)
     ASSERT_NE(observed->provenance(), nullptr);
     EXPECT_EQ(observed->provenance()->conservationViolations(), 0u);
     EXPECT_EQ(observed->provenance()->openSpans(), 0u);
+}
+
+TEST_P(ObserverEffect, SoftFaultRecoveryUnobserved)
+{
+    // Recoverable link faults (bit flips, drops, credit losses with
+    // CRC/retransmission protection on) exercise the retry machinery
+    // every observer taps — fault trace events, telemetry's
+    // fault/retry counters, the profiler's LinkRetry phase. All of it
+    // must stay strictly read-only.
+    const auto [arch, mode] = GetParam();
+    FaultParams faults;
+    faults.enabled = true;
+    faults.bitflipRate = 2e-3;
+    faults.dropRate = 1e-3;
+    faults.creditLossRate = 5e-4;
+    faults.seed = 0x50F7;
+    faults.protect = true;
+
+    auto plain = buildNetwork(arch, mode, false, faults);
+    plain->run(kWarmup + kMeasure);
+    ASSERT_TRUE(plain->drain(kDrainLimit))
+        << plain->lastDrainReport().summary();
+
+    auto observed = buildNetwork(arch, mode, true, faults);
+    observed->run(kWarmup + kMeasure);
+    ASSERT_TRUE(observed->drain(kDrainLimit))
+        << observed->lastDrainReport().summary();
+    observed->finishObservability();
+
+    EXPECT_GT(plain->stats().faults.faultsInjected, 0u);
+    EXPECT_TRUE(identicalStats(plain->stats(), observed->stats()))
+        << archName(arch) << "/" << schedulingModeName(mode)
+        << ": observability perturbed soft-fault recovery";
+    EXPECT_EQ(plain->now(), observed->now());
+    ASSERT_NE(observed->profiler(), nullptr);
+    EXPECT_EQ(observed->profiler()->steps(), observed->now());
+    ASSERT_NE(observed->telemetry(), nullptr);
+    EXPECT_GT(observed->telemetry()->beats(), 0u);
+    // The last beat fired at the final interval boundary, so its
+    // counters are a prefix of (at most equal to) the final stats.
+    EXPECT_LE(observed->telemetry()
+                  ->lastRecord()
+                  .sample.faultsInjected,
+              observed->stats().faults.faultsInjected);
 }
 
 TEST(ObserverEffect, SchedulerEventsOnlyUnderActivityKernel)

@@ -31,8 +31,10 @@
 #include "common/config.hpp"
 #include "common/log.hpp"
 #include "common/rng.hpp"
+#include "noc/flit_arena.hpp"
 #include "noc/network.hpp"
 #include "obs/obs_params.hpp"
+#include "obs/telemetry.hpp"
 #include "routers/factory.hpp"
 #include "snapshot/snapshot.hpp"
 
@@ -193,6 +195,7 @@ main(int argc, char **argv)
     const auto runOnePhase = [&](Network *net, PhaseState &st,
                                  bool resumed) {
         const int phase = st.phase;
+        const auto phaseWall0 = std::chrono::steady_clock::now();
         OrderChecker checker(net);
         // Hard (fail-stop) faults legitimately break per-flow FIFO
         // order: a mid-run table rebuild moves a flow to a new path
@@ -363,6 +366,40 @@ main(int argc, char **argv)
                   << " lat p50/p95/p99=" << p50 << "/" << p95 << "/"
                   << p99 << " widen=" << lat.widenings()
                   << " ovf=" << lat.overflowCount() << " ok\n";
+        if (params.obs.telemetry.enabled) {
+            // One heartbeat-formatted summary per phase: same line
+            // renderer as noxsim's --progress stream, fed from the
+            // phase's own wall clock and post-drain counters.
+            TelemetryRecord rec;
+            rec.sample.cycle = net->now();
+            rec.sample.activeRouters = net->activeRouters();
+            rec.sample.activeNics = net->activeNics();
+            rec.sample.packetsInFlight = net->packetsInFlight();
+            rec.sample.packetsInjected =
+                net->stats().packetsInjected;
+            rec.sample.packetsEjected = net->stats().packetsEjected;
+            rec.sample.faultsInjected =
+                net->stats().faults.faultsInjected;
+            rec.sample.retransmissions =
+                net->stats().faults.retransmissions;
+            const FlitArenaStats &arena =
+                FlitArena::instance().stats();
+            rec.sample.arenaLive = arena.live();
+            rec.sample.arenaGrowths = arena.growths;
+            rec.wallSeconds =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - phaseWall0)
+                    .count();
+            if (rec.wallSeconds > 0.0) {
+                rec.cumCyclesPerSec =
+                    static_cast<double>(net->now()) /
+                    rec.wallSeconds;
+                rec.instCyclesPerSec = rec.cumCyclesPerSec;
+            }
+            rec.peakRssKb = RunTelemetry::peakRssKb();
+            std::cout << "  telemetry: "
+                      << RunTelemetry::formatLine(rec, 0) << "\n";
+        }
     };
 
     if (!resumePath.empty()) {

@@ -151,6 +151,32 @@ runSyntheticMode(const Config &config)
         t.addRow({"provenance_violations",
                   std::to_string(r.provenanceViolations)});
     }
+    if (r.profiled) {
+        // Host-cost decomposition: where each simulated cycle's wall
+        // time went. Coverage is the scoped fraction of stepped time;
+        // the remainder is unscoped inter-phase glue.
+        t.addRow({"sim_cycles_per_s",
+                  Table::num(r.wallSeconds > 0.0
+                                 ? static_cast<double>(
+                                       r.cyclesSimulated) /
+                                       r.wallSeconds
+                                 : 0.0,
+                             1)});
+        for (std::size_t p = 0; p < kNumSimPhases; ++p) {
+            t.addRow({std::string("prof_") +
+                          simPhaseName(static_cast<SimPhase>(p)) +
+                          "_s",
+                      Table::num(r.phaseSeconds[p], 4)});
+        }
+        t.addRow({"prof_total_s",
+                  Table::num(r.profiledTotalSeconds, 4)});
+        t.addRow({"prof_coverage",
+                  Table::num(r.profileCoverage, 4)});
+        t.addRow({"prof_imbalance_evals",
+                  Table::num(r.imbalanceEvals, 4)});
+        t.addRow({"prof_imbalance_flits",
+                  Table::num(r.imbalanceFlits, 4)});
+    }
     t.addRow({"drained", r.drained ? "1" : "0"});
     if (!r.drained)
         nox::warn("synthetic run did not drain: ", r.drainDiagnosis);

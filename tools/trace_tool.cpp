@@ -27,6 +27,8 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -37,6 +39,7 @@
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "obs/flight_analysis.hpp"
+#include "obs/profiler.hpp"
 #include "snapshot/file.hpp"
 #include "traffic/trace.hpp"
 
@@ -259,6 +262,221 @@ cmdSnapshotInfo(const Config &config)
     }
 }
 
+// ---- profile: render a self-profiling JSONL export ----------------
+
+/** Find `"key": <number>` in a single-line JSON object (tolerates
+ *  optional whitespace after the colon). */
+bool
+profFindNum(const std::string &line, const char *key, double &out)
+{
+    const std::string pat = std::string("\"") + key + "\":";
+    const std::size_t pos = line.find(pat);
+    if (pos == std::string::npos)
+        return false;
+    const char *start = line.c_str() + pos + pat.size();
+    char *end = nullptr;
+    out = std::strtod(start, &end);
+    return end != start;
+}
+
+/** Find `"key": "<string>"` in a single-line JSON object. */
+bool
+profFindStr(const std::string &line, const char *key, std::string &out)
+{
+    const std::string pat = std::string("\"") + key + "\":";
+    std::size_t pos = line.find(pat);
+    if (pos == std::string::npos)
+        return false;
+    pos += pat.size();
+    while (pos < line.size() && line[pos] == ' ')
+        ++pos;
+    if (pos >= line.size() || line[pos] != '"')
+        return false;
+    const std::size_t close = line.find('"', pos + 1);
+    if (close == std::string::npos)
+        return false;
+    out = line.substr(pos + 1, close - pos - 1);
+    return true;
+}
+
+int
+cmdProfile(const Config &config)
+{
+    const std::string path = config.getString("in");
+    if (path.empty())
+        fatal("profile requires in=<profile.jsonl>");
+    std::ifstream in(path);
+    if (!in)
+        fatal("profile: cannot open ", path);
+
+    struct PhaseRow
+    {
+        std::string name;
+        double ns = 0.0;
+        double enters = 0.0;
+    };
+    struct RouterRow
+    {
+        std::uint64_t id = 0, evals = 0, flits = 0, arb = 0;
+    };
+    double steps = 0, totalNs = 0, phaseNsSum = 0, coverage = 0;
+    double width = 0, height = 0, numRouters = 0;
+    std::string arch, sched;
+    bool haveHeader = false;
+    std::vector<PhaseRow> phases;
+    std::vector<RouterRow> routers;
+    struct ImbalanceRow
+    {
+        std::string by;
+        double shards = 0, index = 0;
+    };
+    std::vector<ImbalanceRow> imbalances;
+
+    std::string line;
+    while (std::getline(in, line)) {
+        std::string type;
+        if (!profFindStr(line, "type", type))
+            continue;
+        if (type == "profile_header") {
+            haveHeader = true;
+            profFindNum(line, "steps", steps);
+            profFindNum(line, "total_ns", totalNs);
+            profFindNum(line, "phase_ns_sum", phaseNsSum);
+            profFindNum(line, "coverage", coverage);
+            profFindNum(line, "width", width);
+            profFindNum(line, "height", height);
+            profFindNum(line, "routers", numRouters);
+            profFindStr(line, "arch", arch);
+            profFindStr(line, "sched", sched);
+        } else if (type == "phase") {
+            PhaseRow p;
+            profFindStr(line, "name", p.name);
+            profFindNum(line, "ns", p.ns);
+            profFindNum(line, "enters", p.enters);
+            phases.push_back(p);
+        } else if (type == "router") {
+            double id = 0, evals = 0, flits = 0, arb = 0;
+            profFindNum(line, "id", id);
+            profFindNum(line, "evals", evals);
+            profFindNum(line, "flits", flits);
+            profFindNum(line, "arb", arb);
+            routers.push_back(
+                {static_cast<std::uint64_t>(id),
+                 static_cast<std::uint64_t>(evals),
+                 static_cast<std::uint64_t>(flits),
+                 static_cast<std::uint64_t>(arb)});
+        } else if (type == "imbalance") {
+            ImbalanceRow r;
+            profFindStr(line, "by", r.by);
+            profFindNum(line, "shards", r.shards);
+            profFindNum(line, "index", r.index);
+            imbalances.push_back(r);
+        }
+    }
+    if (!haveHeader)
+        fatal("profile: ", path, ": no profile_header record — not a "
+              "profiler export (profile_file= output)?");
+
+    Table h({"field", "value"});
+    h.addRow({"arch", arch});
+    h.addRow({"scheduling", sched});
+    h.addRow({"mesh", Table::num(width, 0) + "x" +
+                          Table::num(height, 0)});
+    h.addRow({"steps", Table::num(steps, 0)});
+    h.addRow({"stepped wall", Table::num(totalNs * 1e-9, 4) + " s"});
+    h.addRow({"scoped wall",
+              Table::num(phaseNsSum * 1e-9, 4) + " s"});
+    h.addRow({"coverage", Table::num(coverage, 4)});
+    h.print(std::cout);
+
+    if (!phases.empty()) {
+        std::cout << "\nhost cost per phase (share of stepped "
+                     "wall time):\n";
+        Table t({"phase", "seconds", "share", "enters", "ns/enter"});
+        for (const PhaseRow &p : phases) {
+            t.addRow({p.name, Table::num(p.ns * 1e-9, 4),
+                      totalNs > 0
+                          ? Table::num(100.0 * p.ns / totalNs, 1) +
+                                "%"
+                          : "-",
+                      Table::num(p.enters, 0),
+                      p.enters > 0
+                          ? Table::num(p.ns / p.enters, 0)
+                          : "-"});
+        }
+        t.print(std::cout);
+    }
+
+    if (!routers.empty()) {
+        // "Hottest" = most flits moved; under activity-driven
+        // scheduling the evals column additionally shows how often
+        // the scheduler actually woke each router.
+        const auto k = static_cast<std::size_t>(
+            config.getUint("topk", 10));
+        std::vector<RouterRow> sorted = routers;
+        std::sort(sorted.begin(), sorted.end(),
+                  [](const RouterRow &a, const RouterRow &b) {
+                      if (a.flits != b.flits)
+                          return a.flits > b.flits;
+                      return a.id < b.id;
+                  });
+        if (sorted.size() > k)
+            sorted.resize(k);
+        std::cout << "\ntop " << sorted.size()
+                  << " hottest routers (by flits moved):\n";
+        Table t({"router", "evals", "flits", "arb rounds"});
+        for (const RouterRow &r : sorted) {
+            t.addRow({std::to_string(r.id),
+                      std::to_string(r.evals),
+                      std::to_string(r.flits),
+                      std::to_string(r.arb)});
+        }
+        t.print(std::cout);
+    }
+
+    // Imbalance: report the export's own rows, then optionally
+    // recompute over a caller-chosen shard count (shards=N).
+    if (!imbalances.empty()) {
+        std::cout << "\nload imbalance (max shard / mean shard; "
+                     "1.0 = balanced):\n";
+        Table t({"by", "shards", "index"});
+        for (const ImbalanceRow &r : imbalances) {
+            t.addRow({r.by, Table::num(r.shards, 0),
+                      Table::num(r.index, 4)});
+        }
+        t.print(std::cout);
+    }
+    if (config.has("shards") &&
+        static_cast<double>(routers.size()) == width * height) {
+        const int shards =
+            static_cast<int>(config.getInt("shards", 4));
+        std::vector<std::uint64_t> evals, flits;
+        std::vector<RouterRow> byId = routers;
+        std::sort(byId.begin(), byId.end(),
+                  [](const RouterRow &a, const RouterRow &b) {
+                      return a.id < b.id;
+                  });
+        for (const RouterRow &r : byId) {
+            evals.push_back(r.evals);
+            flits.push_back(r.flits);
+        }
+        const std::vector<int> shardOf =
+            rowStripePartition(static_cast<int>(width),
+                               static_cast<int>(height), shards);
+        Table t({"by", "shards", "index"});
+        t.addRow({"evals", std::to_string(shards),
+                  Table::num(loadImbalance(evals, shardOf, shards),
+                             4)});
+        t.addRow({"flits", std::to_string(shards),
+                  Table::num(loadImbalance(flits, shardOf, shards),
+                             4)});
+        std::cout << "\nrecomputed over " << shards
+                  << " row stripes:\n";
+        t.print(std::cout);
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -277,7 +495,9 @@ main(int argc, char **argv)
                "  analyze   in=<flight.jsonl> [topk=10]   "
                "(flight-recorder dump forensics)\n"
                "  snapshot-info in=<checkpoint.snap>      "
-               "(validate + describe a checkpoint)\n";
+               "(validate + describe a checkpoint)\n"
+               "  profile   in=<profile.jsonl> [topk=10] [shards=N] "
+               "(self-profiling phase/router report)\n";
         return 2;
     }
     const std::string &cmd = positional.front();
@@ -293,5 +513,7 @@ main(int argc, char **argv)
         return cmdAnalyze(config);
     if (cmd == "snapshot-info")
         return cmdSnapshotInfo(config);
+    if (cmd == "profile")
+        return cmdProfile(config);
     nox::fatal("unknown command '", cmd, "'");
 }
