@@ -24,6 +24,10 @@ faultKindName(FaultKind kind)
         return "linkdead";
     case FaultKind::RouterDead:
         return "routerdead";
+    case FaultKind::LinkHeal:
+        return "linkheal";
+    case FaultKind::RouterHeal:
+        return "routerheal";
     }
     return "?";
 }
@@ -47,7 +51,27 @@ faultParamsFromConfig(const Config &config)
         config.getUint("hard_router_faults", 0));
     p.hardFaultCycle = config.getUint("hard_fault_cycle", 0);
     p.packetAgeLimit = config.getUint("fault_age_limit", 0);
-    p.enabled = p.anyRate() || p.anyHard() ||
+    p.e2eTransport = config.getBool("e2e_transport", false);
+    p.e2eTimeout = config.getUint("e2e_timeout", p.e2eTimeout);
+    p.e2eRetryLimit = static_cast<int>(
+        config.getUint("e2e_retry_limit",
+                       static_cast<std::uint64_t>(p.e2eRetryLimit)));
+    p.e2eAckDelay = config.getUint("e2e_ack_delay", p.e2eAckDelay);
+    p.churnWaves =
+        static_cast<int>(config.getUint("churn_waves", 0));
+    p.churnStart = config.getUint("churn_start", p.churnStart);
+    p.churnPeriod = config.getUint("churn_period", p.churnPeriod);
+    p.churnHealAfter =
+        config.getUint("churn_heal_after", p.churnHealAfter);
+    p.churnLinks = static_cast<int>(
+        config.getUint("churn_links",
+                       static_cast<std::uint64_t>(p.churnLinks)));
+    p.churnRouters = static_cast<int>(
+        config.getUint("churn_routers",
+                       static_cast<std::uint64_t>(p.churnRouters)));
+    NOX_ASSERT(p.e2eRetryLimit >= 0 && p.e2eRetryLimit < 256,
+               "e2e_retry_limit must fit the attempt encoding");
+    p.enabled = p.anyRate() || p.anyHard() || p.e2eTransport ||
                 config.has("fault_seed") ||
                 config.has("fault_recovery") ||
                 config.has("fault_age_limit");
@@ -64,9 +88,10 @@ FaultInjector::scheduleOneShot(FaultKind kind, Cycle cycle,
                                NodeId router, int port,
                                std::uint64_t flip_mask)
 {
-    if (kind == FaultKind::LinkDead || kind == FaultKind::RouterDead) {
-        hardFaults_.push_back({kind, cycle, router,
-                               kind == FaultKind::LinkDead ? port : -1});
+    if (faultKindHard(kind)) {
+        const bool link = kind == FaultKind::LinkDead ||
+                          kind == FaultKind::LinkHeal;
+        hardFaults_.push_back({kind, cycle, router, link ? port : -1});
         return;
     }
     oneShots_.push_back({kind, cycle, router, port, flip_mask, false});
@@ -116,6 +141,7 @@ FaultInjector::planHardFaults(const Mesh &mesh)
     NOX_ASSERT(params_.hardLinkFaults <=
                    static_cast<int>(pool.size()),
                "hard_link_faults exceeds the surviving internal links");
+    std::vector<std::pair<NodeId, int>> permanentLinks;
     for (int i = 0; i < params_.hardLinkFaults; ++i) {
         const auto idx = static_cast<std::size_t>(
             mix64(seedMix_ ^
@@ -124,8 +150,82 @@ FaultInjector::planHardFaults(const Mesh &mesh)
             pool.size());
         const auto [r, port] = pool[idx];
         pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(idx));
+        permanentLinks.emplace_back(r, port);
         hardFaults_.push_back({FaultKind::LinkDead,
                                params_.hardFaultCycle, r, port});
+    }
+
+    // Churn waves: paired kill/heal events. Victims are hash-drawn
+    // per wave, disjoint from the permanent kills above (the heal of
+    // a churn victim must never resurrect a permanently killed
+    // entity) and distinct within the wave. Waves are independent
+    // draws; with churnHealAfter < churnPeriod every wave starts from
+    // a fully healed mesh, and overlapping schedules degrade safely
+    // into no-op kills/heals at application time.
+    for (int w = 0; w < params_.churnWaves; ++w) {
+        const Cycle killAt =
+            params_.churnStart +
+            static_cast<Cycle>(w) * params_.churnPeriod;
+        const Cycle healAt = killAt + params_.churnHealAfter;
+        const auto waveSalt = static_cast<std::uint64_t>(w) << 40;
+
+        std::vector<std::uint8_t> waveDead = dead;
+        NOX_ASSERT(params_.churnRouters < nr,
+                   "churn_routers must leave at least one router");
+        for (int i = 0; i < params_.churnRouters; ++i) {
+            std::uint64_t attempt = 0;
+            for (;;) {
+                const auto r = static_cast<NodeId>(
+                    mix64(seedMix_ ^
+                          mix64(0xC4A0ULL ^ waveSalt ^
+                                (static_cast<std::uint64_t>(i)
+                                 << 32) ^
+                                attempt)) %
+                    static_cast<std::uint64_t>(nr));
+                ++attempt;
+                if (waveDead[r])
+                    continue;
+                waveDead[r] = 1;
+                hardFaults_.push_back(
+                    {FaultKind::RouterDead, killAt, r, -1});
+                hardFaults_.push_back(
+                    {FaultKind::RouterHeal, healAt, r, -1});
+                break;
+            }
+        }
+
+        std::vector<std::pair<NodeId, int>> wavePool;
+        for (NodeId r = 0; r < static_cast<NodeId>(nr); ++r) {
+            if (waveDead[r])
+                continue;
+            for (int port : {static_cast<int>(kPortEast),
+                             static_cast<int>(kPortSouth)}) {
+                const NodeId n = mesh.neighbor(r, port);
+                if (n != kInvalidNode && !waveDead[n] &&
+                    std::find(permanentLinks.begin(),
+                              permanentLinks.end(),
+                              std::make_pair(r, port)) ==
+                        permanentLinks.end())
+                    wavePool.emplace_back(r, port);
+            }
+        }
+        NOX_ASSERT(params_.churnLinks <=
+                       static_cast<int>(wavePool.size()),
+                   "churn_links exceeds the surviving internal links");
+        for (int i = 0; i < params_.churnLinks; ++i) {
+            const auto idx = static_cast<std::size_t>(
+                mix64(seedMix_ ^
+                      mix64(0x71AEULL ^ waveSalt ^
+                            (static_cast<std::uint64_t>(i) << 32))) %
+                wavePool.size());
+            const auto [r, port] = wavePool[idx];
+            wavePool.erase(wavePool.begin() +
+                           static_cast<std::ptrdiff_t>(idx));
+            hardFaults_.push_back(
+                {FaultKind::LinkDead, killAt, r, port});
+            hardFaults_.push_back(
+                {FaultKind::LinkHeal, healAt, r, port});
+        }
     }
 }
 
@@ -145,9 +245,24 @@ FaultInjector::takeDueHardFaults(Cycle now)
                            return h.cycle <= now;
                        }),
         hardFaults_.end());
-    for (const HardFault &h : due)
-        record(h.kind, h.router, h.port, 0);
+    for (const HardFault &h : due) {
+        // Kills are recorded up front (the planner only schedules
+        // valid victims); heals are recorded via recordHeal() once
+        // the Network actually applies them.
+        if (h.kind == FaultKind::LinkDead ||
+            h.kind == FaultKind::RouterDead)
+            record(h.kind, h.router, h.port, 0);
+    }
     return due;
+}
+
+void
+FaultInjector::recordHeal(FaultKind kind, NodeId router, int port)
+{
+    NOX_ASSERT(kind == FaultKind::LinkHeal ||
+                   kind == FaultKind::RouterHeal,
+               "recordHeal with a non-heal kind");
+    record(kind, router, port, 0);
 }
 
 std::size_t
@@ -197,8 +312,10 @@ void
 FaultInjector::record(FaultKind kind, NodeId router, int port,
                       std::uint64_t flip_mask)
 {
-    stats_->faultsInjected += 1;
+    // Heals undo faults rather than inject them: they keep their own
+    // counters and trace kind and stay out of faultsInjected.
     bool hard = false;
+    bool heal = false;
     switch (kind) {
     case FaultKind::BitFlip:
         stats_->bitflipsInjected += 1;
@@ -217,12 +334,23 @@ FaultInjector::record(FaultKind kind, NodeId router, int port,
         stats_->hardRouterFaults += 1;
         hard = true;
         break;
+    case FaultKind::LinkHeal:
+        stats_->linkHeals += 1;
+        heal = true;
+        break;
+    case FaultKind::RouterHeal:
+        stats_->routerHeals += 1;
+        heal = true;
+        break;
     }
+    if (!heal)
+        stats_->faultsInjected += 1;
     if (log_.size() < kLogCap)
         log_.push_back({now_, kind, router, port, flip_mask});
     if (tracer_) {
-        tracer_->record(hard ? TraceEventKind::HardFault
-                             : TraceEventKind::FaultInject,
+        tracer_->record(heal   ? TraceEventKind::HealApply
+                        : hard ? TraceEventKind::HardFault
+                               : TraceEventKind::FaultInject,
                         router, port, flip_mask,
                         static_cast<std::uint32_t>(kind));
     }

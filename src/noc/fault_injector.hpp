@@ -33,17 +33,31 @@ namespace nox {
 class Config;
 class Mesh;
 
-/** The fault classes: transient link upsets plus fail-stop kills. */
+/** The fault classes: transient link upsets, fail-stop kills, and
+ *  the heal events that undo them. */
 enum class FaultKind : std::uint8_t {
     BitFlip = 0,    ///< one payload bit inverted in flight
     Drop = 1,       ///< the whole wire value vanishes
     CreditLoss = 2, ///< a returning credit vanishes
-    LinkDead = 3,   ///< a bidirectional mesh link fails permanently
+    LinkDead = 3,   ///< a bidirectional mesh link fails
     RouterDead = 4, ///< a whole router (and its links) fails
+    LinkHeal = 5,   ///< a killed link comes back into service
+    RouterHeal = 6, ///< a killed router (and its NIC) revives
 };
 
-/** Display name ("bitflip", ..., "linkdead", "routerdead"). */
+/** Display name ("bitflip", ..., "linkheal", "routerheal"). */
 const char *faultKindName(FaultKind kind);
+
+/** True for the fail-stop kill/heal kinds handled by the hard-fault
+ *  queue (as opposed to the per-event soft upsets). */
+inline bool
+faultKindHard(FaultKind kind)
+{
+    return kind == FaultKind::LinkDead ||
+           kind == FaultKind::RouterDead ||
+           kind == FaultKind::LinkHeal ||
+           kind == FaultKind::RouterHeal;
+}
 
 /** Fault-injection configuration (all rates are per link event). */
 struct FaultParams
@@ -96,6 +110,48 @@ struct FaultParams
      *  0 disables the watchdog. */
     Cycle packetAgeLimit = 0;
 
+    // -- E2E transport (source-side exactly-once delivery) --
+
+    /** Enable the NIC transport layer: source-side in-flight window,
+     *  destination acks and duplicate suppression, timeout-driven
+     *  whole-packet retransmission. Turns hard-fault write-offs into
+     *  recoverable losses. */
+    bool e2eTransport = false;
+
+    /** Cycles without delivery before the source retransmits. */
+    Cycle e2eTimeout = 2000;
+
+    /** Retransmission attempts before a packet is abandoned as a
+     *  deliveryFailure (bounded so a permanently dead destination
+     *  cannot stall drain forever). Capped at 255 by the attempt
+     *  encoding. */
+    int e2eRetryLimit = 16;
+
+    /** Cycles between a completed delivery and the E2E ack retiring
+     *  the source window entry (models the return-path latency). */
+    Cycle e2eAckDelay = 8;
+
+    // -- fault churn (seeded kill + heal waves) --
+
+    /** Number of kill+heal waves. Each wave kills churnRouters
+     *  routers and churnLinks links at its wave cycle and heals the
+     *  same victims churnHealAfter cycles later; all draws are
+     *  hash-keyed off the fault seed. */
+    int churnWaves = 0;
+
+    /** Cycle of the first wave's kills. */
+    Cycle churnStart = 5000;
+
+    /** Spacing between consecutive waves' kill cycles. */
+    Cycle churnPeriod = 20000;
+
+    /** Delay from a wave's kills to its heals. */
+    Cycle churnHealAfter = 8000;
+
+    /** Victims per wave. */
+    int churnLinks = 2;
+    int churnRouters = 1;
+
     bool
     anyRate() const
     {
@@ -106,7 +162,8 @@ struct FaultParams
     bool
     anyHard() const
     {
-        return hardLinkFaults > 0 || hardRouterFaults > 0;
+        return hardLinkFaults > 0 || hardRouterFaults > 0 ||
+               churnWaves > 0;
     }
 };
 
@@ -116,9 +173,12 @@ struct FaultParams
  *   fault_seed=, fault_recovery= (default true),
  *   fault_retry_timeout=, fault_watchdog_period=,
  *   hard_link_faults=, hard_router_faults=, hard_fault_cycle=,
- *   fault_age_limit=.
- * `enabled` is set when any rate or hard-fault count is positive or
- * fault_seed/fault_recovery is given explicitly.
+ *   fault_age_limit=, e2e_transport=, e2e_timeout=,
+ *   e2e_retry_limit=, e2e_ack_delay=, churn_waves=, churn_start=,
+ *   churn_period=, churn_heal_after=, churn_links=, churn_routers=.
+ * `enabled` is set when any rate, hard-fault count, churn wave or the
+ * E2E transport is requested, or fault_seed/fault_recovery is given
+ * explicitly.
  */
 FaultParams faultParamsFromConfig(const Config &config);
 
@@ -173,10 +233,11 @@ class FaultInjector
      * irrespective of the configured rates. @p flip_mask selects the
      * payload bits to invert for BitFlip (0 picks bit 0).
      *
-     * Hard kinds (LinkDead, RouterDead) are routed to the hard-fault
-     * queue instead: they fire via takeDueHardFaults() at @p cycle
-     * (@p router is the dying router; @p port is the output port of
-     * the dying link for LinkDead, ignored for RouterDead).
+     * Hard kinds (LinkDead/RouterDead and their heal inverses) are
+     * routed to the hard-fault queue instead: they fire via
+     * takeDueHardFaults() at @p cycle (@p router is the dying or
+     * reviving router; @p port is the output port of the affected
+     * link for the link kinds, ignored for the router kinds).
      */
     void scheduleOneShot(FaultKind kind, Cycle cycle, NodeId router,
                          int port, std::uint64_t flip_mask = 0);
@@ -184,29 +245,39 @@ class FaultInjector
     /** Pending (not yet fired) one-shot faults. */
     std::size_t pendingOneShots() const;
 
-    // -- hard (fail-stop) faults --
+    // -- hard (fail-stop) faults and heals --
 
-    /** One planned or scheduled fail-stop fault. */
+    /** One planned or scheduled fail-stop fault or heal event. */
     struct HardFault
     {
         FaultKind kind = FaultKind::LinkDead;
         Cycle cycle = 0;
-        NodeId router = kInvalidNode; ///< dying router / link endpoint
-        int port = -1; ///< output port of the dying link (LinkDead)
+        NodeId router = kInvalidNode; ///< affected router / endpoint
+        int port = -1; ///< output port of the affected link (link kinds)
     };
 
     /**
      * Draw the configured hardLinkFaults/hardRouterFaults from the
      * fault seed: distinct routers first, then distinct canonical
-     * internal links (East/South, both endpoints still live). Pure
-     * function of the seed and @p mesh — every scheduling kernel sees
-     * the identical schedule. Call once at network construction.
+     * internal links (East/South, both endpoints still live) — plus
+     * the churn schedule: churnWaves waves of paired kill/heal
+     * events, each wave's victims hash-drawn from the seed and
+     * disjoint from the permanent kills (a churn heal must never
+     * resurrect a permanently killed entity). Pure function of the
+     * seed and @p mesh — every scheduling kernel sees the identical
+     * schedule. Call once at network construction.
      */
     void planHardFaults(const Mesh &mesh);
 
-    /** Remove and return every hard fault due at/before @p now
-     *  (recording each in the stats, log and trace). */
+    /** Remove and return every hard kill/heal due at/before @p now.
+     *  Kills are recorded in the stats, log and trace immediately;
+     *  heal events are recorded by the Network via recordHeal() only
+     *  once actually applied (a churn heal whose victim was never
+     *  killed — e.g. overlapping waves — is a silent no-op). */
     std::vector<HardFault> takeDueHardFaults(Cycle now);
+
+    /** Record one *applied* heal in the stats, log and trace. */
+    void recordHeal(FaultKind kind, NodeId router, int port);
 
     /** True while any hard fault is still queued. */
     bool hardFaultsPending() const { return !hardFaults_.empty(); }
@@ -256,6 +327,11 @@ class FaultInjector
     onCorruptedDelivery()
     {
         stats_->corruptedEscapes += 1;
+    }
+    void
+    onDupSuppressed()
+    {
+        stats_->dupSuppressed += 1;
     }
 
     /** Every injected fault, in injection order (capped; counters

@@ -186,6 +186,41 @@ flitSeq(std::uint64_t uid)
 }
 
 /**
+ * E2E-retransmission attempt encoding. Every retransmission of a
+ * logical packet travels under a distinct *wire* packet id so that the
+ * simultaneously-live copies never alias each other in FIFO dedup,
+ * arrival counting or provenance: the attempt number (1..255) rides in
+ * the packet id's high bits, leaving the low 48 bits as the logical
+ * (base) id. Payloads and uids derive from the *encoded* id, so the
+ * sink's integrity checks stay self-consistent per attempt.
+ */
+constexpr int kPacketAttemptShift = 48;
+constexpr PacketId kPacketBaseMask =
+    (PacketId{1} << kPacketAttemptShift) - 1;
+
+/** Logical packet id with any attempt bits stripped. */
+inline PacketId
+basePacket(PacketId packet)
+{
+    return packet & kPacketBaseMask;
+}
+
+/** E2E retransmission attempt (0 = the original transmission). */
+inline std::uint32_t
+packetAttempt(PacketId packet)
+{
+    return static_cast<std::uint32_t>(packet >> kPacketAttemptShift);
+}
+
+/** Wire packet id for retransmission @p attempt of @p base. */
+inline PacketId
+attemptPacket(PacketId base, std::uint32_t attempt)
+{
+    return base |
+           (static_cast<PacketId>(attempt) << kPacketAttemptShift);
+}
+
+/**
  * A value travelling on a link or stored in an input FIFO: one flit,
  * or the XOR superposition of several (NoX encoded form).
  */

@@ -147,6 +147,15 @@ Network::Network(const NetworkParams &params, RouterFactory factory)
         // exists: clean topology surgery, no losses, no degradation.
         if (faults_->hardFaultsPending())
             applyDueHardFaults(/*at_construction=*/true);
+        // End-to-end transport: source-side retransmission windows at
+        // the NICs plus destination-side duplicate suppression.
+        if (params.faults.e2eTransport) {
+            transport_ = std::make_unique<E2eTransport>(
+                params.faults.e2eTimeout, params.faults.e2eRetryLimit,
+                params.faults.e2eAckDelay);
+            for (auto &nic : nics_)
+                nic->attachTransport(transport_.get());
+        }
     }
 
     // Active-set bookkeeping: everything starts armed (the first
@@ -239,6 +248,82 @@ Network::killRouter(NodeId router, std::vector<FlitDesc> &lost)
 }
 
 void
+Network::wireLink(NodeId router, int port)
+{
+    const NodeId nb = mesh_.neighbor(router, port);
+    NOX_ASSERT(nb != kInvalidNode, "wiring a link off the mesh edge");
+    const int back = Mesh::oppositePort(port);
+    const RouterParams &rp = params_.router;
+
+    // Both directions come back together, exactly as wired at
+    // construction: forward flit wire plus turnaround credit wire.
+    Router::FlitTarget ft;
+    ft.router = routers_[nb].get();
+    ft.port = back;
+    routers_[router]->connectOutput(port, ft, rp.bufferDepth);
+    Router::CreditTarget ct;
+    ct.router = routers_[nb].get();
+    ct.port = back;
+    routers_[router]->connectInputCredit(port, ct);
+
+    ft.router = routers_[router].get();
+    ft.port = port;
+    routers_[nb]->connectOutput(back, ft, rp.bufferDepth);
+    ct.router = routers_[router].get();
+    ct.port = port;
+    routers_[nb]->connectInputCredit(back, ct);
+
+    // Per-port microarchitectural state (VC credit books, lane locks)
+    // resets to the pristine post-construction value on both sides.
+    routers_[router]->onOutputRevived(port);
+    routers_[nb]->onOutputRevived(back);
+}
+
+void
+Network::healLink(NodeId router, int port, bool record)
+{
+    if (!faultMap_.healLink(router, port))
+        return; // no explicit fault recorded there
+    // The explicit fault is lifted either way, but the channel only
+    // carries traffic again once neither endpoint router is dead —
+    // a dead endpoint keeps the link implicitly down until its own
+    // heal re-wires it.
+    if (!faultMap_.linkDead(router, port))
+        wireLink(router, port);
+    if (record)
+        faults_->recordHeal(FaultKind::LinkHeal, router, port);
+}
+
+void
+Network::healRouter(NodeId router, bool record)
+{
+    if (!faultMap_.healRouter(router))
+        return; // not dead
+    for (int port = kPortNorth; port <= kPortWest; ++port) {
+        const NodeId nb = mesh_.neighbor(router, port);
+        if (nb == kInvalidNode)
+            continue;
+        // Re-wire every implicit casualty of the original kill; links
+        // with their own explicit fault, or whose far endpoint is
+        // still dead, stay down until their own heal.
+        if (!faultMap_.linkDead(router, port))
+            wireLink(router, port);
+    }
+    // Terminal NICs come back quiescent and empty: killAttached()
+    // drained their queues, and connectRouter() rebuilds the credit
+    // books against the (freshly constructed-state) local port.
+    for (int t = 0; t < mesh_.concentration(); ++t) {
+        const int lp = kPortLocal + t;
+        const NodeId node = mesh_.terminalAt(router, lp);
+        nics_[node]->revive();
+        nics_[node]->connectRouter(routers_[router].get(), lp);
+        routers_[router]->onOutputRevived(lp);
+    }
+    if (record)
+        faults_->recordHeal(FaultKind::RouterHeal, router, -1);
+}
+
+void
 Network::applyDueHardFaults(bool at_construction)
 {
     std::vector<FaultInjector::HardFault> due =
@@ -248,11 +333,28 @@ Network::applyDueHardFaults(bool at_construction)
 
     std::vector<FlitDesc> lost;
     for (const auto &h : due) {
-        if (h.kind == FaultKind::RouterDead)
+        switch (h.kind) {
+          case FaultKind::RouterDead:
             killRouter(h.router, lost);
-        else
+            break;
+          case FaultKind::LinkDead:
             killLink(h.router, h.port, lost);
+            break;
+          case FaultKind::RouterHeal:
+            healRouter(h.router);
+            break;
+          case FaultKind::LinkHeal:
+            healLink(h.router, h.port);
+            break;
+          default:
+            panic("soft fault kind in the hard-fault schedule");
+        }
     }
+
+    // A heal changes the topology exactly like a kill: the table
+    // rebuild below (toward DOR as the fault map empties) can orphan
+    // in-flight flits on now-forbidden turns, so the purge fixpoint
+    // runs for heal-only batches too.
 
     table_.rebuild(faultMap_);
     stats_.faults.tableRebuilds += 1;
@@ -325,7 +427,6 @@ Network::applyDueHardFaults(bool at_construction)
     } while (!pending.empty());
 
     stats_.faults.flitsLostHard += lostUids.size();
-    stats_.faults.packetsLostHard += lostPackets.size();
     if (prov_) {
         // Written-off flits will never be delivered: their open spans
         // are abandoned (they were never measured anyway).
@@ -333,9 +434,20 @@ Network::applyDueHardFaults(bool at_construction)
                                         lostUids.end());
         prov_->forgetFlits(uids);
     }
-    for (const auto &[packet, dest] : lostPackets) {
-        nics_[dest]->forgetArrived(packet);
-        ageInFlight_.erase(packet);
+    if (transport_) {
+        // With the E2E transport on, a purged wire packet is a
+        // recoverable loss, not a write-off: the source window still
+        // holds the logical packet and will retransmit on timeout.
+        // Only the destination's partial-arrival record of this
+        // attempt is scrubbed (the attempt can never complete).
+        for (const auto &[packet, dest] : lostPackets)
+            nics_[dest]->forgetArrived(packet);
+    } else {
+        stats_.faults.packetsLostHard += lostPackets.size();
+        for (const auto &[packet, dest] : lostPackets) {
+            nics_[dest]->forgetArrived(packet);
+            ageInFlight_.erase(packet);
+        }
     }
 }
 
@@ -407,6 +519,8 @@ Network::stepAlwaysTick()
             applyDueHardFaults(/*at_construction=*/false);
         if (faults_->params().packetAgeLimit > 0)
             checkPacketAges();
+        if (transport_)
+            transport_->sweep(now_, *this);
     }
     if (tracer_) {
         ProfScope ps(prof, SimPhase::ObsFlush);
@@ -511,6 +625,8 @@ Network::stepScheduled(bool check)
             applyDueHardFaults(/*at_construction=*/false);
         if (faults_->params().packetAgeLimit > 0)
             checkPacketAges();
+        if (transport_)
+            transport_->sweep(now_, *this);
     }
     if (tracer_) {
         ProfScope ps(prof, SimPhase::ObsFlush);
@@ -724,6 +840,12 @@ Network::emitTelemetry()
     s.packetsEjected = stats_.packetsEjected;
     s.faultsInjected = stats_.faults.faultsInjected;
     s.retransmissions = stats_.faults.retransmissions;
+    s.e2eRetransmits = stats_.faults.e2eRetransmits;
+    s.dupSuppressed = stats_.faults.dupSuppressed;
+    s.healsApplied =
+        stats_.faults.linkHeals + stats_.faults.routerHeals;
+    s.deadEntities = static_cast<std::uint64_t>(
+        faultMap_.deadRouterCount() + faultMap_.explicitDeadLinkCount());
     const FlitArenaStats &arena = FlitArena::instance().stats();
     s.arenaLive = arena.live();
     s.arenaGrowths = arena.growths;
@@ -765,16 +887,18 @@ Network::drain(Cycle limit)
     const bool sources_were_enabled = sourcesEnabled_;
     sourcesEnabled_ = false;
     const Cycle deadline = now_ + limit;
-    while (packetsInFlight() > 0 && now_ < deadline)
+    while (!drainComplete() && now_ < deadline)
         step();
     sourcesEnabled_ = sources_were_enabled;
 
     drainReport_ = DrainReport{};
-    drainReport_.drained = packetsInFlight() == 0;
+    drainReport_.drained = drainComplete();
     drainReport_.stoppedAt = now_;
     drainReport_.packetsInFlight = packetsInFlight();
     drainReport_.stalledPackets = packetsInFlight();
-    drainReport_.undeliverablePackets = stats_.faults.packetsLostHard;
+    drainReport_.undeliverablePackets = transport_
+        ? stats_.faults.deliveryFailures
+        : stats_.faults.packetsLostHard;
     if (!drainReport_.drained) {
         for (NodeId r = 0; r < numRouters(); ++r) {
             if (!routers_[r]->quiescent())
@@ -813,9 +937,38 @@ std::uint64_t
 Network::packetsInFlight() const
 {
     // Hard-fault casualties are accounted losses, not in-flight
-    // packets: conservation is ejected + lost == injected.
-    return stats_.packetsInjected - stats_.packetsEjected -
-           stats_.faults.packetsLostHard;
+    // packets: conservation is ejected + lost == injected. With the
+    // E2E transport on, purge casualties stay logically in flight in
+    // the source window; only exhausted-retry abandonments count as
+    // losses (ejected + deliveryFailures == injected).
+    const std::uint64_t accounted = transport_
+        ? stats_.faults.deliveryFailures
+        : stats_.faults.packetsLostHard;
+    return stats_.packetsInjected - stats_.packetsEjected - accounted;
+}
+
+bool
+Network::drainComplete() const
+{
+    if (packetsInFlight() != 0)
+        return false;
+    if (!transport_)
+        return true;
+    // Exactly-once requires the stale attempts to finish too: every
+    // straggler flit must reach its destination door and be dropped
+    // there, and every window entry must be acked or abandoned —
+    // otherwise a resumed run could deliver a duplicate later.
+    if (transport_->windowSize() != 0)
+        return false;
+    for (const auto &r : routers_) {
+        if (!r->quiescent())
+            return false;
+    }
+    for (const auto &nic : nics_) {
+        if (!nic->quiescent())
+            return false;
+    }
+    return true;
 }
 
 EnergyEvents
@@ -886,6 +1039,8 @@ Network::injectPacket(NodeId src, NodeId dst, int num_flits, Cycle now,
     }
     if (prov_)
         prov_->onPacketCreate(flits, now);
+    if (transport_)
+        transport_->onInject(flits.front(), now);
     nics_[src]->enqueuePacket(flits);
 
     if (tracer_) {
@@ -955,6 +1110,17 @@ Network::fingerprint() const
            << " hard=" << f.hardLinkFaults << ","
            << f.hardRouterFaults << "@" << f.hardFaultCycle
            << " age=" << f.packetAgeLimit;
+        os << " e2e=" << (f.e2eTransport ? 1 : 0);
+        if (f.e2eTransport) {
+            os << "/" << f.e2eTimeout << "," << f.e2eRetryLimit << ","
+               << f.e2eAckDelay;
+        }
+        os << " churn=" << f.churnWaves;
+        if (f.churnWaves > 0) {
+            os << "@" << f.churnStart << "/" << f.churnPeriod << "/"
+               << f.churnHealAfter << ":" << f.churnLinks << ","
+               << f.churnRouters;
+        }
     }
     os << " trace=" << (params_.obs.trace.enabled ? 1 : 0);
     if (params_.obs.trace.enabled)
@@ -976,29 +1142,16 @@ Network::serialize(snap::Writer &w) const
     snap::writeNetworkStats(w, stats_);
 
     // The hard-fault topology, as replayable kill lists: dead
-    // routers, then dead canonical internal links (East/South) whose
-    // endpoints survive (a dead router already implies its links).
-    std::vector<NodeId> deadRouters;
-    for (NodeId r = 0; r < numRouters(); ++r) {
-        if (faultMap_.routerDead(r))
-            deadRouters.push_back(r);
-    }
+    // routers, then every explicitly-failed link (canonical
+    // direction) — including links whose endpoint router is also
+    // dead, because a later heal of that router must not resurrect
+    // the link's own fault.
+    const std::vector<NodeId> deadRouters = faultMap_.deadRouters();
     w.u64(deadRouters.size());
     for (NodeId r : deadRouters)
         w.i32(r);
-    std::vector<std::pair<NodeId, int>> deadLinks;
-    for (NodeId r = 0; r < numRouters(); ++r) {
-        if (faultMap_.routerDead(r))
-            continue;
-        for (int port : {static_cast<int>(kPortEast),
-                         static_cast<int>(kPortSouth)}) {
-            const NodeId nb = mesh_.neighbor(r, port);
-            if (nb == kInvalidNode || faultMap_.routerDead(nb))
-                continue;
-            if (faultMap_.linkDead(r, port))
-                deadLinks.emplace_back(r, port);
-        }
-    }
+    const std::vector<std::pair<NodeId, int>> deadLinks =
+        faultMap_.explicitDeadLinks();
     w.u64(deadLinks.size());
     for (const auto &[r, port] : deadLinks) {
         w.i32(r);
@@ -1070,6 +1223,9 @@ Network::serialize(snap::Writer &w) const
     w.boolean(prov_ != nullptr);
     if (prov_)
         prov_->serialize(w);
+    w.boolean(transport_ != nullptr);
+    if (transport_)
+        transport_->serialize(w);
 }
 
 void
@@ -1084,21 +1240,23 @@ Network::restore(snap::Reader &r)
     // Replay the snapshot's hard-fault topology onto this (freshly
     // built) network before touching any component: Router::restore
     // cross-checks output wiring, and the routing table must describe
-    // the faulted mesh when traffic resumes. Construction-time
-    // (cycle-0) kills already applied — the snapshot's lists are a
-    // superset, so only the difference is replayed.
-    bool replayed = false;
-    std::vector<FlitDesc> discard; // freshly built: nothing in flight
+    // the faulted mesh when traffic resumes. With healing in the mix
+    // the snapshot's dead set is no longer a superset of the
+    // construction-time one, so replay in two moves that are always
+    // legal on an empty network: heal every current fault back to the
+    // pristine mesh (uncounted — the restored stats already include
+    // any real heals), then re-kill exactly the snapshot's lists.
+    // Explicit link kills replay before router kills because killLink
+    // requires both endpoints alive.
+    std::vector<NodeId> snapDeadRouters;
     const std::uint64_t ndr = r.u64();
     for (std::uint64_t i = 0; i < ndr; ++i) {
         const NodeId router = r.i32();
         if (router < 0 || router >= numRouters())
             r.fail("dead-router id out of range");
-        if (!faultMap_.routerDead(router)) {
-            killRouter(router, discard);
-            replayed = true;
-        }
+        snapDeadRouters.push_back(router);
     }
+    std::vector<std::pair<NodeId, int>> snapDeadLinks;
     const std::uint64_t ndl = r.u64();
     for (std::uint64_t i = 0; i < ndl; ++i) {
         const NodeId router = r.i32();
@@ -1106,10 +1264,26 @@ Network::restore(snap::Reader &r)
         if (router < 0 || router >= numRouters() ||
             port < kPortNorth || port > kPortWest)
             r.fail("dead-link endpoint out of range");
-        if (!faultMap_.linkDead(router, port)) {
-            killLink(router, port, discard);
-            replayed = true;
-        }
+        snapDeadLinks.emplace_back(router, port);
+    }
+
+    bool replayed = false;
+    std::vector<FlitDesc> discard; // freshly built: nothing in flight
+    for (const auto &[router, port] : faultMap_.explicitDeadLinks()) {
+        healLink(router, port, /*record=*/false);
+        replayed = true;
+    }
+    for (NodeId router : faultMap_.deadRouters()) {
+        healRouter(router, /*record=*/false);
+        replayed = true;
+    }
+    for (const auto &[router, port] : snapDeadLinks) {
+        killLink(router, port, discard);
+        replayed = true;
+    }
+    for (NodeId router : snapDeadRouters) {
+        killRouter(router, discard);
+        replayed = true;
     }
     NOX_ASSERT(discard.empty(),
                "fault replay on a restore target with traffic");
@@ -1187,6 +1361,10 @@ Network::restore(snap::Reader &r)
         r.fail("provenance presence mismatch (wrong config)");
     if (prov_)
         prov_->restore(r);
+    if (r.boolean() != (transport_ != nullptr))
+        r.fail("E2E-transport presence mismatch (wrong config)");
+    if (transport_)
+        transport_->restore(r);
 }
 
 void
@@ -1201,13 +1379,91 @@ Network::onFlitDelivered(NodeId, const FlitDesc &, Cycle now)
         metrics_->onFlitEjected(measured);
 }
 
+bool
+Network::onE2eResend(PacketId base, const TransportEntry &e)
+{
+    // An impossible resend leaves the entry armed: the next timeout
+    // tries again, so the packet rides out any outage shorter than
+    // its remaining retry budget.
+    if (nics_[e.src]->dead() || !table_.reachable(e.src, e.dest))
+        return false;
+
+    const PacketId wire = attemptPacket(base, e.attempt);
+    std::vector<FlitDesc> &flits = scratchInjectFlits_;
+    flits.clear();
+    flits.reserve(e.numFlits);
+    for (std::uint32_t s = 0; s < e.numFlits; ++s) {
+        FlitDesc d;
+        d.uid = flitUid(wire, s);
+        d.packet = wire;
+        d.seq = s;
+        d.packetSize = e.numFlits;
+        d.src = e.src;
+        d.dest = e.dest;
+        d.payload = expectedPayload(wire, s);
+        d.createCycle = e.origCreate;
+        d.cls = e.cls;
+        d.flowSeq = e.flowSeq;
+        if (params_.router.vcCount > 1 && e.cls == TrafficClass::Reply)
+            d.vc = 1;
+        flits.push_back(d);
+    }
+    if (prov_)
+        prov_->onRetransmit(flits, now_);
+    nics_[e.src]->enqueuePacket(flits);
+    stats_.faults.e2eRetransmits += 1;
+    if (tracer_) {
+        tracer_->record(TraceEventKind::E2eRetransmit, e.src, -1, base,
+                        e.attempt, true);
+    }
+    return true;
+}
+
+void
+Network::onE2eAck(PacketId base, const TransportEntry &e)
+{
+    if (tracer_) {
+        tracer_->record(TraceEventKind::E2eAck, e.src, -1, base,
+                        e.retries, true);
+    }
+}
+
+void
+Network::onE2eFail(PacketId base, const TransportEntry &e)
+{
+    stats_.faults.deliveryFailures += 1;
+    // Every attempt's partial-arrival record at the destination is
+    // stale; the flow filter (marked by the transport) suppresses any
+    // straggler flits of the abandoned packet at the door.
+    for (std::uint32_t a = 0; a <= e.attempt; ++a)
+        nics_[e.dest]->forgetArrived(attemptPacket(base, a));
+    ageInFlight_.erase(base);
+}
+
 void
 Network::onPacketCompleted(NodeId node, const FlitDesc &last_flit,
                            Cycle head_inject, Cycle now)
 {
+    PacketId packet = last_flit.packet;
+    if (transport_) {
+        std::uint32_t attempts = 0;
+        const bool first =
+            transport_->onPacketDelivered(packet, now, attempts);
+        NOX_ASSERT(first, "duplicate completion of packet ",
+                   basePacket(packet), " at node ", node);
+        packet = basePacket(last_flit.packet);
+        // Any other attempt's flits still in flight are stale now:
+        // scrub their partial-arrival records (the door filter drops
+        // the flits themselves when they straggle in).
+        for (std::uint32_t a = 0; a <= attempts; ++a) {
+            const PacketId other = attemptPacket(packet, a);
+            if (other != last_flit.packet)
+                nics_[node]->forgetArrived(other);
+        }
+    }
     if (tracer_) {
         tracer_->record(
-            TraceEventKind::PacketDone, node, -1, last_flit.packet,
+            TraceEventKind::PacketDone, node, -1, packet,
             static_cast<std::uint32_t>(now - last_flit.createCycle),
             true);
     }
@@ -1227,7 +1483,7 @@ Network::onPacketCompleted(NodeId node, const FlitDesc &last_flit,
             else
                 it->second = last_flit.flowSeq;
         }
-        ageInFlight_.erase(last_flit.packet);
+        ageInFlight_.erase(packet);
     }
     const Cycle created = last_flit.createCycle;
     if (created >= stats_.measureStart && created < stats_.measureEnd) {

@@ -28,6 +28,7 @@
 #include "noc/router.hpp"
 #include "noc/routing_table.hpp"
 #include "noc/traffic_source.hpp"
+#include "noc/transport.hpp"
 #include "obs/obs_params.hpp"
 
 namespace nox {
@@ -116,7 +117,9 @@ struct DrainReport
 };
 
 /** A width x height mesh of single-cycle routers plus per-node NICs. */
-class Network : public PacketInjector, public SinkListener
+class Network : public PacketInjector,
+                public SinkListener,
+                public TransportListener
 {
   public:
     Network(const NetworkParams &params, RouterFactory factory);
@@ -259,6 +262,14 @@ class Network : public PacketInjector, public SinkListener
     void onPacketCompleted(NodeId node, const FlitDesc &last_flit,
                            Cycle head_inject, Cycle now) override;
 
+    // -- TransportListener --
+    bool onE2eResend(PacketId base, const TransportEntry &e) override;
+    void onE2eAck(PacketId base, const TransportEntry &e) override;
+    void onE2eFail(PacketId base, const TransportEntry &e) override;
+
+    /** The E2E transport layer, or nullptr when disabled. */
+    const E2eTransport *transport() const { return transport_.get(); }
+
   private:
     /** The classic kernel: evaluate and commit everything. */
     void stepAlwaysTick();
@@ -295,6 +306,27 @@ class Network : public PacketInjector, public SinkListener
     /** Kill @p router, all its mesh links and its terminal NICs. */
     void killRouter(NodeId router, std::vector<FlitDesc> &lost);
 
+    /** Re-wire the mesh link out of @p router via @p port in both
+     *  directions (as at construction) and refresh both endpoints'
+     *  per-port state. Both endpoint routers must be alive. */
+    void wireLink(NodeId router, int port);
+
+    /** Heal the explicit link fault on (@p router, @p port), re-wiring
+     *  the channel when neither endpoint router remains dead.
+     *  @p record counts the heal (false during snapshot replay, where
+     *  the restored stats already include it). */
+    void healLink(NodeId router, int port, bool record = true);
+
+    /** Revive @p router: re-wire every mesh link not still explicitly
+     *  dead and re-attach its terminal NICs (quiescent and empty). */
+    void healRouter(NodeId router, bool record = true);
+
+    /** True when traffic has fully settled: nothing in flight and —
+     *  with the transport on — no open retransmission window and all
+     *  components quiescent (stale attempt flits must reach the
+     *  destination door and be suppressed there). */
+    bool drainComplete() const;
+
     /** Age-watchdog sweep (packetAgeLimit > 0 only). */
     void checkPacketAges();
 
@@ -317,6 +349,7 @@ class Network : public PacketInjector, public SinkListener
     std::vector<std::unique_ptr<Nic>> nics_;
     std::vector<std::unique_ptr<TrafficSource>> sources_;
     std::unique_ptr<FaultInjector> faults_;
+    std::unique_ptr<E2eTransport> transport_;
     std::unique_ptr<TraceRecorder> tracer_;
     std::unique_ptr<MetricsSampler> metrics_;
     std::unique_ptr<LatencyProvenance> prov_;

@@ -64,12 +64,36 @@ struct FaultStats
      *  of hard faults applied). */
     std::uint64_t tableRebuilds = 0;
 
-    /** Flits / packets lost to hard faults (in flight on a dying
-     *  link, buffered at a dying router, or stranded when their
-     *  destination became unreachable). Deliberate, counted losses:
-     *  conservation becomes ejected + packetsLostHard == injected. */
+    /** Flits / packets written off by hard faults (in flight on a
+     *  dying link, buffered at a dying router, or stranded when their
+     *  destination became unreachable). Without the E2E transport
+     *  these are final, counted losses and conservation is
+     *  `ejected + packetsLostHard == injected`; with the transport
+     *  enabled every write-off is retried from the source window and
+     *  the end-state identity is the exactly-once one:
+     *  `ejected + deliveryFailures == injected`. */
     std::uint64_t flitsLostHard = 0;
     std::uint64_t packetsLostHard = 0;
+
+    // -- E2E transport (source window / ack / retransmit) --
+
+    /** Whole-packet retransmissions triggered by the source NIC's
+     *  E2E timeout (each travels under a fresh attempt id). */
+    std::uint64_t e2eRetransmits = 0;
+
+    /** Duplicate flits suppressed at the destination door (late
+     *  copies of an already-delivered flow sequence number). */
+    std::uint64_t dupSuppressed = 0;
+
+    /** Packets abandoned after exhausting the E2E retry budget —
+     *  the only way an accepted packet is not delivered. */
+    std::uint64_t deliveryFailures = 0;
+
+    // -- healing --
+
+    /** Heal events applied (revived links / routers). */
+    std::uint64_t linkHeals = 0;
+    std::uint64_t routerHeals = 0;
 
     /** Injection attempts rejected because the destination is
      *  unreachable in the current topology (never injected, never
@@ -102,6 +126,11 @@ struct FaultStats
                tableRebuilds == o.tableRebuilds &&
                flitsLostHard == o.flitsLostHard &&
                packetsLostHard == o.packetsLostHard &&
+               e2eRetransmits == o.e2eRetransmits &&
+               dupSuppressed == o.dupSuppressed &&
+               deliveryFailures == o.deliveryFailures &&
+               linkHeals == o.linkHeals &&
+               routerHeals == o.routerHeals &&
                unreachableRejected == o.unreachableRejected &&
                flowReorders == o.flowReorders &&
                ageAlarms == o.ageAlarms;

@@ -5,6 +5,7 @@
 #include "common/log.hpp"
 #include "noc/fault_injector.hpp"
 #include "noc/snapshot_codec.hpp"
+#include "noc/transport.hpp"
 
 namespace nox {
 
@@ -141,6 +142,19 @@ Nic::deliver(const FlitDesc &flit, Cycle now)
 {
     NOX_ASSERT(flit.dest == node_, "flit delivered to wrong node: dest ",
                flit.dest, " at ", node_);
+    // Exactly-once door: a flit of a logical packet this flow already
+    // completed (or abandoned) is a duplicate — some other attempt won
+    // the race, or the retry budget ran out. Dropped before touching
+    // arrival, stats or listener state, a straggler can never cause a
+    // second completion.
+    if (transport_ && transport_->duplicateFlit(flit)) {
+        faults_->onDupSuppressed();
+        trace(TraceEventKind::DupSuppress, flit.uid,
+              packetAttempt(flit.packet));
+        if (prov_)
+            prov_->forgetFlit(flit.uid);
+        return;
+    }
     if (flit.payload != expectedPayload(flit.packet, flit.seq)) {
         // End-to-end payload check: the last line of defence. Under
         // fault injection a corrupted delivery is an accounted escape

@@ -27,6 +27,7 @@
 namespace nox {
 
 class FaultInjector;
+class E2eTransport;
 
 /** Receives flit/packet delivery notifications from the sinks. */
 class SinkListener
@@ -73,6 +74,15 @@ class Nic
     /** Attach the network's latency-provenance observer (nullptr =
      *  off). */
     void attachProvenance(LatencyProvenance *prov) { prov_ = prov; }
+
+    /** Attach the network's E2E transport (nullptr = off). The sink
+     *  then drops duplicate flits — stragglers of already-completed
+     *  or abandoned logical packets — at the door, before they can
+     *  touch arrival or delivery state. */
+    void attachTransport(E2eTransport *transport)
+    {
+        transport_ = transport;
+    }
 
     // -- per-cycle evaluation (two-phase, like Router) --
     void evaluateInject(Cycle now);
@@ -134,6 +144,11 @@ class Nic
      *  remaining flits were purged; it will never complete). */
     void forgetArrived(PacketId packet) { arrived_.erase(packet); }
 
+    /** A heal re-attached this NIC's router: leave the dead state.
+     *  The caller re-wires via connectRouter(), which restores the
+     *  credit books; queues were emptied by killAttached(). */
+    void revive() { dead_ = false; }
+
     bool dead() const { return dead_; }
 
     NodeId node() const { return node_; }
@@ -182,6 +197,7 @@ class Nic
     FaultInjector *faults_ = nullptr;
     TraceRecorder *tracer_ = nullptr;
     LatencyProvenance *prov_ = nullptr;
+    E2eTransport *transport_ = nullptr;
 
     // Injection side (per VC; one entry for the paper's VC-free
     // routers). Per-VC source queues avoid head-of-line blocking

@@ -216,6 +216,19 @@ class Router
      */
     virtual void onTableRebuild();
 
+    /**
+     * A previously killed output was re-wired by a heal (the network
+     * already called connectOutput(), which restores the base per-port
+     * credit count). Architectures holding extra per-output state —
+     * the VC router's per-lane credit counters — re-initialise it
+     * here, exactly as construction would.
+     */
+    virtual void
+    onOutputRevived(int out_port)
+    {
+        (void)out_port;
+    }
+
     // -- introspection (tests, stats) --
     NodeId id() const { return id_; }
     int numPorts() const { return params_.numPorts; }

@@ -45,7 +45,19 @@ FaultMap::linkDead(NodeId router, int port) const
 {
     NOX_ASSERT(port >= kPortNorth && port <= kPortWest,
                "linkDead on non-mesh port ", port);
-    return routerDead(router) || linkDead_[linkIndex(router, port)] != 0;
+    if (routerDead(router) ||
+        linkDead_[linkIndex(router, port)] != 0)
+        return true;
+    const NodeId nb = mesh_->neighbor(router, port);
+    return nb != kInvalidNode && routerDead(nb);
+}
+
+bool
+FaultMap::linkDeadExplicit(NodeId router, int port) const
+{
+    NOX_ASSERT(port >= kPortNorth && port <= kPortWest,
+               "linkDeadExplicit on non-mesh port ", port);
+    return linkDead_[linkIndex(router, port)] != 0;
 }
 
 bool
@@ -73,15 +85,83 @@ FaultMap::killRouter(NodeId router)
     NOX_ASSERT(mesh_ != nullptr, "FaultMap used before binding a mesh");
     if (routerDead(router))
         return false;
+    // The router's links go down *implicitly* (derived in linkDead()),
+    // so a later heal of the router lifts exactly them and no more.
     routerDead_[static_cast<std::size_t>(router)] = 1;
-    for (int p = kPortNorth; p <= kPortWest; ++p) {
-        linkDead_[linkIndex(router, p)] = 1;
-        const NodeId nb = mesh_->neighbor(router, p);
-        if (nb != kInvalidNode)
-            linkDead_[linkIndex(nb, Mesh::oppositePort(p))] = 1;
-    }
     ++faults_;
     return true;
+}
+
+bool
+FaultMap::healLink(NodeId router, int port)
+{
+    NOX_ASSERT(mesh_ != nullptr, "FaultMap used before binding a mesh");
+    if (port < kPortNorth || port > kPortWest)
+        return false;
+    if (linkDead_[linkIndex(router, port)] == 0)
+        return false;
+    const NodeId nb = mesh_->neighbor(router, port);
+    NOX_ASSERT(nb != kInvalidNode, "explicit kill on an edge port");
+    linkDead_[linkIndex(router, port)] = 0;
+    linkDead_[linkIndex(nb, Mesh::oppositePort(port))] = 0;
+    --faults_;
+    NOX_ASSERT(faults_ >= 0, "fault count underflow");
+    return true;
+}
+
+bool
+FaultMap::healRouter(NodeId router)
+{
+    NOX_ASSERT(mesh_ != nullptr, "FaultMap used before binding a mesh");
+    if (!routerDead(router))
+        return false;
+    routerDead_[static_cast<std::size_t>(router)] = 0;
+    --faults_;
+    NOX_ASSERT(faults_ >= 0, "fault count underflow");
+    return true;
+}
+
+std::vector<NodeId>
+FaultMap::deadRouters() const
+{
+    std::vector<NodeId> out;
+    for (std::size_t r = 0; r < routerDead_.size(); ++r) {
+        if (routerDead_[r])
+            out.push_back(static_cast<NodeId>(r));
+    }
+    return out;
+}
+
+std::vector<std::pair<NodeId, int>>
+FaultMap::explicitDeadLinks() const
+{
+    std::vector<std::pair<NodeId, int>> out;
+    const auto nr = static_cast<NodeId>(routerDead_.size());
+    for (NodeId r = 0; r < nr; ++r) {
+        for (int p = kPortNorth; p <= kPortWest; ++p) {
+            if (linkDead_[linkIndex(r, p)] == 0)
+                continue;
+            const NodeId nb = mesh_->neighbor(r, p);
+            if (nb != kInvalidNode && r < nb)
+                out.emplace_back(r, p);
+        }
+    }
+    return out;
+}
+
+int
+FaultMap::deadRouterCount() const
+{
+    int n = 0;
+    for (const std::uint8_t d : routerDead_)
+        n += d != 0;
+    return n;
+}
+
+int
+FaultMap::explicitDeadLinkCount() const
+{
+    return static_cast<int>(explicitDeadLinks().size());
 }
 
 // ------------------------------------------------------------ RoutingTable

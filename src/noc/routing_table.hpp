@@ -28,6 +28,7 @@
 #define NOX_NOC_ROUTING_TABLE_HPP
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "noc/routing.hpp"
@@ -43,10 +44,16 @@ enum class RoutingAlgo : std::uint8_t {
 };
 
 /**
- * The set of permanent (fail-stop) faults applied to a mesh. Links
- * die symmetrically (both directions at once — a fail-stop link
- * takes its turnaround credit wire down with it); killing a router
- * kills the router and all four of its mesh links.
+ * The set of fail-stop faults currently applied to a mesh. Links die
+ * symmetrically (both directions at once — a fail-stop link takes its
+ * turnaround credit wire down with it); killing a router implicitly
+ * deadens all four of its mesh links. Faults are no longer permanent:
+ * heal events undo kills entry-for-entry, and when the map empties
+ * (`anyFault()` back to false) routing returns to the bit-identical
+ * DOR baseline. Explicit link kills are tracked separately from the
+ * links a dead router merely *implies* are down, so healing a router
+ * does not silently resurrect a link that was killed in its own
+ * right.
  */
 class FaultMap
 {
@@ -65,19 +72,47 @@ class FaultMap
      *  is already dead. */
     bool killRouter(NodeId router);
 
+    /** Heal an explicitly killed link (both directions). Returns
+     *  false when no explicit kill exists there — including links
+     *  that are only down because an endpoint router is dead. */
+    bool healLink(NodeId router, int port);
+
+    /** Heal a dead router. Its implied link deaths lift with it;
+     *  explicitly killed adjacent links stay dead until their own
+     *  heal. Returns false if @p router is alive. */
+    bool healRouter(NodeId router);
+
     bool routerDead(NodeId router) const;
     /** True when the link out of @p router through mesh direction
-     *  @p port is dead (always true out of a dead router). */
+     *  @p port is dead — explicitly killed, or implied by a dead
+     *  endpoint router. */
     bool linkDead(NodeId router, int port) const;
+
+    /** True only for links killed in their own right (not merely
+     *  implied dead by a dead endpoint). */
+    bool linkDeadExplicit(NodeId router, int port) const;
 
     /** Any hard fault applied at all? While false, routing stays on
      *  the bit-identical DOR fast path. */
     bool anyFault() const { return faults_ > 0; }
 
+    /** Currently dead routers, ascending. */
+    std::vector<NodeId> deadRouters() const;
+
+    /** Explicitly killed links as canonical (router, port) pairs
+     *  (the lower-id endpoint), ascending — the replayable kill
+     *  list checkpoints serialize. */
+    std::vector<std::pair<NodeId, int>> explicitDeadLinks() const;
+
+    int deadRouterCount() const;
+    int explicitDeadLinkCount() const;
+
   private:
     const Mesh *mesh_ = nullptr;
     std::vector<std::uint8_t> routerDead_;
-    std::vector<std::uint8_t> linkDead_; ///< [router * 4 + port]
+    /** Explicit link kills only: [router * 4 + port]. Links implied
+     *  dead by a dead endpoint router are derived in linkDead(). */
+    std::vector<std::uint8_t> linkDead_;
     int faults_ = 0;
 };
 
@@ -155,18 +190,29 @@ class RoutingTable
      * was already past @p from when a rebuild changed the table, so a
      * mid-run rebuild purges exactly these flits — every later wait
      * they could cause is then a table edge, covered by the CDG
-     * acyclicity argument. Always false for a fault-free (DOR) table
-     * and for channels touching dead routers.
+     * acyclicity argument. A fault-free (DOR) table applies its own
+     * turn rule instead (XY never turns a vertical channel into a
+     * horizontal one; YX the transpose), so healing back to an empty
+     * fault map purges the up-down stragglers the restored DOR table
+     * could never have produced. Channels touching dead routers are
+     * exempt (their flits are condemned outright).
      */
     bool
     forbiddenTurn(NodeId from, NodeId at, NodeId to) const
     {
-        if (!upDown_)
-            return false;
         if (routerDead_[static_cast<std::size_t>(from)] ||
             routerDead_[static_cast<std::size_t>(at)] ||
             routerDead_[static_cast<std::size_t>(to)])
             return false;
+        if (!upDown_) {
+            const bool inVertical =
+                mesh_.coordOf(from).x == mesh_.coordOf(at).x;
+            const bool outVertical =
+                mesh_.coordOf(to).x == mesh_.coordOf(at).x;
+            return algo_ == RoutingAlgo::DorYX
+                       ? (!inVertical && outVertical)
+                       : (inVertical && !outVertical);
+        }
         return chanKey(at) > chanKey(from) && // arrived going down
                chanKey(to) < chanKey(at);     // would next go up
     }

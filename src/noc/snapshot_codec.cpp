@@ -148,6 +148,11 @@ writeFaultStats(Writer &w, const FaultStats &s)
     w.u64(s.tableRebuilds);
     w.u64(s.flitsLostHard);
     w.u64(s.packetsLostHard);
+    w.u64(s.e2eRetransmits);
+    w.u64(s.dupSuppressed);
+    w.u64(s.deliveryFailures);
+    w.u64(s.linkHeals);
+    w.u64(s.routerHeals);
     w.u64(s.unreachableRejected);
     w.u64(s.flowReorders);
     w.u64(s.ageAlarms);
@@ -170,6 +175,11 @@ readFaultStats(Reader &r, FaultStats &s)
     s.tableRebuilds = r.u64();
     s.flitsLostHard = r.u64();
     s.packetsLostHard = r.u64();
+    s.e2eRetransmits = r.u64();
+    s.dupSuppressed = r.u64();
+    s.deliveryFailures = r.u64();
+    s.linkHeals = r.u64();
+    s.routerHeals = r.u64();
     s.unreachableRejected = r.u64();
     s.flowReorders = r.u64();
     s.ageAlarms = r.u64();

@@ -149,12 +149,21 @@ buildTimelines(const FlightDump &dump)
             // recorder writes id 0 for those (real packet ids start
             // at 1). Track head flits only: the +1 latency convention
             // keys off the head's journey and tail flits ride the
-            // same wormhole path.
+            // same wormhole path. Every E2E retransmission attempt
+            // travels as its own wire packet id; fold attempts back
+            // under the base id so a retransmitted packet has ONE
+            // timeline covering its whole multi-attempt journey.
             if (e.id == 0 || flitSeq(e.id) != 0)
                 break;
-            PacketTimeline &t = timeline(flitPacket(e.id));
+            PacketTimeline &t =
+                timeline(basePacket(flitPacket(e.id)));
             t.hops.push_back(
                 {e.cycle, e.kind, e.node, e.nic, e.port});
+            break;
+          }
+          case TraceEventKind::E2eRetransmit: {
+            // Packet-scope event, id is already the base packet.
+            ++timeline(e.id).e2eRetransmits;
             break;
           }
           default:
@@ -201,14 +210,20 @@ slowestPackets(const FlightDump &dump,
         s.latency = t->latency();
         s.src = t->src;
         s.dest = t->dest;
+        s.e2eRetransmits = t->e2eRetransmits;
 
         // Critical hop: the longest gap between consecutive observed
         // points of the head flit's journey, charged to the component
-        // the flit was waiting at (the gap's starting point).
+        // the flit was waiting at (the gap's starting point). Hops
+        // past doneCycle are a suppressed duplicate attempt arriving
+        // after first delivery — not part of the latency story.
         std::vector<TimelineHop> points;
         points.push_back({t->createCycle, TraceEventKind::PacketCreate,
                           t->src, true, -1});
-        points.insert(points.end(), t->hops.begin(), t->hops.end());
+        for (const TimelineHop &h : t->hops) {
+            if (h.cycle <= t->doneCycle)
+                points.push_back(h);
+        }
         points.push_back({t->doneCycle, TraceEventKind::PacketDone,
                           t->dest, true, -1});
         std::size_t worst = 0;
@@ -226,11 +241,29 @@ slowestPackets(const FlightDump &dump,
         s.stallNode = points[worst].node;
         s.stallNic = points[worst].nic;
 
+        // This packet's own E2E retransmission inside the stall
+        // window is the strongest possible signal: the gap IS the
+        // timeout-and-resend round trip, so it outranks every
+        // co-located vote below. A link-level nack never produces an
+        // E2eRetransmit — that loss is repaired hop-local and still
+        // classifies as "retransmission".
+        bool e2e_in_window = false;
+        for (const FlightEvent &e : dump.events) {
+            if (e.kind == TraceEventKind::E2eRetransmit &&
+                e.id == s.packet && e.cycle >= s.stallStart &&
+                e.cycle <= s.stallEnd) {
+                e2e_in_window = true;
+                break;
+            }
+        }
+
         // Dominant cause: protection/recovery events co-located with
         // the stall window outvote each other; a stall that starts
         // before the head ever injected is source queueing; anything
         // unexplained is ordinary arbitration/credit back-pressure.
-        if (points[worst].kind == TraceEventKind::PacketCreate) {
+        if (e2e_in_window) {
+            s.cause = "e2e_timeout";
+        } else if (points[worst].kind == TraceEventKind::PacketCreate) {
             s.cause = "source_queueing";
         } else {
             std::uint64_t retrans = 0, xor_rec = 0, reroute = 0;

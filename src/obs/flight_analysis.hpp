@@ -88,6 +88,10 @@ struct PacketTimeline
     NodeId src = kInvalidNode;
     NodeId dest = kInvalidNode;
     std::uint32_t numFlits = 0;
+    /** E2E timeout retransmissions folded into this timeline: every
+     *  attempt travels as its own wire packet (attemptPacket), and
+     *  the analyzer groups them back under the base id. */
+    std::uint32_t e2eRetransmits = 0;
     /** Latency the simulator reported online (PacketDone arg + 1). */
     std::uint64_t reportedLatency = 0;
     /** Head-flit movement events (inject/send/decode/eject), sorted. */
@@ -126,7 +130,12 @@ struct SlowPacket
     Cycle stallEnd = 0;
     NodeId stallNode = kInvalidNode;
     bool stallNic = false;
-    /** Dominant stall cause: "source_queueing", "retransmission",
+    /** E2E timeout retransmissions of this packet (from timeline). */
+    std::uint32_t e2eRetransmits = 0;
+    /** Dominant stall cause: "e2e_timeout" (this packet was E2E-
+     *  retransmitted inside the stall window — the loss was end-to-
+     *  end, not repaired at link level), "source_queueing",
+     *  "retransmission" (link-level nack/CRC recovery),
      *  "xor_recovery", "reroute" or "arbitration_or_credit". */
     std::string cause;
 };

@@ -44,6 +44,29 @@ LatencyProvenance::onPacketCreate(const std::vector<FlitDesc> &flits,
 }
 
 void
+LatencyProvenance::onRetransmit(const std::vector<FlitDesc> &flits,
+                                Cycle now)
+{
+    for (const FlitDesc &d : flits) {
+        FlitTrack t;
+        t.segStart = now;
+        t.createCycle = d.createCycle; // original create: logical
+                                       // latency, not attempt latency
+        t.cls = d.cls;
+        t.packet = d.packet;
+        t.src = d.src;
+        t.dest = d.dest;
+        t.at = d.src;
+        t.nic = true;
+        // Cycles burned by the lost earlier attempts (original create
+        // through this resend) are E2E retransmission overhead.
+        t.comp[static_cast<std::size_t>(
+            LatencyComponent::Retransmit)] += now - d.createCycle;
+        tracks_.emplace(d.uid, t);
+    }
+}
+
+void
 LatencyProvenance::onInject(std::uint64_t uid, NodeId router,
                             Cycle now)
 {

@@ -179,6 +179,16 @@ class LatencyProvenance
     /** A packet entered a source queue: start one span per flit. */
     void onPacketCreate(const std::vector<FlitDesc> &flits, Cycle now);
 
+    /**
+     * An E2E retransmission attempt entered its source queue. Like
+     * onPacketCreate, but the spans keep the *original* create cycle
+     * (latency is logical-packet latency) and the cycles between that
+     * original create and @p now — already spent by earlier, lost
+     * attempts — are charged to Retransmit up front, preserving
+     * conservation for whichever attempt completes the packet.
+     */
+    void onRetransmit(const std::vector<FlitDesc> &flits, Cycle now);
+
     /** Flit left the source queue into @p router's input FIFO. */
     void onInject(std::uint64_t uid, NodeId router, Cycle now);
 
@@ -209,6 +219,10 @@ class LatencyProvenance
 
     /** Hard-fault write-off: drop spans for condemned flits. */
     void forgetFlits(const std::vector<std::uint64_t> &uids);
+
+    /** Duplicate-suppression write-off: drop one flit's span (the
+     *  flit was dropped at the destination door, never delivered). */
+    void forgetFlit(std::uint64_t uid) { tracks_.erase(uid); }
 
     const LatencyBreakdown &total() const { return total_; }
 

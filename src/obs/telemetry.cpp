@@ -115,6 +115,10 @@ RunTelemetry::formatJson(const TelemetryRecord &rec,
        << ", \"ejected\": " << s.packetsEjected
        << ", \"faults_injected\": " << s.faultsInjected
        << ", \"retransmissions\": " << s.retransmissions
+       << ", \"e2e_retransmits\": " << s.e2eRetransmits
+       << ", \"dup_suppressed\": " << s.dupSuppressed
+       << ", \"heals_applied\": " << s.healsApplied
+       << ", \"dead_entities\": " << s.deadEntities
        << ", \"arena_live\": " << s.arenaLive
        << ", \"arena_growths\": " << s.arenaGrowths
        << ", \"peak_rss_kb\": " << rec.peakRssKb
@@ -150,6 +154,14 @@ RunTelemetry::formatLine(const TelemetryRecord &rec,
     if (s.faultsInjected > 0 || s.retransmissions > 0) {
         os << " | faults " << s.faultsInjected << "/retx "
            << s.retransmissions;
+    }
+    if (s.e2eRetransmits > 0 || s.dupSuppressed > 0) {
+        os << " | e2e retx " << s.e2eRetransmits << "/dup "
+           << s.dupSuppressed;
+    }
+    if (s.healsApplied > 0 || s.deadEntities > 0) {
+        os << " | heals " << s.healsApplied << "/dead "
+           << s.deadEntities;
     }
     os << " | arena " << s.arenaLive;
     if (rec.peakRssKb > 0) {

@@ -54,6 +54,10 @@ struct TelemetrySample
     std::uint64_t packetsEjected = 0;
     std::uint64_t faultsInjected = 0;
     std::uint64_t retransmissions = 0;
+    std::uint64_t e2eRetransmits = 0;
+    std::uint64_t dupSuppressed = 0;
+    std::uint64_t healsApplied = 0; ///< link + router heals
+    std::uint64_t deadEntities = 0; ///< dead routers + explicit links
     std::uint64_t arenaLive = 0;
     std::uint64_t arenaGrowths = 0;
     std::int64_t checkpointAge = -1; ///< cycles; -1 = no checkpoint

@@ -48,6 +48,11 @@ enum class TraceEventKind : std::uint8_t {
     // -- scheduling kernel --
     SchedWake,   ///< component joined the active set
     SchedRetire, ///< quiescent component left the active set
+    // -- healing / E2E transport (appended: snapshot-stable values) --
+    HealApply,     ///< a killed link or router was revived
+    E2eRetransmit, ///< source NIC retransmitted a timed-out packet
+    E2eAck,        ///< E2E ack retired a source window entry
+    DupSuppress,   ///< duplicate flit dropped at the destination door
 };
 
 /** Stable display name ("flit_send", "crc_reject", ...). */

@@ -54,6 +54,14 @@ traceEventKindName(TraceEventKind kind)
         return "sched_wake";
       case TraceEventKind::SchedRetire:
         return "sched_retire";
+      case TraceEventKind::HealApply:
+        return "heal_apply";
+      case TraceEventKind::E2eRetransmit:
+        return "e2e_retransmit";
+      case TraceEventKind::E2eAck:
+        return "e2e_ack";
+      case TraceEventKind::DupSuppress:
+        return "dup_suppress";
     }
     panic("unknown trace event kind");
 }
@@ -62,7 +70,7 @@ bool
 parseTraceEventKind(const char *name, TraceEventKind &out)
 {
     constexpr auto kLast =
-        static_cast<int>(TraceEventKind::SchedRetire);
+        static_cast<int>(TraceEventKind::DupSuppress);
     for (int k = 0; k <= kLast; ++k) {
         const auto kind = static_cast<TraceEventKind>(k);
         if (std::string_view(traceEventKindName(kind)) == name) {

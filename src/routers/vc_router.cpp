@@ -178,6 +178,19 @@ VcRouter::purgeFlits(const FlitCondemned &condemned,
 }
 
 void
+VcRouter::onOutputRevived(int out_port)
+{
+    for (int v = 0; v < vcs_; ++v) {
+        const std::size_t lane = index(out_port, v);
+        vcCredits_[lane] = params_.bufferDepth;
+        stagedVcCredits_[lane] = 0;
+        vcCreditsLost_[lane] = 0;
+        lockOwner_[lane] = -1;
+        lockPacket_[lane] = kInvalidPacket;
+    }
+}
+
+void
 VcRouter::onTableRebuild()
 {
     Router::onTableRebuild();

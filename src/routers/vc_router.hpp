@@ -76,6 +76,11 @@ class VcRouter : public Router
     /** Clear every wormhole lane after a mid-run table rebuild. */
     void onTableRebuild() override;
 
+    /** Refill the revived output's per-VC credit lanes to the full
+     *  buffer depth and clear its staged/owed books and lanes — the
+     *  same state construction gives a fresh output. */
+    void onOutputRevived(int out_port) override;
+
     // Introspection (tests).
     const FlitFifo &vcFifo(int port, int vc) const
     {

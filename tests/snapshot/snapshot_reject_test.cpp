@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -24,13 +25,15 @@ namespace nox {
 namespace {
 
 std::unique_ptr<Network>
-buildNetwork(int buffer_depth = 4, int num_sources = -1)
+buildNetwork(int buffer_depth = 4, int num_sources = -1,
+             const FaultParams &faults = {})
 {
     NetworkParams params;
     params.width = 4;
     params.height = 4;
     params.router.bufferDepth = buffer_depth;
     params.sinkBufferDepth = buffer_depth;
+    params.faults = faults;
     auto net = makeNetwork(params, RouterArch::Nox);
 
     static const Mesh mesh(4, 4);
@@ -57,12 +60,39 @@ captureBytes(Network &net)
 /** Decode + restore into a fresh default network; used to prove a
  *  tampered image fails somewhere on that path. */
 void
-restoreFromBytes(const std::vector<std::uint8_t> &bytes)
+restoreFromBytes(const std::vector<std::uint8_t> &bytes,
+                 const FaultParams &faults = {})
 {
     const snap::SnapshotFile file =
         snap::decodeSnapshotFile(bytes.data(), bytes.size());
-    auto net = buildNetwork();
+    auto net = buildNetwork(4, -1, faults);
     snap::restoreNetwork(*net, file);
+}
+
+/** E2E-transport-on fault config shared by the TRNS tamper tests. */
+FaultParams
+transportFaults()
+{
+    FaultParams faults;
+    faults.enabled = true;
+    faults.e2eTransport = true;
+    return faults;
+}
+
+/** Offset of the last "TRNS" fourcc in @p payload — the transport
+ *  component is the final piece of the NETW payload, so the last
+ *  occurrence is its tag. */
+std::size_t
+findTrnsTag(const std::vector<std::uint8_t> &payload)
+{
+    static const std::uint8_t kTag[4] = {'T', 'R', 'N', 'S'};
+    const auto it = std::find_end(payload.begin(), payload.end(),
+                                  std::begin(kTag), std::end(kTag));
+    if (it == payload.end()) {
+        ADD_FAILURE() << "no TRNS tag in the NETW payload";
+        return 0; // still in-bounds; the corrupt image must throw
+    }
+    return static_cast<std::size_t>(it - payload.begin());
 }
 
 class SnapshotReject : public ::testing::Test
@@ -175,6 +205,78 @@ TEST_F(SnapshotReject, SourceCountMismatchRejected)
     auto net = buildNetwork(4, /*num_sources=*/3);
     EXPECT_THROW(snap::restoreNetwork(*net, file),
                  snap::SnapshotError);
+}
+
+TEST(SnapshotRejectTransport, TamperedTransportTagRejected)
+{
+    // Corrupt the 'TRNS' component tag inside the decoded NETW
+    // payload, then re-encode so the section CRC is fresh: the
+    // container-level checks all pass and only the structural fourcc
+    // check at the transport boundary can refuse the image.
+    auto donor = buildNetwork(4, -1, transportFaults());
+    donor->run(200);
+    ASSERT_GT(donor->transport()->windowSize(), 0u);
+    const std::vector<std::uint8_t> bytes = captureBytes(*donor);
+
+    snap::SnapshotFile file =
+        snap::decodeSnapshotFile(bytes.data(), bytes.size());
+    for (snap::Section &sec : file.sections) {
+        if (sec.tag != snap::kSectionNetwork)
+            continue;
+        sec.payload[findTrnsTag(sec.payload)] ^= 0x20; // 'T' -> 't'
+    }
+    const std::vector<std::uint8_t> bad =
+        snap::encodeSnapshotFile(file);
+    try {
+        restoreFromBytes(bad, transportFaults());
+        FAIL() << "tampered transport tag restored";
+    } catch (const snap::SnapshotError &e) {
+        EXPECT_NE(std::string(e.what()).find("TRNS"),
+                  std::string::npos)
+            << "unexpected error: " << e.what();
+    }
+}
+
+TEST(SnapshotRejectTransport, TransportCountOverflowRejected)
+{
+    // Blow up the window-entry count (the u64 right after the TRNS
+    // tag) under a fresh CRC: the reader must hit the end of the
+    // payload and throw, never allocate its way into garbage.
+    auto donor = buildNetwork(4, -1, transportFaults());
+    donor->run(200);
+    const std::vector<std::uint8_t> bytes = captureBytes(*donor);
+
+    snap::SnapshotFile file =
+        snap::decodeSnapshotFile(bytes.data(), bytes.size());
+    for (snap::Section &sec : file.sections) {
+        if (sec.tag != snap::kSectionNetwork)
+            continue;
+        const std::size_t tag = findTrnsTag(sec.payload);
+        ASSERT_LT(tag + 12, sec.payload.size());
+        sec.payload[tag + 11] = 0xFF; // count's top byte
+    }
+    EXPECT_THROW(
+        restoreFromBytes(snap::encodeSnapshotFile(file),
+                         transportFaults()),
+        snap::SnapshotError);
+}
+
+TEST(SnapshotRejectTransport, TransportPresenceMismatchRejected)
+{
+    // A transport-enabled snapshot must not restore into a network
+    // built without the transport: the construction fingerprint
+    // refuses before any state moves.
+    auto donor = buildNetwork(4, -1, transportFaults());
+    donor->run(200);
+    const std::vector<std::uint8_t> bytes = captureBytes(*donor);
+    try {
+        restoreFromBytes(bytes);
+        FAIL() << "transport snapshot restored without transport";
+    } catch (const snap::SnapshotError &e) {
+        EXPECT_NE(std::string(e.what()).find("configuration"),
+                  std::string::npos)
+            << "unexpected error: " << e.what();
+    }
 }
 
 TEST_F(SnapshotReject, FileIoErrorsAreStructured)

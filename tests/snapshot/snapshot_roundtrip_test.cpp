@@ -5,11 +5,14 @@
  * (and provenance aggregates) bit-identical to the uninterrupted run.
  *
  * The matrix covers every router architecture, every scheduling
- * kernel, and the soft- and hard-fault regimes — including a
+ * kernel, and the soft-, hard- and churn-fault regimes — including a
  * checkpoint taken *after* a fail-stop kill, which exercises the
- * kill-list replay + table-rebuild path of Network::restore. A
- * file-layer case round-trips through writeSnapshotFileAtomic to
- * prove the on-disk rotation chain restores just as faithfully.
+ * kill-list replay + table-rebuild path of Network::restore, and a
+ * mid-churn checkpoint (dead entities still pending their heal, E2E
+ * transport window non-empty) which exercises the heal-then-rekill
+ * replay plus transport/TRNS restore. A file-layer case round-trips
+ * through writeSnapshotFileAtomic to prove the on-disk rotation chain
+ * restores just as faithfully.
  */
 
 #include <gtest/gtest.h>
@@ -38,7 +41,7 @@ constexpr Cycle kDrainLimit = 20000;
 constexpr Cycle kMid = 600; ///< checkpoint cycle (mid-measurement)
 constexpr std::uint64_t kSeed = 0x5EED5;
 
-enum class Regime { Clean, Soft, Hard };
+enum class Regime { Clean, Soft, Hard, Churn };
 
 FaultParams
 faultsFor(Regime regime)
@@ -59,6 +62,22 @@ faultsFor(Regime regime)
         faults.hardLinkFaults = 3;
         faults.hardRouterFaults = 1;
         faults.hardFaultCycle = 750;
+        faults.seed = 0xD15EA5E;
+        break;
+    case Regime::Churn:
+        // One kill+heal wave timed so kMid checkpoints mid-churn:
+        // kill at 400, heal at 700, checkpoint at 600 — the image
+        // carries dead entities, a pending heal and a live E2E
+        // transport window with armed timeouts.
+        faults.enabled = true;
+        faults.e2eTransport = true;
+        faults.e2eTimeout = 150;
+        faults.churnWaves = 1;
+        faults.churnStart = 400;
+        faults.churnPeriod = 1000;
+        faults.churnHealAfter = 300;
+        faults.churnLinks = 2;
+        faults.churnRouters = 1;
         faults.seed = 0xD15EA5E;
         break;
     }
@@ -168,7 +187,8 @@ INSTANTIATE_TEST_SUITE_P(
         ::testing::Values(SchedulingMode::AlwaysTick,
                           SchedulingMode::ActivityDriven,
                           SchedulingMode::EquivalenceCheck),
-        ::testing::Values(Regime::Clean, Regime::Soft, Regime::Hard)),
+        ::testing::Values(Regime::Clean, Regime::Soft, Regime::Hard,
+                          Regime::Churn)),
     [](const ::testing::TestParamInfo<RoundtripParam> &info) {
         // No structured bindings here: the comma list inside their
         // square brackets would split the macro's arguments.
@@ -178,7 +198,8 @@ INSTANTIATE_TEST_SUITE_P(
             schedulingModeName(std::get<1>(info.param)) + "_" +
             (regime == Regime::Clean  ? "clean"
              : regime == Regime::Soft ? "soft"
-                                      : "hard");
+             : regime == Regime::Hard ? "hard"
+                                      : "churn");
         std::erase_if(name, [](char c) {
             return c != '_' &&
                    !std::isalnum(static_cast<unsigned char>(c));
@@ -203,6 +224,41 @@ TEST(SnapshotRoundtripExtra, CheckpointAfterHardKillReplaysKills)
     const NetworkStats resumed = roundtripAt(1000, make);
     EXPECT_TRUE(identicalStats(ref, resumed))
         << "post-kill checkpoint diverged";
+}
+
+TEST(SnapshotRoundtripExtra, MidChurnCheckpointIsGenuinelyMidChurn)
+{
+    // Guard the matrix's churn regime against silently degenerating:
+    // at the checkpoint cycle the donor must actually hold dead
+    // entities (kill applied, heal still pending) and a non-empty
+    // E2E transport window, or the regime isn't testing what the
+    // header claims. Then prove that exact state round-trips.
+    const FaultParams faults = faultsFor(Regime::Churn);
+    const auto make = [&] {
+        return buildNetwork(RouterArch::Nox,
+                            SchedulingMode::EquivalenceCheck, faults);
+    };
+
+    auto probe = make();
+    probe->run(kMid);
+    EXPECT_GT(probe->faultMap().deadRouterCount() +
+                  probe->faultMap().explicitDeadLinkCount(),
+              0)
+        << "churn regime no longer has dead entities at kMid";
+    ASSERT_NE(probe->transport(), nullptr);
+    EXPECT_GT(probe->transport()->windowSize(), 0u)
+        << "churn regime has an empty transport window at kMid";
+
+    auto reference = make();
+    const NetworkStats ref = finishRun(*reference);
+    ASSERT_GT(ref.faults.linkHeals + ref.faults.routerHeals, 0u);
+
+    std::unique_ptr<Network> kept;
+    const NetworkStats resumed = roundtripAt(kMid, make, &kept);
+    EXPECT_TRUE(identicalStats(ref, resumed))
+        << "mid-churn resumed run diverged";
+    // Post-drain the resumed network's window must be empty again.
+    EXPECT_EQ(kept->transport()->windowSize(), 0u);
 }
 
 TEST(SnapshotRoundtripExtra, VirtualChannelRouterRoundtrips)

@@ -24,9 +24,12 @@
  * activity-driven kernel's quiescence contracts.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <iostream>
 #include <map>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "common/config.hpp"
 #include "common/log.hpp"
@@ -128,6 +131,55 @@ class OrderChecker : public SinkListener
     std::map<std::pair<NodeId, NodeId>, PacketId> lastPacket_;
 };
 
+/**
+ * Exactly-once checker for E2E-transport runs, where retransmission
+ * legitimately reorders a flow (so OrderChecker does not apply) but a
+ * *duplicate* completion is always a protocol failure. Tracks each
+ * flow's delivered flowSeq set as a watermark plus the sparse
+ * out-of-order stragglers — O(1) amortised, same shape as the
+ * transport's own reorder filter, but independently maintained so the
+ * harness does not trust the code under test.
+ */
+class DupChecker : public SinkListener
+{
+  public:
+    explicit DupChecker(SinkListener *chain) : chain_(chain) {}
+
+    void
+    onFlitDelivered(NodeId node, const FlitDesc &flit,
+                    Cycle now) override
+    {
+        chain_->onFlitDelivered(node, flit, now);
+    }
+
+    void
+    onPacketCompleted(NodeId node, const FlitDesc &last,
+                      Cycle head_inject, Cycle now) override
+    {
+        Flow &f = flows_[(static_cast<std::uint64_t>(last.src) << 32) |
+                         static_cast<std::uint32_t>(last.dest)];
+        const std::uint32_t seq = last.flowSeq;
+        if (seq < f.watermark || !f.above.insert(seq).second) {
+            fatal("DUPLICATE DELIVERY: flow ", last.src, "->",
+                  last.dest, " completed flowSeq ", seq,
+                  " twice (packet ", last.packet, ", cycle ", now,
+                  ")");
+        }
+        while (f.above.erase(f.watermark) != 0)
+            ++f.watermark;
+        chain_->onPacketCompleted(node, last, head_inject, now);
+    }
+
+  private:
+    struct Flow
+    {
+        std::uint32_t watermark = 0;
+        std::unordered_set<std::uint32_t> above;
+    };
+    SinkListener *chain_;
+    std::unordered_map<std::uint64_t, Flow> flows_;
+};
+
 } // namespace
 
 int
@@ -184,6 +236,10 @@ main(int argc, char **argv)
     std::uint64_t total_lost_hard = 0;
     std::uint64_t total_rejected = 0;
     std::uint64_t total_rebuilds = 0;
+    std::uint64_t total_e2e_retx = 0;
+    std::uint64_t total_dup_suppressed = 0;
+    std::uint64_t total_delivery_failures = 0;
+    std::uint64_t total_heals = 0;
     LatencyBreakdown totalBreakdown; // provenance=true runs only
     int phase = 0;
 
@@ -197,15 +253,22 @@ main(int argc, char **argv)
         const int phase = st.phase;
         const auto phaseWall0 = std::chrono::steady_clock::now();
         OrderChecker checker(net);
+        DupChecker dupChecker(net);
         // Hard (fail-stop) faults legitimately break per-flow FIFO
         // order: a mid-run table rebuild moves a flow to a new path
         // while older packets finish on the old one. The network's
         // own flowReorders counter tracks those; the strict checker
-        // only applies to fault-free topologies. (A resumed phase
-        // re-attaches it cold: each flow's ordering is checked from
-        // its first post-resume delivery onward.)
+        // only applies to fault-free topologies. E2E retransmission
+        // reorders flows the same way, so transport runs swap in the
+        // duplicate-delivery checker instead — exactly-once is the
+        // invariant there, not FIFO. (A resumed phase re-attaches
+        // either checker cold: checked from its first post-resume
+        // delivery onward.)
         const bool hard = params.faults.anyHard();
-        if (!hard) {
+        if (params.faults.e2eTransport) {
+            for (NodeId n = 0; n < net->numNodes(); ++n)
+                net->nic(n).setListener(&dupChecker);
+        } else if (!hard) {
             for (NodeId n = 0; n < net->numNodes(); ++n)
                 net->nic(n).setListener(&checker);
         }
@@ -291,15 +354,40 @@ main(int argc, char **argv)
                   net->lastDrainReport().summary());
         }
         // Conservation under hard faults: every injected packet is
-        // either delivered or explicitly written off as lost to a
-        // fail-stop fault — never silently dropped.
+        // either delivered, explicitly written off as lost to a
+        // fail-stop fault, or (transport runs) abandoned after
+        // exhausting its E2E retry budget — never silently dropped
+        // and never delivered twice (ejected counts logical packets).
         if (net->stats().packetsEjected +
-                net->stats().faults.packetsLostHard !=
+                net->stats().faults.packetsLostHard +
+                net->stats().faults.deliveryFailures !=
             net->stats().packetsInjected) {
             fatal("CONSERVATION FAILURE in phase ", phase, ": ",
                   net->stats().packetsInjected, " injected != ",
                   net->stats().packetsEjected, " ejected + ",
-                  net->stats().faults.packetsLostHard, " lost-hard");
+                  net->stats().faults.packetsLostHard, " lost-hard + ",
+                  net->stats().faults.deliveryFailures,
+                  " delivery-failures");
+        }
+        // With the transport on, lost-hard must stay zero: every hard
+        // casualty is recoverable from the source window by design.
+        if (params.faults.e2eTransport &&
+            net->stats().faults.packetsLostHard != 0) {
+            fatal("WRITE-OFF UNDER TRANSPORT in phase ", phase, ": ",
+                  net->stats().faults.packetsLostHard,
+                  " packet(s) written off despite the E2E window");
+        }
+        // Pure churn (every kill is healed, no permanent faults) with
+        // the default-sized retry budget must deliver everything:
+        // timeout * retries far exceeds the heal latency, so a single
+        // delivery failure means the transport gave up too early.
+        if (params.faults.e2eTransport && params.faults.churnWaves > 0 &&
+            params.faults.hardLinkFaults == 0 &&
+            params.faults.hardRouterFaults == 0 &&
+            net->stats().faults.deliveryFailures != 0) {
+            fatal("DELIVERY FAILURE UNDER CHURN in phase ", phase,
+                  ": ", net->stats().faults.deliveryFailures,
+                  " packet(s) abandoned although every fault heals");
         }
         if (params.faults.enabled && params.faults.protect &&
             net->stats().faults.corruptedEscapes != 0) {
@@ -341,6 +429,12 @@ main(int argc, char **argv)
         total_lost_hard += net->stats().faults.packetsLostHard;
         total_rejected += net->stats().faults.unreachableRejected;
         total_rebuilds += net->stats().faults.tableRebuilds;
+        total_e2e_retx += net->stats().faults.e2eRetransmits;
+        total_dup_suppressed += net->stats().faults.dupSuppressed;
+        total_delivery_failures +=
+            net->stats().faults.deliveryFailures;
+        total_heals += net->stats().faults.linkHeals +
+                       net->stats().faults.routerHeals;
         total_packets += net->stats().packetsEjected;
         total_cycles += net->now();
         // Percentile sanity: the histogram must cover exactly the
@@ -382,6 +476,16 @@ main(int argc, char **argv)
                 net->stats().faults.faultsInjected;
             rec.sample.retransmissions =
                 net->stats().faults.retransmissions;
+            rec.sample.e2eRetransmits =
+                net->stats().faults.e2eRetransmits;
+            rec.sample.dupSuppressed =
+                net->stats().faults.dupSuppressed;
+            rec.sample.healsApplied =
+                net->stats().faults.linkHeals +
+                net->stats().faults.routerHeals;
+            rec.sample.deadEntities = static_cast<std::uint64_t>(
+                net->faultMap().deadRouterCount() +
+                net->faultMap().explicitDeadLinkCount());
             const FlitArenaStats &arena =
                 FlitArena::instance().stats();
             rec.sample.arenaLive = arena.live();
@@ -439,6 +543,28 @@ main(int argc, char **argv)
             st.run = 500 + rng.nextBounded(3000);
             st.maxFlits =
                 2 + static_cast<int>(rng.nextBounded(10));
+            if (params.faults.churnWaves > 0) {
+                // Churn mode: the phase must span the whole seeded
+                // kill+heal schedule (default phase lengths end long
+                // before churn_start), plus a margin so the last
+                // wave's heals land under live traffic.
+                const FaultParams &f = params.faults;
+                st.run = std::max<Cycle>(
+                    st.run,
+                    f.churnStart +
+                        static_cast<Cycle>(f.churnWaves) *
+                            f.churnPeriod +
+                        2000);
+                // The zero-delivery-failure invariant only holds
+                // below saturation: overloaded source queues delay a
+                // packet past timeout * retry_limit and the bounded
+                // retry budget then abandons it by design (and every
+                // timeout injects another copy, amplifying the
+                // overload). Keep the offered load comfortably under
+                // the 2/k uniform-traffic capacity so queueing delay
+                // is bounded by the heal latency, not the backlog.
+                st.rate = 0.005 + rng.nextDouble() * 0.025;
+            }
             runOnePhase(net.get(), st, false);
         }
     }
@@ -455,6 +581,15 @@ main(int argc, char **argv)
                       << " packets written off, " << total_rejected
                       << " rejected unreachable";
         }
+        if (params.faults.e2eTransport) {
+            std::cout << ", " << total_e2e_retx
+                      << " e2e retransmits, " << total_dup_suppressed
+                      << " duplicates suppressed, "
+                      << total_delivery_failures
+                      << " delivery failures";
+        }
+        if (params.faults.churnWaves > 0)
+            std::cout << ", " << total_heals << " heals applied";
     }
     std::cout << "\n";
     if (totalBreakdown.packets > 0) {

@@ -133,6 +133,20 @@ runSyntheticMode(const Config &config)
                   std::to_string(r.faults.flowReorders)});
         t.addRow({"age_alarms",
                   std::to_string(r.faults.ageAlarms)});
+        if (c.faults.e2eTransport) {
+            t.addRow({"e2e_retransmits",
+                      std::to_string(r.faults.e2eRetransmits)});
+            t.addRow({"dup_suppressed",
+                      std::to_string(r.faults.dupSuppressed)});
+            t.addRow({"delivery_failures",
+                      std::to_string(r.faults.deliveryFailures)});
+        }
+        if (c.faults.churnWaves > 0) {
+            t.addRow({"link_heals",
+                      std::to_string(r.faults.linkHeals)});
+            t.addRow({"router_heals",
+                      std::to_string(r.faults.routerHeals)});
+        }
     }
     if (r.provenance) {
         // Latency attribution: where the mean packet's cycles went.

@@ -204,7 +204,7 @@ cmdAnalyze(const Config &config)
     if (!slow.empty()) {
         std::cout << "\nslowest packets (complete timelines only):\n";
         Table s({"packet", "src", "dst", "latency", "stall cycles",
-                 "stall at", "dominant cause"});
+                 "stall at", "e2e retx", "dominant cause"});
         for (const SlowPacket &p : slow) {
             s.addRow({std::to_string(p.packet),
                       std::to_string(p.src), std::to_string(p.dest),
@@ -212,7 +212,7 @@ cmdAnalyze(const Config &config)
                       std::to_string(p.stallEnd - p.stallStart),
                       std::string(p.stallNic ? "nic " : "router ") +
                           std::to_string(p.stallNode),
-                      p.cause});
+                      std::to_string(p.e2eRetransmits), p.cause});
         }
         s.print(std::cout);
     }
