@@ -6,9 +6,12 @@
 #include <memory>
 #include <sstream>
 
+#include "common/config.hpp"
 #include "common/log.hpp"
 #include "common/rng.hpp"
+#include "noc/fault_injector.hpp"
 #include "noc/network.hpp"
+#include "obs/obs_params.hpp"
 #include "noc/snapshot_codec.hpp"
 #include "routers/factory.hpp"
 #include "snapshot/snapshot.hpp"
@@ -31,15 +34,139 @@ flitsPerCycleToMbps(double flits_per_cycle, double period_ns)
     return flits_per_cycle * 8.0 / period_ns * 1e3;
 }
 
+SyntheticConfig
+parseSyntheticConfig(const Config &config)
+{
+    SyntheticConfig c;
+    c.arch = parseArch(config.getString("arch", "nox").c_str());
+    c.pattern = parsePattern(config.getString("pattern", "uniform"));
+    c.injectionMBps = config.getDouble("rate_mbps", 1000.0);
+    c.selfSimilar = config.getBool("selfsimilar", false);
+    c.packetFlits =
+        static_cast<int>(config.getInt("packet_flits", 1));
+    c.width = static_cast<int>(config.getInt("width", 8));
+    c.height = static_cast<int>(config.getInt("height", 8));
+    c.concentration =
+        static_cast<int>(config.getInt("concentration", 1));
+    c.bufferDepth =
+        static_cast<int>(config.getInt("buffer_depth", 4));
+    c.sinkBufferDepth = c.bufferDepth;
+    c.warmupCycles = config.getUint("warmup", c.warmupCycles);
+    c.measureCycles = config.getUint("measure", c.measureCycles);
+    c.drainLimitCycles =
+        config.getUint("drain_limit", c.drainLimitCycles);
+    c.seed = config.getUint("seed", c.seed);
+    c.schedulingMode = parseSchedulingMode(
+        config.getString("scheduling", "alwaystick").c_str());
+    c.faults = faultParamsFromConfig(config);
+    c.obs = obsParamsFromConfig(config);
+
+    const std::string arb = config.getString("arbiter", "roundrobin");
+    if (arb == "fixed")
+        c.arbiterKind = ArbiterKind::FixedPriority;
+    else if (arb == "matrix")
+        c.arbiterKind = ArbiterKind::Matrix;
+
+    c.checkpointInterval =
+        config.getUint("checkpoint_interval", c.checkpointInterval);
+    c.checkpointFile =
+        config.getString("checkpoint_file", c.checkpointFile);
+    c.checkpointKeep = static_cast<int>(
+        config.getInt("checkpoint_keep", c.checkpointKeep));
+    c.resumePath = config.getString("resume");
+
+    c.perturbCycle = config.getUint("perturb_cycle", 0);
+    c.perturbRouter = static_cast<NodeId>(
+        config.getInt("perturb_router", 0));
+    return c;
+}
+
+double
+syntheticOfferedFlitsPerCycle(const SyntheticConfig &config)
+{
+    // The physical model follows the topology: concentrated meshes
+    // have higher-radix routers and (same die area, fewer routers)
+    // proportionally longer channels — §8's future-work setting.
+    PhysicalParams phys = config.phys;
+    if (config.concentration > 1) {
+        phys.ports = meshRadix(config.concentration);
+        phys.linkLengthMm *= std::sqrt(
+            static_cast<double>(config.concentration));
+    }
+    const TimingModel timing(config.tech, phys);
+    return mbpsToFlitsPerCycle(config.injectionMBps,
+                               timing.clockPeriodNs(config.arch));
+}
+
+SyntheticNet
+buildSyntheticNetwork(const SyntheticConfig &config)
+{
+    SyntheticNet built;
+    built.offeredFlitsPerCycle =
+        syntheticOfferedFlitsPerCycle(config);
+
+    NetworkParams params;
+    params.width = config.width;
+    params.height = config.height;
+    params.concentration = config.concentration;
+    params.router.bufferDepth = config.bufferDepth;
+    params.router.arbiterKind = config.arbiterKind;
+    params.sinkBufferDepth = config.sinkBufferDepth;
+    params.schedulingMode = config.schedulingMode;
+    params.faults = config.faults;
+    params.obs = config.obs;
+    params.debugPerturbCycle = config.perturbCycle;
+    params.debugPerturbRouter = config.perturbRouter;
+    built.net = makeNetwork(params, config.arch);
+
+    built.pattern = std::make_unique<DestinationPattern>(
+        config.pattern, built.net->mesh(), config.hotspotFraction);
+    Rng seeder(config.seed);
+    for (NodeId n = 0; n < built.net->numNodes(); ++n) {
+        if (config.selfSimilar) {
+            built.net->addSource(std::make_unique<ParetoSource>(
+                n, *built.pattern, built.offeredFlitsPerCycle,
+                config.packetFlits, seeder.next()));
+        } else {
+            built.net->addSource(std::make_unique<BernoulliSource>(
+                n, *built.pattern, built.offeredFlitsPerCycle,
+                config.packetFlits, seeder.next()));
+        }
+    }
+    built.net->setMeasurementWindow(
+        config.warmupCycles,
+        config.warmupCycles + config.measureCycles);
+    return built;
+}
+
+std::string
+syntheticRunnerFingerprint(const SyntheticConfig &config)
+{
+    // The Network fingerprint covers construction parameters only;
+    // runner-level knobs (traffic pattern, offered load, window
+    // boundaries, seed) live here so a resume under a different
+    // experiment is rejected instead of silently continuing wrong.
+    std::ostringstream rfp;
+    rfp.precision(17);
+    rfp << "pattern="
+        << (config.selfSimilar ? "selfsimilar"
+                               : patternName(config.pattern))
+        << " rate_mbps=" << config.injectionMBps
+        << " flits=" << config.packetFlits
+        << " hotspot=" << config.hotspotFraction
+        << " warmup=" << config.warmupCycles
+        << " measure=" << config.measureCycles
+        << " drain_limit=" << config.drainLimitCycles
+        << " seed=" << config.seed;
+    return rfp.str();
+}
+
 RunResult
 runSynthetic(const SyntheticConfig &config)
 {
     RunResult res;
     res.arch = config.arch;
 
-    // The physical model follows the topology: concentrated meshes
-    // have higher-radix routers and (same die area, fewer routers)
-    // proportionally longer channels — §8's future-work setting.
     PhysicalParams phys = config.phys;
     if (config.concentration > 1) {
         phys.ports = meshRadix(config.concentration);
@@ -59,36 +186,11 @@ runSynthetic(const SyntheticConfig &config)
         return res;
     }
 
-    NetworkParams params;
-    params.width = config.width;
-    params.height = config.height;
-    params.concentration = config.concentration;
-    params.router.bufferDepth = config.bufferDepth;
-    params.router.arbiterKind = config.arbiterKind;
-    params.sinkBufferDepth = config.sinkBufferDepth;
-    params.schedulingMode = config.schedulingMode;
-    params.faults = config.faults;
-    params.obs = config.obs;
-    auto net = makeNetwork(params, config.arch);
-
-    const DestinationPattern pattern(config.pattern, net->mesh(),
-                                     config.hotspotFraction);
-    Rng seeder(config.seed);
-    for (NodeId n = 0; n < net->numNodes(); ++n) {
-        if (config.selfSimilar) {
-            net->addSource(std::make_unique<ParetoSource>(
-                n, pattern, res.offeredFlitsPerCycle,
-                config.packetFlits, seeder.next()));
-        } else {
-            net->addSource(std::make_unique<BernoulliSource>(
-                n, pattern, res.offeredFlitsPerCycle,
-                config.packetFlits, seeder.next()));
-        }
-    }
+    SyntheticNet built = buildSyntheticNetwork(config);
+    auto &net = built.net;
 
     const Cycle m0 = config.warmupCycles;
     const Cycle m1 = config.warmupCycles + config.measureCycles;
-    net->setMeasurementWindow(m0, m1);
 
     // Runner-phase state that outlives a checkpoint: the energy
     // snapshots bracketing the measurement window. Captured-flags
@@ -96,23 +198,7 @@ runSynthetic(const SyntheticConfig &config)
     EnergyEvents before, after;
     bool beforeCaptured = false, afterCaptured = false;
 
-    // The Network fingerprint covers construction parameters only;
-    // runner-level knobs (traffic pattern, offered load, window
-    // boundaries, seed) live here so a resume under a different
-    // experiment is rejected instead of silently continuing wrong.
-    std::ostringstream rfp;
-    rfp.precision(17);
-    rfp << "pattern="
-        << (config.selfSimilar ? "selfsimilar"
-                               : patternName(config.pattern))
-        << " rate_mbps=" << config.injectionMBps
-        << " flits=" << config.packetFlits
-        << " hotspot=" << config.hotspotFraction
-        << " warmup=" << config.warmupCycles
-        << " measure=" << config.measureCycles
-        << " drain_limit=" << config.drainLimitCycles
-        << " seed=" << config.seed;
-    const std::string runnerFp = rfp.str();
+    const std::string runnerFp = syntheticRunnerFingerprint(config);
 
     if (!config.resumePath.empty()) {
         try {
@@ -240,6 +326,11 @@ runSynthetic(const SyntheticConfig &config)
             res.imbalanceEvals = loadImbalance(evals, shardOf, shards);
             res.imbalanceFlits = loadImbalance(flits, shardOf, shards);
         }
+    }
+    if (const DigestLedger *digest = net->digest()) {
+        res.digestStrides =
+            static_cast<std::int64_t>(digest->strideCount());
+        res.lastDigestCycle = digest->lastDigestCycle();
     }
     if (net->metrics() && net->metrics()->params().heatmap) {
         std::ostringstream os;

@@ -68,6 +68,13 @@ struct SyntheticConfig
      *  checked); the resumed run completes with NetworkStats and
      *  provenance bit-identical to the uninterrupted run. */
     std::string resumePath;
+
+    /** Deliberate-divergence knob (test/debug only), forwarded to
+     *  NetworkParams::debugPerturbCycle: corrupt one arbiter draw in
+     *  this router at the end of this cycle (0 = off). Seeds a known
+     *  divergence for the digest ledger / trace_tool bisect flow. */
+    Cycle perturbCycle = 0;
+    NodeId perturbRouter = 0;
 };
 
 /** Result of one measurement point. */
@@ -144,6 +151,10 @@ struct RunResult
     double imbalanceEvals = 0.0;
     double imbalanceFlits = 0.0;
 
+    /** State-digest ledger summary (digest= runs only; -1 = off). */
+    std::int64_t digestStrides = -1;
+    std::int64_t lastDigestCycle = -1;
+
     EnergyBreakdown energy;      ///< over the measurement window
     double powerW = 0.0;         ///< mean power over the window
     double energyPerPacketPj = 0.0;
@@ -157,6 +168,44 @@ struct RunResult
 
 /** Run one synthetic measurement point. */
 RunResult runSynthetic(const SyntheticConfig &config);
+
+class Config;
+
+/**
+ * Parse the shared synthetic-run keys (arch, pattern, rate_mbps,
+ * checkpoint/resume knobs, perturb knobs, ...) from a key=value
+ * Config — one parser for every front end (noxsim, trace_tool
+ * bisect), so a bisection re-run accepts exactly the keys of the run
+ * it reproduces. Does not call requireAllUsed: callers own their
+ * leftover-key policy.
+ */
+SyntheticConfig parseSyntheticConfig(const Config &config);
+
+/** Offered load in flits/node/cycle for one synthetic point (clock
+ *  period from the arch's timing model, concentration-adjusted). */
+double syntheticOfferedFlitsPerCycle(const SyntheticConfig &config);
+
+/**
+ * A constructed-but-not-yet-run synthetic network: the Network plus
+ * the destination pattern its sources reference (member order makes
+ * the net destruct first). Shared by runSynthetic and the trace_tool
+ * bisector so a re-run reproduces the exact construction.
+ */
+struct SyntheticNet
+{
+    double offeredFlitsPerCycle = 0.0;
+    std::unique_ptr<DestinationPattern> pattern;
+    std::unique_ptr<Network> net; ///< destroyed before pattern
+};
+
+/** Build network + per-node sources + measurement window for one
+ *  synthetic point. Fatal when the offered load saturates the
+ *  injection channel (callers check via runSynthetic for sweeps). */
+SyntheticNet buildSyntheticNetwork(const SyntheticConfig &config);
+
+/** Runner-level fingerprint (pattern/rate/window/seed) guarding
+ *  resume: embedded in checkpoints next to the Network fingerprint. */
+std::string syntheticRunnerFingerprint(const SyntheticConfig &config);
 
 /** Configuration for an application-trace replay. */
 struct AppConfig

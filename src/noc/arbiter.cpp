@@ -43,12 +43,14 @@ void
 RoundRobinArbiter::reset()
 {
     pointer_ = 0;
+    perturbs_ = 0;
 }
 
 void
 RoundRobinArbiter::serialize(snap::Writer &w) const
 {
     w.i32(pointer_);
+    w.u32(perturbs_);
 }
 
 void
@@ -57,6 +59,14 @@ RoundRobinArbiter::restore(snap::Reader &r)
     pointer_ = r.i32();
     if (pointer_ < 0 || pointer_ >= numInputs_)
         r.fail("round-robin pointer out of range");
+    perturbs_ = r.u32();
+}
+
+void
+RoundRobinArbiter::perturb()
+{
+    pointer_ = pointer_ + 1 == numInputs_ ? 0 : pointer_ + 1;
+    ++perturbs_;
 }
 
 int
@@ -123,6 +133,7 @@ MatrixArbiter::reset()
         for (int j = i + 1; j < numInputs_; ++j)
             prio_[i][j] = true; // initial total order by index
     }
+    perturbs_ = 0;
 }
 
 void
@@ -131,6 +142,7 @@ MatrixArbiter::serialize(snap::Writer &w) const
     for (const auto &row : prio_)
         for (bool b : row)
             w.boolean(b);
+    w.u32(perturbs_);
 }
 
 void
@@ -139,6 +151,19 @@ MatrixArbiter::restore(snap::Reader &r)
     for (auto &row : prio_)
         for (std::size_t j = 0; j < row.size(); ++j)
             row[j] = r.boolean();
+    perturbs_ = r.u32();
+}
+
+void
+MatrixArbiter::perturb()
+{
+    // Swap the relative priority of the first input pair; the next
+    // contested grant between them flips.
+    if (numInputs_ < 2)
+        return;
+    prio_[0][1] = !prio_[0][1];
+    prio_[1][0] = !prio_[1][0];
+    ++perturbs_;
 }
 
 } // namespace nox

@@ -67,6 +67,21 @@ class Arbiter
     virtual void serialize(snap::Writer &w) const;
     virtual void restore(snap::Reader &r);
 
+    /**
+     * Deliberately corrupt the priority state so the next grant can
+     * differ (test/debug only; seeds a known divergence for the digest
+     * ledger / trace_tool bisect machinery). Stateful arbiters also
+     * bump a perturb counter that serialize() includes in the
+     * canonical bytes: the priority nudge itself can be silently
+     * erased by the next uncontested grant (which rewrites the
+     * priority state wholesale), and a divergence beacon that can
+     * evaporate before the next ledger stride is useless. The counter
+     * makes the perturbation a permanent, checkpoint-faithful state
+     * difference from the cycle it is applied. Stateless arbiters
+     * have nothing to corrupt and keep the no-op default.
+     */
+    virtual void perturb() {}
+
     int numInputs() const { return numInputs_; }
 
   protected:
@@ -83,12 +98,14 @@ class RoundRobinArbiter : public Arbiter
     void reset() override;
     void serialize(snap::Writer &w) const override;
     void restore(snap::Reader &r) override;
+    void perturb() override;
 
     /** Input that currently has highest priority (for tests). */
     int pointer() const { return pointer_; }
 
   private:
     int pointer_;
+    std::uint32_t perturbs_ = 0; ///< serialized; see Arbiter::perturb
 };
 
 /** Static fixed-priority arbiter (lowest index wins). */
@@ -114,10 +131,12 @@ class MatrixArbiter : public Arbiter
     void reset() override;
     void serialize(snap::Writer &w) const override;
     void restore(snap::Reader &r) override;
+    void perturb() override;
 
   private:
     /** prio_[i][j] true when input i beats input j. */
     std::vector<std::vector<bool>> prio_;
+    std::uint32_t perturbs_ = 0; ///< serialized; see Arbiter::perturb
 };
 
 } // namespace nox

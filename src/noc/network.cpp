@@ -206,6 +206,10 @@ Network::Network(const NetworkParams &params, RouterFactory factory)
     }
     if (params.obs.telemetry.enabled)
         telemetry_ = std::make_unique<RunTelemetry>(params.obs.telemetry);
+    if (params.obs.digest.enabled) {
+        digest_ = std::make_unique<DigestLedger>(params.obs.digest);
+        digest_->writeHeader(fingerprint());
+    }
 }
 
 void
@@ -497,6 +501,19 @@ Network::step()
         break;
       default:
         panic("unknown scheduling mode");
+    }
+    // Deliberate-divergence knob (test/debug only): fires after the
+    // kernel committed the step ending at now_, before the digest
+    // stride below — so the first differing stride carries exactly
+    // this cycle (see NetworkParams::debugPerturbCycle).
+    if (params_.debugPerturbCycle != 0 &&
+        now_ == params_.debugPerturbCycle) {
+        routers_[static_cast<std::size_t>(params_.debugPerturbRouter)]
+            ->debugPerturb();
+    }
+    if (digest_ && digest_->due(now_)) {
+        ProfScope ps(profiler_.get(), SimPhase::ObsFlush);
+        digest_->record(computeDigestStride(digest_->scratch()));
     }
     if (telemetry_ && telemetry_->due(now_)) {
         ProfScope ps(profiler_.get(), SimPhase::ObsFlush);
@@ -850,6 +867,11 @@ Network::emitTelemetry()
     s.arenaLive = arena.live();
     s.arenaGrowths = arena.growths;
     s.checkpointAge = telemetry_->checkpointAge(now_);
+    if (digest_) {
+        s.digestStrides =
+            static_cast<std::int64_t>(digest_->strideCount());
+        s.lastDigestCycle = digest_->lastDigestCycle();
+    }
     telemetry_->beat(s);
 }
 
@@ -1129,6 +1151,14 @@ Network::fingerprint() const
     if (params_.obs.metrics.enabled)
         os << "/" << params_.obs.metrics.interval;
     os << " prov=" << (params_.obs.prov.enabled ? 1 : 0);
+    // The digest ledger is deliberately absent here (per-run output,
+    // not construction geometry), but a deliberate perturbation is a
+    // real behavioral difference: two networks that perturb
+    // differently are *not* snapshot-compatible trajectories.
+    if (params_.debugPerturbCycle != 0) {
+        os << " perturb=" << params_.debugPerturbCycle << "@"
+           << params_.debugPerturbRouter;
+    }
     return os.str();
 }
 
@@ -1226,6 +1256,101 @@ Network::serialize(snap::Writer &w) const
     w.boolean(transport_ != nullptr);
     if (transport_)
         transport_->serialize(w);
+}
+
+void
+Network::serializeDigestGlobals(snap::Writer &w) const
+{
+    // The Snapshot-scope prefix of Network::serialize, minus the
+    // kernel/observer-owned fields (see the header declaration). Keep
+    // the two walks in lockstep when adding global state.
+    snap::tag(w, snap::fourcc("NETW"));
+    w.u64(now_);
+    w.u64(nextPacket_);
+    w.boolean(sourcesEnabled_);
+    snap::writeNetworkStats(w, stats_);
+    const std::vector<NodeId> deadRouters = faultMap_.deadRouters();
+    w.u64(deadRouters.size());
+    for (NodeId r : deadRouters)
+        w.i32(r);
+    const std::vector<std::pair<NodeId, int>> deadLinks =
+        faultMap_.explicitDeadLinks();
+    w.u64(deadLinks.size());
+    for (const auto &[r, port] : deadLinks) {
+        w.i32(r);
+        w.i32(port);
+    }
+    w.u64(table_.rebuilds());
+    const auto writeFlowMap =
+        [&w](const std::unordered_map<std::uint64_t, std::uint32_t>
+                 &m) {
+            std::vector<std::uint64_t> keys;
+            keys.reserve(m.size());
+            for (const auto &[k, v] : m)
+                keys.push_back(k);
+            std::sort(keys.begin(), keys.end());
+            w.u64(keys.size());
+            for (std::uint64_t k : keys) {
+                w.u64(k);
+                w.u32(m.at(k));
+            }
+        };
+    writeFlowMap(flowNextSeq_);
+    writeFlowMap(flowMaxDone_);
+    w.u64(ageQueue_.size());
+    for (const auto &[packet, created] : ageQueue_) {
+        w.u64(packet);
+        w.u64(created);
+    }
+    std::vector<PacketId> aged(ageInFlight_.begin(),
+                               ageInFlight_.end());
+    std::sort(aged.begin(), aged.end());
+    w.u64(aged.size());
+    for (PacketId p : aged)
+        w.u64(p);
+}
+
+DigestStride
+Network::computeDigestStride(snap::Writer &scratch) const
+{
+    const auto hash = [&scratch]() {
+        const DigestHash h = digestBytes(scratch.data().data(),
+                                         scratch.size());
+        scratch.clear();
+        return h;
+    };
+
+    DigestStride s;
+    s.cycle = now_;
+    scratch.clear();
+
+    serializeDigestGlobals(scratch);
+    s.global = hash();
+
+    for (const auto &src : sources_)
+        src->serialize(scratch);
+    s.sources = hash();
+
+    if (faults_) {
+        faults_->serialize(scratch);
+        s.faults = hash();
+    }
+    if (transport_) {
+        transport_->serialize(scratch);
+        s.transport = hash();
+    }
+
+    s.routers.reserve(routers_.size());
+    for (const auto &r : routers_) {
+        r->serialize(scratch, snap::Scope::Digest);
+        s.routers.push_back(hash());
+    }
+    s.nics.reserve(nics_.size());
+    for (const auto &nic : nics_) {
+        nic->serialize(scratch, snap::Scope::Digest);
+        s.nics.push_back(hash());
+    }
+    return s;
 }
 
 void

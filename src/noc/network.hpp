@@ -74,6 +74,19 @@ struct NetworkParams
     SchedulingMode schedulingMode = SchedulingMode::AlwaysTick;
     FaultParams faults; ///< link-fault injection (disabled by default)
     ObsParams obs;      ///< tracing + metrics (disabled by default)
+
+    /**
+     * Deliberate-divergence knob (test/debug only): at the end of the
+     * step whose ending cycle equals @p debugPerturbCycle, corrupt one
+     * arbiter decision in router @p debugPerturbRouter (see
+     * Router::debugPerturb). Seeds a known, cycle-exact divergence for
+     * exercising the digest ledger and `trace_tool bisect`; 0 =
+     * disabled. Applied after the kernel commits and before the
+     * digest stride is captured, so the first differing stride is
+     * labeled with exactly this cycle.
+     */
+    Cycle debugPerturbCycle = 0;
+    NodeId debugPerturbRouter = 0;
 };
 
 /**
@@ -206,6 +219,28 @@ class Network : public PacketInjector,
     RunTelemetry *telemetry() { return telemetry_.get(); }
     const RunTelemetry *telemetry() const { return telemetry_.get(); }
 
+    /** The state-digest ledger, or nullptr when disabled. */
+    DigestLedger *digest() { return digest_.get(); }
+    const DigestLedger *digest() const { return digest_.get(); }
+
+    /**
+     * Capture one digest stride of the current state: the canonical
+     * Digest-scope serialize() bytes of every component, hashed
+     * per-component (see obs/digest.hpp). Must be called between
+     * steps, like serialize(). Usable with the ledger off — tests and
+     * the bisector digest networks that were built without one.
+     * @p scratch is reused across components and strides.
+     */
+    DigestStride computeDigestStride(snap::Writer &scratch) const;
+
+    /** Convenience overload with a throwaway scratch buffer. */
+    DigestStride
+    computeDigestStride() const
+    {
+        snap::Writer scratch;
+        return computeDigestStride(scratch);
+    }
+
     /**
      * End-of-run observability flush: closes the final partial
      * metrics window and writes the configured exports (metrics
@@ -289,6 +324,16 @@ class Network : public PacketInjector,
     void emitTelemetry();
 
     /**
+     * Digest-scope serialize of the network-global trajectory state:
+     * the subset of the Snapshot-scope globals that is deterministic
+     * across kernels and observer configurations. Deliberately
+     * excluded: active-set and previous-active flags (kernel
+     * bookkeeping), metrics window baselines (observer-owned) and the
+     * age-dump latch (only ever set when a tracer is attached).
+     */
+    void serializeDigestGlobals(snap::Writer &w) const;
+
+    /**
      * Apply every hard fault due at the current cycle: kill the
      * targeted links/routers (in-flight flits on them are lost),
      * rebuild the routing table, and — mid-run only — notify the
@@ -358,6 +403,11 @@ class Network : public PacketInjector,
      *  resumed run may toggle them freely. */
     std::unique_ptr<PhaseProfiler> profiler_;
     std::unique_ptr<RunTelemetry> telemetry_;
+    /** State-digest ledger: per-run *output* about the trajectory,
+     *  not simulation state — neither serialized nor fingerprinted,
+     *  so a bisection re-run may restore a digest-off checkpoint
+     *  into a digest-on network. */
+    std::unique_ptr<DigestLedger> digest_;
     DrainReport drainReport_;
 
     /** Per-router counter values at the last closed metrics window

@@ -398,7 +398,7 @@ Nic::quiescent() const
 }
 
 void
-Nic::serialize(snap::Writer &w) const
+Nic::serialize(snap::Writer &w, snap::Scope scope) const
 {
     NOX_ASSERT(!stagedSinkFlit_, "serialize with a staged sink flit");
     for (int staged : stagedInjectCredits_)
@@ -431,7 +431,8 @@ Nic::serialize(snap::Writer &w) const
         w.u32(a.count);
         w.u64(a.headInject);
     }
-    snap::writeEnergyEvents(w, energy_);
+    if (scope == snap::Scope::Snapshot)
+        snap::writeEnergyEvents(w, energy_);
 }
 
 void

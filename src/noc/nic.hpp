@@ -167,8 +167,10 @@ class Nic
     }
 
     /** Capture / restore dynamic state (checkpointing); taken between
-     *  steps, when nothing is staged (asserted). */
-    void serialize(snap::Writer &w) const;
+     *  steps, when nothing is staged (asserted). Digest scope omits
+     *  the kernel-dependent energy counters (see Router::serialize). */
+    void serialize(snap::Writer &w,
+                   snap::Scope scope = snap::Scope::Snapshot) const;
     void restore(snap::Reader &r);
 
   private:

@@ -472,7 +472,7 @@ Router::makeArbiter() const
 }
 
 void
-Router::serialize(snap::Writer &w) const
+Router::serialize(snap::Writer &w, snap::Scope scope) const
 {
     // Snapshots are taken between steps: commit() has latched every
     // staged arrival, so staged state is structurally empty.
@@ -500,7 +500,10 @@ Router::serialize(snap::Writer &w) const
             w.i32(creditsLost_[static_cast<std::size_t>(p)]);
         }
     }
-    snap::writeEnergyEvents(w, energy_);
+    // Energy counters are kernel-dependent (the activity kernel
+    // clock-gates retired routers), so the digest scope omits them.
+    if (scope == snap::Scope::Snapshot)
+        snap::writeEnergyEvents(w, energy_);
 }
 
 void

@@ -32,6 +32,7 @@
 #include "noc/types.hpp"
 #include "obs/provenance.hpp"
 #include "obs/trace_recorder.hpp"
+#include "snapshot/io.hpp"
 
 namespace nox {
 
@@ -289,9 +290,25 @@ class Router
      * — asserted); wiring, parameters and route tables are rebuilt by
      * construction and are not captured. Subclasses override both,
      * call the base method first, then handle their own state.
+     *
+     * @p scope selects the byte layout: Snapshot is lossless (restore
+     * reads it back); Digest feeds the state-digest ledger and omits
+     * the EnergyEvents counters, which the activity kernel clock-gates
+     * for retired routers and which therefore legitimately differ
+     * between bit-identical trajectories.
      */
-    virtual void serialize(snap::Writer &w) const;
+    virtual void serialize(snap::Writer &w,
+                           snap::Scope scope =
+                               snap::Scope::Snapshot) const;
     virtual void restore(snap::Reader &r);
+
+    /**
+     * Deliberately corrupt one arbiter decision (test/debug only; see
+     * NetworkParams::debugPerturbCycle). Used to seed a known
+     * divergence for exercising the digest ledger and the trace_tool
+     * bisector; a no-op for architectures without priority state.
+     */
+    virtual void debugPerturb() {}
 
   protected:
     /** True when the downstream buffer of @p out_port has a slot. */

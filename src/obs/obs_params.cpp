@@ -46,6 +46,12 @@ obsParamsFromConfig(const Config &config)
                                             obs.telemetry.interval);
     obs.telemetry.jsonlPath = config.getString("telemetry_file", "");
 
+    obs.digest.enabled = config.getBool("digest", false) ||
+                         config.has("digest_file");
+    obs.digest.interval =
+        config.getUint("digest_interval", obs.digest.interval);
+    obs.digest.jsonlPath = config.getString("digest_file", "");
+
     return obs;
 }
 

@@ -8,6 +8,7 @@
 #ifndef NOX_OBS_OBS_PARAMS_HPP
 #define NOX_OBS_OBS_PARAMS_HPP
 
+#include "obs/digest.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
 #include "obs/provenance.hpp"
@@ -26,12 +27,13 @@ struct ObsParams
     ProvenanceParams prov;
     ProfilerParams profile;
     TelemetryParams telemetry;
+    DigestParams digest;
 
     bool
     any() const
     {
         return trace.enabled || metrics.enabled || prov.enabled ||
-               profile.enabled || telemetry.enabled;
+               profile.enabled || telemetry.enabled || digest.enabled;
     }
 };
 
@@ -68,6 +70,11 @@ struct ObsParams
  *                     implies telemetry=true (default: no export)
  *   progress=         mirror a one-line heartbeat to stderr; implies
  *                     telemetry=true (tools also accept --progress)
+ *   digest=           master switch for the state-digest ledger
+ *                     (default false)
+ *   digest_interval=  cycles between ledger strides (default 1000)
+ *   digest_file=      JSONL ledger export path; setting it implies
+ *                     digest=true (default: in-memory only)
  */
 ObsParams obsParamsFromConfig(const Config &config);
 

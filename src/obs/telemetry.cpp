@@ -122,7 +122,9 @@ RunTelemetry::formatJson(const TelemetryRecord &rec,
        << ", \"arena_live\": " << s.arenaLive
        << ", \"arena_growths\": " << s.arenaGrowths
        << ", \"peak_rss_kb\": " << rec.peakRssKb
-       << ", \"ckpt_age\": " << s.checkpointAge << "}";
+       << ", \"ckpt_age\": " << s.checkpointAge
+       << ", \"digest_strides\": " << s.digestStrides
+       << ", \"last_digest_cycle\": " << s.lastDigestCycle << "}";
     return os.str();
 }
 
@@ -172,6 +174,10 @@ RunTelemetry::formatLine(const TelemetryRecord &rec,
     }
     if (s.checkpointAge >= 0)
         os << " | ckpt age " << s.checkpointAge;
+    if (s.digestStrides >= 0) {
+        os << " | digest " << s.digestStrides << "@"
+           << s.lastDigestCycle;
+    }
     return os.str();
 }
 

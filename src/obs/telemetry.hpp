@@ -61,6 +61,8 @@ struct TelemetrySample
     std::uint64_t arenaLive = 0;
     std::uint64_t arenaGrowths = 0;
     std::int64_t checkpointAge = -1; ///< cycles; -1 = no checkpoint
+    std::int64_t digestStrides = -1; ///< ledger strides (-1 = off)
+    std::int64_t lastDigestCycle = -1; ///< newest stride's cycle
 };
 
 /** One emitted heartbeat: the sample plus host-side derivations. */

@@ -169,9 +169,15 @@ NonSpecRouter::onTableRebuild()
 }
 
 void
-NonSpecRouter::serialize(snap::Writer &w) const
+NonSpecRouter::debugPerturb()
 {
-    Router::serialize(w);
+    arb_[0]->perturb();
+}
+
+void
+NonSpecRouter::serialize(snap::Writer &w, snap::Scope scope) const
+{
+    Router::serialize(w, scope);
     for (const auto &a : arb_)
         a->serialize(w);
     for (int o : lockOwner_)

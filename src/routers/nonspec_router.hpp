@@ -44,8 +44,11 @@ class NonSpecRouter : public Router
     /** Input currently owning output @p port mid-packet (-1 = none). */
     int lockOwner(int port) const { return lockOwner_[port]; }
 
-    void serialize(snap::Writer &w) const override;
+    void serialize(snap::Writer &w,
+                   snap::Scope scope) const override;
     void restore(snap::Reader &r) override;
+
+    void debugPerturb() override;
 
   private:
     void traverse(int in_port, int out_port);

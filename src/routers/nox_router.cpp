@@ -541,9 +541,15 @@ NoxRouter::onTableRebuild()
 }
 
 void
-NoxRouter::serialize(snap::Writer &w) const
+NoxRouter::debugPerturb()
 {
-    Router::serialize(w);
+    out_[0].arb->perturb();
+}
+
+void
+NoxRouter::serialize(snap::Writer &w, snap::Scope scope) const
+{
+    Router::serialize(w, scope);
     for (const XorDecoder &d : decoders_)
         d.serialize(w);
     for (const OutState &st : out_) {
@@ -556,9 +562,17 @@ NoxRouter::serialize(snap::Writer &w) const
     }
     for (std::uint64_t c : noxStats_.collisionsBySize)
         w.u64(c);
-    w.u64(noxStats_.recoveryCycles);
-    w.u64(noxStats_.scheduledCycles);
-    w.u64(noxStats_.lockedCycles);
+    // The mode-residency counters advance on every *ticked* cycle
+    // with an eligible output, so — like energy events — they are
+    // kernel-dependent: the activity kernel clock-gates idle routers
+    // and accrues no residency there. The digest scope omits them;
+    // the event-driven counters below fire only on real traffic and
+    // must agree across kernels, so they stay in the digest.
+    if (scope == snap::Scope::Snapshot) {
+        w.u64(noxStats_.recoveryCycles);
+        w.u64(noxStats_.scheduledCycles);
+        w.u64(noxStats_.lockedCycles);
+    }
     w.u64(noxStats_.cleanTraversals);
     w.u64(noxStats_.prescheduled);
     w.u64(noxStats_.aborts);

@@ -130,8 +130,11 @@ class NoxRouter : public Router
         return noxStats_.totalCollisions();
     }
 
-    void serialize(snap::Writer &w) const override;
+    void serialize(snap::Writer &w,
+                   snap::Scope scope) const override;
     void restore(snap::Reader &r) override;
+
+    void debugPerturb() override;
 
   private:
     struct OutState

@@ -246,9 +246,15 @@ SpecRouter::onTableRebuild()
 }
 
 void
-SpecRouter::serialize(snap::Writer &w) const
+SpecRouter::debugPerturb()
 {
-    Router::serialize(w);
+    arb_[0]->perturb();
+}
+
+void
+SpecRouter::serialize(snap::Writer &w, snap::Scope scope) const
+{
+    Router::serialize(w, scope);
     for (const auto &a : arb_)
         a->serialize(w);
     for (int v : reserved_)

@@ -361,11 +361,17 @@ VcRouter::traverse(int in_port, int vc, int out_port, Cycle now)
 }
 
 void
-VcRouter::serialize(snap::Writer &w) const
+VcRouter::debugPerturb()
+{
+    outArb_[0]->perturb();
+}
+
+void
+VcRouter::serialize(snap::Writer &w, snap::Scope scope) const
 {
     for (int c : stagedVcCredits_)
         NOX_ASSERT(c == 0, "snapshot with staged VC credits");
-    Router::serialize(w);
+    Router::serialize(w, scope);
     w.u8(static_cast<std::uint8_t>(vcs_));
     for (const FlitFifo &f : vcIn_)
         snap::writeFlitFifo(w, f);

@@ -95,8 +95,11 @@ class VcRouter : public Router
         return lockOwner_[index(out_port, vc)];
     }
 
-    void serialize(snap::Writer &w) const override;
+    void serialize(snap::Writer &w,
+                   snap::Scope scope) const override;
     void restore(snap::Reader &r) override;
+
+    void debugPerturb() override;
 
   protected:
     /** A flushed retry entry refunds the credit of its own VC lane. */

@@ -39,7 +39,9 @@ namespace nox::snap {
 
 inline constexpr char kMagic[8] = {'N', 'O', 'X', 'S',
                                    'N', 'A', 'P', '1'};
-inline constexpr std::uint32_t kSnapshotVersion = 1;
+/** v2: stateful arbiters serialize a perturb counter after their
+ *  priority state (see Arbiter::perturb). */
+inline constexpr std::uint32_t kSnapshotVersion = 2;
 
 inline constexpr std::uint32_t kSectionMeta = fourcc("META");
 inline constexpr std::uint32_t kSectionNetwork = fourcc("NETW");

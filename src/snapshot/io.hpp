@@ -27,6 +27,22 @@
 
 namespace nox::snap {
 
+/**
+ * What a serialize() pass is feeding. The byte layout is identical in
+ * both scopes except that Digest omits per-process / per-configuration
+ * state that is deliberately allowed to differ between two equivalent
+ * trajectories — today that is the EnergyEvents counters, which the
+ * activity kernel clock-gates for retired components. Snapshot scope
+ * must stay lossless (restore() reads every field back); Digest scope
+ * exists so the state-digest ledger hashes only the canonical,
+ * kernel-independent trajectory.
+ */
+enum class Scope : std::uint8_t
+{
+    Snapshot,
+    Digest,
+};
+
 /** Any malformed-snapshot condition: truncation, bad tag, bad value. */
 class SnapshotError : public std::runtime_error
 {
@@ -104,6 +120,11 @@ class Writer
     const std::vector<std::uint8_t> &data() const { return buf_; }
     std::vector<std::uint8_t> take() { return std::move(buf_); }
     std::size_t size() const { return buf_.size(); }
+
+    /** Drop the contents but keep the capacity — the digest ledger
+     *  reuses one scratch Writer across components so the steady-state
+     *  hash path never allocates. */
+    void clear() { buf_.clear(); }
 
   private:
     void

@@ -19,7 +19,9 @@
 #include "common/rng.hpp"
 #include "noc/flit_arena.hpp"
 #include "noc/network.hpp"
+#include "obs/digest.hpp"
 #include "routers/factory.hpp"
+#include "snapshot/io.hpp"
 #include "traffic/bernoulli_source.hpp"
 #include "traffic/patterns.hpp"
 
@@ -103,18 +105,35 @@ TEST_P(SchedulingEquivalence, KernelsBitIdenticalInLockstep)
         arch, pattern, SchedulingMode::ActivityDriven, 0.05, 1);
 
     // Lockstep: both kernels advance one cycle at a time and must
-    // agree on every statistic at every cycle boundary.
+    // agree on every statistic — and on the full canonical state
+    // digest, component by component — at every cycle boundary. The
+    // digest check is strictly stronger than identicalStats: it
+    // covers buffers, arbiter pointers, credits and source RNGs, so
+    // a kernel bug that corrupts state without (yet) moving a
+    // counter is caught at the first corrupt cycle.
+    snap::Writer scratchTick, scratchActivity;
     for (Cycle t = 0; t < kWarmup + kMeasure; ++t) {
         tick->step();
         activity->step();
         ASSERT_TRUE(identicalStats(tick->stats(), activity->stats()))
             << archName(arch) << ": kernels diverged at cycle " << t;
+        const DigestStride a =
+            tick->computeDigestStride(scratchTick);
+        const DigestStride b =
+            activity->computeDigestStride(scratchActivity);
+        ASSERT_EQ(a.fold(), b.fold())
+            << archName(arch) << ": kernel state digests diverged at "
+            << "cycle " << t << " in "
+            << ::testing::PrintToString(divergentComponents(a, b));
     }
     EXPECT_TRUE(tick->drain(kDrainLimit));
     EXPECT_TRUE(activity->drain(kDrainLimit));
     EXPECT_EQ(tick->now(), activity->now())
         << "kernels drained in different cycle counts";
     EXPECT_TRUE(identicalStats(tick->stats(), activity->stats()));
+    EXPECT_EQ(tick->computeDigestStride().fold(),
+              activity->computeDigestStride().fold())
+        << archName(arch) << ": kernels diverged in drained state";
 }
 
 TEST_P(SchedulingEquivalence, MultiFlitKernelsBitIdentical)

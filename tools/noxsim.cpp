@@ -12,6 +12,9 @@
  *          [concentration=4]
  *          [packet_flits=1] [width=8 height=8] [buffer_depth=4]
  *          [warmup=N measure=N] [seed=N] [csv=path]
+ *          [digest=true digest_interval=N digest_file=path]
+ *          [perturb_cycle=K perturb_router=R]   (test/debug: seed a
+ *           deliberate divergence for `trace_tool diff`/`bisect`)
  *
  * Application mode:
  *   noxsim mode=app arch=nox workload=tpcc [horizon_ns=25000]
@@ -35,43 +38,10 @@ using namespace nox;
 int
 runSyntheticMode(const Config &config)
 {
-    SyntheticConfig c;
-    c.arch = parseArch(config.getString("arch", "nox").c_str());
-    c.pattern = parsePattern(config.getString("pattern", "uniform"));
-    c.injectionMBps = config.getDouble("rate_mbps", 1000.0);
-    c.selfSimilar = config.getBool("selfsimilar", false);
-    c.packetFlits =
-        static_cast<int>(config.getInt("packet_flits", 1));
-    c.width = static_cast<int>(config.getInt("width", 8));
-    c.height = static_cast<int>(config.getInt("height", 8));
-    c.concentration =
-        static_cast<int>(config.getInt("concentration", 1));
-    c.bufferDepth =
-        static_cast<int>(config.getInt("buffer_depth", 4));
-    c.sinkBufferDepth = c.bufferDepth;
-    c.warmupCycles = config.getUint("warmup", c.warmupCycles);
-    c.measureCycles = config.getUint("measure", c.measureCycles);
-    c.drainLimitCycles =
-        config.getUint("drain_limit", c.drainLimitCycles);
-    c.seed = config.getUint("seed", c.seed);
-    c.schedulingMode = parseSchedulingMode(
-        config.getString("scheduling", "alwaystick").c_str());
-    c.faults = faultParamsFromConfig(config);
-    c.obs = obsParamsFromConfig(config);
-
-    const std::string arb = config.getString("arbiter", "roundrobin");
-    if (arb == "fixed")
-        c.arbiterKind = ArbiterKind::FixedPriority;
-    else if (arb == "matrix")
-        c.arbiterKind = ArbiterKind::Matrix;
-
-    c.checkpointInterval =
-        config.getUint("checkpoint_interval", c.checkpointInterval);
-    c.checkpointFile =
-        config.getString("checkpoint_file", c.checkpointFile);
-    c.checkpointKeep = static_cast<int>(
-        config.getInt("checkpoint_keep", c.checkpointKeep));
-    c.resumePath = config.getString("resume");
+    // All synthetic-run keys (including checkpoint/resume, digest and
+    // the perturb knobs) parse through the shared core parser, so a
+    // `trace_tool bisect` re-run accepts exactly this tool's keys.
+    const SyntheticConfig c = parseSyntheticConfig(config);
 
     const std::string csvPath = config.getString("csv");
     // Typos fail before the run burns cycles, not after.
@@ -190,6 +160,12 @@ runSyntheticMode(const Config &config)
                   Table::num(r.imbalanceEvals, 4)});
         t.addRow({"prof_imbalance_flits",
                   Table::num(r.imbalanceFlits, 4)});
+    }
+    if (r.digestStrides >= 0) {
+        t.addRow({"digest_strides",
+                  std::to_string(r.digestStrides)});
+        t.addRow({"last_digest_cycle",
+                  std::to_string(r.lastDigestCycle)});
     }
     t.addRow({"drained", r.drained ? "1" : "0"});
     if (!r.drained)

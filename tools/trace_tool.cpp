@@ -10,6 +10,10 @@
  *   trace_tool histogram in=a.trace [bins=20]
  *   trace_tool analyze in=flight.jsonl [topk=10]
  *   trace_tool snapshot-info in=checkpoint.snap
+ *   trace_tool diff a=ledgerA.jsonl b=ledgerB.jsonl
+ *   trace_tool bisect a=ledgerA.jsonl b=ledgerB.jsonl
+ *                     snap_a=ckptA.snap snap_b=ckptB.snap
+ *                     <synthetic key=value...> [a_<key>=V] [b_<key>=V]
  *
  * `analyze` reads a flight-recorder JSONL dump (produced on a drain
  * timeout, an age-limit alarm, or `trace_flight_on_exit=true`),
@@ -23,6 +27,25 @@
  * identity card — producing tool, capture cycle, configuration
  * fingerprint, section inventory — without constructing a simulator.
  * Exits nonzero with a structured reason on any corruption.
+ *
+ * `diff` compares two digest ledgers (digest_file= runs) stride by
+ * stride and reports the first divergent stride's cycle plus the
+ * exact set of differing components. Exit 0 = identical, 1 =
+ * diverged, fatal on unreadable/incomparable ledgers.
+ *
+ * `bisect` narrows a coarse-stride ledger divergence to the exact
+ * cycle and component: it restores both runs from their last agreeing
+ * checkpoints and re-steps them in lockstep, capturing a digest every
+ * cycle (digest_interval=1 in effect) until the first differing
+ * stride. The shared synthetic keys (arch, pattern, rate_mbps, seed,
+ * warmup, measure, ...) are exactly noxsim's; per-side differences
+ * (e.g. the scheduling kernel or a deliberate perturb_cycle) are
+ * expressed with `a_`/`b_`-prefixed overrides. Checkpoint, resume and
+ * digest-ledger keys are neutralized in the re-run so a bisection can
+ * never clobber the artifacts it is reading. When the re-run config
+ * carries a flight recorder (trace=true trace_flight_file=...), the
+ * ring is dumped with reason "digest-divergence" at the divergent
+ * cycle, implicating the differing components.
  */
 
 #include <algorithm>
@@ -38,9 +61,13 @@
 #include "common/log.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "core/sim_runner.hpp"
+#include "obs/digest.hpp"
 #include "obs/flight_analysis.hpp"
 #include "obs/profiler.hpp"
+#include "obs/trace_recorder.hpp"
 #include "snapshot/file.hpp"
+#include "snapshot/snapshot.hpp"
 #include "traffic/trace.hpp"
 
 namespace {
@@ -477,6 +504,285 @@ cmdProfile(const Config &config)
     return 0;
 }
 
+std::string
+joinComponents(const std::vector<std::string> &components)
+{
+    std::string joined;
+    for (const auto &c : components) {
+        if (!joined.empty())
+            joined += ",";
+        joined += c;
+    }
+    return joined;
+}
+
+int
+cmdDiff(const Config &config)
+{
+    const std::string pathA = config.getString("a");
+    const std::string pathB = config.getString("b");
+    if (pathA.empty() || pathB.empty())
+        fatal("diff requires a=<ledger.jsonl> b=<ledger.jsonl>");
+
+    LedgerFile a, b;
+    std::string err;
+    if (!loadDigestLedger(pathA, &a, &err))
+        fatal("diff: ", err);
+    if (!loadDigestLedger(pathB, &b, &err))
+        fatal("diff: ", err);
+
+    const DigestDivergence d = compareLedgers(a, b);
+    if (!d.comparable)
+        fatal("diff: ledgers are not comparable: ", d.error);
+
+    Table t({"key", "value"});
+    t.addRow({"interval", std::to_string(a.interval)});
+    t.addRow({"strides_a", std::to_string(a.strides.size())});
+    t.addRow({"strides_b", std::to_string(b.strides.size())});
+    t.addRow({"strides_compared",
+              std::to_string(d.stridesCompared)});
+    t.addRow({"diverged", d.diverged ? "1" : "0"});
+    if (d.diverged) {
+        t.addRow({"first_divergent_stride_cycle",
+                  std::to_string(d.cycle)});
+        t.addRow({"last_agreeing_stride_cycle",
+                  std::to_string(d.lastAgreeCycle)});
+        t.addRow({"components", joinComponents(d.components)});
+    }
+    t.print(std::cout);
+    if (d.diverged) {
+        std::cout << "divergence lies in ("
+                  << (d.lastAgreeCycle < 0
+                          ? std::string("start")
+                          : std::to_string(d.lastAgreeCycle))
+                  << ", " << d.cycle
+                  << "]; run `trace_tool bisect` with the last "
+                     "agreeing checkpoints to pin the exact cycle\n";
+    }
+    return d.diverged ? 1 : 0;
+}
+
+/** Split the bisect command line into one Config per side: shared
+ *  synthetic keys go to both, `a_`/`b_`-prefixed keys override their
+ *  side, and bisect's own keys (a=, b=, snap_a=, snap_b=) go to
+ *  neither. */
+Config
+sideConfig(const Config &config, const std::string &prefix,
+           const std::string &otherPrefix)
+{
+    Config side;
+    for (const auto &kv : config.items()) {
+        const std::string &key = kv.first;
+        if (key == "a" || key == "b" || key == "snap_a" ||
+            key == "snap_b")
+            continue;
+        if (key.compare(0, otherPrefix.size(), otherPrefix) == 0)
+            continue;
+        if (key.compare(0, prefix.size(), prefix) == 0) {
+            side.set(key.substr(prefix.size()), kv.second);
+            continue;
+        }
+        side.set(key, kv.second);
+    }
+    return side;
+}
+
+/** Parse one side's synthetic config, neutralizing every knob that
+ *  would let the re-run write over the artifacts it reads (its own
+ *  checkpoints and ledgers) or skip ahead (resume). */
+SyntheticConfig
+bisectSideConfig(const Config &config, const char *label)
+{
+    SyntheticConfig c = parseSyntheticConfig(config);
+    config.requireAllUsed(label);
+    c.checkpointInterval = 0;
+    c.resumePath.clear();
+    c.obs.digest.enabled = false;
+    c.obs.digest.jsonlPath.clear();
+    return c;
+}
+
+int
+cmdBisect(const Config &config)
+{
+    const std::string pathA = config.getString("a");
+    const std::string pathB = config.getString("b");
+    const std::string snapA = config.getString("snap_a");
+    const std::string snapB = config.getString("snap_b");
+    if (pathA.empty() || pathB.empty() || snapA.empty() ||
+        snapB.empty())
+        fatal("bisect requires a=<ledger> b=<ledger> "
+              "snap_a=<ckpt.snap> snap_b=<ckpt.snap>");
+
+    LedgerFile la, lb;
+    std::string err;
+    if (!loadDigestLedger(pathA, &la, &err))
+        fatal("bisect: ", err);
+    if (!loadDigestLedger(pathB, &lb, &err))
+        fatal("bisect: ", err);
+    const DigestDivergence coarse = compareLedgers(la, lb);
+    if (!coarse.comparable)
+        fatal("bisect: ledgers are not comparable: ", coarse.error);
+    if (!coarse.diverged) {
+        std::cout << "ledgers agree over " << coarse.stridesCompared
+                  << " strides; nothing to bisect\n";
+        return 0;
+    }
+
+    const SyntheticConfig ca =
+        bisectSideConfig(sideConfig(config, "a_", "b_"),
+                         "trace_tool bisect (side a)");
+    const SyntheticConfig cb =
+        bisectSideConfig(sideConfig(config, "b_", "a_"),
+                         "trace_tool bisect (side b)");
+    if (ca.warmupCycles != cb.warmupCycles ||
+        ca.measureCycles != cb.measureCycles)
+        fatal("bisect: the two sides disagree on the measurement "
+              "window (warmup/measure) — comparing their "
+              "trajectories is meaningless");
+
+    SyntheticNet builtA = buildSyntheticNetwork(ca);
+    SyntheticNet builtB = buildSyntheticNetwork(cb);
+    Network &netA = *builtA.net;
+    Network &netB = *builtB.net;
+    try {
+        snap::restoreNetwork(netA, snap::loadSnapshotFile(snapA));
+    } catch (const snap::SnapshotError &e) {
+        fatal("bisect: cannot restore side a from '", snapA,
+              "': ", e.what());
+    }
+    try {
+        snap::restoreNetwork(netB, snap::loadSnapshotFile(snapB));
+    } catch (const snap::SnapshotError &e) {
+        fatal("bisect: cannot restore side b from '", snapB,
+              "': ", e.what());
+    }
+    if (netA.now() != netB.now())
+        fatal("bisect: checkpoints are from different cycles (a=",
+              netA.now(), ", b=", netB.now(),
+              ") — pass the same-interval checkpoints bracketing "
+              "the divergence");
+    const Cycle start = netA.now();
+    if (start >= coarse.cycle)
+        fatal("bisect: checkpoints are at cycle ", start,
+              ", at or past the first divergent stride (",
+              coarse.cycle,
+              ") — pass the last checkpoints that still agree");
+
+    Table t({"key", "value"});
+    t.addRow({"ledger_interval", std::to_string(la.interval)});
+    t.addRow({"ledger_divergent_stride",
+              std::to_string(coarse.cycle)});
+    t.addRow({"ledger_last_agree",
+              coarse.lastAgreeCycle < 0
+                  ? std::string("none")
+                  : std::to_string(coarse.lastAgreeCycle)});
+    t.addRow({"checkpoint_cycle", std::to_string(start)});
+
+    // Lockstep replay: one step at a time on both sides, a full
+    // digest capture after every step — digest_interval=1 in effect,
+    // without ever writing a ledger.
+    snap::Writer scratchA, scratchB;
+    DigestStride sa = netA.computeDigestStride(scratchA);
+    DigestStride sb = netB.computeDigestStride(scratchB);
+    if (sa != sb) {
+        // The "agreeing" checkpoints already differ — the coarse
+        // ledger stride lied only by granularity; report here.
+        t.addRow({"diverged", "1"});
+        t.addRow({"first_divergent_cycle", std::to_string(start)});
+        t.addRow({"components",
+                  joinComponents(divergentComponents(sa, sb))});
+        t.print(std::cout);
+        std::cout << "the checkpoints themselves differ — rerun "
+                     "with earlier checkpoints to see the first "
+                     "divergent cycle\n";
+        return 0;
+    }
+
+    // Replicate runSynthetic's phase schedule: sources off once the
+    // measurement window closes, then the drain tail.
+    const Cycle m1 = ca.warmupCycles + ca.measureCycles;
+    if (start >= m1) {
+        netA.setSourcesEnabled(false);
+        netB.setSourcesEnabled(false);
+    }
+    // The divergence is certain by the ledger's divergent stride;
+    // pad one interval in case that stride is the last one captured.
+    const Cycle limit = coarse.cycle + la.interval;
+    bool found = false;
+    while (netA.now() < limit) {
+        netA.step();
+        netB.step();
+        sa = netA.computeDigestStride(scratchA);
+        sb = netB.computeDigestStride(scratchB);
+        if (sa != sb) {
+            found = true;
+            break;
+        }
+        if (netA.now() == m1) {
+            netA.setSourcesEnabled(false);
+            netB.setSourcesEnabled(false);
+        }
+    }
+
+    if (!found) {
+        t.addRow({"diverged", "0"});
+        t.print(std::cout);
+        warn("bisect: replay did not reproduce the divergence by "
+             "cycle ",
+             limit,
+             " — the runs differ in a way the re-run configs do "
+             "not capture (check a_/b_ overrides)");
+        return 1;
+    }
+
+    const std::vector<std::string> components =
+        divergentComponents(sa, sb);
+    t.addRow({"diverged", "1"});
+    t.addRow({"first_divergent_cycle",
+              std::to_string(netA.now())});
+    t.addRow({"last_agreeing_cycle",
+              std::to_string(netA.now() - 1)});
+    t.addRow({"components", joinComponents(components)});
+
+    // Latch a flight-recorder dump at the divergent cycle on each
+    // side that carries a tracer, implicating the differing routers
+    // and NICs. With the shared trace keys both sides inherit the
+    // same flight path; side b then skips its dump rather than
+    // silently overwriting side a's (set b_trace_flight_file= to
+    // capture both rings).
+    std::vector<NodeId> implicated;
+    for (const auto &c : components) {
+        const std::size_t colon = c.find(':');
+        if (colon == std::string::npos)
+            continue;
+        implicated.push_back(static_cast<NodeId>(
+            std::atoi(c.c_str() + colon + 1)));
+    }
+    std::string dumpedPath;
+    for (Network *net : {&netA, &netB}) {
+        TraceRecorder *tracer = net->tracer();
+        if (!tracer)
+            continue;
+        if (!dumpedPath.empty() &&
+            tracer->params().flightPath == dumpedPath) {
+            warn("bisect: side b shares side a's flight path '",
+                 dumpedPath,
+                 "'; skipping its dump (set b_trace_flight_file= "
+                 "to capture both rings)");
+            continue;
+        }
+        if (tracer->triggerFlightDump("digest-divergence",
+                                      implicated)) {
+            dumpedPath = tracer->params().flightPath;
+            t.addRow({"flight_dump", dumpedPath});
+        }
+    }
+
+    t.print(std::cout);
+    return 0;
+}
+
 } // namespace
 
 int
@@ -497,7 +803,13 @@ main(int argc, char **argv)
                "  snapshot-info in=<checkpoint.snap>      "
                "(validate + describe a checkpoint)\n"
                "  profile   in=<profile.jsonl> [topk=10] [shards=N] "
-               "(self-profiling phase/router report)\n";
+               "(self-profiling phase/router report)\n"
+               "  diff      a=<ledger.jsonl> b=<ledger.jsonl>       "
+               "(first divergent digest stride)\n"
+               "  bisect    a=<ledger> b=<ledger> snap_a=<ckpt> "
+               "snap_b=<ckpt> <synthetic keys> [a_K=V] [b_K=V]\n"
+               "            (replay from checkpoints, pin the exact "
+               "divergent cycle + components)\n";
         return 2;
     }
     const std::string &cmd = positional.front();
@@ -515,5 +827,9 @@ main(int argc, char **argv)
         return cmdSnapshotInfo(config);
     if (cmd == "profile")
         return cmdProfile(config);
+    if (cmd == "diff")
+        return cmdDiff(config);
+    if (cmd == "bisect")
+        return cmdBisect(config);
     nox::fatal("unknown command '", cmd, "'");
 }
